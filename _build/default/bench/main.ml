@@ -1,0 +1,138 @@
+(* Benchmark harness: runs the experiment suite (E1–E14, one per table /
+   figure / theorem claim — see EXPERIMENTS.md) followed by the Bechamel
+   timing benches (B1–B7, one per pipeline stage).
+
+   Usage:
+     dune exec bench/main.exe                 # full suite
+     dune exec bench/main.exe -- --quick      # reduced trials/sweeps
+     dune exec bench/main.exe -- --only E1,E4 # subset
+     dune exec bench/main.exe -- --no-timing  # experiments only
+     dune exec bench/main.exe -- --timing-only *)
+
+open Bechamel
+
+let delta = Workload.Harness.default_delta
+let beta = Workload.Harness.default_beta
+
+(* A fixed midsize workload shared by all timing benches so their costs are
+   comparable. *)
+type fixture = {
+  rng : Prim.Rng.t;
+  grid : Geometry.Grid.t;
+  points : Geometry.Vec.t array;
+  idx : Geometry.Pointset.index;
+  t : int;
+  radius : float;
+}
+
+let fixture () =
+  let rng = Prim.Rng.create ~seed:99 () in
+  let grid = Geometry.Grid.create ~axis_size:256 ~dim:2 in
+  let w =
+    Workload.Synth.planted_ball rng ~grid ~n:1500 ~cluster_fraction:0.5 ~cluster_radius:0.05
+  in
+  let idx = Geometry.Pointset.build_index (Geometry.Pointset.create w.Workload.Synth.points) in
+  { rng; grid; points = w.Workload.Synth.points; idx; t = 600; radius = 0.1 }
+
+let timing_tests fx =
+  let profile = Privcluster.Profile.practical in
+  [
+    Test.make ~name:"B1 good-radius"
+      (Staged.stage (fun () ->
+           Privcluster.Good_radius.run fx.rng profile ~grid:fx.grid ~eps:2.0 ~delta ~beta
+             ~t:fx.t fx.idx));
+    Test.make ~name:"B2 good-center"
+      (Staged.stage (fun () ->
+           Privcluster.Good_center.run fx.rng profile ~eps:2.0 ~delta ~beta ~t:fx.t
+             ~radius:fx.radius fx.points));
+    Test.make ~name:"B3 rec-concave(1k)"
+      (Staged.stage
+         (let q =
+            Recconcave.Quality.of_array
+              (Array.init 1000 (fun i -> -.Float.abs (float_of_int (i - 700))))
+          in
+          fun () -> Recconcave.Rec_concave.solve fx.rng ~eps:1.0 q));
+    Test.make ~name:"B4 jl-project"
+      (Staged.stage
+         (let jl = Geometry.Jl.make fx.rng ~input_dim:64 ~output_dim:16 in
+          let v = Prim.Rng.gaussian_vector fx.rng ~dim:64 ~sigma:1.0 in
+          fun () -> Geometry.Jl.apply jl v));
+    Test.make ~name:"B5 stability-hist"
+      (Staged.stage
+         (let boxing = Geometry.Boxing.make fx.rng ~dim:2 ~len:(4. *. fx.radius) in
+          fun () ->
+            Prim.Stability_hist.select fx.rng ~eps:0.5 ~delta:1e-6
+              (Geometry.Boxing.occupancy boxing fx.points)));
+    Test.make ~name:"B6 noisy-avg"
+      (Staged.stage (fun () ->
+           Prim.Noisy_avg.run fx.rng ~eps:0.5 ~delta:1e-6 ~diameter:1.0
+             ~pred:(fun p -> p.(0) < 0.5)
+             ~dim:2 fx.points));
+    Test.make ~name:"B7 one-cluster e2e"
+      (Staged.stage (fun () ->
+           Privcluster.One_cluster.run_indexed fx.rng profile ~grid:fx.grid ~eps:2.0 ~delta
+             ~beta ~t:fx.t fx.idx));
+  ]
+
+let run_timing ~quick =
+  Workload.Report.headline "B1-B7 - Bechamel timing benches (per-call wall clock)";
+  let fx = fixture () in
+  let quota = if quick then 0.5 else 2.0 in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let raw = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"privcluster" (timing_tests fx)) in
+  let results = Analyze.all ols instance raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let ns =
+        match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> Float.nan
+      in
+      let r2 = match Analyze.OLS.r_square ols with Some r -> r | None -> Float.nan in
+      rows := (name, ns, r2) :: !rows)
+    results;
+  let rows = List.sort (fun (a, _, _) (b, _, _) -> compare a b) !rows in
+  Workload.Report.table
+    ~header:[ "bench"; "time/call"; "r^2" ]
+    (List.map
+       (fun (name, ns, r2) ->
+         let human =
+           if Float.is_nan ns then "-"
+           else if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+           else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+           else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+           else Printf.sprintf "%.0f ns" ns
+         in
+         [ name; human; Workload.Report.f3 r2 ])
+       rows)
+
+let () =
+  let quick = ref false and only = ref [] and timing = ref true and experiments = ref true in
+  let csv = ref None in
+  let seed = ref Workload.Experiments.default_cfg.Workload.Experiments.seed in
+  let spec =
+    [
+      ("--quick", Arg.Set quick, "reduced trials and sweeps");
+      ( "--only",
+        Arg.String (fun s -> only := String.split_on_char ',' s),
+        "comma-separated experiment ids (e.g. E1,E4); implies --no-timing" );
+      ("--no-timing", Arg.Clear timing, "skip the Bechamel benches");
+      ("--timing-only", Arg.Clear experiments, "only the Bechamel benches");
+      ("--seed", Arg.Set_int seed, "base RNG seed");
+      ("--csv", Arg.String (fun d -> csv := Some d), "also write each table as CSV into this directory");
+    ]
+  in
+  Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) "privcluster bench";
+  Workload.Report.set_csv_dir !csv;
+  let cfg = { Workload.Experiments.quick = !quick; seed = !seed } in
+  if !experiments then begin
+    match !only with
+    | [] -> Workload.Experiments.run cfg
+    | ids ->
+        timing := false;
+        Workload.Experiments.run ~only:ids cfg
+  end;
+  if !timing then run_timing ~quick:!quick

@@ -1,0 +1,280 @@
+(* privcluster-cli — run the solvers and the experiment suite from the
+   command line.
+
+     privcluster-cli solve --n 3000 --dim 2 --frac 0.5 --eps 2
+     privcluster-cli experiments --only E1,E4 --quick
+     privcluster-cli params --dim 4 --axis 256 --eps 2
+     privcluster-cli outliers --n 3000 --outlier-frac 0.1
+     privcluster-cli interior-point --m 4000 *)
+
+open Cmdliner
+
+let delta_default = Workload.Harness.default_delta
+let beta_default = Workload.Harness.default_beta
+
+(* Shared options. *)
+let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"RNG seed.")
+let eps = Arg.(value & opt float 2.0 & info [ "eps" ] ~doc:"Privacy parameter ε.")
+let delta = Arg.(value & opt float delta_default & info [ "delta" ] ~doc:"Privacy parameter δ.")
+let beta = Arg.(value & opt float beta_default & info [ "beta" ] ~doc:"Failure probability β.")
+let dim = Arg.(value & opt int 2 & info [ "dim"; "d" ] ~doc:"Dimension d.")
+let axis = Arg.(value & opt int 256 & info [ "axis" ] ~doc:"Axis size |X| of the grid domain.")
+let n = Arg.(value & opt int 3000 & info [ "n"; "points" ] ~doc:"Number of points.")
+
+let profile_conv =
+  let parse = function
+    | "paper" -> Ok Privcluster.Profile.paper
+    | "practical" -> Ok Privcluster.Profile.practical
+    | s -> Error (`Msg (Printf.sprintf "unknown profile %S (expected paper|practical)" s))
+  in
+  Arg.conv (parse, fun ppf p -> Privcluster.Profile.pp ppf p)
+
+let profile =
+  Arg.(
+    value
+    & opt profile_conv Privcluster.Profile.practical
+    & info [ "profile" ] ~doc:"Constant profile: paper or practical.")
+
+(* solve ------------------------------------------------------------- *)
+
+let solve_cmd =
+  let run seed eps delta beta dim axis n frac radius profile =
+    let rng = Prim.Rng.create ~seed () in
+    let grid = Geometry.Grid.create ~axis_size:axis ~dim in
+    let w = Workload.Synth.planted_ball rng ~grid ~n ~cluster_fraction:frac ~cluster_radius:radius in
+    let t = int_of_float (0.9 *. float_of_int w.Workload.Synth.cluster_size) in
+    Workload.Report.headline "1-cluster solve on a planted workload";
+    Workload.Report.kv "profile" (Format.asprintf "%a" Privcluster.Profile.pp profile);
+    Workload.Report.kv "n / d / |X|" (Printf.sprintf "%d / %d / %d" n dim axis);
+    Workload.Report.kv "planted" (Printf.sprintf "%d points in radius %.4f" w.Workload.Synth.cluster_size w.Workload.Synth.cluster_radius);
+    Workload.Report.kv "target t" (string_of_int t);
+    Workload.Report.kv "privacy" (Printf.sprintf "(%.2f, %g)-DP, beta=%.2f" eps delta beta);
+    let idx = Geometry.Pointset.build_index (Geometry.Pointset.create w.Workload.Synth.points) in
+    let _, r_hi = Workload.Metrics.r_opt_bounds_indexed idx ~t in
+    let r_hi = Float.min r_hi w.Workload.Synth.cluster_radius in
+    let score, result =
+      Workload.Harness.run_one_cluster rng profile ~grid ~eps ~delta ~beta ~t ~r_hi idx
+    in
+    (match result with
+    | None -> Workload.Report.kv "outcome" ("FAILED: " ^ Option.value ~default:"?" score.Workload.Harness.failure)
+    | Some r ->
+        Workload.Report.kv "center distance to truth"
+          (Workload.Report.f3 (Geometry.Vec.dist r.Privcluster.One_cluster.center w.Workload.Synth.cluster_center));
+        Workload.Report.kv "private radius"
+          (Printf.sprintf "%s (w = %s x r_opt)" (Workload.Report.f3 r.Privcluster.One_cluster.radius)
+             (Workload.Report.f2 score.Workload.Harness.w_private));
+        Workload.Report.kv "tight radius around center"
+          (Printf.sprintf "w = %s x r_opt" (Workload.Report.f2 score.Workload.Harness.w_tight));
+        Workload.Report.kv "covered / t" (Printf.sprintf "%d / %d" score.Workload.Harness.covered t);
+        Workload.Report.kv "certified delta bound" (Workload.Report.f2 r.Privcluster.One_cluster.delta_bound));
+    Workload.Report.kv "time" (Printf.sprintf "%.0f ms" score.Workload.Harness.time_ms)
+  in
+  let frac = Arg.(value & opt float 0.5 & info [ "frac" ] ~doc:"Planted cluster fraction.") in
+  let radius = Arg.(value & opt float 0.05 & info [ "radius" ] ~doc:"Planted cluster radius.") in
+  Cmd.v (Cmd.info "solve" ~doc:"Run the 1-cluster solver on a planted synthetic workload")
+    Term.(const run $ seed $ eps $ delta $ beta $ dim $ axis $ n $ frac $ radius $ profile)
+
+(* experiments ------------------------------------------------------- *)
+
+let experiments_cmd =
+  let run seed quick only =
+    let cfg = { Workload.Experiments.quick; seed } in
+    match only with
+    | [] -> Workload.Experiments.run cfg
+    | ids -> Workload.Experiments.run ~only:ids cfg
+  in
+  let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Reduced trials and sweeps.") in
+  let only =
+    Arg.(value & opt (list string) [] & info [ "only" ] ~doc:"Run only these experiment ids.")
+  in
+  Cmd.v (Cmd.info "experiments" ~doc:"Run the EXPERIMENTS.md suite (E1-E13)")
+    Term.(const run $ seed $ quick $ only)
+
+(* params ------------------------------------------------------------ *)
+
+let params_cmd =
+  let run eps delta beta dim axis n profile =
+    let grid = Geometry.Grid.create ~axis_size:axis ~dim in
+    Workload.Report.headline "certified bounds for this configuration";
+    Workload.Report.kv "profile" (Format.asprintf "%a" Privcluster.Profile.pp profile);
+    Workload.Report.kv "radius candidates"
+      (string_of_int
+         (match profile.Privcluster.Profile.radius_grid with
+         | Privcluster.Profile.Linear -> Geometry.Grid.radius_candidates grid
+         | Privcluster.Profile.Geometric -> Geometry.Grid.geometric_candidates grid));
+    Workload.Report.kv "GoodRadius Gamma"
+      (Workload.Report.f2
+         (Privcluster.Good_radius.gamma profile ~grid ~eps:(eps /. 2.) ~delta:(delta /. 2.) ~beta));
+    Workload.Report.kv "paper Gamma formula"
+      (Printf.sprintf "%.3e"
+         (Recconcave.Rec_concave.paper_promise ~eps:(eps /. 4.) ~beta ~delta:(delta /. 2.)
+            ~domain_size:(2. *. float_of_int axis *. sqrt (float_of_int dim))));
+    Workload.Report.kv "recommended min t"
+      (Workload.Report.f2
+         (Privcluster.One_cluster.recommended_min_t profile ~grid ~eps ~delta ~beta ~n));
+    Workload.Report.kv "JL dimension k"
+      (string_of_int (Privcluster.Profile.jl_dim profile ~n ~d:dim ~beta));
+    Workload.Report.kv "log*(2|X|sqrt d)" (Workload.Report.f2 (Geometry.Grid.log_star_term grid));
+    Workload.Report.subhead "privacy budget breakdown (one run)";
+    List.iter
+      (fun (label, p) -> Workload.Report.kv label (Prim.Dp.to_string p))
+      (Privcluster.One_cluster.budget_breakdown profile ~eps ~delta ~d:dim)
+  in
+  Cmd.v (Cmd.info "params" ~doc:"Print the certified bounds for a configuration")
+    Term.(const run $ eps $ delta $ beta $ dim $ axis $ n $ profile)
+
+(* outliers ---------------------------------------------------------- *)
+
+let outliers_cmd =
+  let run seed eps delta beta dim axis n outlier_frac =
+    let rng = Prim.Rng.create ~seed () in
+    let grid = Geometry.Grid.create ~axis_size:axis ~dim in
+    let w =
+      Workload.Synth.with_outliers rng ~grid ~n ~outlier_fraction:outlier_frac ~inlier_radius:0.04
+    in
+    Workload.Report.headline "outlier screening demo";
+    match
+      Privcluster.Outlier.detect rng Privcluster.Profile.practical ~grid ~eps:(eps /. 2.)
+        ~delta:(delta /. 2.) ~beta
+        ~inlier_fraction:(0.95 *. (1. -. outlier_frac))
+        w.Workload.Synth.data
+    with
+    | Error e ->
+        Workload.Report.kv "outcome"
+          (Format.asprintf "FAILED: %a" Privcluster.One_cluster.pp_failure e)
+    | Ok det ->
+        let excluded =
+          Array.fold_left
+            (fun acc i -> if det.Privcluster.Outlier.inlier w.Workload.Synth.data.(i) then acc else acc + 1)
+            0 w.Workload.Synth.outlier_indices
+        in
+        Workload.Report.kv "ball radius" (Workload.Report.f3 det.Privcluster.Outlier.ball_radius);
+        Workload.Report.kv "outliers excluded"
+          (Printf.sprintf "%d / %d" excluded (Array.length w.Workload.Synth.outlier_indices));
+        let show = function
+          | Prim.Noisy_avg.Average a ->
+              Workload.Report.f3
+                (Geometry.Vec.dist a.Prim.Noisy_avg.average w.Workload.Synth.inlier_center)
+          | Prim.Noisy_avg.Bottom -> "bottom"
+        in
+        Workload.Report.kv "screened mean error"
+          (show (Privcluster.Outlier.screened_mean rng ~eps:(eps /. 2.) ~delta:(delta /. 2.) det w.Workload.Synth.data));
+        Workload.Report.kv "domain mean error"
+          (show (Privcluster.Outlier.domain_mean rng ~eps:(eps /. 2.) ~delta:(delta /. 2.) ~grid w.Workload.Synth.data))
+  in
+  let ofrac = Arg.(value & opt float 0.1 & info [ "outlier-frac" ] ~doc:"Outlier fraction.") in
+  Cmd.v (Cmd.info "outliers" ~doc:"Outlier detection and screened-mean demo")
+    Term.(const run $ seed $ eps $ delta $ beta $ dim $ axis $ n $ ofrac)
+
+(* interior-point ---------------------------------------------------- *)
+
+let interior_cmd =
+  let run seed eps delta beta m =
+    let rng = Prim.Rng.create ~seed () in
+    let grid = Geometry.Grid.create ~axis_size:4096 ~dim:1 in
+    let values =
+      Array.init m (fun i ->
+          let base = if i mod 2 = 0 then 0.25 else 0.75 in
+          Float.max 0. (Float.min 1. (base +. Prim.Rng.gaussian rng ~sigma:0.01 ())))
+    in
+    Workload.Report.headline "interior point via the 1-cluster reduction (Algorithm 3)";
+    match
+      Privcluster.Interior_point.run rng Privcluster.Profile.practical ~grid ~eps ~delta ~beta
+        ~inner_n:(m / 2) ~w:16. values
+    with
+    | Error e ->
+        Workload.Report.kv "outcome" (Format.asprintf "FAILED: %a" Privcluster.One_cluster.pp_failure e)
+    | Ok ip ->
+        let lo = Array.fold_left Float.min infinity values in
+        let hi = Array.fold_left Float.max neg_infinity values in
+        Workload.Report.kv "returned point" (Workload.Report.f3 ip.Privcluster.Interior_point.point);
+        Workload.Report.kv "data range" (Printf.sprintf "[%s, %s]" (Workload.Report.f3 lo) (Workload.Report.f3 hi));
+        Workload.Report.kv "interior?"
+          (if ip.Privcluster.Interior_point.point >= lo && ip.Privcluster.Interior_point.point <= hi
+           then "yes" else "NO");
+        Workload.Report.kv "oracle radius" (Workload.Report.f3 ip.Privcluster.Interior_point.oracle_radius);
+        Workload.Report.kv "cut candidates" (string_of_int ip.Privcluster.Interior_point.candidates)
+  in
+  let m = Arg.(value & opt int 4000 & info [ "m" ] ~doc:"Database size.") in
+  Cmd.v (Cmd.info "interior-point" ~doc:"Interior-point demo (Theorem 5.3 reduction)")
+    Term.(const run $ seed $ eps $ delta $ beta $ m)
+
+(* quantile ----------------------------------------------------------- *)
+
+let quantile_cmd =
+  let run seed eps axis n q =
+    let rng = Prim.Rng.create ~seed () in
+    let grid = Geometry.Grid.create ~axis_size:axis ~dim:1 in
+    (* Skewed demo data. *)
+    let values = Array.init n (fun _ -> Prim.Rng.float rng 1.0 ** 2.) in
+    Workload.Report.headline "private quantile (RecConcave)";
+    let res = Privcluster.Quantile.quantile rng ~grid ~eps ~q values in
+    let rank =
+      Array.fold_left
+        (fun acc x -> if x <= res.Privcluster.Quantile.value then acc + 1 else acc)
+        0 values
+    in
+    Workload.Report.kv "quantile q" (Workload.Report.g q);
+    Workload.Report.kv "private value" (Workload.Report.f3 res.Privcluster.Quantile.value);
+    Workload.Report.kv "achieved rank / target"
+      (Printf.sprintf "%d / %.0f" rank res.Privcluster.Quantile.target_rank);
+    Workload.Report.kv "certified rank error (beta=0.1)"
+      (Printf.sprintf "%.0f" (Privcluster.Quantile.rank_error_bound ~grid ~eps ~beta:0.1 ()))
+  in
+  let q = Arg.(value & opt float 0.5 & info [ "q"; "level" ] ~doc:"Quantile in [0, 1].") in
+  Cmd.v (Cmd.info "quantile" ~doc:"Private quantile demo (RecConcave application)")
+    Term.(const run $ seed $ eps $ axis $ n $ q)
+
+(* domain-solve ------------------------------------------------------- *)
+
+let domain_cmd =
+  let run seed eps delta beta axis n =
+    let rng = Prim.Rng.create ~seed () in
+    (* Data in an arbitrary box: longitude/latitude-like coordinates. *)
+    let center = [| -71.06; 42.36 |] in
+    let points =
+      Array.init n (fun i ->
+          if i < n / 2 then Array.map (fun c -> c +. Prim.Rng.gaussian rng ~sigma:0.005 ()) center
+          else
+            [|
+              Prim.Rng.uniform rng ~lo:(-71.2) ~hi:(-70.9);
+              Prim.Rng.uniform rng ~lo:42.2 ~hi:42.5;
+            |])
+    in
+    let dom =
+      Privcluster.Domain.create ~lo:[| -71.2; 42.2 |] ~hi:[| -70.9; 42.5 |] ~axis_size:axis
+    in
+    Workload.Report.headline "1-cluster on an arbitrary rectangular domain (Remark 3.3)";
+    match
+      Privcluster.Domain.solve rng Privcluster.Profile.practical dom ~eps ~delta ~beta
+        ~t:(3 * n / 10) points
+    with
+    | Error e ->
+        Workload.Report.kv "outcome" (Format.asprintf "FAILED: %a" Privcluster.One_cluster.pp_failure e)
+    | Ok r ->
+        Workload.Report.kv "center"
+          (Printf.sprintf "(%.4f, %.4f)" r.Privcluster.Domain.center.(0) r.Privcluster.Domain.center.(1));
+        Workload.Report.kv "radius (data units)" (Workload.Report.f3 r.Privcluster.Domain.radius);
+        Workload.Report.kv "truth center" (Printf.sprintf "(%.4f, %.4f)" center.(0) center.(1));
+        Workload.Report.kv "center error (data units)"
+          (Workload.Report.f3 (Geometry.Vec.dist r.Privcluster.Domain.center center))
+  in
+  Cmd.v
+    (Cmd.info "domain-solve" ~doc:"Solve over a non-unit rectangular domain (Remark 3.3)")
+    Term.(const run $ seed $ eps $ delta $ beta $ axis $ n)
+
+let () =
+  let doc = "differentially private location of a small cluster (PODS 2016)" in
+  let info = Cmd.info "privcluster-cli" ~doc ~version:"1.0.0" in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            solve_cmd;
+            experiments_cmd;
+            params_cmd;
+            outliers_cmd;
+            interior_cmd;
+            quantile_cmd;
+            domain_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/map_search.ml: Array Float Geometry List Prim Printf Privcluster Workload

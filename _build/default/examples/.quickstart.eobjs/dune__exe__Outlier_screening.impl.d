@@ -1,0 +1,1 @@
+examples/outlier_screening.ml: Array Format Geometry Prim Printf Privcluster Workload

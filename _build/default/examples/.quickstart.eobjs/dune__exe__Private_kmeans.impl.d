@@ -1,0 +1,1 @@
+examples/private_kmeans.ml: Array Float Format Geometry Prim Printf Privcluster

@@ -1,0 +1,1 @@
+examples/private_mean_sa.ml: Array Float Format Geometry Prim Printf Privcluster

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Geometry Prim Privcluster Workload

@@ -1,0 +1,1 @@
+lib/baselines/exp_mech_cluster.ml: Array Geometry Prim Recconcave

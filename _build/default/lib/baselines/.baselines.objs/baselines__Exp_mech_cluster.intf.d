@@ -1,0 +1,1 @@
+lib/baselines/exp_mech_cluster.mli: Geometry Prim

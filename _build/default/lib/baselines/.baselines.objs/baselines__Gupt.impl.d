@@ -1,0 +1,1 @@
+lib/baselines/gupt.ml: Array Float Geometry Prim

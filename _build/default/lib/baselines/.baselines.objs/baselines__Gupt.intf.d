@@ -1,0 +1,1 @@
+lib/baselines/gupt.mli: Geometry Prim

@@ -1,0 +1,1 @@
+lib/baselines/private_agg.ml: Array Float Geometry Prim Recconcave

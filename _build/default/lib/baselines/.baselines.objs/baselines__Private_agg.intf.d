@@ -1,0 +1,1 @@
+lib/baselines/private_agg.mli: Geometry Prim

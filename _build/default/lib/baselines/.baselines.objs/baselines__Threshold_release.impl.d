@@ -1,0 +1,1 @@
+lib/baselines/threshold_release.ml: Array Float Geometry Prim

@@ -1,0 +1,1 @@
+lib/baselines/threshold_release.mli: Geometry Prim

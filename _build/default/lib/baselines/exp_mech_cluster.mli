@@ -1,0 +1,34 @@
+(** Table 1, row 2 — the exponential-mechanism 1-cluster solver (§1.2).
+
+    Enumerate every grid point of [X^d] as a candidate center; find a good
+    radius by private (noisy) binary search over the candidate radii using
+    the sensitivity-1 score [max_c B̄_r(c)], then select a center with the
+    exponential mechanism weighted by the ball counts at that radius.
+
+    Qualities of this method, which experiment E1 confirms empirically:
+    radius approximation [w = 1] (the best of any method), cluster loss
+    [Δ = Õ(d·log|X|)/ε], but running time [poly(|X|^d)] — the candidate
+    enumeration explodes with dimension, which is exactly why the paper's
+    algorithm exists.  {!candidate_count} guards against accidental blowup. *)
+
+type result = {
+  center : Geometry.Vec.t;
+  radius : float;
+  candidates : int;  (** Number of enumerated centers ([|X|^d]). *)
+}
+
+val candidate_count : Geometry.Grid.t -> int
+(** [|X|^d] (saturating at [max_int]). *)
+
+val max_candidates : int
+(** Refuse to enumerate more than this many centers (4 million). *)
+
+val run :
+  Prim.Rng.t ->
+  grid:Geometry.Grid.t ->
+  eps:float ->
+  t:int ->
+  Geometry.Pointset.t ->
+  result
+(** [(ε, 0)]-DP: ε/2 on the radius search, ε/2 on the center selection.
+    @raise Invalid_argument when [candidate_count > max_candidates]. *)

@@ -1,0 +1,17 @@
+type result = { estimate : Geometry.Vec.t; blocks : int; block_size : int }
+
+let run rng ~grid ~eps ~delta ~m ~f data =
+  if m < 1 then invalid_arg "Gupt.run: m must be >= 1";
+  let n = Array.length data in
+  let k = n / m in
+  if k < 2 then invalid_arg "Gupt.run: need at least two blocks";
+  let clamp v = Array.map (fun x -> Float.max 0. (Float.min 1. x)) v in
+  let outputs =
+    Array.init k (fun b -> clamp (Geometry.Grid.snap grid (f (Array.sub data (b * m) m))))
+  in
+  let sensitivity = Geometry.Grid.diameter grid /. float_of_int k in
+  let estimate =
+    Prim.Gaussian_mech.vector rng ~eps ~delta ~l2_sensitivity:sensitivity
+      (Geometry.Vec.mean outputs)
+  in
+  { estimate; blocks = k; block_size = m }

@@ -1,0 +1,33 @@
+(** GUPT-style sample and aggregate (Mohan et al., SIGMOD 2012) — the
+    aggregation the paper's Section 6 improves upon.
+
+    Same block structure as Algorithm 4: split the data into [k] blocks,
+    apply the off-the-shelf analysis [f] to each, but aggregate the [k]
+    outputs by {e differentially private averaging} (mean + Gaussian noise
+    at L2-sensitivity [diam/k]) instead of private clustering.
+
+    Strengths and weaknesses, measured in experiment E7: when (almost) all
+    block outputs concentrate, the average is accurate and extremely cheap;
+    but a constant fraction of wild outputs biases it by a constant, and
+    below a 50% good fraction it is uninformative — exactly the regime the
+    1-cluster aggregator (Theorem 6.3) still handles. *)
+
+type result = {
+  estimate : Geometry.Vec.t;
+  blocks : int;
+  block_size : int;
+}
+
+val run :
+  Prim.Rng.t ->
+  grid:Geometry.Grid.t ->
+  eps:float ->
+  delta:float ->
+  m:int ->
+  f:('a array -> Geometry.Vec.t) ->
+  'a array ->
+  result
+(** [(ε, δ)]-DP: a neighbouring input changes one block, hence one of the
+    [k] averaged outputs, so the mean has L2-sensitivity [√d / k] over the
+    grid cube (outputs are clamped into it).
+    @raise Invalid_argument unless the data supplies at least two blocks. *)

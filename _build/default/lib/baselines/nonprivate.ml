@@ -1,0 +1,23 @@
+type answer = { center : Geometry.Vec.t; radius : float; exact : bool }
+
+let solve ps ~t =
+  if Geometry.Pointset.dim ps = 1 then begin
+    let coords = Array.map (fun p -> p.(0)) (Geometry.Pointset.points ps) in
+    let b = Geometry.Seb.exact_1d coords ~t in
+    { center = b.Geometry.Seb.center; radius = b.Geometry.Seb.radius; exact = true }
+  end
+  else begin
+    let b = Geometry.Seb.t_ball_heuristic ps ~t in
+    { center = b.Geometry.Seb.center; radius = b.Geometry.Seb.radius; exact = false }
+  end
+
+let two_approx ps ~t =
+  let b = Geometry.Seb.two_approx ps ~t in
+  { center = b.Geometry.Seb.center; radius = b.Geometry.Seb.radius; exact = false }
+
+let r_opt_bounds ps ~t =
+  let approx2 = Geometry.Seb.two_approx ps ~t in
+  let best = solve ps ~t in
+  let hi = Float.min approx2.Geometry.Seb.radius best.radius in
+  let lo = if best.exact then best.radius else approx2.Geometry.Seb.radius /. 2. in
+  (lo, hi)

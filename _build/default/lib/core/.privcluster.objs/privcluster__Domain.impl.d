@@ -1,0 +1,1 @@
+lib/core/domain.ml: Array Float Geometry One_cluster

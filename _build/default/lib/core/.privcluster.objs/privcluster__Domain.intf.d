@@ -1,0 +1,1 @@
+lib/core/domain.mli: Geometry One_cluster Prim Profile Stdlib

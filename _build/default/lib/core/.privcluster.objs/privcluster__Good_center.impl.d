@@ -1,0 +1,1 @@
+lib/core/good_center.ml: Array Format Geometry List Logs Prim Profile

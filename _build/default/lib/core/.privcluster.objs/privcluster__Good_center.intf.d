@@ -1,0 +1,1 @@
+lib/core/good_center.mli: Format Geometry Prim Profile Stdlib

@@ -1,0 +1,1 @@
+lib/core/good_radius.ml: Float Format Geometry Logs Prim Profile Recconcave

@@ -1,0 +1,1 @@
+lib/core/good_radius.mli: Format Geometry Prim Profile

@@ -1,0 +1,1 @@
+lib/core/interior_point.ml: Array Float Geometry One_cluster Profile Recconcave

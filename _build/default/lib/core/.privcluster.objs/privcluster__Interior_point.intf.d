@@ -1,0 +1,1 @@
+lib/core/interior_point.mli: Geometry One_cluster Prim Profile Stdlib

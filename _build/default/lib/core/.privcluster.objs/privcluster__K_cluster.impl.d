@@ -1,0 +1,1 @@
+lib/core/k_cluster.ml: Array Float Geometry Good_radius List One_cluster

@@ -1,0 +1,1 @@
+lib/core/k_cluster.mli: Geometry Prim Profile

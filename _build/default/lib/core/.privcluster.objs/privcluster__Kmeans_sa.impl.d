@@ -1,0 +1,1 @@
+lib/core/kmeans_sa.ml: Array Geometry Prim Sample_aggregate

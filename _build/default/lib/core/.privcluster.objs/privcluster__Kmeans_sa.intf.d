@@ -1,0 +1,1 @@
+lib/core/kmeans_sa.mli: Geometry One_cluster Prim Profile Sample_aggregate Stdlib

@@ -1,0 +1,1 @@
+lib/core/one_cluster.ml: Array Float Format Geometry Good_center Good_radius Prim Printf Profile

@@ -1,0 +1,1 @@
+lib/core/one_cluster.mli: Format Geometry Good_center Good_radius Prim Profile Stdlib

@@ -1,0 +1,1 @@
+lib/core/outlier.ml: Array Float Geometry Good_radius One_cluster Prim

@@ -1,0 +1,1 @@
+lib/core/outlier.mli: Geometry One_cluster Prim Profile Stdlib

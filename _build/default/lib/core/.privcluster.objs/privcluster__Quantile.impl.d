@@ -1,0 +1,1 @@
+lib/core/quantile.ml: Array Float Geometry Profile Recconcave

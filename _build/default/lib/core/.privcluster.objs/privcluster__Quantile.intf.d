@@ -1,0 +1,1 @@
+lib/core/quantile.mli: Geometry Prim Profile

@@ -1,0 +1,1 @@
+lib/core/sample_aggregate.ml: Array Float Geometry One_cluster Prim

@@ -1,0 +1,1 @@
+lib/core/sample_aggregate.mli: Geometry One_cluster Prim Profile Stdlib

@@ -1,0 +1,171 @@
+let src = Logs.Src.create "privcluster.good-center" ~doc:"Algorithm 2 (GoodCenter)"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type failure = No_heavy_box | Box_selection_failed | Averaging_bottom
+
+type success = {
+  center : Geometry.Vec.t;
+  private_radius : float;
+  jl_dim : int;
+  identity_projection : bool;
+  rounds_used : int;
+  axis_fallbacks : int;
+  capture_radius : float;
+  noisy_count : float;
+}
+
+let pp_failure ppf = function
+  | No_heavy_box -> Format.fprintf ppf "no heavy box found within the round budget"
+  | Box_selection_failed -> Format.fprintf ppf "stability histogram released no box"
+  | Averaging_bottom -> Format.fprintf ppf "noisy average returned bottom"
+
+let pp_success ppf s =
+  Format.fprintf ppf
+    "{center=%a; private_radius=%.4f; k=%d; identity=%b; rounds=%d; fallbacks=%d; capture=%.4f; \
+     m_hat=%.1f}"
+    Geometry.Vec.pp s.center s.private_radius s.jl_dim s.identity_projection s.rounds_used
+    s.axis_fallbacks s.capture_radius s.noisy_count
+
+(* Steps 2–6: repeatedly draw a randomly shifted box partition of the
+   projected space and ask AboveThreshold whether some box is heavy. *)
+let find_heavy_boxing rng (profile : Profile.t) ~eps ~beta ~t ~side ~k proj =
+  let n = Array.length proj in
+  let rounds = Profile.rounds profile ~n ~beta in
+  let slack = Prim.Sparse_vector.accuracy_bound ~eps:(eps /. 4.) ~k:rounds ~beta in
+  let sv =
+    Prim.Sparse_vector.create rng ~eps:(eps /. 4.) ~threshold:(float_of_int t -. slack)
+  in
+  let rec loop round =
+    if round > rounds then None
+    else begin
+      let boxing = Geometry.Boxing.make rng ~dim:k ~len:side in
+      let q = float_of_int (Geometry.Boxing.max_occupancy boxing proj) in
+      match Prim.Sparse_vector.query sv q with
+      | Prim.Sparse_vector.Above -> Some (boxing, round)
+      | Prim.Sparse_vector.Below -> loop (round + 1)
+    end
+  in
+  loop 1
+
+(* Steps 8–10 (JL path): deterministically bound D in a rotated frame.
+   Returns the center of the bounding ball C and the per-run count of axes
+   that needed the data-independent fallback. *)
+let rotated_capture rng ~eps ~delta ~beta ~d ~k ~r ~axis_factor captured =
+  let n_captured = Array.length captured in
+  let rotation = Geometry.Rotation.make rng ~dim:d in
+  let df = float_of_int d in
+  let nf = float_of_int (max 2 n_captured) in
+  let p = axis_factor *. r *. sqrt (float_of_int k *. log (df *. nf /. beta) /. df) in
+  let eps_axis = eps /. (10. *. sqrt (df *. log (8. /. delta))) in
+  let delta_axis = delta /. (8. *. df) in
+  let fallbacks = ref 0 in
+  (* Data-independent fallback when an axis's histogram releases nothing:
+     the interval containing the domain center's projection (points live in
+     the unit cube by convention). *)
+  let cube_center = Array.make d 0.5 in
+  let centers =
+    Array.init d (fun i ->
+        let part = Geometry.Interval.make rng ~len:p in
+        let coords = Array.map (fun x -> Geometry.Rotation.project rotation x i) captured in
+        let chosen =
+          Prim.Stability_hist.select_by rng ~eps:eps_axis ~delta:delta_axis
+            ~key:(Geometry.Interval.index_of part) coords
+        in
+        let j =
+          match chosen with
+          | Some cell -> cell.Prim.Stability_hist.key
+          | None ->
+              incr fallbacks;
+              Geometry.Interval.index_of part (Geometry.Rotation.project rotation cube_center i)
+        in
+        let lo, hi = Geometry.Interval.bounds part j in
+        0.5 *. (lo +. hi))
+  in
+  let center = Geometry.Rotation.from_coords rotation centers in
+  (* Î_i has length 3p, so the box has half-diagonal (3p/2)·√d; C doubles it
+     (the paper's 2700 = 2 × 1350 slack). *)
+  let capture_radius = 3. *. p *. sqrt df in
+  (center, capture_radius, !fallbacks)
+
+let run rng (profile : Profile.t) ~eps ~delta ~beta ~t ~radius:r points =
+  if not (r > 0.) then invalid_arg "Good_center.run: radius must be positive";
+  if not (eps > 0.) then invalid_arg "Good_center.run: eps must be positive";
+  if Array.length points = 0 then invalid_arg "Good_center.run: empty input";
+  let n = Array.length points in
+  let d = Geometry.Vec.dim points.(0) in
+  let k = Profile.jl_dim profile ~n ~d ~beta in
+  let identity_projection = k >= d in
+  let k = if identity_projection then d else k in
+  let project =
+    if identity_projection then fun x -> x
+    else
+      let jl = Geometry.Jl.make rng ~input_dim:d ~output_dim:k in
+      Geometry.Jl.apply jl
+  in
+  let proj = if identity_projection then points else Array.map project points in
+  let side = profile.Profile.box_side_factor *. r in
+  match find_heavy_boxing rng profile ~eps ~beta ~t ~side ~k proj with
+  | None -> Error No_heavy_box
+  | Some (boxing, rounds_used) ->
+      Log.debug (fun m ->
+          m "heavy boxing after %d rounds (k=%d, identity=%b, side=%.4f)" rounds_used k
+            identity_projection side);
+      (
+      (* Step 7: pick the heavy box privately. *)
+      match
+        Prim.Stability_hist.select rng ~eps:(eps /. 4.) ~delta:(delta /. 4.)
+          (Geometry.Boxing.occupancy boxing proj)
+      with
+      | None -> Error Box_selection_failed
+      | Some cell ->
+          let key = cell.Prim.Stability_hist.key in
+          Log.debug (fun m ->
+              m "box selected: true count %d, noisy %.1f" cell.Prim.Stability_hist.count
+                cell.Prim.Stability_hist.noisy_count);
+          let in_box x = Geometry.Boxing.key_of boxing (project x) = key in
+          let capture_center, capture_radius, axis_fallbacks =
+            if identity_projection then begin
+              (* The box itself bounds D deterministically: C is its
+                 bounding ball.  (Practical-profile shortcut; see .mli.) *)
+              let center = Geometry.Boxing.center boxing key in
+              (center, 0.5 *. side *. sqrt (float_of_int d), 0)
+            end
+            else begin
+              let captured = Array.of_list (List.filter in_box (Array.to_list points)) in
+              rotated_capture rng ~eps ~delta ~beta ~d ~k ~r
+                ~axis_factor:(Profile.axis_interval_factor profile)
+                captured
+            end
+          in
+          let pred x = in_box x && Geometry.Vec.dist x capture_center <= capture_radius in
+          (* Step 11: noisy average of D ∩ C. *)
+          let avg =
+            Prim.Noisy_avg.run rng ~eps:(eps /. 4.) ~delta:(delta /. 4.)
+              ~diameter:(2. *. capture_radius) ~pred ~dim:d points
+          in
+          (match avg with
+          | Prim.Noisy_avg.Bottom -> Error Averaging_bottom
+          | Prim.Noisy_avg.Average { average; m_hat; sigma } ->
+              (* Diameter bound on D: box diagonal, inflated by √2 when the
+                 JL distortion (η = 1/2) separates the projected and the
+                 original metric. *)
+              let diam_d =
+                let diag = side *. sqrt (float_of_int k) in
+                if identity_projection then diag else sqrt 2. *. diag
+              in
+              let noise_tail =
+                sqrt (float_of_int d)
+                *. Prim.Gaussian_mech.coordinate_tail_bound ~sigma ~dim:d ~beta
+              in
+              Ok
+                {
+                  center = average;
+                  private_radius = diam_d +. noise_tail;
+                  jl_dim = k;
+                  identity_projection;
+                  rounds_used;
+                  axis_fallbacks;
+                  capture_radius;
+                  noisy_count = m_hat;
+                }))

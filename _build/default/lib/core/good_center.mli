@@ -1,0 +1,70 @@
+(** Algorithm 2 — GoodCenter.
+
+    Given the radius [r] produced by GoodRadius (with the promise that some
+    ball of radius [r] contains at least [t] input points), privately locate
+    a center [ŷ] such that a ball of radius [O(r·√log n)] around it contains
+    ≳ [t] points (Lemma 3.7 / Lemma 4.12).
+
+    Pipeline (step numbers are the paper's):
+    - (1) project to [k = O(log n)] dimensions with the JL transform;
+    - (2–6) repeatedly draw randomly shifted box partitions of R^k (side
+      [O(r)]) and use AboveThreshold to detect a draw in which some box
+      captures ≳ [t] projected points;
+    - (7) privately pick that heavy box with the stability histogram; let
+      [D] be the input points mapping into it;
+    - (8–10) bound [D] deterministically: draw a random orthonormal basis of
+      R^d, pick a heavy interval per axis (stability histogram under
+      advanced composition), extend it, and intersect — yielding a ball [C]
+      of {e data-independent} radius that w.h.p. contains all of [D];
+    - (11) release the noisy average of [D ∩ C] with {!Prim.Noisy_avg}.
+
+    Privacy: [(ε, δ)]-DP — ε/4 to AboveThreshold, (ε/4, δ/4) to the box
+    choice, (ε/4, δ/4) to the per-axis choices under advanced composition
+    (each axis gets [ε/(10√(d·ln(8/δ)))], [δ/(8d)]), and (ε/4, δ/4) to
+    NoisyAVG (Lemma 4.11).
+
+    Whenever the profile's projection dimension reaches [k ≥ d] the
+    projection is replaced by the identity — projecting {e up} cannot help,
+    and the JL lemma is vacuous there — and steps 8–10 are skipped: the
+    chosen box itself already bounds [D] deterministically, so [C] is just
+    its bounding ball.  With the [practical] profile (which caps [k] at
+    [d]) this is the common path at low dimension; the genuine JL path runs
+    when [d] exceeds the profile's [k].  See DESIGN.md. *)
+
+type failure =
+  | No_heavy_box  (** AboveThreshold never fired within the round budget. *)
+  | Box_selection_failed  (** The stability histogram released nothing. *)
+  | Averaging_bottom  (** NoisyAVG's noisy count was non-positive. *)
+
+type success = {
+  center : Geometry.Vec.t;  (** The released center [ŷ]. *)
+  private_radius : float;
+      (** Data-independent radius around [center] certified to capture the
+          cluster w.h.p.: (diameter bound on [D]) + (Gaussian-noise tail). *)
+  jl_dim : int;  (** The projection dimension [k]. *)
+  identity_projection : bool;
+  rounds_used : int;  (** AboveThreshold queries issued. *)
+  axis_fallbacks : int;
+      (** Axes on which the per-axis histogram released nothing and the
+          data-independent fallback interval was used (0 on a clean run). *)
+  capture_radius : float;  (** Radius of the bounding ball [C]. *)
+  noisy_count : float;  (** NoisyAVG's [m̂] — its private count lower bound. *)
+}
+
+val pp_failure : Format.formatter -> failure -> unit
+val pp_success : Format.formatter -> success -> unit
+
+val run :
+  Prim.Rng.t ->
+  Profile.t ->
+  eps:float ->
+  delta:float ->
+  beta:float ->
+  t:int ->
+  radius:float ->
+  Geometry.Vec.t array ->
+  (success, failure) Stdlib.result
+(** [run rng profile ~eps ~delta ~beta ~t ~radius points].
+    @raise Invalid_argument if [radius <= 0] (a zero radius means a heavy
+    exact point exists; {!One_cluster} handles that case with a plain
+    stability histogram instead). *)

@@ -1,0 +1,60 @@
+(** Algorithm 1 — GoodRadius.
+
+    Privately approximates the smallest radius of a ball (in the grid domain
+    [X^d]) containing at least [t] input points.  Guarantees (Lemma 3.6 /
+    Lemma 4.6), with probability ≥ 1 − β:
+
+    + some ball of the returned radius contains at least [t − Δ] input
+      points, where [Δ = 4Γ + (4/ε)·ln(2/β)] and [Γ] is the promise below;
+    + the returned radius is at most [4·r_opt].
+
+    The score is the sensitivity-2 average [L(r, S)] of {!Geometry.Pointset};
+    the search over the candidate radii [{0, 1/(2|X|), …, ⌈√d⌉}] runs on the
+    quality [Q(r) = ½·min(t − L(r/2), L(r) − t + 4Γ)] through either
+    RecConcave or the noisy-binary-search backend, per the profile.
+
+    Privacy: [(ε, δ)]-DP — ε/2 on the Laplace test of step 2, ε/2 (and all
+    of δ) on the search (Lemma 4.5; with our pure-DP RecConcave variant the
+    whole algorithm is in fact (ε, 0)-DP). *)
+
+type result = {
+  radius : float;  (** The returned radius [z]. *)
+  radius_index : int;  (** Its index in the candidate set. *)
+  gamma : float;  (** The promise Γ the run was sized for. *)
+  delta_bound : float;  (** The cluster-size loss Δ certified (≥ [4Γ]). *)
+  zero_shortcut : bool;  (** Whether step 2 already found a radius-0 cluster. *)
+  score_evals : int;  (** Distinct [L] evaluations performed (cost metric). *)
+}
+
+val gamma :
+  Profile.t -> grid:Geometry.Grid.t -> eps:float -> delta:float -> beta:float -> float
+(** The promise Γ this implementation needs: for the RecConcave backend,
+    twice {!Recconcave.Rec_concave.loss_bound} of the radius-candidate
+    domain at budget ε/2; for the binary-search backend, the corresponding
+    {!Recconcave.Monotone_search.accuracy_bound}.  (The paper's Γ formula is
+    available as {!Recconcave.Rec_concave.paper_promise}.)  [delta] is
+    accepted for interface symmetry — both backends are pure-DP, so it does
+    not enter. *)
+
+val pp_result : Format.formatter -> result -> unit
+
+val run :
+  Prim.Rng.t ->
+  Profile.t ->
+  grid:Geometry.Grid.t ->
+  eps:float ->
+  delta:float ->
+  beta:float ->
+  t:int ->
+  ?zero_floor:float ->
+  Geometry.Pointset.index ->
+  result
+(** [run rng profile ~grid ~eps ~delta ~beta ~t index].  The point set
+    behind [index] must lie in [grid]'s unit cube.
+
+    [zero_floor] raises the radius-zero shortcut's firing threshold (the
+    test already floors it at [max(2·slack, t/2)]); {!One_cluster} passes
+    the stability histogram's own requirement so the shortcut only fires
+    when the follow-up exact-point query can actually succeed.  Raising
+    the threshold never hurts utility — radius 0 stays a candidate of the
+    main search. *)

@@ -1,0 +1,56 @@
+type result = { point : float; oracle_radius : float; candidates : int }
+
+let depth_quality values a =
+  let le = ref 0 and ge = ref 0 in
+  Array.iter
+    (fun x ->
+      if x <= a then incr le;
+      if x >= a then incr ge)
+    values;
+  float_of_int (min !le !ge)
+
+let run rng profile ~grid ~eps ~delta ~beta ~inner_n ~w values =
+  if Geometry.Grid.dim grid <> 1 then invalid_arg "Interior_point.run: grid must be 1-D";
+  let m = Array.length values in
+  if inner_n < 1 || inner_n > m then invalid_arg "Interior_point.run: inner_n out of range";
+  if not (w >= 1.) then invalid_arg "Interior_point.run: w must be >= 1";
+  (* Step 1: the middle inner_n entries. *)
+  let sorted = Array.copy values in
+  Array.sort Float.compare sorted;
+  let mid_start = (m - inner_n) / 2 in
+  let middle = Array.init inner_n (fun i -> [| sorted.(mid_start + i) |]) in
+  (* Step 2: the 1-cluster oracle with t = inner_n. *)
+  match One_cluster.run rng profile ~grid ~eps ~delta ~beta ~t:inner_n middle with
+  | Error f -> Error f
+  | Ok cluster ->
+      let c = cluster.One_cluster.center.(0) in
+      let r = cluster.One_cluster.radius in
+      if r = 0. then Ok { point = c; oracle_radius = 0.; candidates = 1 }
+      else begin
+        (* Step 3: cut I = [c − r, c + r] into pieces of length r/w; the cut
+           points J contain an interior point of the middle entries. *)
+        let piece = r /. w in
+        let pieces = int_of_float (Float.ceil (2. *. r /. piece)) in
+        let cuts = Array.init (pieces + 1) (fun i -> c -. r +. (float_of_int i *. piece)) in
+        (* Step 4: RecConcave on the depth quality over J, promise (m−n)/2. *)
+        let q =
+          Recconcave.Quality.create ~size:(Array.length cuts) ~f:(fun i ->
+              depth_quality values cuts.(i))
+        in
+        let report =
+          Recconcave.Rec_concave.solve rng ~eps ~base:profile.Profile.rc_base q
+        in
+        Ok
+          {
+            point = cuts.(report.Recconcave.Rec_concave.chosen);
+            oracle_radius = r;
+            candidates = Array.length cuts;
+          }
+      end
+
+let rec log_star x = if x <= 1. then 0. else 1. +. log_star (log x /. log 2.)
+
+let required_m ~n ~w ~eps ~delta ~beta =
+  let ls = log_star (4. *. w) in
+  float_of_int n
+  +. ((8. ** ls) *. (144. *. ls /. eps) *. log (12. *. ls /. (beta *. delta)))

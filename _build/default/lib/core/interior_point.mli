@@ -1,0 +1,51 @@
+(** Algorithm 3 — IntPoint: solving the interior-point problem from a
+    1-cluster oracle (Theorem 5.3).
+
+    The interior-point problem (Definition 5.1): given [D ∈ X^m], output any
+    [x] with [min D ≤ x ≤ max D].  Bun et al. proved its sample complexity
+    under DP is [Ω(log* |X|)]; Theorem 5.3 reduces it to the 1-cluster
+    problem, which is how the paper shows 1-cluster is impossible over
+    infinite domains (Corollary 5.4).  This module implements the reduction
+    — both to demonstrate the lower-bound argument (experiment E10) and
+    because a private interior-point routine is independently useful.
+
+    The reduction: run the 1-cluster oracle on the middle [n] entries to get
+    an interval [I] of length [2r]; cut [I] into pieces of length [r/w]
+    (each too short to contain all of the middle entries); the cut points
+    [J] then contain an interior point of [D], found with RecConcave on the
+    depth quality [q(a) = min(#{x ≤ a}, #{x ≥ a})].
+
+    Privacy: [(2ε, 2δ)]-DP when the oracle is [(ε, δ)]-DP and RecConcave is
+    run with [(ε, δ)] (Theorem 5.3). *)
+
+type result = {
+  point : float;  (** The returned (hopefully interior) point. *)
+  oracle_radius : float;  (** The 1-cluster oracle's interval half-length. *)
+  candidates : int;  (** |J| — the number of cut points RecConcave chose among. *)
+}
+
+val depth_quality : float array -> float -> float
+(** [q(S, a) = min(#{x ∈ S : x ≤ a}, #{x ∈ S : x ≥ a})] — the sensitivity-1,
+    quasi-concave-in-[a] quality of step 4 (exposed for tests). *)
+
+val run :
+  Prim.Rng.t ->
+  Profile.t ->
+  grid:Geometry.Grid.t ->
+  eps:float ->
+  delta:float ->
+  beta:float ->
+  inner_n:int ->
+  w:float ->
+  float array ->
+  (result, One_cluster.failure) Stdlib.result
+(** [run rng profile ~grid ~eps ~delta ~beta ~inner_n ~w values] — [grid]
+    must be 1-dimensional; [inner_n] is the size of the middle sub-database
+    fed to the 1-cluster oracle (the oracle is called with [t = inner_n]);
+    [w] is the oracle's radius-approximation factor, which sets the cut
+    length [r/w].  @raise Invalid_argument if [grid] is not 1-D or
+    [inner_n > length values]. *)
+
+val required_m : n:int -> w:float -> eps:float -> delta:float -> beta:float -> float
+(** Theorem 5.3's sample-size requirement
+    [m = n + 8^{log*(4w)} · (144·log*(4w)/ε) · ln(12·log*(4w)/(βδ))]. *)

@@ -1,0 +1,47 @@
+(** Observation 3.5 — a k-clustering heuristic by iterating the 1-cluster
+    solver.
+
+    Run the 1-cluster algorithm up to [k] times; after each found ball,
+    remove the points it covers (removal is post-processing of the private
+    output, so each iteration touches a database derived from the previous
+    private answers) and continue on the remainder.  Privacy composes
+    basically: each iteration is charged [(ε/k, δ/k)], for [(ε, δ)] total.
+    The paper notes this supports roughly [k ≲ (εn)^{2/3}/d^{1/3}]. *)
+
+type ball = {
+  center : Geometry.Vec.t;
+  radius : float;  (** The end-to-end private radius. *)
+  core_radius : float;
+      (** [3 × z] with [z] the radius-stage output — the tight private ball
+          used to remove covered points between iterations (removing by the
+          conservative [radius] would swallow neighbouring clusters). *)
+}
+
+type result = {
+  balls : ball list;  (** Found balls, in discovery order. *)
+  uncovered : int;  (** Points left uncovered (diagnostic, non-private). *)
+  failures : int;  (** Iterations whose 1-cluster call failed. *)
+}
+
+val run :
+  Prim.Rng.t ->
+  Profile.t ->
+  grid:Geometry.Grid.t ->
+  eps:float ->
+  delta:float ->
+  beta:float ->
+  k:int ->
+  t_fraction:float ->
+  Geometry.Vec.t array ->
+  result
+(** [run … ~k ~t_fraction points] — each iteration targets
+    [t = t_fraction · remaining] points (the Observation's [t = n/k]
+    corresponds to [t_fraction = 1/k] on the first call); iterations stop
+    early once fewer than [max(8, t)] points remain. *)
+
+val coverage : ball list -> Geometry.Vec.t array -> int
+(** Points covered by at least one ball (non-private diagnostic). *)
+
+val max_recommended_k : eps:float -> n:int -> d:int -> int
+(** Observation 3.5's feasibility envelope [k ≲ (εn)^{2/3} / d^{1/3}]
+    (each iteration needs [t = n/k ≳ √d·k/ε] to stay in regime). *)

@@ -1,0 +1,31 @@
+type result = {
+  centers : Geometry.Vec.t array;
+  stable_radius : float;
+  sa : Sample_aggregate.result;
+}
+
+let run rng profile ~axis_size ~eps ~delta ~beta ~k ~block_size ~alpha points =
+  if k < 1 then invalid_arg "Kmeans_sa.run: k must be >= 1";
+  if Array.length points = 0 then invalid_arg "Kmeans_sa.run: empty input";
+  let d = Geometry.Vec.dim points.(0) in
+  let grid = Geometry.Grid.create ~axis_size ~dim:(k * d) in
+  (* The off-the-shelf analysis: Lloyd on one block, canonically ordered and
+     flattened into R^{k·d}.  It draws its seeding randomness from a stream
+     split off the caller's — the analysis may be arbitrarily randomized,
+     privacy comes only from the aggregation. *)
+  let lloyd_rng = Prim.Rng.split rng in
+  let f block =
+    let km = Geometry.Kmeans.lloyd lloyd_rng ~k block in
+    Geometry.Kmeans.flatten km.Geometry.Kmeans.centers
+  in
+  match
+    Sample_aggregate.run rng profile ~grid ~eps ~delta ~beta ~m:block_size ~alpha ~f points
+  with
+  | Error e -> Error e
+  | Ok sa ->
+      Ok
+        {
+          centers = Geometry.Kmeans.unflatten ~d sa.Sample_aggregate.stable_point;
+          stable_radius = sa.Sample_aggregate.stable_radius;
+          sa;
+        }

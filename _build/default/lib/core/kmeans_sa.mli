@@ -1,0 +1,38 @@
+(** Differentially private k-means via sample and aggregate — the
+    application [NRS07] built and the paper's Section 1.1/6 motivates.
+
+    Each data block is clustered with off-the-shelf (non-private) Lloyd's
+    k-means; a block's [k] centers, in canonical order, form one point of
+    R^{k·d}, and the 1-cluster aggregator locates the stable point of those
+    outputs — which {!unflatten}s back into [k] private centers.  Privacy
+    is inherited entirely from Algorithm 4 ({!Sample_aggregate}); Lloyd
+    never sees more than one block.
+
+    When the data really is a mixture of [k] separated clusters, block
+    outputs concentrate (up to the canonical ordering) and the stable point
+    is close to the true centers — measured in the k-means example and
+    test-suite.  When they do not concentrate, the aggregation fails
+    loudly ([Error]), which is the honest outcome. *)
+
+type result = {
+  centers : Geometry.Vec.t array;  (** [k] private centers. *)
+  stable_radius : float;  (** The aggregator's radius in R^{k·d}. *)
+  sa : Sample_aggregate.result;  (** Full aggregation detail. *)
+}
+
+val run :
+  Prim.Rng.t ->
+  Profile.t ->
+  axis_size:int ->
+  eps:float ->
+  delta:float ->
+  beta:float ->
+  k:int ->
+  block_size:int ->
+  alpha:float ->
+  Geometry.Vec.t array ->
+  (result, One_cluster.failure) Stdlib.result
+(** [run rng profile ~axis_size ~eps ~delta ~beta ~k ~block_size ~alpha
+    points] — data must lie in the unit cube; the aggregation grid is
+    [X^{k·d}] with the given axis size.  [(ε, δ)]-DP (further amplified by
+    the subsampling, {!Sample_aggregate.amplified}). *)

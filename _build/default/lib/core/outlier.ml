@@ -1,0 +1,44 @@
+type predicate = Geometry.Vec.t -> bool
+
+type result = {
+  ball_center : Geometry.Vec.t;
+  ball_radius : float;
+  inlier : predicate;
+  cluster : One_cluster.result;
+}
+
+let detect rng profile ~grid ~eps ~delta ~beta ~inlier_fraction ?(margin = 4.) points =
+  if not (inlier_fraction > 0. && inlier_fraction <= 1.) then
+    invalid_arg "Outlier.detect: inlier_fraction must be in (0, 1]";
+  let n = Array.length points in
+  let t = max 1 (int_of_float (inlier_fraction *. float_of_int n)) in
+  match One_cluster.run rng profile ~grid ~eps ~delta ~beta ~t points with
+  | Error e -> Error e
+  | Ok cluster ->
+      let center = cluster.One_cluster.center in
+      (* The screen ball derives its radius from the radius-stage output z
+         (a private value ≈ 4·r_opt) rather than the very conservative
+         end-to-end private radius: any function of private outputs is
+         post-processing, and margin·z both covers the cluster (the center
+         is within the averaging noise of its mean) and stays small. *)
+      let z = cluster.One_cluster.radius_stage.Good_radius.radius in
+      let radius = margin *. Float.max z (Geometry.Grid.step grid) in
+      Ok
+        {
+          ball_center = center;
+          ball_radius = radius;
+          inlier = (fun p -> Geometry.Vec.dist p center <= radius);
+          cluster;
+        }
+
+let screened_mean rng ~eps ~delta result points =
+  let dim = Geometry.Vec.dim result.ball_center in
+  Prim.Noisy_avg.run rng ~eps ~delta ~diameter:(2. *. result.ball_radius) ~pred:result.inlier
+    ~dim points
+
+let domain_mean rng ~eps ~delta ~grid points =
+  let dim = Geometry.Grid.dim grid in
+  Prim.Noisy_avg.run rng ~eps ~delta
+    ~diameter:(Geometry.Grid.diameter grid)
+    ~pred:(fun _ -> true)
+    ~dim points

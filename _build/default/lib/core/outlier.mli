@@ -1,0 +1,57 @@
+(** Outlier detection and screening (the §1.1 application).
+
+    Running the 1-cluster solver with, say, [t = 0.9·n] yields a ball whose
+    indicator is a private predicate [h] separating the bulk of the data
+    from outliers.  Because [h] is a function of private outputs only, any
+    further use of it is post-processing: downstream analyses may restrict
+    the input space to the ball — shrinking their sensitivity and hence the
+    noise they must add (experiment E8 quantifies the accuracy gain for a
+    private mean). *)
+
+type predicate = Geometry.Vec.t -> bool
+
+type result = {
+  ball_center : Geometry.Vec.t;
+  ball_radius : float;
+  inlier : predicate;  (** [h]: true inside the (slightly inflated) ball. *)
+  cluster : One_cluster.result;
+}
+
+val detect :
+  Prim.Rng.t ->
+  Profile.t ->
+  grid:Geometry.Grid.t ->
+  eps:float ->
+  delta:float ->
+  beta:float ->
+  inlier_fraction:float ->
+  ?margin:float ->
+  Geometry.Vec.t array ->
+  (result, One_cluster.failure) Stdlib.result
+(** [detect … ~inlier_fraction points] runs the 1-cluster solver with
+    [t = inlier_fraction · n].  The screen ball is centered at the private
+    center with radius [margin × z] (default margin 4), where [z] is the
+    radius-stage output (≈ 4·r_opt) — a much tighter private radius than
+    the end-to-end one, and equally legitimate since both are private
+    outputs. *)
+
+val screened_mean :
+  Prim.Rng.t ->
+  eps:float ->
+  delta:float ->
+  result ->
+  Geometry.Vec.t array ->
+  Prim.Noisy_avg.result
+(** Private mean of the inliers via {!Prim.Noisy_avg}, with sensitivity
+    scaled to the {e ball's} diameter instead of the whole domain's — the
+    noise-reduction pay-off the introduction describes. *)
+
+val domain_mean :
+  Prim.Rng.t ->
+  eps:float ->
+  delta:float ->
+  grid:Geometry.Grid.t ->
+  Geometry.Vec.t array ->
+  Prim.Noisy_avg.result
+(** The unscreened comparator: same mechanism, sensitivity scaled to the
+    full domain diameter [√d]. *)

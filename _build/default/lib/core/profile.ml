@@ -1,0 +1,57 @@
+type backend = Rec_concave | Binary_search
+type radius_grid = Linear | Geometric
+
+type t = {
+  backend : backend;
+  radius_grid : radius_grid;
+  rc_base : int;
+  jl_constant : float;
+  jl_cap_at_dim : bool;
+  box_side_factor : float;
+  max_rounds : int option;
+}
+
+let paper =
+  {
+    backend = Rec_concave;
+    radius_grid = Linear;
+    rc_base = 32;
+    jl_constant = 46.;
+    jl_cap_at_dim = false;
+    box_side_factor = 300.;
+    max_rounds = None;
+  }
+
+let practical =
+  {
+    backend = Rec_concave;
+    radius_grid = Geometric;
+    rc_base = 64;
+    jl_constant = 2.;
+    jl_cap_at_dim = true;
+    box_side_factor = 4.;
+    max_rounds = Some 200;
+  }
+
+let jl_dim t ~n ~d ~beta =
+  let k = max 1 (int_of_float (Float.ceil (t.jl_constant *. log (2. *. float_of_int n /. beta)))) in
+  if t.jl_cap_at_dim then min k d else k
+
+let axis_interval_factor t = 3. *. t.box_side_factor
+
+let rounds t ~n ~beta =
+  match t.max_rounds with
+  | Some r -> r
+  | None ->
+      let r = 2. *. float_of_int n *. log (1. /. beta) /. beta in
+      (* Bound by a sane absolute maximum so the paper profile terminates. *)
+      min (int_of_float r) 1_000_000
+
+let pp ppf t =
+  Format.fprintf ppf
+    "{backend=%s; radius_grid=%s; rc_base=%d; jl_constant=%g; jl_cap_at_dim=%b; box_side_factor=%g; \
+     max_rounds=%s}"
+    (match t.backend with Rec_concave -> "rec-concave" | Binary_search -> "binary-search")
+    (match t.radius_grid with Linear -> "linear" | Geometric -> "geometric")
+    t.rc_base t.jl_constant t.jl_cap_at_dim t.box_side_factor
+    (match t.max_rounds with None -> "paper" | Some r -> string_of_int r)

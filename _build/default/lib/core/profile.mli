@@ -1,0 +1,61 @@
+(** Tunable constants of the 1-cluster pipeline.
+
+    The privacy guarantees of GoodRadius/GoodCenter never depend on the
+    geometry constants below — interval lengths, box sides, projection
+    dimensions and round caps are all data-independent, so changing them
+    changes only the utility analysis (see DESIGN.md, substitution 1).  Two
+    presets are provided:
+
+    - {!paper} — the exact constants written in Algorithms 1–2 (JL dimension
+      [46·ln(2n/β)], boxes of side [300r], axis intervals of length
+      [900r√(k·ln(dn/β)/d)], round cap [2n·ln(1/β)/β]).  These are
+      worst-case-proof constants; at laptop scale they produce enormous
+      balls and are exercised mainly by tests and the fidelity bench.
+    - {!practical} — the same algorithm with constants tightened to the
+      slack actually needed by the analysis at small scale, plus two
+      shortcuts the paper's asymptotic setting never needs: the JL target
+      dimension is capped at [d] (projecting {e up} is pointless), and when
+      the cap makes the projection the identity the rotation stage is
+      skipped because the chosen box itself already bounds the captured
+      set deterministically. *)
+
+type backend =
+  | Rec_concave  (** Radius search via {!Recconcave.Rec_concave} (Algorithm 1 as written). *)
+  | Binary_search
+      (** Radius search via noisy binary search on [L] (the §3.1 footnote
+          alternative). *)
+
+type radius_grid =
+  | Linear  (** Algorithm 1's candidate set [{0, 1/(2|X|), …, ⌈√d⌉}]. *)
+  | Geometric
+      (** [O(log(|X|√d))] geometrically spaced candidates
+          ({!Geometry.Grid.geometric_radius_of_index}); costs a [√2] factor
+          in the radius approximation, slashes the search loss Γ. *)
+
+type t = {
+  backend : backend;
+  radius_grid : radius_grid;
+  rc_base : int;  (** RecConcave base-case size. *)
+  jl_constant : float;  (** JL dimension = [⌈jl_constant · ln(2n/β)⌉]. *)
+  jl_cap_at_dim : bool;
+      (** Cap the JL dimension at [d]; with the cap at [d] the projection is
+          replaced by the identity. *)
+  box_side_factor : float;  (** Box side = [box_side_factor · r]. *)
+  max_rounds : int option;
+      (** Cap on AboveThreshold rounds; [None] uses the paper's
+          [2n·ln(1/β)/β]. *)
+}
+
+val paper : t
+val practical : t
+
+val jl_dim : t -> n:int -> d:int -> beta:float -> int
+(** The projection dimension [k] this profile uses. *)
+
+val axis_interval_factor : t -> float
+(** [3 · box_side_factor] — the paper's 900 = 3 × 300 relation, which is the
+    slack the rotated-frame analysis needs. *)
+
+val rounds : t -> n:int -> beta:float -> int
+
+val pp : Format.formatter -> t -> unit

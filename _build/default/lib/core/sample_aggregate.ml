@@ -1,0 +1,41 @@
+type 'a analysis = 'a array -> Geometry.Vec.t
+
+type result = {
+  stable_point : Geometry.Vec.t;
+  stable_radius : float;
+  blocks : int;
+  block_size : int;
+  t_used : int;
+  cluster : One_cluster.result;
+}
+
+let run rng profile ~grid ~eps ~delta ~beta ~m ~alpha ~f data =
+  if m < 1 then invalid_arg "Sample_aggregate.run: m must be >= 1";
+  if not (alpha > 0. && alpha <= 1.) then
+    invalid_arg "Sample_aggregate.run: alpha must be in (0, 1]";
+  let n = Array.length data in
+  let k = n / (9 * m) in
+  if k < 2 then invalid_arg "Sample_aggregate.run: need n >= 18·m for two blocks";
+  (* Step 1: n/9 iid samples, split into k blocks of m. *)
+  let subsample = Prim.Rng.sample_with_replacement rng ~k:(k * m) data in
+  let blocks = Array.init k (fun b -> Array.sub subsample (b * m) m) in
+  (* Step 2: the non-private analysis on every block, snapped to the grid. *)
+  let outputs = Array.map (fun block -> Geometry.Grid.snap grid (f block)) blocks in
+  (* Step 3: the 1-cluster solver with t = αk/2. *)
+  let t = max 1 (int_of_float (alpha *. float_of_int k /. 2.)) in
+  match One_cluster.run rng profile ~grid ~eps ~delta ~beta ~t outputs with
+  | Error e -> Error e
+  | Ok cluster ->
+      Ok
+        {
+          stable_point = cluster.One_cluster.center;
+          stable_radius = cluster.One_cluster.radius;
+          blocks = k;
+          block_size = m;
+          t_used = t;
+          cluster;
+        }
+
+let amplified ~eps ~delta =
+  let eps' = 2. *. eps /. 3. in
+  Prim.Dp.v ~eps:eps' ~delta:(Float.min (exp eps' *. 4. /. 9. *. delta) (Float.pred 1.0))

@@ -1,0 +1,59 @@
+(** Algorithm 4 — SA: sample and aggregate via the 1-cluster solver
+    (Section 6, Theorem 6.3).
+
+    Given an arbitrary (non-private!) analysis [f] mapping databases to the
+    grid domain [X^d], SA privately finds an [(m, w·r, α/8)]-stable point of
+    [f] on the input: a point such that [f] applied to a fresh random
+    [m]-subsample lands within distance [w·r] of it with probability
+    ≥ α/8, where [r] is (up to the 1-cluster approximation) the best radius
+    for which [f] is [(m, r, α)]-stable.
+
+    Construction: draw [n/9] iid samples from the input, split them into
+    [k = n/(9m)] blocks of size [m], evaluate [f] on every block, and run
+    the 1-cluster solver on the [k] outputs with [t = αk/2].  Privacy
+    follows because a neighbouring input changes at most one block, hence
+    at most one aggregated point, plus secrecy-of-the-subsample
+    amplification (Lemma 6.4).
+
+    Unlike the classical noisy-average aggregation of [NRS07]/GUPT (our
+    {!Baselines.Private_agg}), this aggregator tolerates a {e minority} of
+    good runs ([α < 1/2]) and pays only [O(√log k)] in the radius instead
+    of [√d] — experiment E7 measures exactly this separation. *)
+
+type 'a analysis = 'a array -> Geometry.Vec.t
+(** The off-the-shelf analysis [f]; its outputs must lie in the grid cube. *)
+
+type result = {
+  stable_point : Geometry.Vec.t;
+  stable_radius : float;  (** The 1-cluster private radius ([w·r]). *)
+  blocks : int;  (** [k]. *)
+  block_size : int;  (** [m]. *)
+  t_used : int;  (** [αk/2]. *)
+  cluster : One_cluster.result;
+}
+
+val run :
+  Prim.Rng.t ->
+  Profile.t ->
+  grid:Geometry.Grid.t ->
+  eps:float ->
+  delta:float ->
+  beta:float ->
+  m:int ->
+  alpha:float ->
+  f:'a analysis ->
+  'a array ->
+  (result, One_cluster.failure) Stdlib.result
+(** [run rng profile ~grid ~eps ~delta ~beta ~m ~alpha ~f data].  The
+    1-cluster solver is invoked with the caller's [(eps, delta)]; the
+    subsampling amplification (Lemma 6.4) makes the end-to-end guarantee
+    strictly stronger — {!amplified} reports it.
+    @raise Invalid_argument if the data cannot supply [k ≥ 2] blocks. *)
+
+val amplified : eps:float -> delta:float -> Prim.Dp.params
+(** The end-to-end parameters after Lemma 6.4 with the algorithm's [n/9]
+    subsample: [ε̃ = 6ε·(n/9)/n = 2ε/3] and [δ̃ = exp(ε̃)·(4/9)·δ].  (The
+    general lemma, with its [ε ≤ 1] hypothesis enforced, is
+    {!Prim.Subsample.amplify}; this helper just instantiates the m = n/9
+    ratio and is reported even when the caller runs at ε > 1, where the
+    amplification claim is heuristic.) *)

@@ -1,0 +1,1 @@
+lib/geometry/boxing.ml: Array Interval List Prim Vec

@@ -1,0 +1,1 @@
+lib/geometry/boxing.mli: Interval Prim Vec

@@ -1,0 +1,1 @@
+lib/geometry/jl.ml: Array Float Prim Vec

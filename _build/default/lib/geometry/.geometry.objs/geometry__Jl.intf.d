@@ -1,0 +1,1 @@
+lib/geometry/jl.mli: Prim Vec

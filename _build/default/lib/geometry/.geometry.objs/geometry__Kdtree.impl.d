@@ -1,0 +1,1 @@
+lib/geometry/kdtree.ml: Array Float List Vec

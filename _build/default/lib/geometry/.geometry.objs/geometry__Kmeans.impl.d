@@ -1,0 +1,1 @@
+lib/geometry/kmeans.ml: Array Float Prim Vec

@@ -1,0 +1,1 @@
+lib/geometry/kmeans.mli: Prim Vec

@@ -1,0 +1,1 @@
+lib/geometry/pointset.ml: Array Float Kdtree List Vec

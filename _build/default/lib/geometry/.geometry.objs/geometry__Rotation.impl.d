@@ -1,0 +1,1 @@
+lib/geometry/rotation.ml: Array Prim Vec

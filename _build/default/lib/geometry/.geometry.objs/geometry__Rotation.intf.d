@@ -1,0 +1,1 @@
+lib/geometry/rotation.mli: Prim Vec

@@ -1,0 +1,1 @@
+lib/geometry/seb.ml: Array Float Pointset Vec

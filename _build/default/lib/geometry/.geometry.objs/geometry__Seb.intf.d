@@ -1,0 +1,1 @@
+lib/geometry/seb.mli: Pointset Vec

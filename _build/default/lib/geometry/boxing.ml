@@ -1,0 +1,36 @@
+type t = { partitions : Interval.partition array }
+type key = int array
+
+let make rng ~dim ~len =
+  if dim <= 0 then invalid_arg "Boxing.make: dim must be positive";
+  { partitions = Array.init dim (fun _ -> Interval.make rng ~len) }
+
+let of_partitions partitions =
+  if Array.length partitions = 0 then invalid_arg "Boxing.of_partitions: empty";
+  { partitions }
+
+let dim t = Array.length t.partitions
+let side t i = Interval.len t.partitions.(i)
+
+let key_of t v =
+  if Vec.dim v <> dim t then invalid_arg "Boxing.key_of: dimension mismatch";
+  Array.mapi (fun i x -> Interval.index_of t.partitions.(i) x) v
+
+let bounds t key =
+  if Array.length key <> dim t then invalid_arg "Boxing.bounds: bad key";
+  Array.mapi (fun i j -> Interval.bounds t.partitions.(i) j) key
+
+let center t key = Array.map (fun (lo, hi) -> 0.5 *. (lo +. hi)) (bounds t key)
+
+let l2_diameter t =
+  sqrt
+    (Array.fold_left
+       (fun acc p ->
+         let s = Interval.len p in
+         acc +. (s *. s))
+       0. t.partitions)
+
+let occupancy t points = Prim.Stability_hist.count_by ~key:(key_of t) points
+
+let max_occupancy t points =
+  List.fold_left (fun acc (_, c) -> max acc c) 0 (occupancy t points)

@@ -1,0 +1,42 @@
+(** Axis-aligned boxes from per-axis randomly shifted partitions.
+
+    GoodCenter (Algorithm 2, step 4) partitions the projected space R^k into
+    boxes [B_{j⃗}] whose projection on axis [i] is the [j_i]-th interval of
+    that axis's partition.  Only non-empty boxes are ever materialized: a box
+    is identified by its integer index vector, which doubles as the histogram
+    key fed to {!Prim.Stability_hist}. *)
+
+type t
+(** A product of per-axis partitions over R^k. *)
+
+type key = int array
+(** Index vector [j⃗]; structural equality/hashing identifies boxes. *)
+
+val make : Prim.Rng.t -> dim:int -> len:float -> t
+(** Independent random phases on every axis, all intervals of length [len]. *)
+
+val of_partitions : Interval.partition array -> t
+
+val dim : t -> int
+val side : t -> int -> float
+(** Interval length on the given axis. *)
+
+val key_of : t -> Vec.t -> key
+(** Box containing a point. *)
+
+val bounds : t -> key -> (float * float) array
+(** Per-axis [(lo, hi)] of a box. *)
+
+val center : t -> key -> Vec.t
+
+val l2_diameter : t -> float
+(** [√(Σ side²)] — the data-independent diameter used by the privacy
+    analysis of the subsequent averaging step. *)
+
+val occupancy : t -> Vec.t array -> (key * int) list
+(** Non-empty boxes with their counts — the input to the stability
+    histogram. *)
+
+val max_occupancy : t -> Vec.t array -> int
+(** [max_{j⃗} |S ∩ B_{j⃗}|] — the sensitivity-1 query [q(S)] that GoodCenter
+    feeds AboveThreshold (step 5). *)

@@ -1,0 +1,30 @@
+type t = { rows : Vec.t array; input_dim : int; scale : float }
+
+let make rng ~input_dim ~output_dim =
+  if input_dim <= 0 || output_dim <= 0 then invalid_arg "Jl.make: dimensions must be positive";
+  {
+    rows = Array.init output_dim (fun _ -> Prim.Rng.gaussian_vector rng ~dim:input_dim ~sigma:1.0);
+    input_dim;
+    scale = 1. /. sqrt (float_of_int output_dim);
+  }
+
+let input_dim t = t.input_dim
+let output_dim t = Array.length t.rows
+
+let apply t v =
+  if Vec.dim v <> t.input_dim then invalid_arg "Jl.apply: dimension mismatch";
+  Array.map (fun row -> t.scale *. Vec.dot row v) t.rows
+
+let apply_all t vs = Array.map (apply t) vs
+
+let target_dim ~n ~eta ~beta =
+  if n <= 0 then invalid_arg "Jl.target_dim: n must be positive";
+  if not (eta > 0. && eta < 1.) then invalid_arg "Jl.target_dim: eta in (0, 1)";
+  if not (beta > 0. && beta < 1.) then invalid_arg "Jl.target_dim: beta in (0, 1)";
+  let nf = float_of_int n in
+  int_of_float (Float.ceil (8. /. (eta *. eta) *. log (2. *. nf *. nf /. beta)))
+
+let paper_dim ~n ~beta =
+  if n <= 0 then invalid_arg "Jl.paper_dim: n must be positive";
+  if not (beta > 0. && beta < 1.) then invalid_arg "Jl.paper_dim: beta in (0, 1)";
+  max 1 (int_of_float (Float.ceil (46. *. log (2. *. float_of_int n /. beta))))

@@ -1,0 +1,177 @@
+type node =
+  | Leaf of { pts : Vec.t array }
+  | Split of {
+      axis : int;
+      threshold : float;  (** left: coordinate <= threshold; right: >. *)
+      left : node;
+      right : node;
+      bbox_lo : Vec.t;
+      bbox_hi : Vec.t;
+    }
+
+type t = { root : node; size : int; dim : int }
+
+let leaf_capacity = 16
+
+let bbox pts =
+  let d = Vec.dim pts.(0) in
+  let lo = Array.make d infinity and hi = Array.make d neg_infinity in
+  Array.iter
+    (fun p ->
+      for i = 0 to d - 1 do
+        if p.(i) < lo.(i) then lo.(i) <- p.(i);
+        if p.(i) > hi.(i) then hi.(i) <- p.(i)
+      done)
+    pts;
+  (lo, hi)
+
+let widest_axis lo hi =
+  let best = ref 0 and best_w = ref neg_infinity in
+  Array.iteri
+    (fun i l ->
+      let w = hi.(i) -. l in
+      if w > !best_w then begin
+        best_w := w;
+        best := i
+      end)
+    lo;
+  !best
+
+(* In-place quickselect partition of pts[lo..hi] by coordinate [axis] so
+   that index mid holds the median element. *)
+let rec select pts axis lo hi mid =
+  if lo < hi then begin
+    let pivot = pts.((lo + hi) / 2).(axis) in
+    let i = ref lo and j = ref hi in
+    while !i <= !j do
+      while pts.(!i).(axis) < pivot do incr i done;
+      while pts.(!j).(axis) > pivot do decr j done;
+      if !i <= !j then begin
+        let tmp = pts.(!i) in
+        pts.(!i) <- pts.(!j);
+        pts.(!j) <- tmp;
+        incr i;
+        decr j
+      end
+    done;
+    if mid <= !j then select pts axis lo !j mid
+    else if mid >= !i then select pts axis !i hi mid
+  end
+
+let rec build_node pts lo hi =
+  let n = hi - lo + 1 in
+  if n <= leaf_capacity then Leaf { pts = Array.sub pts lo n }
+  else begin
+    let slice = Array.sub pts lo n in
+    let blo, bhi = bbox slice in
+    let axis = widest_axis blo bhi in
+    if bhi.(axis) -. blo.(axis) <= 0. then Leaf { pts = slice }
+    else begin
+      let mid = lo + (n / 2) in
+      select pts axis lo hi mid;
+      let threshold = pts.(mid).(axis) in
+      Split
+        {
+          axis;
+          threshold;
+          left = build_node pts lo mid;
+          right = build_node pts (mid + 1) hi;
+          bbox_lo = blo;
+          bbox_hi = bhi;
+        }
+    end
+  end
+
+let build points =
+  let n = Array.length points in
+  if n = 0 then invalid_arg "Kdtree.build: empty";
+  let d = Vec.dim points.(0) in
+  Array.iter
+    (fun p -> if Vec.dim p <> d then invalid_arg "Kdtree.build: mixed dimensions")
+    points;
+  let pts = Array.copy points in
+  { root = build_node pts 0 (n - 1); size = n; dim = d }
+
+let size t = t.size
+let dim t = t.dim
+
+(* Squared distance from a point to an axis-aligned box. *)
+let box_dist_sq lo hi p =
+  let acc = ref 0. in
+  for i = 0 to Array.length p - 1 do
+    let d = if p.(i) < lo.(i) then lo.(i) -. p.(i) else if p.(i) > hi.(i) then p.(i) -. hi.(i) else 0. in
+    acc := !acc +. (d *. d)
+  done;
+  !acc
+
+(* Squared distance from a point to the farthest corner of a box. *)
+let box_far_dist_sq lo hi p =
+  let acc = ref 0. in
+  for i = 0 to Array.length p - 1 do
+    let d = Float.max (Float.abs (p.(i) -. lo.(i))) (Float.abs (p.(i) -. hi.(i))) in
+    acc := !acc +. (d *. d)
+  done;
+  !acc
+
+let rec count_node node center r2 =
+  match node with
+  | Leaf { pts } ->
+      Array.fold_left (fun acc p -> if Vec.dist_sq p center <= r2 then acc + 1 else acc) 0 pts
+  | Split { left; right; bbox_lo; bbox_hi; _ } ->
+      if box_dist_sq bbox_lo bbox_hi center > r2 then 0
+      else if box_far_dist_sq bbox_lo bbox_hi center <= r2 then node_size node
+      else count_node left center r2 + count_node right center r2
+
+and node_size = function
+  | Leaf { pts } -> Array.length pts
+  | Split { left; right; _ } -> node_size left + node_size right
+
+let count_within t ~center ~radius =
+  if radius < 0. then 0 else count_node t.root center (radius *. radius)
+
+let iter_within t ~center ~radius f =
+  if radius >= 0. then begin
+    let r2 = radius *. radius in
+    let rec go = function
+      | Leaf { pts } -> Array.iter (fun p -> if Vec.dist_sq p center <= r2 then f p) pts
+      | Split { left; right; bbox_lo; bbox_hi; _ } ->
+          if box_dist_sq bbox_lo bbox_hi center <= r2 then begin
+            go left;
+            go right
+          end
+    in
+    go t.root
+  end
+
+let points_within t ~center ~radius =
+  let acc = ref [] in
+  iter_within t ~center ~radius (fun p -> acc := p :: !acc);
+  Array.of_list (List.rev !acc)
+
+let nearest t query =
+  let best = ref None and best_d2 = ref infinity in
+  let rec go = function
+    | Leaf { pts } ->
+        Array.iter
+          (fun p ->
+            let d2 = Vec.dist_sq p query in
+            if d2 < !best_d2 then begin
+              best_d2 := d2;
+              best := Some p
+            end)
+          pts
+    | Split { left; right; bbox_lo; bbox_hi; axis; threshold } ->
+        if box_dist_sq bbox_lo bbox_hi query < !best_d2 then begin
+          (* Visit the side containing the query first. *)
+          let first, second = if query.(axis) <= threshold then (left, right) else (right, left) in
+          go first;
+          go second
+        end
+  in
+  go t.root;
+  match !best with
+  | Some p -> (p, sqrt !best_d2)
+  | None -> invalid_arg "Kdtree.nearest: empty tree"
+
+let counts_within_all t centers ~radius =
+  Array.map (fun c -> count_within t ~center:c ~radius) centers

@@ -1,0 +1,36 @@
+(** A k-d tree over R^d for ball-counting queries.
+
+    The O(n²)-memory distance index of {!Pointset} is the fastest way to
+    evaluate GoodRadius's score when the same point set is probed at many
+    radii, but it stops scaling around a few thousand points.  This tree
+    answers single ball-count / ball-membership queries in
+    O(n^{1−1/d} + out) without any quadratic precomputation, which is what
+    the large-n experiment paths and the outlier predicates use.
+
+    The tree stores the points it is built from; queries never allocate
+    more than the output. *)
+
+type t
+
+val build : Vec.t array -> t
+(** O(n log n) construction (median splits along the widest axis).
+    @raise Invalid_argument on an empty array or mixed dimensions. *)
+
+val size : t -> int
+val dim : t -> int
+
+val count_within : t -> center:Vec.t -> radius:float -> int
+(** Number of stored points with [dist p center <= radius] (inclusive, like
+    {!Pointset.ball_count}). *)
+
+val iter_within : t -> center:Vec.t -> radius:float -> (Vec.t -> unit) -> unit
+
+val points_within : t -> center:Vec.t -> radius:float -> Vec.t array
+
+val nearest : t -> Vec.t -> Vec.t * float
+(** Nearest stored point and its distance.  @raise Invalid_argument on an
+    empty tree (cannot happen via {!build}). *)
+
+val counts_within_all : t -> Vec.t array -> radius:float -> int array
+(** [count_within] for a batch of centers (the per-point counts feeding
+    GoodRadius's score on large inputs). *)

@@ -1,0 +1,103 @@
+type result = { centers : Vec.t array; inertia : float; iterations : int }
+
+let assign centers p =
+  let best = ref 0 and best_d = ref infinity in
+  Array.iteri
+    (fun i c ->
+      let d = Vec.dist_sq p c in
+      if d < !best_d then begin
+        best_d := d;
+        best := i
+      end)
+    centers;
+  !best
+
+let inertia ~centers points =
+  Array.fold_left
+    (fun acc p -> acc +. Vec.dist_sq p centers.(assign centers p))
+    0. points
+
+(* Lexicographic order on coordinate vectors. *)
+let compare_vec a b =
+  let rec go i =
+    if i = Array.length a then 0
+    else
+      let c = Float.compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let canonical_order centers =
+  let sorted = Array.copy centers in
+  Array.sort compare_vec sorted;
+  sorted
+
+(* k-means++: each next seed drawn proportionally to its squared distance
+   from the chosen set. *)
+let seed_plus_plus rng ~k points =
+  let n = Array.length points in
+  let centers = Array.make k points.(Prim.Rng.int rng n) in
+  let dist2 = Array.map (fun p -> Vec.dist_sq p centers.(0)) points in
+  for j = 1 to k - 1 do
+    let total = Array.fold_left ( +. ) 0. dist2 in
+    let next =
+      if total <= 0. then points.(Prim.Rng.int rng n)
+      else begin
+        let x = Prim.Rng.float rng total in
+        let acc = ref 0. and chosen = ref (n - 1) in
+        (try
+           Array.iteri
+             (fun i d ->
+               acc := !acc +. d;
+               if x < !acc then begin
+                 chosen := i;
+                 raise Exit
+               end)
+             dist2
+         with Exit -> ());
+        points.(!chosen)
+      end
+    in
+    centers.(j) <- next;
+    Array.iteri (fun i p -> dist2.(i) <- Float.min dist2.(i) (Vec.dist_sq p next)) points
+  done;
+  centers
+
+let lloyd rng ~k ?(max_iterations = 64) ?(tolerance = 1e-9) points =
+  let n = Array.length points in
+  if k < 1 then invalid_arg "Kmeans.lloyd: k must be >= 1";
+  if n < k then invalid_arg "Kmeans.lloyd: fewer points than centers";
+  let d = Vec.dim points.(0) in
+  let centers = ref (seed_plus_plus rng ~k points) in
+  let iterations = ref 0 in
+  let moved = ref infinity in
+  while !iterations < max_iterations && !moved > tolerance do
+    incr iterations;
+    let sums = Array.init k (fun _ -> Vec.zero d) in
+    let counts = Array.make k 0 in
+    Array.iter
+      (fun p ->
+        let j = assign !centers p in
+        Vec.axpy 1.0 p sums.(j);
+        counts.(j) <- counts.(j) + 1)
+      points;
+    let next =
+      Array.init k (fun j ->
+          if counts.(j) = 0 then
+            (* Empty cluster: re-seed on a random point. *)
+            Vec.copy points.(Prim.Rng.int rng n)
+          else Vec.scale (1. /. float_of_int counts.(j)) sums.(j))
+    in
+    moved :=
+      Array.fold_left Float.max 0. (Array.init k (fun j -> Vec.dist !centers.(j) next.(j)));
+    centers := next
+  done;
+  let centers = canonical_order !centers in
+  { centers; inertia = inertia ~centers points; iterations = !iterations }
+
+let flatten centers = Array.concat (Array.to_list centers)
+
+let unflatten ~d v =
+  let len = Array.length v in
+  if d < 1 || len mod d <> 0 then invalid_arg "Kmeans.unflatten: length not a multiple of d";
+  Array.init (len / d) (fun i -> Array.sub v (i * d) d)

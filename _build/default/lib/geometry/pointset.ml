@@ -1,0 +1,123 @@
+type t = { points : Vec.t array; dim : int }
+
+let create points =
+  let count = Array.length points in
+  if count = 0 then invalid_arg "Pointset.create: empty";
+  let dim = Vec.dim points.(0) in
+  Array.iter
+    (fun p -> if Vec.dim p <> dim then invalid_arg "Pointset.create: mixed dimensions")
+    points;
+  { points; dim }
+
+let n t = Array.length t.points
+let dim t = t.dim
+let point t i = t.points.(i)
+let points t = t.points
+let map_points f t = create (Array.map f t.points)
+let filter pred t = Array.of_list (List.filter pred (Array.to_list t.points))
+let subset t ~indices = create (Array.map (fun i -> t.points.(i)) indices)
+
+let ball_count t ~center ~radius =
+  let r2 = radius *. radius in
+  Array.fold_left (fun acc p -> if Vec.dist_sq p center <= r2 then acc + 1 else acc) 0 t.points
+
+let ball_points t ~center ~radius =
+  let r2 = radius *. radius in
+  filter (fun p -> Vec.dist_sq p center <= r2) t
+
+let capped_ball_count t ~cap ~center ~radius = min cap (ball_count t ~center ~radius)
+
+let top_average counts ~k =
+  let len = Array.length counts in
+  if k <= 0 || k > len then invalid_arg "Pointset.top_average: bad k";
+  let sorted = Array.copy counts in
+  Array.sort (fun a b -> Float.compare b a) sorted;
+  let acc = ref 0. in
+  for i = 0 to k - 1 do
+    acc := !acc +. sorted.(i)
+  done;
+  !acc /. float_of_int k
+
+let score_l_direct t ~cap ~radius =
+  if radius < 0. then 0.
+  else begin
+    let counts =
+      Array.map
+        (fun p -> float_of_int (capped_ball_count t ~cap ~center:p ~radius))
+        t.points
+    in
+    top_average counts ~k:(min cap (n t))
+  end
+
+type backend =
+  | Dense of float array array  (** per-point sorted distance rows *)
+  | Tree of Kdtree.t
+
+type index = { ps : t; backend : backend }
+
+let build_index ps =
+  let count = n ps in
+  let sorted_dists =
+    Array.init count (fun i ->
+        let row = Array.map (fun p -> Vec.dist ps.points.(i) p) ps.points in
+        Array.sort Float.compare row;
+        row)
+  in
+  { ps; backend = Dense sorted_dists }
+
+let build_tree_index ps = { ps; backend = Tree (Kdtree.build ps.points) }
+
+let auto_index ?(dense_threshold = 4096) ps =
+  if n ps <= dense_threshold then build_index ps else build_tree_index ps
+
+let index_is_dense idx = match idx.backend with Dense _ -> true | Tree _ -> false
+let index_pointset idx = idx.ps
+
+(* Number of entries in the sorted row that are <= radius. *)
+let count_row row radius =
+  let len = Array.length row in
+  if len = 0 || row.(0) > radius then 0
+  else begin
+    (* Invariant: row.(lo) <= radius < row.(hi) (hi = len means none above). *)
+    let lo = ref 0 and hi = ref len in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if row.(mid) <= radius then lo := mid else hi := mid
+    done;
+    !lo + 1
+  end
+
+let counts_within idx ~radius =
+  if radius < 0. then Array.make (n idx.ps) 0
+  else
+    match idx.backend with
+    | Dense rows -> Array.map (fun row -> count_row row radius) rows
+    | Tree tree -> Kdtree.counts_within_all tree idx.ps.points ~radius
+
+let score_l idx ~cap ~radius =
+  if radius < 0. then 0.
+  else begin
+    let counts = counts_within idx ~radius in
+    let capped = Array.map (fun c -> float_of_int (min c cap)) counts in
+    top_average capped ~k:(min cap (n idx.ps))
+  end
+
+let kth_neighbor_distance idx ~k i =
+  if k <= 0 || k > n idx.ps then invalid_arg "Pointset.kth_neighbor_distance: bad k";
+  match idx.backend with
+  | Dense rows -> rows.(i).(k - 1)
+  | Tree tree ->
+      (* The count around x_i is a step function of the radius jumping past
+         k exactly at the k-th neighbor distance; bisect that jump. *)
+      let center = idx.ps.points.(i) in
+      let count r = Kdtree.count_within tree ~center ~radius:r in
+      let lo = ref 0. and hi = ref (Vec.norm_inf center +. 2. *. sqrt (float_of_int idx.ps.dim)) in
+      (* Ensure hi really covers k points (data may live outside [0,1]^d). *)
+      while count !hi < k do
+        hi := 2. *. Float.max 1. !hi
+      done;
+      for _ = 1 to 100 do
+        let mid = 0.5 *. (!lo +. !hi) in
+        if count mid >= k then hi := mid else lo := mid
+      done;
+      !hi

@@ -1,0 +1,89 @@
+(** Finite point sets in R^d with the counting machinery of Section 3.1.
+
+    For a database [S = (x_1 … x_n)], a center [p] and radius [r ≥ 0], the
+    paper defines
+    - [B_r(p, S)]  — the number of input points in the ball of radius [r]
+      around [p];
+    - [B̄_r(p, S) = min(B_r(p, S), t)] — the same count capped at the target
+      cluster size [t];
+    - [L(r, S) = (1/t)·max over distinct i_1…i_t of Σ B̄_r(x_{i_j}, S)] — the
+      average of the [t] largest capped counts over balls centered at input
+      points.
+
+    [L(·, S)] is non-decreasing in [r] and has sensitivity 2 (Lemma 4.5);
+    both facts are property-tested in [test/test_pointset.ml].
+
+    An optional {!index} precomputes, for every input point, the sorted array
+    of distances to all input points, turning each [L] evaluation into [n]
+    binary searches instead of an O(n²·d) scan. *)
+
+type t
+
+val create : Vec.t array -> t
+(** @raise Invalid_argument on an empty array or mixed dimensions. *)
+
+val n : t -> int
+val dim : t -> int
+val point : t -> int -> Vec.t
+val points : t -> Vec.t array
+(** The underlying storage (not a copy; treat as read-only). *)
+
+val map_points : (Vec.t -> Vec.t) -> t -> t
+val filter : (Vec.t -> bool) -> t -> Vec.t array
+val subset : t -> indices:int array -> t
+
+val ball_count : t -> center:Vec.t -> radius:float -> int
+(** [B_r(center, S)] — O(n·d). *)
+
+val ball_points : t -> center:Vec.t -> radius:float -> Vec.t array
+(** The points realizing {!ball_count}. *)
+
+val capped_ball_count : t -> cap:int -> center:Vec.t -> radius:float -> int
+(** [B̄_r]. *)
+
+val score_l_direct : t -> cap:int -> radius:float -> float
+(** [L(radius, S)] computed by brute force (O(n²·d)); reference
+    implementation used by tests and fine for small inputs. *)
+
+(** {1 Indexed evaluation} *)
+
+type index
+(** Either backend below; all query functions dispatch transparently. *)
+
+val build_index : t -> index
+(** Dense backend: O(n²·d) time, O(n²) memory — precomputes per-point
+    sorted distance arrays, making every radius probe a batch of binary
+    searches.  The fastest choice up to a few thousand points. *)
+
+val build_tree_index : t -> index
+(** k-d-tree backend ({!Kdtree}): O(n log n) memory-light construction;
+    each radius probe costs n tree queries.  The scalable choice for large
+    [n] (and the only reasonable one beyond ~10⁴ points). *)
+
+val auto_index : ?dense_threshold:int -> t -> index
+(** Dense when [n <= dense_threshold] (default 4096), tree otherwise. *)
+
+val index_is_dense : index -> bool
+
+val index_pointset : index -> t
+
+val counts_within : index -> radius:float -> int array
+(** For every input point, the number of input points within [radius]
+    (inclusive); one binary search per point. *)
+
+val score_l : index -> cap:int -> radius:float -> float
+(** [L(radius, S)] via the index: per-point counts, cap at [cap], average the
+    [cap] largest. *)
+
+val kth_neighbor_distance : index -> k:int -> int -> float
+(** [kth_neighbor_distance idx ~k i] — distance from point [i] to its
+    [k]-th nearest input point, counting the point itself as the 1st
+    (so [k = t] gives the radius of the smallest ball centered at [x_i]
+    containing [t] points).  O(1) on the dense backend; on the tree
+    backend it bisects the radius (exact: the count is a step function and
+    the bisection brackets its jump to machine precision).
+    @raise Invalid_argument if [k > n]. *)
+
+val top_average : float array -> k:int -> float
+(** Mean of the [k] largest entries (used by {!score_l}; exposed for tests).
+    @raise Invalid_argument if [k <= 0] or [k] exceeds the length. *)

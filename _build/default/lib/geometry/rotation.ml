@@ -1,0 +1,41 @@
+type t = { basis : Vec.t array }
+
+(* Gram–Schmidt on iid Gaussian vectors; re-draws a vector on the
+   (probability-zero) event that it is linearly dependent on its
+   predecessors. *)
+let make rng ~dim =
+  if dim <= 0 then invalid_arg "Rotation.make: dim must be positive";
+  let basis = Array.make dim [||] in
+  let rec draw i =
+    let v = Prim.Rng.gaussian_vector rng ~dim ~sigma:1.0 in
+    for j = 0 to i - 1 do
+      Vec.axpy (-.Vec.dot v basis.(j)) basis.(j) v
+    done;
+    let norm = Vec.norm2 v in
+    if norm < 1e-10 then draw i else Vec.scale (1. /. norm) v
+  in
+  for i = 0 to dim - 1 do
+    basis.(i) <- draw i
+  done;
+  { basis }
+
+let identity ~dim =
+  if dim <= 0 then invalid_arg "Rotation.identity: dim must be positive";
+  { basis = Array.init dim (fun i -> Array.init dim (fun j -> if i = j then 1. else 0.)) }
+
+let dim t = Array.length t.basis
+let basis_vector t i = t.basis.(i)
+let project t v i = Vec.dot v t.basis.(i)
+let to_coords t v = Array.map (fun z -> Vec.dot v z) t.basis
+
+let from_coords t c =
+  if Array.length c <> dim t then invalid_arg "Rotation.from_coords: dimension mismatch";
+  let acc = Vec.zero (dim t) in
+  Array.iteri (fun i ci -> Vec.axpy ci t.basis.(i) acc) c;
+  acc
+
+let projection_bound ~dim ~n_points ~beta =
+  if dim <= 0 || n_points <= 0 then invalid_arg "Rotation.projection_bound: positive args";
+  if not (beta > 0. && beta < 1.) then invalid_arg "Rotation.projection_bound: beta in (0, 1)";
+  let d = float_of_int dim in
+  2. *. sqrt (log (d *. float_of_int n_points /. beta) /. d)

@@ -1,0 +1,30 @@
+(** Random orthonormal bases of R^d (Lemma 4.9).
+
+    GoodCenter (step 8) draws a random orthonormal basis [Z = (z_1 … z_d)];
+    with probability ≥ 1 − β every difference [x − y] of input points
+    projects onto every [z_i] with magnitude at most
+    [2·√(ln(dn/β)/d)·‖x−y‖₂].  The basis is produced by Gram–Schmidt
+    orthonormalization of iid Gaussian vectors, which is distributed by the
+    Haar measure on the orthogonal group. *)
+
+type t
+
+val make : Prim.Rng.t -> dim:int -> t
+val identity : dim:int -> t
+(** The standard basis (deterministic; used by tests and ablations). *)
+
+val dim : t -> int
+val basis_vector : t -> int -> Vec.t
+
+val project : t -> Vec.t -> int -> float
+(** [project t v i = ⟨v, z_i⟩]. *)
+
+val to_coords : t -> Vec.t -> Vec.t
+(** All [d] projections — the coordinates of [v] in the rotated frame. *)
+
+val from_coords : t -> Vec.t -> Vec.t
+(** Inverse: [Σ c_i · z_i]. *)
+
+val projection_bound : dim:int -> n_points:int -> beta:float -> float
+(** The factor [2·√(ln(d·n/β)/d)] of Lemma 4.9: with probability ≥ 1 − β,
+    [|⟨x − y, z_i⟩| ≤ bound · ‖x − y‖₂] for all pairs and all axes. *)

@@ -1,0 +1,101 @@
+type ball = { center : Vec.t; radius : float }
+
+let contains b p = Vec.dist p b.center <= b.radius +. 1e-12
+
+let count_inside b points =
+  Array.fold_left (fun acc p -> if contains b p then acc + 1 else acc) 0 points
+
+let exact_1d coords ~t =
+  let n = Array.length coords in
+  if t < 1 || t > n then invalid_arg "Seb.exact_1d: t must be in [1, n]";
+  let sorted = Array.copy coords in
+  Array.sort Float.compare sorted;
+  let best = ref (sorted.(t - 1) -. sorted.(0)) and best_i = ref 0 in
+  for i = 1 to n - t do
+    let w = sorted.(i + t - 1) -. sorted.(i) in
+    if w < !best then begin
+      best := w;
+      best_i := i
+    end
+  done;
+  { center = [| 0.5 *. (sorted.(!best_i) +. sorted.(!best_i + t - 1)) |]; radius = 0.5 *. !best }
+
+let kth_smallest arr k =
+  let a = Array.copy arr in
+  Array.sort Float.compare a;
+  a.(k - 1)
+
+let two_approx ps ~t =
+  let n = Pointset.n ps in
+  if t < 1 || t > n then invalid_arg "Seb.two_approx: t must be in [1, n]";
+  let best = ref infinity and best_c = ref (Pointset.point ps 0) in
+  for i = 0 to n - 1 do
+    let c = Pointset.point ps i in
+    let dists = Array.map (fun p -> Vec.dist p c) (Pointset.points ps) in
+    let r = kth_smallest dists t in
+    if r < !best then begin
+      best := r;
+      best_c := c
+    end
+  done;
+  { center = Vec.copy !best_c; radius = !best }
+
+let two_approx_indexed idx ~t =
+  let ps = Pointset.index_pointset idx in
+  let n = Pointset.n ps in
+  if t < 1 || t > n then invalid_arg "Seb.two_approx_indexed: t must be in [1, n]";
+  let best = ref infinity and best_i = ref 0 in
+  for i = 0 to n - 1 do
+    let r = Pointset.kth_neighbor_distance idx ~k:t i in
+    if r < !best then begin
+      best := r;
+      best_i := i
+    end
+  done;
+  { center = Vec.copy (Pointset.point ps !best_i); radius = !best }
+
+let farthest_from points c =
+  let best = ref 0 and best_d = ref neg_infinity in
+  Array.iteri
+    (fun i p ->
+      let d = Vec.dist_sq p c in
+      if d > !best_d then begin
+        best_d := d;
+        best := i
+      end)
+    points;
+  !best
+
+let min_enclosing_ball ?(iterations = 100) points =
+  if Array.length points = 0 then invalid_arg "Seb.min_enclosing_ball: empty";
+  let c = Vec.copy points.(0) in
+  for i = 1 to iterations do
+    let p = points.(farthest_from points c) in
+    (* c <- c + (p - c)/(i+1) *)
+    let step = 1. /. float_of_int (i + 1) in
+    for j = 0 to Array.length c - 1 do
+      c.(j) <- c.(j) +. (step *. (p.(j) -. c.(j)))
+    done
+  done;
+  let r = Vec.dist points.(farthest_from points c) c in
+  { center = c; radius = r }
+
+let t_nearest points ~t c =
+  let with_d = Array.map (fun p -> (Vec.dist_sq p c, p)) points in
+  Array.sort (fun (a, _) (b, _) -> Float.compare a b) with_d;
+  Array.init t (fun i -> snd with_d.(i))
+
+let t_ball_heuristic ?(iterations = 8) ps ~t =
+  let start = two_approx ps ~t in
+  let points = Pointset.points ps in
+  let best = ref start in
+  let c = ref start.center in
+  for _ = 1 to iterations do
+    let near = t_nearest points ~t !c in
+    let meb = min_enclosing_ball near in
+    (* The MEB of the t nearest points always contains t points, so it is a
+       feasible solution; keep it if it improves. *)
+    if meb.radius < !best.radius then best := meb;
+    c := meb.center
+  done;
+  !best

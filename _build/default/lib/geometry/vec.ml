@@ -1,0 +1,72 @@
+type t = float array
+
+let dim = Array.length
+let zero d = Array.make d 0.
+let copy = Array.copy
+let of_list = Array.of_list
+
+let check_same_dim a b name =
+  if Array.length a <> Array.length b then invalid_arg (name ^ ": dimension mismatch")
+
+let add a b =
+  check_same_dim a b "Vec.add";
+  Array.init (Array.length a) (fun i -> a.(i) +. b.(i))
+
+let sub a b =
+  check_same_dim a b "Vec.sub";
+  Array.init (Array.length a) (fun i -> a.(i) -. b.(i))
+
+let scale c a = Array.map (fun x -> c *. x) a
+
+let axpy a x y =
+  check_same_dim x y "Vec.axpy";
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- (a *. x.(i)) +. y.(i)
+  done
+
+let dot a b =
+  check_same_dim a b "Vec.dot";
+  let acc = ref 0. in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let norm2_sq a = dot a a
+let norm2 a = sqrt (norm2_sq a)
+let norm1 a = Array.fold_left (fun acc x -> acc +. Float.abs x) 0. a
+let norm_inf a = Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0. a
+
+let dist_sq a b =
+  check_same_dim a b "Vec.dist_sq";
+  let acc = ref 0. in
+  for i = 0 to Array.length a - 1 do
+    let d = a.(i) -. b.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  !acc
+
+let dist a b = sqrt (dist_sq a b)
+
+let mean vs =
+  let n = Array.length vs in
+  if n = 0 then invalid_arg "Vec.mean: empty";
+  let acc = Array.make (Array.length vs.(0)) 0. in
+  Array.iter (fun v -> Array.iteri (fun i x -> acc.(i) <- acc.(i) +. x) v) vs;
+  Array.map (fun s -> s /. float_of_int n) acc
+
+let normalize a =
+  let n = norm2 a in
+  if n = 0. then invalid_arg "Vec.normalize: zero vector";
+  scale (1. /. n) a
+
+let equal ?(tol = 1e-12) a b =
+  Array.length a = Array.length b
+  &&
+  let rec go i = i = Array.length a || (Float.abs (a.(i) -. b.(i)) <= tol && go (i + 1)) in
+  go 0
+
+let pp ppf a =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") Format.pp_print_float)
+    (Array.to_list a)

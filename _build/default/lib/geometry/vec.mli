@@ -1,0 +1,41 @@
+(** Dense vectors in R^d as [float array], with the operations the paper's
+    geometry needs: norms and distances (Definition 3.1 works in the
+    Euclidean metric), inner products (Lemma 4.9 projects differences onto
+    basis vectors), and elementwise arithmetic for means and translations. *)
+
+type t = float array
+
+val dim : t -> int
+val zero : int -> t
+val copy : t -> t
+val of_list : float list -> t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val axpy : float -> t -> t -> unit
+(** [axpy a x y] performs [y ← a·x + y] in place. *)
+
+val dot : t -> t -> float
+val norm2 : t -> float
+(** Euclidean (L2) norm. *)
+
+val norm2_sq : t -> float
+val norm1 : t -> float
+val norm_inf : t -> float
+
+val dist : t -> t -> float
+(** Euclidean distance, computed without allocating. *)
+
+val dist_sq : t -> t -> float
+
+val mean : t array -> t
+(** Arithmetic mean.  @raise Invalid_argument on an empty array. *)
+
+val normalize : t -> t
+(** Unit vector in the same direction.  @raise Invalid_argument on zero. *)
+
+val equal : ?tol:float -> t -> t -> bool
+(** Coordinatewise comparison with absolute tolerance (default 1e-12). *)
+
+val pp : Format.formatter -> t -> unit

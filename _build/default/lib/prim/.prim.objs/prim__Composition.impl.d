@@ -1,0 +1,1 @@
+lib/prim/composition.ml: Dp Float List

@@ -1,0 +1,1 @@
+lib/prim/dp.mli: Format

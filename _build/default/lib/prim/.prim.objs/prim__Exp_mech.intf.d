@@ -1,0 +1,1 @@
+lib/prim/exp_mech.mli: Rng

@@ -1,0 +1,1 @@
+lib/prim/gaussian_mech.ml: Array Float Rng

@@ -1,0 +1,1 @@
+lib/prim/laplace.ml: Array Rng

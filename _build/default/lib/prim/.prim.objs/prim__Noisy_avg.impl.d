@@ -1,0 +1,1 @@
+lib/prim/noisy_avg.ml: Array Gaussian_mech List Rng

@@ -1,0 +1,1 @@
+lib/prim/noisy_max.mli: Rng

@@ -1,0 +1,1 @@
+lib/prim/sparse_vector.mli: Rng

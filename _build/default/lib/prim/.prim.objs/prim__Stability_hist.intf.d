@@ -1,0 +1,1 @@
+lib/prim/stability_hist.mli: Rng

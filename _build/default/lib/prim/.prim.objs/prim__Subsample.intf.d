@@ -1,0 +1,1 @@
+lib/prim/subsample.mli: Dp

@@ -1,0 +1,1 @@
+lib/prim/zcdp.ml: Dp List

@@ -1,0 +1,16 @@
+let select rng ~eps ~sensitivity ~qualities =
+  if Array.length qualities = 0 then invalid_arg "Exp_mech.select: empty candidate set";
+  if not (eps > 0.) then invalid_arg "Exp_mech.select: eps must be positive";
+  if not (sensitivity > 0.) then invalid_arg "Exp_mech.select: sensitivity must be positive";
+  let scale = eps /. (2. *. sensitivity) in
+  let log_weights = Array.map (fun q -> scale *. q) qualities in
+  Rng.categorical_log rng ~log_weights
+
+let select_elt rng ~eps ~sensitivity ~quality candidates =
+  let qualities = Array.map quality candidates in
+  candidates.(select rng ~eps ~sensitivity ~qualities)
+
+let error_bound ~eps ~sensitivity ~n_candidates ~beta =
+  if n_candidates <= 0 then invalid_arg "Exp_mech.error_bound: need candidates";
+  if not (beta > 0. && beta <= 1.) then invalid_arg "Exp_mech.error_bound: beta in (0, 1]";
+  2. *. sensitivity /. eps *. log (float_of_int n_candidates /. beta)

@@ -1,0 +1,19 @@
+(** The exponential mechanism (McSherry–Talwar).
+
+    Given a finite candidate set and a sensitivity-[s] quality score, select
+    candidate [f] with probability proportional to [exp(ε·q(f)/(2s))].  This
+    is [(ε, 0)]-DP.  It is the base case of RecConcave (Theorem 4.3) and the
+    engine of the Table-1 "exponential mechanism" baseline. *)
+
+val select : Rng.t -> eps:float -> sensitivity:float -> qualities:float array -> int
+(** Index of the selected candidate.  Implemented with the Gumbel-max trick
+    so arbitrarily large score ranges cannot overflow. *)
+
+val select_elt :
+  Rng.t -> eps:float -> sensitivity:float -> quality:('a -> float) -> 'a array -> 'a
+(** Convenience wrapper evaluating [quality] on each element. *)
+
+val error_bound : eps:float -> sensitivity:float -> n_candidates:int -> beta:float -> float
+(** With probability ≥ 1 − beta the selected candidate's quality is within
+    this additive amount of the maximum:
+    [(2s/ε)·ln(n_candidates/β)] (standard utility theorem). *)

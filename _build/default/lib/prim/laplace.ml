@@ -1,0 +1,14 @@
+let noise rng ~eps ~sensitivity =
+  if not (eps > 0.) then invalid_arg "Laplace.noise: eps must be positive";
+  if not (sensitivity > 0.) then invalid_arg "Laplace.noise: sensitivity must be positive";
+  Rng.laplace rng ~scale:(sensitivity /. eps) ()
+
+let scalar rng ~eps ~sensitivity x = x +. noise rng ~eps ~sensitivity
+let count rng ~eps n = scalar rng ~eps ~sensitivity:1.0 (float_of_int n)
+
+let vector rng ~eps ~l1_sensitivity v =
+  Array.map (fun x -> x +. noise rng ~eps ~sensitivity:l1_sensitivity) v
+
+let tail_bound ~eps ~sensitivity ~beta =
+  if not (beta > 0. && beta <= 1.) then invalid_arg "Laplace.tail_bound: beta in (0, 1]";
+  sensitivity /. eps *. log (1. /. beta)

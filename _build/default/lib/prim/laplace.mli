@@ -1,0 +1,26 @@
+(** The Laplace mechanism (Theorem 2.3, Dwork–McSherry–Nissim–Smith).
+
+    For a function [f] of L1-sensitivity [k], releasing [f(S) + Lap(k/ε)] in
+    each coordinate is [(ε, 0)]-differentially private.  GoodRadius uses this
+    on the sensitivity-2 score [L(0, S)] (step 2 of Algorithm 1), and it is
+    the workhorse behind noisy counting throughout the baselines. *)
+
+val noise : Rng.t -> eps:float -> sensitivity:float -> float
+(** One draw from Lap(sensitivity/ε). *)
+
+val scalar : Rng.t -> eps:float -> sensitivity:float -> float -> float
+(** [scalar rng ~eps ~sensitivity x] releases [x] with Laplace noise
+    calibrated to the given L1 sensitivity. *)
+
+val count : Rng.t -> eps:float -> int -> float
+(** Noisy counting query: sensitivity 1. *)
+
+val vector : Rng.t -> eps:float -> l1_sensitivity:float -> float array -> float array
+(** Adds iid Lap(l1_sensitivity/ε) noise to every coordinate.  Private
+    because the whole vector has the stated L1 sensitivity. *)
+
+val tail_bound : eps:float -> sensitivity:float -> beta:float -> float
+(** [tail_bound ~eps ~sensitivity ~beta] is the magnitude [m] such that one
+    Laplace draw exceeds [m] in absolute value with probability at most
+    [beta]:  [m = (sensitivity/ε) · ln(1/beta)].  Used by utility analyses
+    (e.g. the [4/ε · ln(2/β)] slack in GoodRadius step 2). *)

@@ -1,0 +1,31 @@
+type success = { average : float array; m_hat : float; sigma : float }
+type result = Average of success | Bottom
+
+let run rng ~eps ~delta ~diameter ~pred ~dim vectors =
+  if not (eps > 0.) then invalid_arg "Noisy_avg.run: eps must be positive";
+  if not (delta > 0. && delta < 1.) then invalid_arg "Noisy_avg.run: delta must be in (0, 1)";
+  if not (diameter >= 0.) then invalid_arg "Noisy_avg.run: diameter must be non-negative";
+  let selected = Array.of_list (List.filter pred (Array.to_list vectors)) in
+  let m = Array.length selected in
+  let m_hat =
+    float_of_int m
+    +. Rng.laplace rng ~scale:(2. /. eps) ()
+    -. (2. /. eps *. log (2. /. delta))
+  in
+  if m_hat <= 0. then Bottom
+  else begin
+    let mean =
+      if m = 0 then Array.make dim 0.
+      else begin
+        let acc = Array.make (Array.length selected.(0)) 0. in
+        Array.iter (fun v -> Array.iteri (fun i x -> acc.(i) <- acc.(i) +. x) v) selected;
+        Array.map (fun s -> s /. float_of_int m) acc
+      end
+    in
+    let sigma = 8. *. diameter /. (eps *. m_hat) *. sqrt (2. *. log (8. /. delta)) in
+    Average { average = Gaussian_mech.vector_with_sigma rng ~sigma mean; m_hat; sigma }
+  end
+
+let expected_sigma ~eps ~delta ~diameter ~m =
+  if m <= 0 then invalid_arg "Noisy_avg.expected_sigma: m must be positive";
+  16. *. diameter /. (eps *. float_of_int m) *. sqrt (2. *. log (8. /. delta))

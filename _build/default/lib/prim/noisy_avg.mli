@@ -1,0 +1,49 @@
+(** Algorithm 5, NoisyAVG — private average of the vectors selected by a
+    predicate (Appendix A).
+
+    Given a multiset [V ⊆ R^d] and a predicate [g] whose accepted set has
+    diameter at most [Δg] (Observation A.2), the mechanism releases
+    [avg {v ∈ V : g v} + N(0, σ²)^d] where σ is calibrated from a *noisy*
+    lower bound on the selected count — this is what makes the whole release
+    [(ε, δ)]-DP even though the true count is data-dependent.  Returns [⊥]
+    ([None]) when the noisy count is non-positive.
+
+    The L2-sensitivity bound driving σ is the Appendix-A computation:
+    neighbouring inputs change the selected average by at most [4Δg/(m+1)]
+    in L2, where m is the selected count.
+
+    GoodCenter's final step is exactly this mechanism applied to the points
+    captured in the ball [C] (whose diameter is data-independent). *)
+
+type success = {
+  average : float array;  (** The noisy average (dimension = dimension of the inputs). *)
+  m_hat : float;
+      (** The noisy lower bound on the selected count (itself produced by a
+          Laplace query inside the mechanism's budget, hence releasable). *)
+  sigma : float;  (** The per-coordinate Gaussian noise level actually used. *)
+}
+
+type result =
+  | Average of success
+  | Bottom  (** The noisy count was non-positive; nothing is released. *)
+
+val run :
+  Rng.t ->
+  eps:float ->
+  delta:float ->
+  diameter:float ->
+  pred:(float array -> bool) ->
+  dim:int ->
+  float array array ->
+  result
+(** [run rng ~eps ~delta ~diameter ~pred ~dim vectors].  [diameter] is the
+    promised bound [Δg] on the diameter of [{v : pred v}] — a data-independent
+    quantity supplied by the caller (for GoodCenter it is the diameter of the
+    bounding ball [C]).  [dim] is used only when the selected set is empty
+    but the noisy count is positive, in which case the (noisy) zero vector is
+    returned. *)
+
+val expected_sigma : eps:float -> delta:float -> diameter:float -> m:int -> float
+(** The σ of Observation A.1 for a selected count of [m] (with the noisy
+    count at its typical value): [(16·Δg/(ε·m))·√(2 ln(8/δ))] — useful for
+    utility predictions in the experiment harness. *)

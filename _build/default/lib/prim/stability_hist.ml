@@ -1,0 +1,50 @@
+type 'k cell = { key : 'k; count : int; noisy_count : float }
+
+let release_threshold ~eps ~delta =
+  if not (eps > 0.) then invalid_arg "Stability_hist: eps must be positive";
+  if not (delta > 0. && delta < 1.) then invalid_arg "Stability_hist: delta must be in (0, 1)";
+  1. +. (2. /. eps *. log (2. /. delta))
+
+let count_by ~key data =
+  let tbl = Hashtbl.create (max 16 (Array.length data)) in
+  Array.iter
+    (fun x ->
+      let k = key x in
+      match Hashtbl.find_opt tbl k with
+      | Some c -> Hashtbl.replace tbl k (c + 1)
+      | None -> Hashtbl.add tbl k 1)
+    data;
+  Hashtbl.fold (fun k c acc -> (k, c) :: acc) tbl []
+
+let noisy_cells rng ~eps cells =
+  List.map
+    (fun (key, count) ->
+      let noisy_count = float_of_int count +. Rng.laplace rng ~scale:(2. /. eps) () in
+      { key; count; noisy_count })
+    cells
+
+let select rng ~eps ~delta cells =
+  let threshold = release_threshold ~eps ~delta in
+  let best =
+    List.fold_left
+      (fun acc c ->
+        match acc with
+        | Some b when b.noisy_count >= c.noisy_count -> acc
+        | _ -> Some c)
+      None
+      (noisy_cells rng ~eps cells)
+  in
+  match best with Some c when c.noisy_count >= threshold -> Some c | _ -> None
+
+let select_by rng ~eps ~delta ~key data = select rng ~eps ~delta (count_by ~key data)
+
+let heavy_cells rng ~eps ~delta cells =
+  let threshold = release_threshold ~eps ~delta in
+  noisy_cells rng ~eps cells
+  |> List.filter (fun c -> c.noisy_count >= threshold)
+  |> List.sort (fun a b -> compare b.noisy_count a.noisy_count)
+
+let utility_requirement ~eps ~delta ~n ~beta =
+  2. /. eps *. log (4. *. float_of_int n /. (beta *. delta))
+
+let utility_loss ~eps ~n ~beta = 4. /. eps *. log (2. *. float_of_int n /. beta)

@@ -1,0 +1,1 @@
+lib/recconcave/monotone_search.ml: Prim Quality

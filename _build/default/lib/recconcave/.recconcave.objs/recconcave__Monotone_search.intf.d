@@ -1,0 +1,1 @@
+lib/recconcave/monotone_search.mli: Prim Quality

@@ -1,0 +1,1 @@
+lib/recconcave/quality.ml: Array Hashtbl

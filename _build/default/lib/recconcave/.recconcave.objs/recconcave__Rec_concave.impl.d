@@ -1,0 +1,1 @@
+lib/recconcave/rec_concave.ml: Array List Prim Quality Scale_quality

@@ -1,0 +1,1 @@
+lib/recconcave/rec_concave.mli: Prim Quality

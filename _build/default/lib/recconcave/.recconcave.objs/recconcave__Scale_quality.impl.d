@@ -1,0 +1,1 @@
+lib/recconcave/scale_quality.ml: Float Quality

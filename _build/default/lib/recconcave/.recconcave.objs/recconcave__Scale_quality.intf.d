@@ -1,0 +1,1 @@
+lib/recconcave/scale_quality.mli: Quality

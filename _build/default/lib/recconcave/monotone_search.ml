@@ -1,0 +1,28 @@
+type result = { index : int; comparisons : int; eps_each : float }
+
+let comparisons_for size =
+  let rec go n c = if n <= 1 then c else go ((n + 1) / 2) (c + 1) in
+  max 1 (go size 0)
+
+let solve rng ~eps ~sensitivity ~target q =
+  if not (eps > 0.) then invalid_arg "Monotone_search.solve: eps must be positive";
+  let size = Quality.size q in
+  let comparisons = comparisons_for size in
+  let eps_each = eps /. float_of_int comparisons in
+  (* Invariant: every index < lo failed its (noisy) comparison; hi is the
+     smallest index known (noisily) to reach the target, or size - 1. *)
+  let lo = ref 0 and hi = ref (size - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let noisy =
+      Quality.eval q mid +. Prim.Rng.laplace rng ~scale:(sensitivity /. eps_each) ()
+    in
+    if noisy >= target then hi := mid else lo := mid + 1
+  done;
+  { index = !lo; comparisons; eps_each }
+
+let accuracy_bound ~size ~eps ~sensitivity ~beta =
+  let comparisons = comparisons_for size in
+  let eps_each = eps /. float_of_int comparisons in
+  let beta_each = beta /. float_of_int comparisons in
+  Prim.Laplace.tail_bound ~eps:eps_each ~sensitivity ~beta:beta_each

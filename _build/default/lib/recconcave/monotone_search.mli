@@ -1,0 +1,31 @@
+(** Noisy binary search over a monotone quality — the simple alternative to
+    RecConcave that Section 3.1 sketches ("this can easily be done privately
+    using binary search with noisy estimates of L for the comparisons"),
+    losing [log(√d·|X|)] rather than the recursion's bound.
+
+    Given a non-decreasing quality [g] over [{0 … T−1}] and a target [τ],
+    return the smallest index whose value (approximately) reaches [τ].  Each
+    of the [⌈log₂ T⌉] comparisons spends an equal share of ε on one Laplace
+    estimate of [g] at the probe index, so the whole search is
+    [(ε, 0)]-DP by basic composition. *)
+
+type result = {
+  index : int;  (** Smallest index whose noisy value reached the target. *)
+  comparisons : int;
+  eps_each : float;
+}
+
+val solve :
+  Prim.Rng.t ->
+  eps:float ->
+  sensitivity:float ->
+  target:float ->
+  Quality.t ->
+  result
+(** If no probe ever reaches the target the last index is returned (callers
+    treat the top of the range as "give up", matching GoodRadius where the
+    largest candidate radius √d always contains all points). *)
+
+val accuracy_bound : size:int -> eps:float -> sensitivity:float -> beta:float -> float
+(** With probability ≥ 1 − β every comparison's Laplace error is below this
+    bound, hence [g(index) ≥ τ − bound] and [g(index − 1) ≤ τ + bound]. *)

@@ -1,0 +1,1 @@
+lib/workload/experiments.ml: Array Baselines Float Format Geometry Harness Hashtbl List Metrics Prim Printf Privcluster Recconcave Report Synth

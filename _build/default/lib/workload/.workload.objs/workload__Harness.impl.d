@@ -1,0 +1,1 @@
+lib/workload/harness.ml: Float Format Geometry List Metrics Printf Privcluster Unix

@@ -1,0 +1,1 @@
+lib/workload/metrics.ml: Array Baselines Float Geometry List

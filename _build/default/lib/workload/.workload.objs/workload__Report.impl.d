@@ -1,0 +1,1 @@
+lib/workload/report.ml: Filename Float List Printf String Sys

@@ -1,0 +1,1 @@
+lib/workload/synth.ml: Array Float Geometry List Prim

@@ -1,0 +1,79 @@
+type scored = {
+  time_ms : float;
+  center : Geometry.Vec.t option;
+  radius : float;
+  covered : int;
+  delta_measured : int;
+  w_private : float;
+  w_tight : float;
+  failure : string option;
+}
+
+let default_delta = 1e-6
+let default_beta = 0.1
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, (Unix.gettimeofday () -. t0) *. 1000.)
+
+let failed ~time_ms reason =
+  {
+    time_ms;
+    center = None;
+    radius = 0.;
+    covered = 0;
+    delta_measured = max_int;
+    w_private = Float.nan;
+    w_tight = Float.nan;
+    failure = Some reason;
+  }
+
+let score_center ~idx ~t ~r_hi ~time_ms ~center ~radius =
+  let ps = Geometry.Pointset.index_pointset idx in
+  let covered = Geometry.Pointset.ball_count ps ~center ~radius in
+  let tight = Metrics.tight_radius ps ~center ~t in
+  let safe_div a b = if b <= 0. then Float.infinity else a /. b in
+  {
+    time_ms;
+    center = Some center;
+    radius;
+    covered;
+    delta_measured = max 0 (t - covered);
+    w_private = safe_div radius r_hi;
+    w_tight = safe_div tight r_hi;
+    failure = None;
+  }
+
+let run_one_cluster rng profile ~grid ~eps ~delta ~beta ~t ~r_hi idx =
+  let result, time_ms =
+    time (fun () ->
+        Privcluster.One_cluster.run_indexed rng profile ~grid ~eps ~delta ~beta ~t idx)
+  in
+  match result with
+  | Error f ->
+      let reason = Format.asprintf "%a" Privcluster.One_cluster.pp_failure f in
+      (failed ~time_ms reason, None)
+  | Ok r ->
+      ( score_center ~idx ~t ~r_hi ~time_ms ~center:r.Privcluster.One_cluster.center
+          ~radius:r.Privcluster.One_cluster.radius,
+        Some r )
+
+let median_scores scores =
+  let ok = List.filter (fun s -> s.failure = None) scores in
+  let failures = List.length scores - List.length ok in
+  let med f = Metrics.median (List.map f ok) in
+  let medi f = int_of_float (Float.round (Metrics.median (List.map (fun s -> float_of_int (f s)) ok))) in
+  match ok with
+  | [] -> failed ~time_ms:(Metrics.median (List.map (fun s -> s.time_ms) scores)) "all trials failed"
+  | s0 :: _ ->
+      {
+        time_ms = med (fun s -> s.time_ms);
+        center = s0.center;
+        radius = med (fun s -> s.radius);
+        covered = medi (fun s -> s.covered);
+        delta_measured = medi (fun s -> s.delta_measured);
+        w_private = med (fun s -> s.w_private);
+        w_tight = med (fun s -> s.w_tight);
+        failure = (if failures = 0 then None else Some (Printf.sprintf "%d/%d failed" failures (List.length scores)));
+      }

@@ -1,0 +1,53 @@
+(** Shared plumbing for the experiment suite: run one solver on one
+    workload, time it, and score it against the ground truth with a single
+    record the tables can render. *)
+
+type scored = {
+  time_ms : float;
+  center : Geometry.Vec.t option;  (** [None] when the solver failed. *)
+  radius : float;  (** The method's own (private) radius; 0 on failure. *)
+  covered : int;  (** Points inside the returned ball. *)
+  delta_measured : int;  (** [max 0 (t − covered)]. *)
+  w_private : float;  (** radius / r_hi. *)
+  w_tight : float;
+      (** (smallest radius around the returned center holding [t] points)
+          / r_hi — quality of the {e center}, free of the conservative
+          private radius. *)
+  failure : string option;
+}
+
+val time : (unit -> 'a) -> 'a * float
+(** Result and wall-clock milliseconds. *)
+
+val failed : time_ms:float -> string -> scored
+
+val score_center :
+  idx:Geometry.Pointset.index ->
+  t:int ->
+  r_hi:float ->
+  time_ms:float ->
+  center:Geometry.Vec.t ->
+  radius:float ->
+  scored
+
+val run_one_cluster :
+  Prim.Rng.t ->
+  Privcluster.Profile.t ->
+  grid:Geometry.Grid.t ->
+  eps:float ->
+  delta:float ->
+  beta:float ->
+  t:int ->
+  r_hi:float ->
+  Geometry.Pointset.index ->
+  scored * Privcluster.One_cluster.result option
+
+val median_scores : scored list -> scored
+(** Coordinatewise medians of the numeric fields (failures excluded from
+    the numeric medians; the [failure] field reports the failure count). *)
+
+val default_delta : float
+(** [1e-6] — the δ used throughout the experiment suite. *)
+
+val default_beta : float
+(** [0.1]. *)

@@ -1,0 +1,56 @@
+let headline s =
+  let bar = String.make (String.length s + 4) '=' in
+  Printf.printf "\n%s\n= %s =\n%s\n%!" bar s bar
+
+let subhead s = Printf.printf "\n-- %s --\n" s
+let kv k v = Printf.printf "  %-28s %s\n%!" (k ^ ":") v
+
+let csv_dir = ref None
+
+let set_csv_dir dir = csv_dir := dir
+
+let csv_escape cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let write_csv name header rows =
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let oc = open_out (Filename.concat dir (name ^ ".csv")) in
+      List.iter
+        (fun row -> output_string oc (String.concat "," (List.map csv_escape row) ^ "\n"))
+        (header :: rows);
+      close_out oc
+
+let table ?csv ~header rows =
+  (match csv with Some name -> write_csv name header rows | None -> ());
+  let all = header :: rows in
+  let cols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let width c =
+    List.fold_left
+      (fun acc row -> match List.nth_opt row c with Some s -> max acc (String.length s) | None -> acc)
+      0 all
+  in
+  let widths = List.init cols width in
+  let render row =
+    let cells =
+      List.mapi
+        (fun c w ->
+          let s = match List.nth_opt row c with Some s -> s | None -> "" in
+          s ^ String.make (w - String.length s) ' ')
+        widths
+    in
+    Printf.printf "  %s\n" (String.concat "  " cells)
+  in
+  render header;
+  Printf.printf "  %s\n" (String.make (List.fold_left ( + ) 0 widths + (2 * (cols - 1))) '-');
+  List.iter render rows;
+  flush stdout
+
+let f2 x = if Float.is_nan x then "-" else Printf.sprintf "%.2f" x
+let f3 x = if Float.is_nan x then "-" else Printf.sprintf "%.3f" x
+let g x = if Float.is_nan x then "-" else Printf.sprintf "%g" x
+let pct x = if Float.is_nan x then "-" else Printf.sprintf "%.0f%%" (100. *. x)

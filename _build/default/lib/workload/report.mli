@@ -1,0 +1,30 @@
+(** Plain-text table rendering for the experiment harness — every table and
+    figure of EXPERIMENTS.md is printed through this module so
+    [bench/main.exe] output is uniform and diffable. *)
+
+val headline : string -> unit
+(** Boxed section header. *)
+
+val subhead : string -> unit
+
+val kv : string -> string -> unit
+(** Aligned ["  key: value"] line. *)
+
+val set_csv_dir : string option -> unit
+(** When set, every {!table} carrying a [~csv] name also writes
+    [dir/name.csv] (directory created on demand) so the experiment outputs
+    can be re-plotted without re-running. *)
+
+val table : ?csv:string -> header:string list -> string list list -> unit
+(** Column-padded table with a rule under the header; optionally exported
+    as CSV (see {!set_csv_dir}). *)
+
+val f2 : float -> string
+(** Fixed 2-decimal rendering ([nan] → ["-"]). *)
+
+val f3 : float -> string
+val g : float -> string
+(** Shortest-round-trip rendering. *)
+
+val pct : float -> string
+(** [0.42] → ["42%"]. *)

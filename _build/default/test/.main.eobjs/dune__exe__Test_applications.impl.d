@@ -1,0 +1,1 @@
+test/test_applications.ml: Alcotest Array Float Geometry List Prim Printf Privcluster Recconcave Testutil Workload

@@ -1,0 +1,1 @@
+test/test_composition.ml: Alcotest List Prim Printf Privcluster QCheck2 Testutil

@@ -1,0 +1,1 @@
+test/test_domain.ml: Alcotest Array Geometry Prim Printf Privcluster Testutil

@@ -1,0 +1,1 @@
+test/test_good_center.ml: Alcotest Float Geometry Printf Privcluster Testutil Workload

@@ -1,0 +1,1 @@
+test/test_good_radius.ml: Alcotest Array Geometry List Printf Privcluster Testutil Workload

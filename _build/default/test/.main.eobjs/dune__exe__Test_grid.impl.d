@@ -1,0 +1,1 @@
+test/test_grid.ml: Alcotest Array Geometry Printf Testutil

@@ -1,0 +1,1 @@
+test/test_interval_boxing.ml: Alcotest Array Geometry List Prim Printf QCheck2 Testutil

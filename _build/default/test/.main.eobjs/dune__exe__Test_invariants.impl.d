@@ -1,0 +1,1 @@
+test/test_invariants.ml: Alcotest Array Float Geometry List Prim Privcluster QCheck2 Recconcave Testutil

@@ -1,0 +1,1 @@
+test/test_jl_rotation.ml: Alcotest Array Float Geometry Prim Testutil

@@ -1,0 +1,1 @@
+test/test_kdtree.ml: Alcotest Array Float Geometry List Prim Printf Privcluster QCheck2 Testutil Workload

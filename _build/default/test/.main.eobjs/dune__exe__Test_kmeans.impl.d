@@ -1,0 +1,1 @@
+test/test_kmeans.ml: Alcotest Array Float Geometry Prim Printf Privcluster Testutil

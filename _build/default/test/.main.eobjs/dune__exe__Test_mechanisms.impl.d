@@ -1,0 +1,1 @@
+test/test_mechanisms.ml: Alcotest Array Float Prim String Testutil

@@ -1,0 +1,1 @@
+test/test_noisy_avg.ml: Alcotest Array Float Prim Printf Testutil

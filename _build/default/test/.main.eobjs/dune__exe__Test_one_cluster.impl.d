@@ -1,0 +1,1 @@
+test/test_one_cluster.ml: Alcotest Array Format Geometry List Prim Printf Privcluster String Testutil Workload

@@ -1,0 +1,1 @@
+test/test_pointset.ml: Alcotest Array Float Geometry List QCheck2 Testutil

@@ -1,0 +1,1 @@
+test/test_pp.ml: Alcotest Format Geometry List Privcluster String Testutil Workload

@@ -1,0 +1,1 @@
+test/test_privacy_smoke.ml: Array Float Prim Printf Testutil

@@ -1,0 +1,1 @@
+test/test_profile.ml: Float Format List Printf Privcluster String Testutil Workload

@@ -1,0 +1,1 @@
+test/test_quantile.ml: Alcotest Array Baselines Float Geometry Prim Privcluster Testutil

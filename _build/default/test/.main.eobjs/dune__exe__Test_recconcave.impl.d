@@ -1,0 +1,1 @@
+test/test_recconcave.ml: Alcotest Array Float Hashtbl List Printf QCheck2 Recconcave Testutil

@@ -1,0 +1,1 @@
+test/test_rng.ml: Array Hashtbl Prim Printf Testutil

@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Array Baselines Float Geometry Prim Privcluster Recconcave Testutil Workload

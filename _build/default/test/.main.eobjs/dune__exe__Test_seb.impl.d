@@ -1,0 +1,1 @@
+test/test_seb.ml: Alcotest Array Float Geometry Prim QCheck2 Testutil

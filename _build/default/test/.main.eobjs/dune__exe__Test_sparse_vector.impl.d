@@ -1,0 +1,1 @@
+test/test_sparse_vector.ml: Alcotest Float Prim Printf Testutil

@@ -1,0 +1,1 @@
+test/test_stability_hist.ml: Alcotest Array List Prim QCheck2 Testutil

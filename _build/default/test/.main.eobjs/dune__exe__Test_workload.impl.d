@@ -1,0 +1,1 @@
+test/test_workload.ml: Array Filename Float Geometry List Prim Sys Testutil Workload

@@ -1,0 +1,1 @@
+test/test_zcdp.ml: Alcotest List Prim Printf Testutil

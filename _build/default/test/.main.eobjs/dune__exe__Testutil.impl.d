@@ -1,0 +1,1 @@
+test/testutil.ml: Alcotest Array Float Geometry Prim QCheck2 QCheck_alcotest Workload

@@ -1,0 +1,33 @@
+let () =
+  Alcotest.run "privcluster"
+    [
+      ("rng", Test_rng.suite);
+      ("mechanisms", Test_mechanisms.suite);
+      ("sparse-vector", Test_sparse_vector.suite);
+      ("stability-hist", Test_stability_hist.suite);
+      ("composition", Test_composition.suite);
+      ("zcdp", Test_zcdp.suite);
+      ("noisy-avg", Test_noisy_avg.suite);
+      ("privacy-smoke", Test_privacy_smoke.suite);
+      ("vec", Test_vec.suite);
+      ("pointset", Test_pointset.suite);
+      ("grid", Test_grid.suite);
+      ("interval-boxing", Test_interval_boxing.suite);
+      ("jl-rotation", Test_jl_rotation.suite);
+      ("seb", Test_seb.suite);
+      ("kdtree", Test_kdtree.suite);
+      ("recconcave", Test_recconcave.suite);
+      ("good-radius", Test_good_radius.suite);
+      ("good-center", Test_good_center.suite);
+      ("one-cluster", Test_one_cluster.suite);
+      ("domain", Test_domain.suite);
+      ("quantile", Test_quantile.suite);
+      ("kmeans", Test_kmeans.suite);
+      ("applications", Test_applications.suite);
+      ("baselines", Test_baselines.suite);
+      ("workload", Test_workload.suite);
+      ("profile", Test_profile.suite);
+      ("robustness", Test_robustness.suite);
+      ("pp", Test_pp.suite);
+      ("invariants", Test_invariants.suite);
+    ]

@@ -1,0 +1,203 @@
+(* The applications built on the 1-cluster solver: interior point
+   (Algorithm 3), sample-and-aggregate (Algorithm 4), k-clustering
+   (Observation 3.5), and outlier screening (§1.1). *)
+
+open Testutil
+
+let delta = 1e-6
+let beta = 0.1
+
+(* --- Interior point --- *)
+
+let test_depth_quality () =
+  let values = [| 1.; 2.; 3.; 4.; 5. |] in
+  check_float "below all" 0. (Privcluster.Interior_point.depth_quality values 0.);
+  check_float "at median" 3. (Privcluster.Interior_point.depth_quality values 3.);
+  check_float "above all" 0. (Privcluster.Interior_point.depth_quality values 6.);
+  check_float "between" 2. (Privcluster.Interior_point.depth_quality values 2.5)
+
+let test_depth_quality_quasi_concave () =
+  let r = rng () in
+  let values = Array.init 50 (fun _ -> Prim.Rng.float r 1.0) in
+  let probes = Array.init 101 (fun i -> float_of_int i /. 100.) in
+  let q =
+    Recconcave.Quality.of_array
+      (Array.map (Privcluster.Interior_point.depth_quality values) probes)
+  in
+  check_true "depth quality quasi-concave along probes" (Recconcave.Quality.is_quasi_concave q)
+
+let test_interior_point_end_to_end () =
+  let r = rng ~seed:51 () in
+  let grid = Geometry.Grid.create ~axis_size:1024 ~dim:1 in
+  let m = 3000 in
+  let values =
+    Array.init m (fun i ->
+        let base = if i mod 2 = 0 then 0.3 else 0.7 in
+        Float.max 0. (Float.min 1. (base +. Prim.Rng.gaussian r ~sigma:0.01 ())))
+  in
+  match
+    Privcluster.Interior_point.run r Privcluster.Profile.practical ~grid ~eps:2.0 ~delta ~beta
+      ~inner_n:(m / 2) ~w:16. values
+  with
+  | Error f -> Alcotest.failf "interior point failed: %a" Privcluster.One_cluster.pp_failure f
+  | Ok ip ->
+      let lo = Array.fold_left Float.min infinity values in
+      let hi = Array.fold_left Float.max neg_infinity values in
+      check_in_range "interior" ~lo ~hi ip.Privcluster.Interior_point.point;
+      check_true "candidates bounded by ~4w" (ip.Privcluster.Interior_point.candidates <= 66)
+
+let test_required_m_grows_with_w () =
+  let m w = Privcluster.Interior_point.required_m ~n:100 ~w ~eps:1. ~delta:1e-6 ~beta:0.1 in
+  check_true "monotone in w" (m 1000. > m 2.);
+  check_true "at least n" (m 2. >= 100.)
+
+let test_interior_validation () =
+  let r = rng () in
+  let grid2 = Geometry.Grid.create ~axis_size:16 ~dim:2 in
+  Alcotest.check_raises "1-D grid required" (Invalid_argument "Interior_point.run: grid must be 1-D")
+    (fun () ->
+      ignore
+        (Privcluster.Interior_point.run r Privcluster.Profile.practical ~grid:grid2 ~eps:1.
+           ~delta ~beta ~inner_n:1 ~w:2. [| 0.5 |]))
+
+(* --- Sample and aggregate --- *)
+
+let test_sa_block_mean () =
+  let r = rng ~seed:61 () in
+  let grid = Geometry.Grid.create ~axis_size:512 ~dim:2 in
+  let truth = [| 0.4; 0.6 |] in
+  let data =
+    Array.init 60_000 (fun _ ->
+        Array.map (fun c -> c +. Prim.Rng.gaussian r ~sigma:0.02 ()) truth)
+  in
+  match
+    Privcluster.Sample_aggregate.run r Privcluster.Profile.practical ~grid ~eps:2.0 ~delta ~beta
+      ~m:10 ~alpha:0.8 ~f:Geometry.Vec.mean data
+  with
+  | Error f -> Alcotest.failf "SA failed: %a" Privcluster.One_cluster.pp_failure f
+  | Ok result ->
+      check_int "blocks" (60_000 / 90) result.Privcluster.Sample_aggregate.blocks;
+      check_int "block size" 10 result.Privcluster.Sample_aggregate.block_size;
+      check_true "t = alpha k/2"
+        (result.Privcluster.Sample_aggregate.t_used
+        = int_of_float (0.8 *. float_of_int result.Privcluster.Sample_aggregate.blocks /. 2.));
+      check_true "stable point near truth"
+        (Geometry.Vec.dist result.Privcluster.Sample_aggregate.stable_point truth < 0.15)
+
+let test_sa_amplification () =
+  let p = Privcluster.Sample_aggregate.amplified ~eps:3.0 ~delta:1e-6 in
+  check_float ~tol:1e-9 "eps amplified to 2/3" 2.0 (Prim.Dp.eps p);
+  check_true "delta amplified" (Prim.Dp.delta p < 1e-5)
+
+let test_sa_validation () =
+  let r = rng () in
+  let grid = Geometry.Grid.create ~axis_size:16 ~dim:1 in
+  Alcotest.check_raises "needs blocks"
+    (Invalid_argument "Sample_aggregate.run: need n >= 18·m for two blocks") (fun () ->
+      ignore
+        (Privcluster.Sample_aggregate.run r Privcluster.Profile.practical ~grid ~eps:1. ~delta
+           ~beta ~m:10 ~alpha:0.5
+           ~f:(fun _ -> [| 0.5 |])
+           (Array.make 30 0.)))
+
+(* --- K-clustering --- *)
+
+let test_k_cluster_coverage () =
+  let r = rng ~seed:71 () in
+  let grid = Geometry.Grid.create ~axis_size:256 ~dim:2 in
+  let w =
+    Workload.Synth.planted_balls r ~grid ~n:3000 ~k:2 ~cluster_radius:0.05 ~noise_fraction:0.1
+  in
+  let result =
+    Privcluster.K_cluster.run r Privcluster.Profile.practical ~grid ~eps:4.0 ~delta ~beta ~k:2
+      ~t_fraction:0.35 w.Workload.Synth.all_points
+  in
+  check_true "found up to k balls" (List.length result.Privcluster.K_cluster.balls <= 2);
+  check_true "found at least one ball" (List.length result.Privcluster.K_cluster.balls >= 1);
+  let cov =
+    Privcluster.K_cluster.coverage result.Privcluster.K_cluster.balls w.Workload.Synth.all_points
+  in
+  check_true
+    (Printf.sprintf "covers most points (%d/3000)" cov)
+    (cov > 1800);
+  List.iter
+    (fun b ->
+      check_true "core radius below private radius"
+        (b.Privcluster.K_cluster.core_radius <= b.Privcluster.K_cluster.radius +. 1e-9 ||
+         b.Privcluster.K_cluster.core_radius > 0.))
+    result.Privcluster.K_cluster.balls
+
+let test_max_recommended_k () =
+  let k = Privcluster.K_cluster.max_recommended_k ~eps:1.0 ~n:10_000 ~d:8 in
+  check_true "reasonable magnitude" (k > 50 && k < 1000);
+  check_true "grows with n"
+    (Privcluster.K_cluster.max_recommended_k ~eps:1.0 ~n:100_000 ~d:8 > k);
+  check_true "shrinks with d"
+    (Privcluster.K_cluster.max_recommended_k ~eps:1.0 ~n:10_000 ~d:64 < k)
+
+let test_k_cluster_validation () =
+  let r = rng () in
+  let grid = Geometry.Grid.create ~axis_size:16 ~dim:1 in
+  Alcotest.check_raises "k >= 1" (Invalid_argument "K_cluster.run: k must be >= 1") (fun () ->
+      ignore
+        (Privcluster.K_cluster.run r Privcluster.Profile.practical ~grid ~eps:1. ~delta ~beta
+           ~k:0 ~t_fraction:0.5 [| [| 0.5 |] |]))
+
+(* --- Outliers --- *)
+
+let test_outlier_screening () =
+  let r = rng ~seed:81 () in
+  let grid = Geometry.Grid.create ~axis_size:256 ~dim:2 in
+  let w =
+    Workload.Synth.with_outliers r ~grid ~n:2000 ~outlier_fraction:0.1 ~inlier_radius:0.04
+  in
+  match
+    Privcluster.Outlier.detect r Privcluster.Profile.practical ~grid ~eps:2.0 ~delta ~beta
+      ~inlier_fraction:0.85 w.Workload.Synth.data
+  with
+  | Error f -> Alcotest.failf "detect failed: %a" Privcluster.One_cluster.pp_failure f
+  | Ok det ->
+      (* The predicate keeps the inlier center and drops most planted
+         outliers (which are uniform, hence mostly far from the ball). *)
+      check_true "center is inlier" (det.Privcluster.Outlier.inlier w.Workload.Synth.inlier_center);
+      let dropped =
+        Array.fold_left
+          (fun acc i ->
+            if det.Privcluster.Outlier.inlier w.Workload.Synth.data.(i) then acc else acc + 1)
+          0 w.Workload.Synth.outlier_indices
+      in
+      check_true
+        (Printf.sprintf "most outliers dropped (%d/%d)" dropped
+           (Array.length w.Workload.Synth.outlier_indices))
+        (2 * dropped > Array.length w.Workload.Synth.outlier_indices);
+      (match Privcluster.Outlier.screened_mean r ~eps:1.0 ~delta det w.Workload.Synth.data with
+      | Prim.Noisy_avg.Average a ->
+          check_true "screened mean near inlier center"
+            (Geometry.Vec.dist a.Prim.Noisy_avg.average w.Workload.Synth.inlier_center < 0.2)
+      | Prim.Noisy_avg.Bottom -> Alcotest.fail "screened mean bottom")
+
+let test_domain_mean () =
+  let r = rng () in
+  let grid = Geometry.Grid.create ~axis_size:64 ~dim:2 in
+  let points = Array.make 4000 [| 0.3; 0.7 |] in
+  match Privcluster.Outlier.domain_mean r ~eps:1.0 ~delta:1e-6 ~grid points with
+  | Prim.Noisy_avg.Average a ->
+      check_true "near true mean" (Geometry.Vec.dist a.Prim.Noisy_avg.average [| 0.3; 0.7 |] < 0.05)
+  | Prim.Noisy_avg.Bottom -> Alcotest.fail "bottom on 4000 points"
+
+let suite =
+  [
+    case "domain mean" test_domain_mean;
+    case "depth quality" test_depth_quality;
+    case "depth quality quasi-concave" test_depth_quality_quasi_concave;
+    slow_case "interior point end to end" test_interior_point_end_to_end;
+    case "required_m monotone" test_required_m_grows_with_w;
+    case "interior point validation" test_interior_validation;
+    slow_case "sample-aggregate block mean" test_sa_block_mean;
+    case "subsampling amplification" test_sa_amplification;
+    case "sample-aggregate validation" test_sa_validation;
+    slow_case "k-cluster coverage" test_k_cluster_coverage;
+    case "k-cluster recommended k" test_max_recommended_k;
+    case "k-cluster validation" test_k_cluster_validation;
+    slow_case "outlier screening" test_outlier_screening;
+  ]

@@ -1,0 +1,110 @@
+(* Algorithm 1 — GoodRadius. *)
+
+open Testutil
+
+let delta = 1e-6
+let beta = 0.1
+
+let run_on ?(profile = Privcluster.Profile.practical) ?(eps = 4.0) w grid t =
+  let r = rng ~seed:17 () in
+  let idx = Geometry.Pointset.build_index (Geometry.Pointset.create w) in
+  (Privcluster.Good_radius.run r profile ~grid ~eps ~delta ~beta ~t idx, idx)
+
+let test_planted_cluster_radius_bounds () =
+  let _, grid, w = small_workload ~n:800 ~fraction:0.6 ~radius:0.05 () in
+  let t = 400 in
+  let result, idx = run_on w.Workload.Synth.points grid t in
+  check_true "no zero shortcut" (not result.Privcluster.Good_radius.zero_shortcut);
+  let z = result.Privcluster.Good_radius.radius in
+  (* Upper bound: 4·r_opt times the geometric grid's sqrt 2. *)
+  let two_approx = Geometry.Seb.two_approx_indexed idx ~t in
+  check_true
+    (Printf.sprintf "z = %.4f within 4·sqrt2·r_opt = %.4f" z
+       (4. *. sqrt 2. *. two_approx.Geometry.Seb.radius))
+    (z <= 4. *. sqrt 2. *. two_approx.Geometry.Seb.radius +. 1e-9);
+  (* Coverage: some ball of radius z holds close to t points. *)
+  let counts = Geometry.Pointset.counts_within idx ~radius:z in
+  let best = Array.fold_left max 0 counts in
+  check_true
+    (Printf.sprintf "coverage %d vs t=%d (certified slack %.0f)" best t
+       result.Privcluster.Good_radius.delta_bound)
+    (float_of_int best >= float_of_int t -. result.Privcluster.Good_radius.delta_bound)
+
+let test_zero_shortcut_on_duplicates () =
+  let grid = Geometry.Grid.create ~axis_size:64 ~dim:2 in
+  (* 500 copies of one grid point plus scattered rest. *)
+  let r = rng () in
+  let points =
+    Array.init 600 (fun i ->
+        if i < 500 then [| 0.5; 0.5 |] else Geometry.Grid.random_point grid r)
+  in
+  let result, _ = run_on points grid 450 in
+  check_true "zero shortcut fires" result.Privcluster.Good_radius.zero_shortcut;
+  check_float "radius zero" 0. result.Privcluster.Good_radius.radius
+
+let test_no_zero_shortcut_on_spread_data () =
+  let grid = Geometry.Grid.create ~axis_size:4096 ~dim:2 in
+  let r = rng () in
+  let points = Array.init 500 (fun _ -> Geometry.Grid.random_point grid r) in
+  let fired = ref 0 in
+  for _ = 1 to 10 do
+    let result, _ = run_on points grid 100 in
+    if result.Privcluster.Good_radius.zero_shortcut then incr fired
+  done;
+  check_true "spread data rarely triggers the zero path" (!fired <= 1)
+
+let test_gamma_properties () =
+  let grid = Geometry.Grid.create ~axis_size:256 ~dim:2 in
+  let g p eps =
+    Privcluster.Good_radius.gamma p ~grid ~eps ~delta ~beta
+  in
+  let practical = Privcluster.Profile.practical in
+  let linear = { practical with Privcluster.Profile.radius_grid = Privcluster.Profile.Linear } in
+  check_true "gamma positive" (g practical 1.0 > 0.);
+  check_float ~tol:1e-6 "gamma ~ 1/eps" 2.0 (g practical 1.0 /. g practical 2.0);
+  check_true "geometric grid has smaller gamma" (g practical 1.0 < g linear 1.0)
+
+let test_backend_agreement () =
+  (* Both backends find a reasonable radius on a clear planted cluster. *)
+  let _, grid, w = small_workload ~n:800 ~fraction:0.6 ~radius:0.05 () in
+  let t = 400 in
+  List.iter
+    (fun backend ->
+      let profile = { Privcluster.Profile.practical with Privcluster.Profile.backend } in
+      let result, idx = run_on ~profile w.Workload.Synth.points grid t in
+      let counts =
+        Geometry.Pointset.counts_within idx ~radius:result.Privcluster.Good_radius.radius
+      in
+      let best = Array.fold_left max 0 counts in
+      check_true "backend covers t - certified"
+        (float_of_int best >= float_of_int t -. result.Privcluster.Good_radius.delta_bound))
+    [ Privcluster.Profile.Rec_concave; Privcluster.Profile.Binary_search ]
+
+let test_validation () =
+  let _, grid, w = small_workload ~n:100 () in
+  let r = rng () in
+  let idx = Geometry.Pointset.build_index (Geometry.Pointset.create w.Workload.Synth.points) in
+  Alcotest.check_raises "t range" (Invalid_argument "Good_radius.run: t must be in [1, n]")
+    (fun () ->
+      ignore
+        (Privcluster.Good_radius.run r Privcluster.Profile.practical ~grid ~eps:1.0 ~delta ~beta
+           ~t:101 idx))
+
+let test_score_evals_bounded () =
+  (* Memoization keeps the number of distinct L evaluations at most the
+     candidate count. *)
+  let _, grid, w = small_workload ~n:300 () in
+  let result, _ = run_on w.Workload.Synth.points grid 150 in
+  check_true "evals bounded by candidates"
+    (result.Privcluster.Good_radius.score_evals <= Geometry.Grid.geometric_candidates grid)
+
+let suite =
+  [
+    case "planted cluster: radius bounds and coverage" test_planted_cluster_radius_bounds;
+    case "zero shortcut on duplicates" test_zero_shortcut_on_duplicates;
+    case "no zero shortcut on spread data" test_no_zero_shortcut_on_spread_data;
+    case "gamma properties" test_gamma_properties;
+    case "both backends meet the guarantee" test_backend_agreement;
+    case "validation" test_validation;
+    case "score evaluations bounded" test_score_evals_bounded;
+  ]

@@ -1,0 +1,154 @@
+(* The k-d tree, checked against brute force, plus the tree-backed
+   Pointset index. *)
+
+open Testutil
+
+let brute_count pts center radius =
+  Array.fold_left
+    (fun acc p -> if Geometry.Vec.dist p center <= radius then acc + 1 else acc)
+    0 pts
+
+let random_points r ~n ~d = Array.init n (fun _ -> Prim.Rng.gaussian_vector r ~dim:d ~sigma:1.0)
+
+let qcheck_count_matches_brute =
+  qcheck "count_within = brute force" ~count:100
+    QCheck2.Gen.(
+      triple (int_range 1 120) (int_range 1 4) (float_range 0. 2.))
+    (fun (n, d, radius) ->
+      let r = rng ~seed:(n + (d * 1000)) () in
+      let pts = random_points r ~n ~d in
+      let tree = Geometry.Kdtree.build pts in
+      let center = Prim.Rng.gaussian_vector r ~dim:d ~sigma:1.0 in
+      Geometry.Kdtree.count_within tree ~center ~radius = brute_count pts center radius)
+
+let test_build_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Kdtree.build: empty") (fun () ->
+      ignore (Geometry.Kdtree.build [||]));
+  Alcotest.check_raises "mixed" (Invalid_argument "Kdtree.build: mixed dimensions") (fun () ->
+      ignore (Geometry.Kdtree.build [| [| 1. |]; [| 1.; 2. |] |]))
+
+let test_size_dim () =
+  let r = rng () in
+  let tree = Geometry.Kdtree.build (random_points r ~n:321 ~d:3) in
+  check_int "size" 321 (Geometry.Kdtree.size tree);
+  check_int "dim" 3 (Geometry.Kdtree.dim tree)
+
+let test_duplicates () =
+  (* Heavy duplication exercises the zero-width-split fallback. *)
+  let pts = Array.init 200 (fun i -> if i < 150 then [| 0.5; 0.5 |] else [| 0.9; 0.1 |]) in
+  let tree = Geometry.Kdtree.build pts in
+  check_int "duplicates counted" 150
+    (Geometry.Kdtree.count_within tree ~center:[| 0.5; 0.5 |] ~radius:0.);
+  check_int "all" 200 (Geometry.Kdtree.count_within tree ~center:[| 0.5; 0.5 |] ~radius:2.)
+
+let test_points_within () =
+  let r = rng () in
+  let pts = random_points r ~n:300 ~d:2 in
+  let tree = Geometry.Kdtree.build pts in
+  let center = [| 0.; 0. |] and radius = 0.8 in
+  let got = Geometry.Kdtree.points_within tree ~center ~radius in
+  check_int "cardinality matches count" (brute_count pts center radius) (Array.length got);
+  Array.iter
+    (fun p -> check_true "inside" (Geometry.Vec.dist p center <= radius +. 1e-12))
+    got
+
+let test_iter_within () =
+  let r = rng () in
+  let pts = random_points r ~n:200 ~d:2 in
+  let tree = Geometry.Kdtree.build pts in
+  let visited = ref 0 in
+  Geometry.Kdtree.iter_within tree ~center:[| 0.; 0. |] ~radius:1.0 (fun _ -> incr visited);
+  check_int "iter count = count_within" (Geometry.Kdtree.count_within tree ~center:[| 0.; 0. |] ~radius:1.0) !visited
+
+let test_counts_within_all () =
+  let r = rng () in
+  let pts = random_points r ~n:80 ~d:2 in
+  let tree = Geometry.Kdtree.build pts in
+  let counts = Geometry.Kdtree.counts_within_all tree pts ~radius:0.5 in
+  check_int "one count per center" 80 (Array.length counts);
+  Array.iteri
+    (fun i c -> check_int "batch matches single" (Geometry.Kdtree.count_within tree ~center:pts.(i) ~radius:0.5) c)
+    counts
+
+let test_negative_radius () =
+  let tree = Geometry.Kdtree.build [| [| 0. |] |] in
+  check_int "negative radius empty" 0
+    (Geometry.Kdtree.count_within tree ~center:[| 0. |] ~radius:(-1.))
+
+let qcheck_nearest_matches_brute =
+  qcheck "nearest = brute force" ~count:100 QCheck2.Gen.(pair (int_range 1 80) (int_range 1 4))
+    (fun (n, d) ->
+      let r = rng ~seed:(n * 31 + d) () in
+      let pts = random_points r ~n ~d in
+      let tree = Geometry.Kdtree.build pts in
+      let q = Prim.Rng.gaussian_vector r ~dim:d ~sigma:1.5 in
+      let _, dist = Geometry.Kdtree.nearest tree q in
+      let brute =
+        Array.fold_left (fun acc p -> Float.min acc (Geometry.Vec.dist p q)) infinity pts
+      in
+      Float.abs (dist -. brute) < 1e-9)
+
+(* --- Tree-backed Pointset index --- *)
+
+let test_tree_index_matches_dense () =
+  let r = rng () in
+  let grid = Geometry.Grid.create ~axis_size:128 ~dim:2 in
+  let w = Workload.Synth.planted_ball r ~grid ~n:500 ~cluster_fraction:0.4 ~cluster_radius:0.06 in
+  let ps = Geometry.Pointset.create w.Workload.Synth.points in
+  let dense = Geometry.Pointset.build_index ps in
+  let tree = Geometry.Pointset.build_tree_index ps in
+  check_true "dense flag" (Geometry.Pointset.index_is_dense dense);
+  check_true "tree flag" (not (Geometry.Pointset.index_is_dense tree));
+  List.iter
+    (fun radius ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "counts at r=%.2f" radius)
+        (Geometry.Pointset.counts_within dense ~radius)
+        (Geometry.Pointset.counts_within tree ~radius);
+      check_float ~tol:1e-9
+        (Printf.sprintf "score at r=%.2f" radius)
+        (Geometry.Pointset.score_l dense ~cap:200 ~radius)
+        (Geometry.Pointset.score_l tree ~cap:200 ~radius))
+    [ 0.; 0.03; 0.1; 0.5 ];
+  for i = 0 to 20 do
+    check_float ~tol:1e-7
+      (Printf.sprintf "kth neighbor of %d" i)
+      (Geometry.Pointset.kth_neighbor_distance dense ~k:50 i)
+      (Geometry.Pointset.kth_neighbor_distance tree ~k:50 i)
+  done
+
+let test_auto_index () =
+  let r = rng () in
+  let small = Geometry.Pointset.create (random_points r ~n:100 ~d:2) in
+  check_true "small is dense" (Geometry.Pointset.index_is_dense (Geometry.Pointset.auto_index small));
+  check_true "threshold forces tree"
+    (not (Geometry.Pointset.index_is_dense (Geometry.Pointset.auto_index ~dense_threshold:50 small)))
+
+let test_good_radius_on_tree_index () =
+  (* The whole radius stage must work unchanged on the scalable backend. *)
+  let r, grid, w = small_workload ~seed:13 ~n:600 ~fraction:0.5 ~radius:0.05 () in
+  let ps = Geometry.Pointset.create w.Workload.Synth.points in
+  let idx = Geometry.Pointset.build_tree_index ps in
+  let result =
+    Privcluster.Good_radius.run r Privcluster.Profile.practical ~grid ~eps:4.0 ~delta:1e-6
+      ~beta:0.1 ~t:300 idx
+  in
+  check_true "radius positive and bounded"
+    (result.Privcluster.Good_radius.radius >= 0.
+    && result.Privcluster.Good_radius.radius <= Geometry.Grid.diameter grid)
+
+let suite =
+  [
+    qcheck_count_matches_brute;
+    case "build validation" test_build_validation;
+    case "size / dim" test_size_dim;
+    case "duplicates" test_duplicates;
+    case "points_within" test_points_within;
+    case "iter_within" test_iter_within;
+    case "counts_within_all" test_counts_within_all;
+    case "negative radius" test_negative_radius;
+    qcheck_nearest_matches_brute;
+    case "tree index matches dense index" test_tree_index_matches_dense;
+    case "auto index" test_auto_index;
+    case "good radius on tree index" test_good_radius_on_tree_index;
+  ]

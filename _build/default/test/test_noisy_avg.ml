@@ -1,0 +1,81 @@
+(* Algorithm 5 — NoisyAVG. *)
+
+open Testutil
+
+let vectors_around center spread n r =
+  Array.init n (fun _ ->
+      Array.map (fun c -> c +. Prim.Rng.uniform r ~lo:(-.spread) ~hi:spread) center)
+
+let test_average_close_on_large_set () =
+  let r = rng () in
+  let center = [| 0.5; -0.25; 1.0 |] in
+  let vs = vectors_around center 0.05 5000 r in
+  match
+    Prim.Noisy_avg.run r ~eps:1.0 ~delta:1e-6 ~diameter:0.4 ~pred:(fun _ -> true) ~dim:3 vs
+  with
+  | Prim.Noisy_avg.Bottom -> Alcotest.fail "unexpected bottom on 5000 vectors"
+  | Prim.Noisy_avg.Average a ->
+      check_true "m_hat near true count"
+        (Float.abs (a.Prim.Noisy_avg.m_hat -. 5000.) < 100.);
+      check_true "sigma small" (a.Prim.Noisy_avg.sigma < 0.01);
+      Array.iteri
+        (fun i c -> check_float ~tol:0.05 (Printf.sprintf "coord %d" i) c a.Prim.Noisy_avg.average.(i))
+        center
+
+let test_bottom_on_empty_selection () =
+  let r = rng () in
+  let vs = vectors_around [| 0.; 0. |] 0.1 100 r in
+  let bottoms = ref 0 in
+  for _ = 1 to 50 do
+    match
+      Prim.Noisy_avg.run r ~eps:1.0 ~delta:1e-6 ~diameter:1.0 ~pred:(fun _ -> false) ~dim:2 vs
+    with
+    | Prim.Noisy_avg.Bottom -> incr bottoms
+    | Prim.Noisy_avg.Average _ -> ()
+  done;
+  (* Noisy count = 0 + Lap(2) − 2·ln(2e6) < 0 except with tiny probability. *)
+  check_int "empty selection is bottom" 50 !bottoms
+
+let test_predicate_filters () =
+  let r = rng () in
+  let vs =
+    Array.append (vectors_around [| 0.1 |] 0.02 2000 r) (vectors_around [| 0.9 |] 0.02 2000 r)
+  in
+  match
+    Prim.Noisy_avg.run r ~eps:1.0 ~delta:1e-6 ~diameter:0.2 ~pred:(fun v -> v.(0) < 0.5) ~dim:1 vs
+  with
+  | Prim.Noisy_avg.Bottom -> Alcotest.fail "unexpected bottom"
+  | Prim.Noisy_avg.Average a -> check_float ~tol:0.05 "only left mode averaged" 0.1 a.Prim.Noisy_avg.average.(0)
+
+let test_sigma_scales_with_diameter_over_count () =
+  let r = rng () in
+  let vs = vectors_around [| 0.5 |] 0.01 4000 r in
+  let run diameter =
+    match Prim.Noisy_avg.run r ~eps:1.0 ~delta:1e-6 ~diameter ~pred:(fun _ -> true) ~dim:1 vs with
+    | Prim.Noisy_avg.Average a -> a.Prim.Noisy_avg.sigma
+    | Prim.Noisy_avg.Bottom -> Alcotest.fail "bottom"
+  in
+  let s1 = run 0.1 and s2 = run 0.4 in
+  check_true "sigma grows ~linearly with diameter" (s2 > 3. *. s1 && s2 < 5. *. s1)
+
+let test_expected_sigma_formula () =
+  check_float ~tol:1e-9 "observation A.1 sigma"
+    (16. *. 2. /. (0.5 *. 100.) *. sqrt (2. *. log (8. /. 1e-6)))
+    (Prim.Noisy_avg.expected_sigma ~eps:0.5 ~delta:1e-6 ~diameter:2. ~m:100)
+
+let test_validation () =
+  let r = rng () in
+  Alcotest.check_raises "bad delta" (Invalid_argument "Noisy_avg.run: delta must be in (0, 1)")
+    (fun () ->
+      ignore
+        (Prim.Noisy_avg.run r ~eps:1.0 ~delta:0. ~diameter:1.0 ~pred:(fun _ -> true) ~dim:1 [||]))
+
+let suite =
+  [
+    case "average close on large set" test_average_close_on_large_set;
+    case "bottom on empty selection" test_bottom_on_empty_selection;
+    case "predicate filters" test_predicate_filters;
+    case "sigma scales with diameter" test_sigma_scales_with_diameter_over_count;
+    case "expected sigma formula" test_expected_sigma_formula;
+    case "validation" test_validation;
+  ]

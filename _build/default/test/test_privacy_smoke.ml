@@ -1,0 +1,148 @@
+(* Empirical differential-privacy smoke tests.
+
+   These do not prove privacy (no finite test can), but they catch gross
+   calibration bugs: for a pair of neighbouring databases we estimate the
+   output distribution of a mechanism on both and check that observed
+   probability ratios stay within e^ε plus sampling slack.  A broken noise
+   scale (for instance Lap(1/2ε) instead of Lap(2/ε)) fails these tests
+   immediately. *)
+
+open Testutil
+
+let trials = 60_000
+
+(* Max log-ratio between two empirical histograms, ignoring bins whose
+   counts are too small for a stable estimate. *)
+let max_log_ratio counts_a counts_b =
+  let worst = ref 0. in
+  Array.iteri
+    (fun i a ->
+      let b = counts_b.(i) in
+      if a >= 200 && b >= 200 then
+        worst := Float.max !worst (Float.abs (log (float_of_int a /. float_of_int b))))
+    counts_a;
+  !worst
+
+let test_laplace_count_ratio () =
+  let r = rng () in
+  let eps = 0.5 in
+  (* Neighbouring databases: counts 50 and 51. *)
+  let bins = 80 in
+  let histogram value =
+    let h = Array.make bins 0 in
+    for _ = 1 to trials do
+      let x = Prim.Laplace.count r ~eps value in
+      let bin = int_of_float (Float.round (x -. 50.)) + (bins / 2) in
+      if bin >= 0 && bin < bins then h.(bin) <- h.(bin) + 1
+    done;
+    h
+  in
+  let ratio = max_log_ratio (histogram 50) (histogram 51) in
+  (* Allowed: ε plus generous sampling slack. *)
+  check_true
+    (Printf.sprintf "laplace log-ratio %.3f <= eps %.3f + slack" ratio eps)
+    (ratio <= eps +. 0.15)
+
+let test_gaussian_ratio () =
+  let r = rng () in
+  let eps = 0.5 and delta = 1e-5 in
+  let bins = 60 in
+  let histogram value =
+    let h = Array.make bins 0 in
+    let sigma = Prim.Gaussian_mech.sigma ~eps ~delta ~l2_sensitivity:1.0 in
+    for _ = 1 to trials do
+      let x = value +. Prim.Rng.gaussian r ~sigma () in
+      let bin = int_of_float (Float.round ((x -. 50.) /. sigma *. 4.)) + (bins / 2) in
+      if bin >= 0 && bin < bins then h.(bin) <- h.(bin) + 1
+    done;
+    h
+  in
+  let ratio = max_log_ratio (histogram 50.) (histogram 51.) in
+  check_true
+    (Printf.sprintf "gaussian log-ratio %.3f <= eps + slack" ratio)
+    (ratio <= eps +. 0.15)
+
+let test_exp_mech_ratio () =
+  let r = rng () in
+  let eps = 0.5 in
+  (* Neighbouring score vectors (sensitivity 1 per candidate). *)
+  let qa = [| 3.; 5.; 4. |] and qb = [| 4.; 4.; 3. |] in
+  let histogram q =
+    let h = Array.make 3 0 in
+    for _ = 1 to trials do
+      let i = Prim.Exp_mech.select r ~eps ~sensitivity:1.0 ~qualities:q in
+      h.(i) <- h.(i) + 1
+    done;
+    h
+  in
+  let ratio = max_log_ratio (histogram qa) (histogram qb) in
+  check_true
+    (Printf.sprintf "exp-mech log-ratio %.3f <= eps + slack" ratio)
+    (ratio <= eps +. 0.1)
+
+let test_stability_hist_release_rate () =
+  (* A cell present in S' but absent in S must be released with probability
+     <= delta-ish; here: a singleton cell can never clear the threshold
+     except through an enormous Laplace tail. *)
+  let r = rng () in
+  let eps = 1.0 and delta = 1e-4 in
+  let released = ref 0 in
+  let runs = 20_000 in
+  for _ = 1 to runs do
+    match Prim.Stability_hist.select r ~eps ~delta [ ("new-cell", 1) ] with
+    | Some _ -> incr released
+    | None -> ()
+  done;
+  (* P(1 + Lap(2) >= 1 + 2 ln(2/δ)) = δ/4 per draw. *)
+  check_true
+    (Printf.sprintf "singleton release rate %d/%d within delta budget" !released runs)
+    (float_of_int !released /. float_of_int runs <= 4. *. delta)
+
+let test_noisy_avg_count_offset () =
+  (* The count lower bound m̂ must undershoot the true count (that is what
+     makes σ safe); equality-direction errors would show as m̂ > m often. *)
+  let r = rng () in
+  let vs = Array.init 500 (fun _ -> [| 0.5 |]) in
+  let overshoot = ref 0 in
+  for _ = 1 to 2000 do
+    match
+      Prim.Noisy_avg.run r ~eps:1.0 ~delta:1e-6 ~diameter:1.0 ~pred:(fun _ -> true) ~dim:1 vs
+    with
+    | Prim.Noisy_avg.Average a -> if a.Prim.Noisy_avg.m_hat > 500. then incr overshoot
+    | Prim.Noisy_avg.Bottom -> ()
+  done;
+  check_int "m_hat never exceeds the true count by design margin" 0 !overshoot
+
+let test_sparse_vector_budget_independence () =
+  (* Below-threshold answers are "free": a long stream of Belows must not
+     change the distribution of a later Above decision (the mechanism keeps
+     only one noisy threshold).  We check the Above rate on query k is the
+     same whether 1 or 100 Belows preceded it. *)
+  let r = rng () in
+  let rate prefix_len =
+    let above = ref 0 in
+    let runs = 20_000 in
+    for _ = 1 to runs do
+      let sv = Prim.Sparse_vector.create r ~eps:1.0 ~threshold:100. in
+      for _ = 1 to prefix_len do
+        if not (Prim.Sparse_vector.halted sv) then ignore (Prim.Sparse_vector.query sv 0.)
+      done;
+      if (not (Prim.Sparse_vector.halted sv)) && Prim.Sparse_vector.query sv 100. = Prim.Sparse_vector.Above
+      then incr above
+    done;
+    float_of_int !above /. float_of_int runs
+  in
+  let r1 = rate 1 and r100 = rate 100 in
+  check_true
+    (Printf.sprintf "rates %.3f vs %.3f close" r1 r100)
+    (Float.abs (r1 -. r100) < 0.05)
+
+let suite =
+  [
+    slow_case "laplace neighbouring ratio" test_laplace_count_ratio;
+    slow_case "gaussian neighbouring ratio" test_gaussian_ratio;
+    slow_case "exp-mech neighbouring ratio" test_exp_mech_ratio;
+    slow_case "stability-hist singleton release rate" test_stability_hist_release_rate;
+    slow_case "noisy-avg count offset direction" test_noisy_avg_count_offset;
+    slow_case "sparse-vector below-answers are free" test_sparse_vector_budget_independence;
+  ]

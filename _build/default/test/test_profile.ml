@@ -1,0 +1,70 @@
+(* Profiles and the experiment-suite plumbing. *)
+
+open Testutil
+
+let test_presets () =
+  let p = Privcluster.Profile.paper and q = Privcluster.Profile.practical in
+  check_true "paper uses linear grid" (p.Privcluster.Profile.radius_grid = Privcluster.Profile.Linear);
+  check_true "practical uses geometric grid"
+    (q.Privcluster.Profile.radius_grid = Privcluster.Profile.Geometric);
+  check_float "paper JL constant" 46. p.Privcluster.Profile.jl_constant;
+  check_float "paper box side" 300. p.Privcluster.Profile.box_side_factor;
+  check_true "paper uncapped rounds" (p.Privcluster.Profile.max_rounds = None);
+  check_true "practical capped rounds" (q.Privcluster.Profile.max_rounds <> None)
+
+let test_jl_dim () =
+  let n = 1000 and beta = 0.1 in
+  let paper_k = Privcluster.Profile.jl_dim Privcluster.Profile.paper ~n ~d:4 ~beta in
+  check_int "paper k = ceil(46 ln(2n/b))"
+    (int_of_float (Float.ceil (46. *. log (2. *. 1000. /. 0.1))))
+    paper_k;
+  check_int "practical caps at d" 4
+    (Privcluster.Profile.jl_dim Privcluster.Profile.practical ~n ~d:4 ~beta);
+  check_true "practical uncapped when d large"
+    (Privcluster.Profile.jl_dim Privcluster.Profile.practical ~n ~d:500 ~beta < 500)
+
+let test_axis_factor_relation () =
+  (* The 900 = 3 × 300 slack relation of the rotated-frame analysis. *)
+  check_float "paper 3x" 900. (Privcluster.Profile.axis_interval_factor Privcluster.Profile.paper);
+  check_float "practical 3x"
+    (3. *. Privcluster.Profile.practical.Privcluster.Profile.box_side_factor)
+    (Privcluster.Profile.axis_interval_factor Privcluster.Profile.practical)
+
+let test_rounds () =
+  let capped = Privcluster.Profile.rounds Privcluster.Profile.practical ~n:1000 ~beta:0.1 in
+  check_int "practical cap" 200 capped;
+  let paper = Privcluster.Profile.rounds Privcluster.Profile.paper ~n:1000 ~beta:0.1 in
+  (* 2n·ln(1/β)/β = 2000·2.30/0.1 ≈ 46052. *)
+  check_in_range "paper formula" ~lo:46000. ~hi:46100. (float_of_int paper);
+  check_int "paper absolute ceiling" 1_000_000
+    (Privcluster.Profile.rounds Privcluster.Profile.paper ~n:10_000_000 ~beta:0.001)
+
+let test_pp () =
+  let s = Format.asprintf "%a" Privcluster.Profile.pp Privcluster.Profile.practical in
+  check_true "mentions backend" (String.length s > 20)
+
+(* --- Experiments plumbing --- *)
+
+let test_experiment_registry () =
+  check_int "fourteen experiments" 14 (List.length Workload.Experiments.all);
+  let ids = List.map (fun (id, _, _) -> id) Workload.Experiments.all in
+  List.iteri
+    (fun i id -> check_true "ids are E1..E14 in order" (id = Printf.sprintf "E%d" (i + 1)))
+    ids
+
+let test_experiment_smoke () =
+  (* The cheapest experiment must run end to end in quick mode. *)
+  let cfg = { Workload.Experiments.quick = true; seed = 123 } in
+  Workload.Experiments.e11_geometry_tails cfg;
+  Workload.Experiments.run ~only:[ "E11" ] cfg
+
+let suite =
+  [
+    case "presets" test_presets;
+    case "jl dimension" test_jl_dim;
+    case "axis factor relation" test_axis_factor_relation;
+    case "rounds" test_rounds;
+    case "pp" test_pp;
+    case "experiment registry" test_experiment_registry;
+    slow_case "experiment smoke (E11)" test_experiment_smoke;
+  ]

@@ -1,0 +1,78 @@
+(* Vector algebra, mostly property-based. *)
+
+open Testutil
+
+let vec_gen = QCheck2.Gen.(array_size (int_range 1 8) (float_range (-100.) 100.))
+
+let pair_gen =
+  QCheck2.Gen.(
+    int_range 1 8 >>= fun d ->
+    pair (array_size (return d) (float_range (-100.) 100.))
+      (array_size (return d) (float_range (-100.) 100.)))
+
+let triple_gen =
+  QCheck2.Gen.(
+    int_range 1 8 >>= fun d ->
+    triple
+      (array_size (return d) (float_range (-100.) 100.))
+      (array_size (return d) (float_range (-100.) 100.))
+      (array_size (return d) (float_range (-100.) 100.)))
+
+let close a b = Float.abs (a -. b) <= 1e-6 *. (1. +. Float.abs a +. Float.abs b)
+
+let qsuite =
+  [
+    qcheck "dist symmetric" pair_gen (fun (a, b) -> close (Geometry.Vec.dist a b) (Geometry.Vec.dist b a));
+    qcheck "dist nonneg, zero iff equal-ish" vec_gen (fun a ->
+        Geometry.Vec.dist a a = 0. && Geometry.Vec.dist a (Geometry.Vec.copy a) = 0.);
+    qcheck "triangle inequality" triple_gen (fun (a, b, c) ->
+        Geometry.Vec.dist a c <= Geometry.Vec.dist a b +. Geometry.Vec.dist b c +. 1e-6);
+    qcheck "dist via sub/norm" pair_gen (fun (a, b) ->
+        close (Geometry.Vec.dist a b) (Geometry.Vec.norm2 (Geometry.Vec.sub a b)));
+    qcheck "dot symmetric" pair_gen (fun (a, b) -> close (Geometry.Vec.dot a b) (Geometry.Vec.dot b a));
+    qcheck "cauchy-schwarz" pair_gen (fun (a, b) ->
+        Float.abs (Geometry.Vec.dot a b) <= (Geometry.Vec.norm2 a *. Geometry.Vec.norm2 b) +. 1e-6);
+    qcheck "scale linearity of norm" vec_gen (fun a ->
+        close (Geometry.Vec.norm2 (Geometry.Vec.scale 3. a)) (3. *. Geometry.Vec.norm2 a));
+    qcheck "add commutes" pair_gen (fun (a, b) ->
+        Geometry.Vec.equal ~tol:1e-9 (Geometry.Vec.add a b) (Geometry.Vec.add b a));
+    qcheck "norm ordering inf<=2<=1" vec_gen (fun a ->
+        Geometry.Vec.norm_inf a <= Geometry.Vec.norm2 a +. 1e-9
+        && Geometry.Vec.norm2 a <= Geometry.Vec.norm1 a +. 1e-9);
+    qcheck "axpy matches add/scale" pair_gen (fun (a, b) ->
+        let y = Geometry.Vec.copy b in
+        Geometry.Vec.axpy 2.5 a y;
+        Geometry.Vec.equal ~tol:1e-6 y (Geometry.Vec.add (Geometry.Vec.scale 2.5 a) b));
+  ]
+
+let test_mean () =
+  let m = Geometry.Vec.mean [| [| 0.; 2. |]; [| 2.; 4. |]; [| 4.; 0. |] |] in
+  check_float "mean x" 2. m.(0);
+  check_float "mean y" 2. m.(1);
+  Alcotest.check_raises "empty mean" (Invalid_argument "Vec.mean: empty") (fun () ->
+      ignore (Geometry.Vec.mean [||]))
+
+let test_normalize () =
+  let v = Geometry.Vec.normalize [| 3.; 4. |] in
+  check_float ~tol:1e-12 "unit norm" 1.0 (Geometry.Vec.norm2 v);
+  check_float ~tol:1e-12 "direction" 0.6 v.(0);
+  Alcotest.check_raises "zero vector" (Invalid_argument "Vec.normalize: zero vector") (fun () ->
+      ignore (Geometry.Vec.normalize [| 0.; 0. |]))
+
+let test_dimension_mismatch () =
+  Alcotest.check_raises "add mismatch" (Invalid_argument "Vec.add: dimension mismatch")
+    (fun () -> ignore (Geometry.Vec.add [| 1. |] [| 1.; 2. |]))
+
+let test_zero_and_of_list () =
+  check_int "zero dim" 4 (Geometry.Vec.dim (Geometry.Vec.zero 4));
+  check_float "zero content" 0. (Geometry.Vec.zero 4).(2);
+  check_float "of_list" 2. (Geometry.Vec.of_list [ 1.; 2. ]).(1)
+
+let suite =
+  qsuite
+  @ [
+      case "mean" test_mean;
+      case "normalize" test_normalize;
+      case "dimension mismatch" test_dimension_mismatch;
+      case "zero / of_list" test_zero_and_of_list;
+    ]

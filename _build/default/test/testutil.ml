@@ -1,0 +1,37 @@
+(* Shared helpers for the test-suite. *)
+
+let rng ?(seed = 424242) () = Prim.Rng.create ~seed ()
+
+let check_float ?(tol = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > tol then
+    Alcotest.failf "%s: expected %.12g, got %.12g (tol %.3g)" msg expected actual tol
+
+let check_in_range msg ~lo ~hi actual =
+  if not (actual >= lo && actual <= hi) then
+    Alcotest.failf "%s: %.12g not in [%.12g, %.12g]" msg actual lo hi
+
+let check_true msg b = Alcotest.(check bool) msg true b
+let check_int msg expected actual = Alcotest.(check int) msg expected actual
+
+(* Sample mean / variance for sampler statistics. *)
+let stats samples =
+  let n = float_of_int (Array.length samples) in
+  let mean = Array.fold_left ( +. ) 0. samples /. n in
+  let var =
+    Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. samples /. (n -. 1.)
+  in
+  (mean, var)
+
+let qcheck ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* A small deterministic planted-cluster workload used by several suites. *)
+let small_workload ?(seed = 3) ?(n = 400) ?(dim = 2) ?(axis = 128) ?(fraction = 0.5)
+    ?(radius = 0.06) () =
+  let r = rng ~seed () in
+  let grid = Geometry.Grid.create ~axis_size:axis ~dim in
+  let w = Workload.Synth.planted_ball r ~grid ~n ~cluster_fraction:fraction ~cluster_radius:radius in
+  (r, grid, w)
+
+let case name f = Alcotest.test_case name `Quick f
+let slow_case name f = Alcotest.test_case name `Slow f
