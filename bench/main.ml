@@ -1,11 +1,13 @@
 (* Benchmark harness: runs the experiment suite (E1–E14, one per table /
    figure / theorem claim — see EXPERIMENTS.md) followed by the Bechamel
-   timing benches (B1–B7, one per pipeline stage).
+   timing benches (B1–B7, one per pipeline stage) and the engine
+   throughput bench (B8).
 
    Usage:
      dune exec bench/main.exe                 # full suite
      dune exec bench/main.exe -- --quick      # reduced trials/sweeps
      dune exec bench/main.exe -- --only E1,E4 # subset
+     dune exec bench/main.exe -- --jobs 4     # experiments on 4 engine-pool domains
      dune exec bench/main.exe -- --no-timing  # experiments only
      dune exec bench/main.exe -- --timing-only *)
 
@@ -109,8 +111,94 @@ let run_timing ~quick =
          [ name; human; Workload.Report.f3 r2 ])
        rows)
 
+(* The experiment suite goes through the engine pool — the same worker-domain
+   code path the CLI's batch subcommand uses — with each experiment's report
+   output captured per domain and printed in suite order, so `--jobs 4`
+   output diffs clean against `--jobs 1`. *)
+let run_experiments ~jobs cfg selected =
+  if jobs <= 1 then List.iter (Workload.Experiments.run_one cfg) selected
+  else begin
+    let tasks = Array.of_list (List.map Engine.Pool.task selected) in
+    let outcomes =
+      Engine.Pool.run ~domains:jobs
+        ~f:(fun _ exp -> snd (Workload.Report.capture (fun () -> Workload.Experiments.run_one cfg exp)))
+        tasks
+    in
+    Array.iteri
+      (fun i outcome ->
+        match outcome with
+        | Engine.Pool.Done out -> print_string out
+        | Engine.Pool.Failed msg ->
+            let id, _, _ = tasks.(i).Engine.Pool.payload in
+            Printf.printf "\n%s FAILED: %s\n" id msg
+        | Engine.Pool.Timed_out _ -> ())
+      outcomes;
+    flush stdout
+  end
+
+(* B8 — throughput of the batch engine itself: a bag of identical 1-cluster
+   jobs on the shared fixture, swept over worker-domain counts.  Also checks
+   the engine's determinism claim: every domain count must produce the same
+   outputs (per-job RNG streams are derived from the submission index). *)
+let run_engine_bench ~quick ~max_jobs =
+  Workload.Report.headline "B8 - engine throughput (one-cluster batch over worker domains)";
+  Workload.Report.kv "hardware threads" (string_of_int (Domain.recommended_domain_count ()));
+  let fx = fixture () in
+  let n_jobs = if quick then 6 else 12 in
+  let specs =
+    List.init n_jobs (fun i ->
+        {
+          Engine.Job.id = Printf.sprintf "j%d" (i + 1);
+          kind = Engine.Job.One_cluster { t_fraction = 0.4 };
+          eps = 0.5;
+          delta = 1e-7;
+          beta;
+          deadline_s = None;
+        })
+  in
+  let domain_counts =
+    List.sort_uniq compare (1 :: 2 :: 4 :: (if max_jobs > 1 then [ max_jobs ] else []))
+  in
+  let summaries = Hashtbl.create 4 in
+  let rows =
+    List.map
+      (fun domains ->
+        let service = Engine.Service.create ~domains ~seed:99 () in
+        let dataset =
+          Engine.Service.register service ~name:"bench" ~grid:fx.grid
+            ~budget:(Prim.Dp.v ~eps:(float_of_int n_jobs) ~delta:1e-3)
+            fx.points
+        in
+        let results, ms =
+          Workload.Harness.time (fun () -> Engine.Service.run_batch service ~dataset specs)
+        in
+        Hashtbl.replace summaries domains
+          (String.concat ";" (List.map Engine.Job.detail results));
+        (domains, ms))
+      domain_counts
+  in
+  let base_ms = match rows with (_, ms) :: _ -> ms | [] -> Float.nan in
+  let deterministic =
+    let reference = Hashtbl.find summaries (List.hd domain_counts) in
+    List.for_all (fun d -> Hashtbl.find summaries d = reference) domain_counts
+  in
+  Workload.Report.table ~csv:"b8_engine_throughput"
+    ~header:[ "domains"; "wall"; "jobs/s"; "speedup" ]
+    (List.map
+       (fun (domains, ms) ->
+         [
+           string_of_int domains;
+           Printf.sprintf "%.0f ms" ms;
+           Workload.Report.f2 (1000. *. float_of_int n_jobs /. ms);
+           Workload.Report.f2 (base_ms /. ms);
+         ])
+       rows);
+  Workload.Report.kv "outputs identical across domain counts"
+    (if deterministic then "yes" else "NO (engine determinism bug)")
+
 let () =
   let quick = ref false and only = ref [] and timing = ref true and experiments = ref true in
+  let jobs = ref 1 in
   let csv = ref None in
   let seed = ref Workload.Experiments.default_cfg.Workload.Experiments.seed in
   let spec =
@@ -121,6 +209,9 @@ let () =
         "comma-separated experiment ids (e.g. E1,E4); implies --no-timing" );
       ("--no-timing", Arg.Clear timing, "skip the Bechamel benches");
       ("--timing-only", Arg.Clear experiments, "only the Bechamel benches");
+      ( "--jobs",
+        Arg.Set_int jobs,
+        "run the experiment suite on this many engine-pool worker domains (default 1)" );
       ("--seed", Arg.Set_int seed, "base RNG seed");
       ("--csv", Arg.String (fun d -> csv := Some d), "also write each table as CSV into this directory");
     ]
@@ -129,10 +220,16 @@ let () =
   Workload.Report.set_csv_dir !csv;
   let cfg = { Workload.Experiments.quick = !quick; seed = !seed } in
   if !experiments then begin
-    match !only with
-    | [] -> Workload.Experiments.run cfg
-    | ids ->
-        timing := false;
-        Workload.Experiments.run ~only:ids cfg
+    let selected =
+      match !only with
+      | [] -> Workload.Experiments.all
+      | ids ->
+          timing := false;
+          List.filter (fun (id, _, _) -> List.mem id ids) Workload.Experiments.all
+    in
+    run_experiments ~jobs:!jobs cfg selected
   end;
-  if !timing then run_timing ~quick:!quick
+  if !timing then begin
+    run_timing ~quick:!quick;
+    run_engine_bench ~quick:!quick ~max_jobs:!jobs
+  end

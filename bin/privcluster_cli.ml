@@ -2,6 +2,7 @@
    command line.
 
      privcluster-cli solve --n 3000 --dim 2 --frac 0.5 --eps 2
+     privcluster-cli batch jobs.txt --budget-eps 4 --jobs 4 --json -
      privcluster-cli experiments --only E1,E4 --quick
      privcluster-cli params --dim 4 --axis 256 --eps 2
      privcluster-cli outliers --n 3000 --outlier-frac 0.1
@@ -73,6 +74,159 @@ let solve_cmd =
   let radius = Arg.(value & opt float 0.05 & info [ "radius" ] ~doc:"Planted cluster radius.") in
   Cmd.v (Cmd.info "solve" ~doc:"Run the 1-cluster solver on a planted synthetic workload")
     Term.(const run $ seed $ eps $ delta $ beta $ dim $ axis $ n $ frac $ radius $ profile)
+
+(* batch -------------------------------------------------------------- *)
+
+(* Run a jobs file against one registered dataset through the concurrent
+   query engine: per-dataset (ε, δ) budget, over-budget jobs refused, the
+   rest fanned out over [--jobs] worker domains, results deterministic in
+   the seed no matter the domain count. *)
+
+let batch_cmd =
+  let run seed dim axis n frac radius profile jobs_file points_file budget_eps budget_delta mode_s
+      slack jobs json_out =
+    let die fmt = Printf.ksprintf (fun m -> prerr_endline ("batch: " ^ m); exit 2) fmt in
+    let mode =
+      match Engine.Accountant.mode_of_string ~slack mode_s with Ok m -> m | Error e -> die "%s" e
+    in
+    let contents =
+      try In_channel.with_open_text jobs_file In_channel.input_all
+      with Sys_error e -> die "%s" e
+    in
+    let specs =
+      match Engine.Job.parse ~default_beta:beta_default contents with
+      | Ok [] -> die "%s: no jobs" jobs_file
+      | Ok specs -> specs
+      | Error e -> die "%s: %s" jobs_file e
+    in
+    let grid, points, source =
+      match points_file with
+      | Some file ->
+          let rows =
+            try
+              In_channel.with_open_text file In_channel.input_lines
+              |> List.mapi (fun i line -> (i + 1, line))
+              |> List.filter_map (fun (lineno, line) ->
+                     match String.trim line with
+                     | "" -> None
+                     | line ->
+                         Some
+                           ( lineno,
+                             String.split_on_char ' ' line
+                             |> List.concat_map (String.split_on_char '\t')
+                             |> List.filter (fun t -> t <> "")
+                             |> List.map (fun t ->
+                                    match float_of_string_opt t with
+                                    | Some f -> f
+                                    | None -> die "%s: line %d: not a number: %S" file lineno t)
+                             |> Array.of_list ))
+            with Sys_error e -> die "%s" e
+          in
+          (match rows with
+          | [] -> die "%s: no points" file
+          | (_, first) :: _ ->
+              let dim = Array.length first in
+              List.iter
+                (fun (lineno, row) ->
+                  if Array.length row <> dim then
+                    die "%s: line %d: expected %d coordinates, got %d" file lineno dim
+                      (Array.length row))
+                rows;
+              let grid = Geometry.Grid.create ~axis_size:axis ~dim in
+              ( grid,
+                Array.of_list (List.map (fun (_, row) -> Geometry.Grid.snap grid row) rows),
+                "file " ^ file ))
+      | None ->
+          let rng = Prim.Rng.create ~seed:(seed + 7919) () in
+          let grid = Geometry.Grid.create ~axis_size:axis ~dim in
+          let w =
+            Workload.Synth.planted_ball rng ~grid ~n ~cluster_fraction:frac ~cluster_radius:radius
+          in
+          ( grid,
+            w.Workload.Synth.points,
+            Printf.sprintf "synthetic planted ball (n=%d frac=%g radius=%g)" n frac radius )
+    in
+    let service = Engine.Service.create ~profile ~domains:jobs ~seed () in
+    let dataset =
+      Engine.Service.register service ~name:"default" ~grid ~mode
+        ~budget:(Prim.Dp.v ~eps:budget_eps ~delta:budget_delta)
+        points
+    in
+    Workload.Report.headline "batch run through the query engine";
+    Workload.Report.kv "dataset" source;
+    Workload.Report.kv "n / d / |X|"
+      (Printf.sprintf "%d / %d / %d" (Engine.Registry.n dataset) (Engine.Registry.dim dataset)
+         (Geometry.Grid.axis_size grid));
+    Workload.Report.kv "budget"
+      (Printf.sprintf "(%g, %g) under %s composition" budget_eps budget_delta
+         (Engine.Accountant.mode_name mode));
+    Workload.Report.kv "jobs / domains" (Printf.sprintf "%d / %d" (List.length specs) jobs);
+    Workload.Report.kv "seed" (string_of_int seed);
+    let results = Engine.Service.run_batch service ~dataset specs in
+    Workload.Report.subhead "job results";
+    Workload.Report.table
+      ~header:[ "id"; "kind"; "status"; "eps"; "delta"; "time"; "detail" ]
+      (List.map
+         (fun (r : Engine.Job.result) ->
+           [
+             r.Engine.Job.spec.Engine.Job.id;
+             Engine.Job.kind_name r.Engine.Job.spec.Engine.Job.kind;
+             Engine.Job.status_name r.Engine.Job.status;
+             Workload.Report.g r.Engine.Job.spec.Engine.Job.eps;
+             Workload.Report.g r.Engine.Job.spec.Engine.Job.delta;
+             Printf.sprintf "%.1f ms" r.Engine.Job.latency_ms;
+             Engine.Job.detail r;
+           ])
+         results);
+    let accountant = Engine.Registry.accountant dataset in
+    let spent = Engine.Accountant.spent accountant in
+    Workload.Report.subhead "privacy ledger";
+    Workload.Report.kv "spent" (Printf.sprintf "(%g, %g)" spent.Prim.Dp.eps spent.Prim.Dp.delta);
+    Workload.Report.kv "refused jobs" (string_of_int (Engine.Accountant.refusals accountant));
+    let lookups, hits = Engine.Registry.bounds_cache_stats dataset in
+    Workload.Report.kv "r_opt cache" (Printf.sprintf "%d lookups, %d hits" lookups hits);
+    Workload.Report.subhead "telemetry";
+    List.iter
+      (fun line ->
+        if line <> "" then
+          match String.index_opt line ':' with
+          | Some i ->
+              Workload.Report.kv (String.sub line 0 i)
+                (String.trim (String.sub line (i + 1) (String.length line - i - 1)))
+          | None -> Workload.Report.kv "telemetry" line)
+      (String.split_on_char '\n'
+         (Format.asprintf "%a" Engine.Telemetry.pp_summary (Engine.Service.telemetry service)));
+    match json_out with
+    | None -> ()
+    | Some dest ->
+        let json =
+          Engine.Json.to_string (Engine.Service.report_json service ~dataset results) ^ "\n"
+        in
+        if dest = "-" then print_string json
+        else begin
+          Out_channel.with_open_text dest (fun oc -> Out_channel.output_string oc json);
+          Workload.Report.kv "json report" dest
+        end
+  in
+  let jobs_file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"JOBS_FILE" ~doc:"Jobs file (one job per line; see privcluster.engine's Job docs).")
+  in
+  let points_file =
+    Arg.(value & opt (some file) None & info [ "points-file" ] ~doc:"Load the dataset from a file (one point per line, whitespace-separated coordinates, snapped to the grid) instead of generating a synthetic one.")
+  in
+  let frac = Arg.(value & opt float 0.5 & info [ "frac" ] ~doc:"Planted cluster fraction (synthetic dataset).") in
+  let radius = Arg.(value & opt float 0.05 & info [ "radius" ] ~doc:"Planted cluster radius (synthetic dataset).") in
+  let budget_eps = Arg.(value & opt float 4.0 & info [ "budget-eps" ] ~doc:"Dataset lifetime ε budget.") in
+  let budget_delta = Arg.(value & opt float 1e-5 & info [ "budget-delta" ] ~doc:"Dataset lifetime δ budget.") in
+  let mode = Arg.(value & opt string "basic" & info [ "mode" ] ~doc:"Composition mode charged by the accountant: basic, advanced or zcdp.") in
+  let slack = Arg.(value & opt float 1e-9 & info [ "slack" ] ~doc:"δ' slack for the advanced/zcdp modes.") in
+  let jobs = Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~doc:"Worker domains. Results are identical for any value under a fixed --seed.") in
+  let json_out = Arg.(value & opt (some string) None & info [ "json" ] ~doc:"Write the JSON report to this file ('-' for stdout).") in
+  Cmd.v
+    (Cmd.info "batch" ~doc:"Run a multi-job file through the concurrent private-query engine")
+    Term.(
+      const run $ seed $ dim $ axis $ n $ frac $ radius $ profile $ jobs_file $ points_file
+      $ budget_eps $ budget_delta $ mode $ slack $ jobs $ json_out)
 
 (* experiments ------------------------------------------------------- *)
 
@@ -271,6 +425,7 @@ let () =
        (Cmd.group info
           [
             solve_cmd;
+            batch_cmd;
             experiments_cmd;
             params_cmd;
             outliers_cmd;

@@ -1,0 +1,119 @@
+type mode = Basic | Advanced of { slack : float } | Zcdp of { slack : float }
+
+let mode_name = function Basic -> "basic" | Advanced _ -> "advanced" | Zcdp _ -> "zcdp"
+
+let mode_of_string ?(slack = 1e-9) = function
+  | "basic" -> Ok Basic
+  | "advanced" -> Ok (Advanced { slack })
+  | "zcdp" -> Ok (Zcdp { slack })
+  | s -> Error (Printf.sprintf "unknown composition mode %S (expected basic|advanced|zcdp)" s)
+
+type t = {
+  mode : mode;
+  budget : Prim.Dp.params;
+  mutable charges : (string * Prim.Dp.params) list;  (* reverse charge order *)
+  mutable refusals : int;
+}
+
+type refusal = {
+  requested : Prim.Dp.params;
+  would_spend : Prim.Dp.params;
+  spent : Prim.Dp.params;
+  budget : Prim.Dp.params;
+}
+
+let create ?(mode = Basic) ~budget () = { mode; budget; charges = []; refusals = 0 }
+let mode t = t.mode
+let budget (t : t) = t.budget
+
+let zero = { Prim.Dp.eps = 0.; delta = 0. }
+
+(* Composed total of a charge list under the mode.  The advanced bound only
+   applies to homogeneous charges.  Basic and advanced are both valid (ε, δ)
+   pairs for the same composed mechanism, so we may report either; we pick
+   the one with the smaller ε (advanced pays an extra δ' on the delta side,
+   so a coordinate-wise min would not be a guarantee the mechanism has). *)
+let total mode charges =
+  match charges with
+  | [] -> zero
+  | _ :: _ -> (
+      let basic = Prim.Composition.basic_list (List.map snd charges) in
+      match mode with
+      | Basic -> basic
+      | Advanced { slack } ->
+          let p0 = snd (List.hd charges) in
+          let homogeneous =
+            List.for_all
+              (fun (_, p) -> p.Prim.Dp.eps = p0.Prim.Dp.eps && p.Prim.Dp.delta = p0.Prim.Dp.delta)
+              charges
+          in
+          if not homogeneous then basic
+          else
+            let adv = Prim.Composition.advanced p0 ~k:(List.length charges) ~delta':slack in
+            if adv.Prim.Dp.eps < basic.Prim.Dp.eps then adv else basic
+      | Zcdp { slack } ->
+          let rho =
+            Prim.Zcdp.compose
+              (List.map (fun (_, p) -> Prim.Zcdp.of_pure_dp ~eps:p.Prim.Dp.eps) charges)
+          in
+          let conv = Prim.Zcdp.to_dp rho ~delta:slack in
+          {
+            Prim.Dp.eps = conv.Prim.Dp.eps;
+            delta = conv.Prim.Dp.delta +. basic.Prim.Dp.delta;
+          })
+
+let spent t = total t.mode t.charges
+
+let tol = 1e-9
+
+let fits budget p =
+  p.Prim.Dp.eps <= budget.Prim.Dp.eps +. tol && p.Prim.Dp.delta <= budget.Prim.Dp.delta +. tol
+
+let would_accept (t : t) p = fits t.budget (total t.mode ((" ", p) :: t.charges))
+
+let charge t ?(label = "anon") p =
+  let before = spent t in
+  let after = total t.mode ((label, p) :: t.charges) in
+  if fits t.budget after then begin
+    t.charges <- (label, p) :: t.charges;
+    Ok ()
+  end
+  else begin
+    t.refusals <- t.refusals + 1;
+    Error { requested = p; would_spend = after; spent = before; budget = t.budget }
+  end
+
+let entries t = List.rev t.charges
+let refusals t = t.refusals
+
+let pp_refusal ppf r =
+  Format.fprintf ppf
+    "budget exhausted: charge (%g, %g) would compose to (%g, %g), budget is (%g, %g), already spent (%g, %g)"
+    r.requested.Prim.Dp.eps r.requested.Prim.Dp.delta r.would_spend.Prim.Dp.eps
+    r.would_spend.Prim.Dp.delta r.budget.Prim.Dp.eps r.budget.Prim.Dp.delta r.spent.Prim.Dp.eps
+    r.spent.Prim.Dp.delta
+
+let refusal_message r = Format.asprintf "%a" pp_refusal r
+
+let params_json p = Json.Obj [ ("eps", Json.Float p.Prim.Dp.eps); ("delta", Json.Float p.Prim.Dp.delta) ]
+
+let to_json (t : t) =
+  let s = spent t in
+  Json.Obj
+    [
+      ("mode", Json.String (mode_name t.mode));
+      ("budget", params_json t.budget);
+      ("spent", params_json s);
+      ( "remaining",
+        params_json
+          {
+            Prim.Dp.eps = Float.max 0. (t.budget.Prim.Dp.eps -. s.Prim.Dp.eps);
+            delta = Float.max 0. (t.budget.Prim.Dp.delta -. s.Prim.Dp.delta);
+          } );
+      ("refusals", Json.Int t.refusals);
+      ( "charges",
+        Json.List
+          (List.map
+             (fun (label, p) -> Json.Obj [ ("label", Json.String label); ("params", params_json p) ])
+             (entries t)) );
+    ]

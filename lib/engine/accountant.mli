@@ -1,0 +1,80 @@
+(** A budgeted per-dataset privacy ledger.
+
+    [Prim.Composition.accountant] and [Prim.Zcdp.ledger] record what an
+    algorithm {e did} spend; this module adds the service-side half: a
+    dataset is registered with a total [(ε, δ)] budget, every job must ask
+    before running, and a charge that would push the composed total past
+    the budget is {e refused} — the job is never executed (refusal happens
+    before any noise is drawn, so a refused job consumes no privacy).
+
+    Three composition modes decide what "the composed total" means:
+    - {!Basic} — Theorem 2.1: ε's and δ's add ({!Prim.Composition.basic_list}).
+    - {!Advanced} — Theorem 4.7 with slack [δ']: when every charge so far is
+      identical the total is whichever of the basic and advanced pairs has
+      the smaller ε (both are valid guarantees for the same composition, so
+      either pair may be reported — but not a coordinate-wise mix of the
+      two); with heterogeneous charges the theorem (as stated, and as
+      implemented in {!Prim.Composition.advanced}) does not apply and the
+      ledger falls back to the basic total.
+    - {!Zcdp} — the Bun–Steinke ledger with conversion slack [δ']: an
+      [(ε_i, δ_i)] charge enters as [ρ_i = ε_i²/2]
+      ({!Prim.Zcdp.of_pure_dp}); ρ's add, and the spend reported against
+      the budget is [to_dp (Σρ) δ'] with the δ_i's added on top — the same
+      [(kδ + δ')] shape as advanced composition.
+
+    Charging is sequential by design: the engine charges every job of a
+    batch in submission order {e before} dispatching any of them to the
+    pool, so the accept/refuse decisions are deterministic and independent
+    of worker scheduling.  The ledger itself is not thread-safe. *)
+
+type mode =
+  | Basic
+  | Advanced of { slack : float }  (** Theorem 4.7's δ'. *)
+  | Zcdp of { slack : float }  (** The δ of the ρ → (ε, δ) conversion. *)
+
+val mode_name : mode -> string
+(** ["basic"], ["advanced"], ["zcdp"]. *)
+
+val mode_of_string : ?slack:float -> string -> (mode, string) result
+(** Parse a mode name; [slack] (default [1e-9]) feeds the two modes that
+    need one. *)
+
+type t
+
+type refusal = {
+  requested : Prim.Dp.params;
+  would_spend : Prim.Dp.params;  (** Composed total had the charge gone through. *)
+  spent : Prim.Dp.params;  (** Composed total before the charge. *)
+  budget : Prim.Dp.params;
+}
+
+val create : ?mode:mode -> budget:Prim.Dp.params -> unit -> t
+(** Fresh ledger with nothing spent.  [mode] defaults to {!Basic}. *)
+
+val mode : t -> mode
+val budget : t -> Prim.Dp.params
+
+val spent : t -> Prim.Dp.params
+(** Composed total of all accepted charges under the ledger's mode;
+    [(0, 0)] when nothing has been charged. *)
+
+val charge : t -> ?label:string -> Prim.Dp.params -> (unit, refusal) result
+(** Accept the charge iff the composed total stays within budget (with a
+    [1e-9] absolute tolerance on both coordinates, so a budget split into
+    equal parts fills exactly).  On [Error] the ledger is unchanged; the
+    refusal count is incremented. *)
+
+val would_accept : t -> Prim.Dp.params -> bool
+(** The decision {!charge} would make, without making it. *)
+
+val entries : t -> (string * Prim.Dp.params) list
+(** Accepted charges in charge order. *)
+
+val refusals : t -> int
+
+val pp_refusal : Format.formatter -> refusal -> unit
+
+val refusal_message : refusal -> string
+(** One-line human rendering, used verbatim in job results. *)
+
+val to_json : t -> Json.t

@@ -1,0 +1,229 @@
+type kind =
+  | One_cluster of { t_fraction : float }
+  | K_cluster of { k : int; t_fraction : float }
+  | Quantile of { axis : int; q : float }
+
+type spec = {
+  id : string;
+  kind : kind;
+  eps : float;
+  delta : float;
+  beta : float;
+  deadline_s : float option;
+}
+
+let kind_name = function
+  | One_cluster _ -> "one_cluster"
+  | K_cluster _ -> "k_cluster"
+  | Quantile _ -> "quantile"
+
+let cost spec = { Prim.Dp.eps = spec.eps; delta = spec.delta }
+
+(* --- parsing ----------------------------------------------------------- *)
+
+let split_ws s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun tok -> tok <> "")
+
+let parse_line ~default_beta ~lineno ~ordinal line =
+  let fail fmt = Printf.ksprintf (fun m -> Error (Printf.sprintf "line %d: %s" lineno m)) fmt in
+  match split_ws line with
+  | [] -> Ok None
+  | kind_tok :: kv_toks -> (
+      let kvs = ref [] in
+      let bad = ref None in
+      List.iter
+        (fun tok ->
+          match String.index_opt tok '=' with
+          | None -> if !bad = None then bad := Some tok
+          | Some i ->
+              kvs :=
+                (String.sub tok 0 i, String.sub tok (i + 1) (String.length tok - i - 1)) :: !kvs)
+        kv_toks;
+      match !bad with
+      | Some tok -> fail "expected key=value, got %S" tok
+      | None -> (
+          let lookup k = List.assoc_opt k !kvs in
+          let known_keys =
+            [ "eps"; "delta"; "beta"; "t_fraction"; "k"; "q"; "axis"; "deadline"; "id" ]
+          in
+          match List.find_opt (fun (k, _) -> not (List.mem k known_keys)) !kvs with
+          | Some (k, _) -> fail "unknown key %S" k
+          | None -> (
+              let float_of k default =
+                match lookup k with
+                | None -> Ok default
+                | Some v -> (
+                    match float_of_string_opt v with
+                    | Some f -> Ok f
+                    | None -> fail "key %s: not a number: %S" k v)
+              in
+              let ( let* ) = Result.bind in
+              let require_float k =
+                match lookup k with
+                | None -> fail "%s requires %s=" kind_tok k
+                | Some v -> (
+                    match float_of_string_opt v with
+                    | Some f -> Ok f
+                    | None -> fail "key %s: not a number: %S" k v)
+              in
+              let* kind, default_delta =
+                match kind_tok with
+                | "one_cluster" ->
+                    let* t_fraction = float_of "t_fraction" 0.5 in
+                    Ok (One_cluster { t_fraction }, None)
+                | "k_cluster" -> (
+                    match lookup "k" with
+                    | None -> fail "k_cluster requires k="
+                    | Some kv -> (
+                        match int_of_string_opt kv with
+                        | None | Some 0 -> fail "key k: not a positive integer: %S" kv
+                        | Some k when k < 0 -> fail "key k: not a positive integer: %S" kv
+                        | Some k ->
+                            let* t_fraction = float_of "t_fraction" 0.5 in
+                            Ok (K_cluster { k; t_fraction }, None)))
+                | "quantile" ->
+                    let* q = float_of "q" 0.5 in
+                    let* axis = float_of "axis" 0. in
+                    if q < 0. || q > 1. then fail "key q: must be in [0, 1]"
+                    else Ok (Quantile { axis = int_of_float axis; q }, Some 0.)
+                | k -> fail "unknown job kind %S (expected one_cluster|k_cluster|quantile)" k
+              in
+              let* eps = require_float "eps" in
+              let* delta =
+                match default_delta with Some d -> float_of "delta" d | None -> require_float "delta"
+              in
+              let* beta = float_of "beta" default_beta in
+              let* deadline = float_of "deadline" Float.nan in
+              if eps <= 0. then fail "key eps: must be > 0"
+              else if delta < 0. || delta >= 1. then fail "key delta: must be in [0, 1)"
+              else
+                Ok
+                  (Some
+                     {
+                       id =
+                         (match lookup "id" with
+                         | Some id -> id
+                         | None -> Printf.sprintf "j%d" ordinal);
+                       kind;
+                       eps;
+                       delta;
+                       beta;
+                       deadline_s = (if Float.is_nan deadline then None else Some deadline);
+                     }))))
+
+let parse ?(default_beta = 0.1) contents =
+  let lines = String.split_on_char '\n' contents in
+  let rec go lineno ordinal acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        let line =
+          match String.index_opt line '#' with Some i -> String.sub line 0 i | None -> line
+        in
+        match parse_line ~default_beta ~lineno ~ordinal (String.trim line) with
+        | Error e -> Error e
+        | Ok None -> go (lineno + 1) ordinal acc rest
+        | Ok (Some spec) -> go (lineno + 1) (ordinal + 1) (spec :: acc) rest)
+  in
+  go 1 1 [] lines
+
+let spec_to_line spec =
+  let b = Buffer.create 64 in
+  Buffer.add_string b (kind_name spec.kind);
+  (match spec.kind with
+  | One_cluster { t_fraction } -> Buffer.add_string b (Printf.sprintf " t_fraction=%g" t_fraction)
+  | K_cluster { k; t_fraction } ->
+      Buffer.add_string b (Printf.sprintf " k=%d t_fraction=%g" k t_fraction)
+  | Quantile { axis; q } -> Buffer.add_string b (Printf.sprintf " q=%g axis=%d" q axis));
+  Buffer.add_string b (Printf.sprintf " eps=%g delta=%g beta=%g id=%s" spec.eps spec.delta spec.beta spec.id);
+  (match spec.deadline_s with
+  | Some d -> Buffer.add_string b (Printf.sprintf " deadline=%g" d)
+  | None -> ());
+  Buffer.contents b
+
+(* --- results ----------------------------------------------------------- *)
+
+type ball = { center : Geometry.Vec.t; radius : float; covered : int }
+
+type output =
+  | Cluster of { ball : ball; t : int; ratio_vs_hi : float; delta_bound : float }
+  | Clusters of { balls : ball list; uncovered : int; failures : int }
+  | Quantile_value of { value : float; target_rank : float }
+
+type status =
+  | Completed of output
+  | Refused of string
+  | Timed_out of { elapsed_ms : float }
+  | Solver_failed of string
+
+let status_name = function
+  | Completed _ -> "ok"
+  | Refused _ -> "refused"
+  | Timed_out _ -> "timeout"
+  | Solver_failed _ -> "failed"
+
+type result = { spec : spec; status : status; latency_ms : float }
+
+let ball_json { center; radius; covered } =
+  Json.Obj
+    [
+      ("center", Json.List (Array.to_list (Array.map (fun c -> Json.Float c) center)));
+      ("radius", Json.Float radius);
+      ("covered", Json.Int covered);
+    ]
+
+let output_json = function
+  | Cluster { ball; t; ratio_vs_hi; delta_bound } ->
+      Json.Obj
+        [
+          ("ball", ball_json ball);
+          ("t", Json.Int t);
+          ("ratio_vs_hi", Json.Float ratio_vs_hi);
+          ("delta_bound", Json.Float delta_bound);
+        ]
+  | Clusters { balls; uncovered; failures } ->
+      Json.Obj
+        [
+          ("balls", Json.List (List.map ball_json balls));
+          ("uncovered", Json.Int uncovered);
+          ("failures", Json.Int failures);
+        ]
+  | Quantile_value { value; target_rank } ->
+      Json.Obj [ ("value", Json.Float value); ("target_rank", Json.Float target_rank) ]
+
+let result_to_json r =
+  let base =
+    [
+      ("id", Json.String r.spec.id);
+      ("kind", Json.String (kind_name r.spec.kind));
+      ("status", Json.String (status_name r.status));
+      ("eps", Json.Float r.spec.eps);
+      ("delta", Json.Float r.spec.delta);
+      ("latency_ms", Json.Float r.latency_ms);
+    ]
+  in
+  let extra =
+    match r.status with
+    | Completed o -> [ ("output", output_json o) ]
+    | Refused msg -> [ ("reason", Json.String msg) ]
+    | Timed_out { elapsed_ms } -> [ ("elapsed_ms", Json.Float elapsed_ms) ]
+    | Solver_failed msg -> [ ("reason", Json.String msg) ]
+  in
+  Json.Obj (base @ extra)
+
+let detail r =
+  match r.status with
+  | Completed (Cluster { ball; t; ratio_vs_hi; _ }) ->
+      Printf.sprintf "radius %.4f covered %d/%d (w=%.2f)" ball.radius ball.covered t ratio_vs_hi
+  | Completed (Clusters { balls; uncovered; failures }) ->
+      Printf.sprintf "%d balls, %d uncovered, %d failed iters" (List.length balls) uncovered
+        failures
+  | Completed (Quantile_value { value; target_rank }) ->
+      Printf.sprintf "value %.4f (target rank %.0f)" value target_rank
+  | Refused msg | Solver_failed msg -> msg
+  | Timed_out { elapsed_ms } -> Printf.sprintf "deadline exceeded after %.0f ms" elapsed_ms
+
+let pp_result ppf r =
+  Format.fprintf ppf "%-12s %-12s %-8s %6.1fms  %s" r.spec.id (kind_name r.spec.kind)
+    (status_name r.status) r.latency_ms (detail r)

@@ -1,0 +1,91 @@
+(** Job descriptions and results for the query engine.
+
+    A job is one private query against a registered dataset, carrying its
+    own [(ε, δ)] price (what the accountant is asked for), a failure
+    probability β where the underlying solver takes one, and an optional
+    deadline.  Three kinds map onto the three entry points the engine
+    serves:
+
+    - [one_cluster] — {!Privcluster.One_cluster.run_indexed} at
+      [t = ⌈t_fraction · n⌉];
+    - [k_cluster] — {!Privcluster.K_cluster.run} (Observation 3.5);
+    - [quantile] — {!Privcluster.Quantile.quantile} on one coordinate axis
+      of the dataset (an [(ε, 0)]-DP query; [delta] defaults to 0).
+
+    {2 Jobs-file format}
+
+    One job per line; [#] starts a comment; blank lines are skipped:
+
+    {v
+    # kind        key=value ...
+    one_cluster   t_fraction=0.45 eps=0.5 delta=1e-7
+    k_cluster     k=3 t_fraction=0.2 eps=1.0 delta=1e-7 deadline=30
+    quantile      q=0.5 axis=0 eps=0.25 id=median-x
+    v}
+
+    Recognized keys: [eps] (required), [delta] (required for [one_cluster]
+    and [k_cluster], default [0] otherwise), [beta] (default 0.1),
+    [t_fraction] (default 0.5), [k] (required for [k_cluster]), [q]
+    (default 0.5), [axis] (default 0), [deadline] (seconds, default none),
+    [id] (default ["j<line-position>"]). *)
+
+type kind =
+  | One_cluster of { t_fraction : float }
+  | K_cluster of { k : int; t_fraction : float }
+  | Quantile of { axis : int; q : float }
+
+type spec = {
+  id : string;
+  kind : kind;
+  eps : float;
+  delta : float;
+  beta : float;
+  deadline_s : float option;
+}
+
+val kind_name : kind -> string
+(** ["one_cluster"], ["k_cluster"], ["quantile"]. *)
+
+val cost : spec -> Prim.Dp.params
+(** What the accountant is charged: the job's [(ε, δ)]. *)
+
+val parse : ?default_beta:float -> string -> (spec list, string) result
+(** Parse a whole jobs file (the contents, not a path).  [Error] carries a
+    one-line message with the offending line number. *)
+
+val spec_to_line : spec -> string
+(** Render a spec back to the file format ([parse]-roundtrippable). *)
+
+(** {1 Results} *)
+
+type ball = { center : Geometry.Vec.t; radius : float; covered : int }
+
+type output =
+  | Cluster of { ball : ball; t : int; ratio_vs_hi : float; delta_bound : float }
+      (** [ratio_vs_hi] is radius / r_hi against the registry's cached
+          sandwich (the experiment suite's [w_private]). *)
+  | Clusters of { balls : ball list; uncovered : int; failures : int }
+  | Quantile_value of { value : float; target_rank : float }
+
+type status =
+  | Completed of output
+  | Refused of string  (** Accountant refusal — the job never ran. *)
+  | Timed_out of { elapsed_ms : float }
+  | Solver_failed of string
+      (** The private solver returned its failure value (or raised); the
+          budget stays charged — noise was drawn. *)
+
+val status_name : status -> string
+(** ["ok"], ["refused"], ["timeout"], ["failed"] — the telemetry status
+    vocabulary. *)
+
+type result = { spec : spec; status : status; latency_ms : float }
+
+val result_to_json : result -> Json.t
+
+val detail : result -> string
+(** The headline numbers (or the refusal/failure message) alone — the
+    CLI's table cell. *)
+
+val pp_result : Format.formatter -> result -> unit
+(** One line: id, kind, status, latency, {!detail}. *)

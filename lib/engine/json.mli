@@ -1,0 +1,24 @@
+(** A minimal JSON tree and printer.
+
+    The engine's reports (per-job results, the privacy ledger, telemetry
+    dumps) are machine-readable JSON; the project deliberately has no JSON
+    dependency, so this module carries the few dozen lines of emitter the
+    engine needs.  Emission only — the jobs {e input} format is the
+    line-oriented one of {!Job.parse}, chosen so batch files stay hand-
+    writable without a parser dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** [nan] and infinities are emitted as [null]. *)
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:bool -> t -> string
+(** [indent] (default [true]) pretty-prints with two-space indentation;
+    otherwise the output is a single line. *)
+
+val pp : Format.formatter -> t -> unit
+(** Indented form. *)

@@ -1,0 +1,47 @@
+type 'a task = { payload : 'a; deadline_s : float option }
+
+let task ?deadline_s payload = { payload; deadline_s }
+
+type 'b outcome = Done of 'b | Timed_out of { elapsed_ms : float } | Failed of string
+
+let outcome_name = function Done _ -> "ok" | Timed_out _ -> "timeout" | Failed _ -> "failed"
+
+let recommended_domains () = min 8 (Domain.recommended_domain_count ())
+
+let run ~domains ~f tasks =
+  let n = Array.length tasks in
+  if n = 0 then [||]
+  else begin
+    let domains = max 1 (min domains n) in
+    let results = Array.make n (Failed "never ran") in
+    let next = Atomic.make 0 in
+    let t0 = Unix.gettimeofday () in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          let { payload; deadline_s } = tasks.(i) in
+          let elapsed_ms () = (Unix.gettimeofday () -. t0) *. 1000. in
+          let outcome =
+            match deadline_s with
+            | Some d when elapsed_ms () >= d *. 1000. -> Timed_out { elapsed_ms = elapsed_ms () }
+            | _ -> (
+                match f i payload with
+                | v -> (
+                    match deadline_s with
+                    | Some d when elapsed_ms () > d *. 1000. ->
+                        Timed_out { elapsed_ms = elapsed_ms () }
+                    | _ -> Done v)
+                | exception exn -> Failed (Printexc.to_string exn))
+          in
+          (* Slots are disjoint per index; Domain.join publishes the writes. *)
+          results.(i) <- outcome;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    if domains = 1 then worker ()
+    else Array.iter Domain.join (Array.init domains (fun _ -> Domain.spawn worker));
+    results
+  end

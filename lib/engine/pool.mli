@@ -1,0 +1,47 @@
+(** A fixed-size worker pool on OCaml 5 domains.
+
+    [run] executes a batch of tasks on [domains] worker domains pulling
+    from a shared queue (an atomic next-index counter — tasks are
+    independent, so no further coordination is needed) and returns the
+    outcomes {e in submission order}, regardless of which domain ran what
+    or in what order tasks finished.
+
+    Determinism: the pool passes each task's submission index to the work
+    function; callers that need reproducible randomness derive a per-task
+    generator from that index with {!Prim.Rng.derive}, which depends only
+    on the base seed and the index — never on scheduling.  The engine's
+    batch results are therefore bit-identical at 1 and at [N] domains.
+
+    Deadlines are per-task, measured from batch start (the moment [run] is
+    called), and {e cooperative}: a domain cannot preempt a running
+    OCaml computation.  Concretely, a task whose deadline has already
+    passed when a worker picks it up is never started, and a task that
+    finishes past its deadline has its result discarded; both report
+    {!Timed_out}.  Either way the pool itself never hangs on a deadline —
+    it returns as soon as every task has been started-and-finished or
+    skipped. *)
+
+type 'a task = { payload : 'a; deadline_s : float option }
+
+val task : ?deadline_s:float -> 'a -> 'a task
+
+type 'b outcome =
+  | Done of 'b
+  | Timed_out of { elapsed_ms : float }
+      (** Deadline passed before the task started, or the task finished
+          past it (see the cooperative-deadline note above). *)
+  | Failed of string
+      (** The work function raised; the exception is confined to the task
+          (other tasks and the pool are unaffected). *)
+
+val outcome_name : _ outcome -> string
+(** ["ok"], ["timeout"], ["failed"]. *)
+
+val recommended_domains : unit -> int
+(** [Domain.recommended_domain_count], capped at 8 — past the point of
+    diminishing returns for this workload's memory-bound inner loops. *)
+
+val run : domains:int -> f:(int -> 'a -> 'b) -> 'a task array -> 'b outcome array
+(** [run ~domains ~f tasks] — [f index payload] for every task; [domains]
+    is clamped to [[1, Array.length tasks]].  Blocks until the batch is
+    drained. *)

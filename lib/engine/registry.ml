@@ -1,0 +1,89 @@
+type dataset = {
+  name : string;
+  grid : Geometry.Grid.t;
+  pointset : Geometry.Pointset.t;
+  index : Geometry.Pointset.index;
+  accountant : Accountant.t;
+  bounds : (int, float * float) Hashtbl.t;
+  bounds_mutex : Mutex.t;
+  mutable bounds_lookups : int;
+  mutable bounds_hits : int;
+}
+
+type t = { mutable datasets : dataset list (* reverse registration order *) }
+
+let create () = { datasets = [] }
+
+let find t name = List.find_opt (fun d -> d.name = name) t.datasets
+let names t = List.rev_map (fun d -> d.name) t.datasets
+
+let register t ~name ~grid ?mode ~budget ?dense_threshold points =
+  if find t name <> None then
+    invalid_arg (Printf.sprintf "Registry.register: duplicate dataset %S" name);
+  let pointset = Geometry.Pointset.create points in
+  let index = Geometry.Pointset.auto_index ?dense_threshold pointset in
+  let dataset =
+    {
+      name;
+      grid;
+      pointset;
+      index;
+      accountant = Accountant.create ?mode ~budget ();
+      bounds = Hashtbl.create 8;
+      bounds_mutex = Mutex.create ();
+      bounds_lookups = 0;
+      bounds_hits = 0;
+    }
+  in
+  t.datasets <- dataset :: t.datasets;
+  dataset
+
+let name d = d.name
+let grid d = d.grid
+let pointset d = d.pointset
+let index d = d.index
+let accountant d = d.accountant
+let n d = Geometry.Pointset.n d.pointset
+let dim d = Geometry.Pointset.dim d.pointset
+
+let r_opt_bounds d ~t =
+  Mutex.lock d.bounds_mutex;
+  d.bounds_lookups <- d.bounds_lookups + 1;
+  match Hashtbl.find_opt d.bounds t with
+  | Some b ->
+      d.bounds_hits <- d.bounds_hits + 1;
+      Mutex.unlock d.bounds_mutex;
+      b
+  | None ->
+      (* Computed under the lock: concurrent first requests for the same [t]
+         would otherwise both pay the O(n) scan, and the dense index's
+         kth-neighbor lookup is cheap relative to lock hold-time concerns. *)
+      let b =
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock d.bounds_mutex)
+          (fun () ->
+            let b = Workload.Metrics.r_opt_bounds_indexed d.index ~t in
+            Hashtbl.replace d.bounds t b;
+            b)
+      in
+      b
+
+let bounds_cache_stats d =
+  Mutex.lock d.bounds_mutex;
+  let s = (d.bounds_lookups, d.bounds_hits) in
+  Mutex.unlock d.bounds_mutex;
+  s
+
+let to_json d =
+  let lookups, hits = bounds_cache_stats d in
+  Json.Obj
+    [
+      ("name", Json.String d.name);
+      ("n", Json.Int (n d));
+      ("dim", Json.Int (dim d));
+      ("axis_size", Json.Int (Geometry.Grid.axis_size d.grid));
+      ( "index_backend",
+        Json.String (if Geometry.Pointset.index_is_dense d.index then "dense" else "kdtree") );
+      ("r_opt_bounds_cache", Json.Obj [ ("lookups", Json.Int lookups); ("hits", Json.Int hits) ]);
+      ("accountant", Accountant.to_json d.accountant);
+    ]

@@ -1,0 +1,184 @@
+module Log = (val Logs.src_log Telemetry.log_src : Logs.LOG)
+
+type t = {
+  profile : Privcluster.Profile.t;
+  domains : int;
+  seed : int;
+  base_rng : Prim.Rng.t;  (* never drawn from; only [Rng.derive]d per job *)
+  registry : Registry.t;
+  telemetry : Telemetry.t;
+}
+
+let create ?(profile = Privcluster.Profile.practical) ?domains ?(seed = 1) () =
+  let domains =
+    max 1 (match domains with Some d -> d | None -> Pool.recommended_domains ())
+  in
+  {
+    profile;
+    domains;
+    seed;
+    base_rng = Prim.Rng.create ~seed ();
+    registry = Registry.create ();
+    telemetry = Telemetry.create ();
+  }
+
+let registry t = t.registry
+let telemetry t = t.telemetry
+let domains t = t.domains
+let seed t = t.seed
+
+let register t ~name ~grid ?mode ~budget ?dense_threshold points =
+  Registry.register t.registry ~name ~grid ?mode ~budget ?dense_threshold points
+
+(* One admitted job, on a worker domain.  Everything read from [dataset] is
+   immutable after registration except the r_opt-bounds cache, which locks
+   internally. *)
+let execute t dataset rng (spec : Job.spec) : Job.status =
+  let grid = Registry.grid dataset in
+  let ps = Registry.pointset dataset in
+  let n = Registry.n dataset in
+  match spec.Job.kind with
+  | Job.One_cluster { t_fraction } -> (
+      let target = max 1 (int_of_float (ceil (t_fraction *. float_of_int n))) in
+      match
+        Privcluster.One_cluster.run_indexed rng t.profile ~grid ~eps:spec.Job.eps
+          ~delta:spec.Job.delta ~beta:spec.Job.beta ~t:target (Registry.index dataset)
+      with
+      | Ok r ->
+          let center = r.Privcluster.One_cluster.center in
+          let radius = r.Privcluster.One_cluster.radius in
+          let covered = Geometry.Pointset.ball_count ps ~center ~radius in
+          let _, r_hi = Registry.r_opt_bounds dataset ~t:target in
+          Job.Completed
+            (Job.Cluster
+               {
+                 ball = { Job.center; radius; covered };
+                 t = target;
+                 ratio_vs_hi = (if r_hi > 0. then radius /. r_hi else Float.infinity);
+                 delta_bound = r.Privcluster.One_cluster.delta_bound;
+               })
+      | Error f ->
+          Job.Solver_failed (Format.asprintf "%a" Privcluster.One_cluster.pp_failure f))
+  | Job.K_cluster { k; t_fraction } ->
+      let r =
+        Privcluster.K_cluster.run rng t.profile ~grid ~eps:spec.Job.eps ~delta:spec.Job.delta
+          ~beta:spec.Job.beta ~k ~t_fraction
+          (Geometry.Pointset.points ps)
+      in
+      let balls =
+        List.map
+          (fun (b : Privcluster.K_cluster.ball) ->
+            {
+              Job.center = b.Privcluster.K_cluster.center;
+              radius = b.Privcluster.K_cluster.radius;
+              covered =
+                Geometry.Pointset.ball_count ps ~center:b.Privcluster.K_cluster.center
+                  ~radius:b.Privcluster.K_cluster.radius;
+            })
+          r.Privcluster.K_cluster.balls
+      in
+      Job.Completed
+        (Job.Clusters
+           {
+             balls;
+             uncovered = r.Privcluster.K_cluster.uncovered;
+             failures = r.Privcluster.K_cluster.failures;
+           })
+  | Job.Quantile { axis; q } ->
+      let d = Registry.dim dataset in
+      if axis < 0 || axis >= d then
+        Job.Solver_failed (Printf.sprintf "axis %d out of range for dimension %d" axis d)
+      else
+        let values = Array.map (fun p -> p.(axis)) (Geometry.Pointset.points ps) in
+        let grid1 =
+          Geometry.Grid.create ~axis_size:(Geometry.Grid.axis_size grid) ~dim:1
+        in
+        let res =
+          Privcluster.Quantile.quantile rng ~profile:t.profile ~grid:grid1 ~eps:spec.Job.eps ~q
+            values
+        in
+        Job.Completed
+          (Job.Quantile_value
+             {
+               value = res.Privcluster.Quantile.value;
+               target_rank = res.Privcluster.Quantile.target_rank;
+             })
+
+let run_batch ?domains t ~dataset specs =
+  let domains = max 1 (Option.value ~default:t.domains domains) in
+  let accountant = Registry.accountant dataset in
+  (* Phase 1 — admission, in submission order, before anything runs. *)
+  let admitted =
+    List.map
+      (fun (spec : Job.spec) ->
+        match Accountant.charge accountant ~label:spec.Job.id (Job.cost spec) with
+        | Ok () -> Ok spec
+        | Error refusal -> Error (Accountant.refusal_message refusal))
+      specs
+  in
+  let n_admitted =
+    List.length (List.filter (function Ok _ -> true | Error _ -> false) admitted)
+  in
+  Log.info (fun m ->
+      m "batch start: dataset=%s jobs=%d admitted=%d domains=%d seed=%d"
+        (Registry.name dataset) (List.length specs) n_admitted domains t.seed);
+  (* Phase 2 — execution.  Stream index = submission index (refusals
+     included), so admitting a different prefix never reshuffles the
+     randomness of later jobs. *)
+  let tasks =
+    List.mapi (fun i a -> (i, a)) admitted
+    |> List.filter_map (fun (i, a) ->
+           match a with
+           | Ok (spec : Job.spec) -> Some (Pool.task ?deadline_s:spec.Job.deadline_s (i, spec))
+           | Error _ -> None)
+    |> Array.of_list
+  in
+  let outcomes =
+    Pool.run ~domains
+      ~f:(fun _ (stream, spec) ->
+        let rng = Prim.Rng.derive t.base_rng ~stream in
+        let t0 = Unix.gettimeofday () in
+        let status = execute t dataset rng spec in
+        (status, (Unix.gettimeofday () -. t0) *. 1000.))
+      tasks
+  in
+  let by_index = Hashtbl.create (Array.length tasks) in
+  Array.iteri
+    (fun j outcome ->
+      let i, _ = tasks.(j).Pool.payload in
+      Hashtbl.replace by_index i outcome)
+    outcomes;
+  let results =
+    List.mapi
+      (fun i (spec : Job.spec) ->
+        match List.nth admitted i with
+        | Error msg -> { Job.spec; status = Job.Refused msg; latency_ms = 0. }
+        | Ok _ -> (
+            match Hashtbl.find by_index i with
+            | Pool.Done (status, ms) -> { Job.spec; status; latency_ms = ms }
+            | Pool.Timed_out { elapsed_ms } ->
+                { Job.spec; status = Job.Timed_out { elapsed_ms }; latency_ms = elapsed_ms }
+            | Pool.Failed msg -> { Job.spec; status = Job.Solver_failed msg; latency_ms = 0. }))
+      specs
+  in
+  List.iter
+    (fun (r : Job.result) ->
+      Telemetry.record t.telemetry ~kind:(Job.kind_name r.Job.spec.Job.kind)
+        ~status:(Job.status_name r.Job.status) ~latency_ms:r.Job.latency_ms)
+    results;
+  Log.info (fun m ->
+      m "batch done: dataset=%s ok=%d refused=%d timeout=%d failed=%d"
+        (Registry.name dataset)
+        (List.length (List.filter (fun r -> Job.status_name r.Job.status = "ok") results))
+        (List.length (List.filter (fun r -> Job.status_name r.Job.status = "refused") results))
+        (List.length (List.filter (fun r -> Job.status_name r.Job.status = "timeout") results))
+        (List.length (List.filter (fun r -> Job.status_name r.Job.status = "failed") results)));
+  results
+
+let report_json t ~dataset results =
+  Json.Obj
+    [
+      ("dataset", Registry.to_json dataset);
+      ("jobs", Json.List (List.map Job.result_to_json results));
+      ("telemetry", Telemetry.to_json t.telemetry);
+    ]

@@ -1,0 +1,62 @@
+(** The engine front door: run a batch of jobs against a registered
+    dataset.
+
+    [run_batch] proceeds in two deterministic phases:
+
+    + {b Admission} (sequential, coordinator only): every job is charged
+      against the dataset's {!Accountant} in submission order.  Refused
+      jobs get a {!Job.Refused} result immediately and are never
+      dispatched — no noise is drawn for them, so refusal is free in the
+      privacy ledger.  Doing all charging before any execution makes the
+      accept/refuse set a pure function of the submission list, never of
+      worker timing.
+    + {b Execution} (parallel): admitted jobs run on a {!Pool} of
+      [domains] worker domains.  Job [i] (by submission index, counting
+      refused jobs) draws its randomness from
+      [Prim.Rng.derive base ~stream:i], so the batch output is
+      bit-identical for any domain count under a fixed [seed].
+
+    A job that times out or whose solver fails keeps its budget charge:
+    by then the mechanism may already have consumed randomness, and
+    refunds conditioned on the private outcome would themselves leak.
+    (Admission-time refusals are the only free path.)
+
+    Results come back in submission order; every finished job is recorded
+    in the service {!Telemetry} and logged on ["privcluster.engine"]. *)
+
+type t
+
+val create :
+  ?profile:Privcluster.Profile.t ->
+  ?domains:int ->
+  ?seed:int ->
+  unit ->
+  t
+(** [profile] defaults to {!Privcluster.Profile.practical}; [domains] to
+    {!Pool.recommended_domains} and is clamped to ≥ 1; [seed] (default 1)
+    is the base of every per-job derived stream. *)
+
+val registry : t -> Registry.t
+val telemetry : t -> Telemetry.t
+val domains : t -> int
+val seed : t -> int
+
+val register :
+  t ->
+  name:string ->
+  grid:Geometry.Grid.t ->
+  ?mode:Accountant.mode ->
+  budget:Prim.Dp.params ->
+  ?dense_threshold:int ->
+  Geometry.Vec.t array ->
+  Registry.dataset
+(** Convenience passthrough to {!Registry.register} on the service's
+    registry. *)
+
+val run_batch : ?domains:int -> t -> dataset:Registry.dataset -> Job.spec list -> Job.result list
+(** Run the batch as described above; [domains] overrides the service
+    default for this call. *)
+
+val report_json : t -> dataset:Registry.dataset -> Job.result list -> Json.t
+(** The batch report the CLI emits: dataset (with ledger), per-job
+    results, telemetry. *)

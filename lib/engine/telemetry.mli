@@ -1,0 +1,39 @@
+(** Engine observability: per-job-kind counters and latency histograms.
+
+    Worker domains record one observation per finished job; recording is
+    mutex-protected and cheap (a few counter bumps).  Latencies land in
+    fixed log-spaced buckets (1 ms … 60 s), from which quantiles are
+    estimated by linear interpolation inside the bucket — the standard
+    Prometheus-style tradeoff: bounded memory, ~bucket-width error.
+
+    Every record also emits a [Logs] debug span on the
+    ["privcluster.engine"] source, so setting a reporter at debug level
+    yields a per-job trace without touching the engine. *)
+
+type t
+
+val create : unit -> t
+
+val log_src : Logs.src
+(** The ["privcluster.engine"] source (shared with {!Service}). *)
+
+val record : t -> kind:string -> status:string -> latency_ms:float -> unit
+(** Thread-safe.  [kind] is the job kind name (["one_cluster"], …);
+    [status] is ["ok"], ["refused"], ["timeout"] or ["failed"]. *)
+
+val total : t -> int
+(** Observations recorded so far. *)
+
+val count : t -> ?kind:string -> ?status:string -> unit -> int
+(** Observations matching both filters (absent filter = match all). *)
+
+val quantile_ms : t -> kind:string -> q:float -> float
+(** Estimated latency quantile for a kind; [nan] when nothing recorded. *)
+
+val to_json : t -> Json.t
+(** Per-kind: counts by status, min/mean/max latency, p50/p90/p99, and the
+    raw bucket counts (upper bounds included so the dump is
+    self-describing). *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** Compact human summary, one line per kind. *)

@@ -10,6 +10,24 @@ let create ?seed () =
 
 let copy t = { t with state = Random.State.copy t.state }
 let split t = create ~seed:(Random.State.bits t.state lxor 0x5deece66) ()
+
+(* SplitMix64 finalizer — the avalanche is what makes nearby (seed, stream)
+   pairs land on unrelated streams. *)
+let splitmix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+let derive t ~stream =
+  if stream < 0 then invalid_arg "Rng.derive: stream must be non-negative";
+  let open Int64 in
+  let h =
+    splitmix64
+      (add (of_int t.seed) (mul (of_int (stream + 1)) 0x9e3779b97f4a7c15L))
+  in
+  create ~seed:(to_int h land Stdlib.max_int) ()
+
 let seed_of t = t.seed
 let float t b = Random.State.float t.state b
 

@@ -23,6 +23,17 @@ val split : t -> t
     streams are (statistically) independent.  Used to hand sub-algorithms
     their own stream without coupling their consumption patterns. *)
 
+val derive : t -> stream:int -> t
+(** [derive t ~stream] is the [stream]-th independent child generator of
+    [t], computed from [t]'s {e creation seed} only — the parent's state is
+    neither read nor advanced, so the result does not depend on how much
+    randomness has already been consumed, nor on the order in which streams
+    are derived.  This is the seeding primitive the concurrent query engine
+    uses to give each job a reproducible stream no matter which worker
+    domain picks it up.  Streams are decorrelated by a SplitMix64 hash of
+    [(seed, stream)].
+    @raise Invalid_argument if [stream < 0]. *)
+
 val seed_of : t -> int
 (** The seed this generator was created from (for logging). *)
 

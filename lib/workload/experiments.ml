@@ -998,16 +998,16 @@ let all =
     ("E14", "Index scalability", e14_scalability);
   ]
 
+let run_one cfg (id, title, f) =
+  Report.headline (Printf.sprintf "%s - %s" id title);
+  Report.kv "mode" (if cfg.quick then "quick" else "full");
+  Report.kv "seed" (string_of_int cfg.seed);
+  f cfg
+
 let run ?only cfg =
   let selected =
     match only with
     | None -> all
     | Some ids -> List.filter (fun (id, _, _) -> List.mem id ids) all
   in
-  List.iter
-    (fun (id, title, f) ->
-      Report.headline (Printf.sprintf "%s - %s" id title);
-      Report.kv "mode" (if cfg.quick then "quick" else "full");
-      Report.kv "seed" (string_of_int cfg.seed);
-      f cfg)
-    selected
+  List.iter (run_one cfg) selected

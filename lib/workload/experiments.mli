@@ -67,5 +67,9 @@ val e14_scalability : cfg -> unit
 val all : (string * string * (cfg -> unit)) list
 (** [(id, title, run)] for every experiment, in order. *)
 
+val run_one : cfg -> string * string * (cfg -> unit) -> unit
+(** One entry of {!all} with its standard header (id, title, mode, seed) —
+    the unit the bench dispatches to engine-pool workers. *)
+
 val run : ?only:string list -> cfg -> unit
 (** Run all (or the selected) experiments with headers. *)

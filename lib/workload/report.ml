@@ -1,11 +1,38 @@
+(* All output funnels through [emit], which consults a domain-local sink:
+   when the engine pool runs experiments on worker domains, each domain
+   captures its own output into a buffer (see [capture]) and the driver
+   prints the buffers in submission order, so parallel runs stay diffable
+   against sequential ones. *)
+let sink_key : (string -> unit) option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let emit s =
+  match Domain.DLS.get sink_key with
+  | None ->
+      print_string s;
+      flush stdout
+  | Some f -> f s
+
+let capture f =
+  let buf = Buffer.create 4096 in
+  let prev = Domain.DLS.get sink_key in
+  Domain.DLS.set sink_key (Some (Buffer.add_string buf));
+  Fun.protect
+    ~finally:(fun () -> Domain.DLS.set sink_key prev)
+    (fun () ->
+      let v = f () in
+      (v, Buffer.contents buf))
+
+let printf fmt = Printf.ksprintf emit fmt
+
 let headline s =
   let bar = String.make (String.length s + 4) '=' in
-  Printf.printf "\n%s\n= %s =\n%s\n%!" bar s bar
+  printf "\n%s\n= %s =\n%s\n" bar s bar
 
-let subhead s = Printf.printf "\n-- %s --\n" s
-let kv k v = Printf.printf "  %-28s %s\n%!" (k ^ ":") v
+let subhead s = printf "\n-- %s --\n" s
+let kv k v = printf "  %-28s %s\n" (k ^ ":") v
 
 let csv_dir = ref None
+let csv_mutex = Mutex.create ()
 
 let set_csv_dir dir = csv_dir := dir
 
@@ -18,12 +45,16 @@ let write_csv name header rows =
   match !csv_dir with
   | None -> ()
   | Some dir ->
-      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-      let oc = open_out (Filename.concat dir (name ^ ".csv")) in
-      List.iter
-        (fun row -> output_string oc (String.concat "," (List.map csv_escape row) ^ "\n"))
-        (header :: rows);
-      close_out oc
+      Mutex.lock csv_mutex;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock csv_mutex)
+        (fun () ->
+          if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+          let oc = open_out (Filename.concat dir (name ^ ".csv")) in
+          List.iter
+            (fun row -> output_string oc (String.concat "," (List.map csv_escape row) ^ "\n"))
+            (header :: rows);
+          close_out oc)
 
 let table ?csv ~header rows =
   (match csv with Some name -> write_csv name header rows | None -> ());
@@ -43,12 +74,11 @@ let table ?csv ~header rows =
           s ^ String.make (w - String.length s) ' ')
         widths
     in
-    Printf.printf "  %s\n" (String.concat "  " cells)
+    printf "  %s\n" (String.concat "  " cells)
   in
   render header;
-  Printf.printf "  %s\n" (String.make (List.fold_left ( + ) 0 widths + (2 * (cols - 1))) '-');
-  List.iter render rows;
-  flush stdout
+  printf "  %s\n" (String.make (List.fold_left ( + ) 0 widths + (2 * (cols - 1))) '-');
+  List.iter render rows
 
 let f2 x = if Float.is_nan x then "-" else Printf.sprintf "%.2f" x
 let f3 x = if Float.is_nan x then "-" else Printf.sprintf "%.3f" x

@@ -28,3 +28,18 @@ val g : float -> string
 
 val pct : float -> string
 (** [0.42] → ["42%"]. *)
+
+(** {1 Output capture}
+
+    Output normally goes to stdout.  {!capture} reroutes it — for the
+    {e calling domain only} (the sink is domain-local state) — into a
+    buffer, which is how the bench runs experiments on engine-pool worker
+    domains without interleaving their tables: each worker captures, the
+    driver prints the buffers in submission order. *)
+
+val capture : (unit -> 'a) -> 'a * string
+(** [capture f] runs [f] with this domain's report output buffered and
+    returns [f]'s result together with everything it printed.  Nests;
+    restores the previous sink on exit (also on exceptions).  CSV export
+    ({!set_csv_dir}) still writes to files directly — it is mutex-guarded,
+    not captured. *)

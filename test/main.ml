@@ -28,6 +28,7 @@ let () =
       ("workload", Test_workload.suite);
       ("profile", Test_profile.suite);
       ("robustness", Test_robustness.suite);
+      ("engine", Test_engine.suite);
       ("pp", Test_pp.suite);
       ("invariants", Test_invariants.suite);
     ]

@@ -1,0 +1,343 @@
+(* The concurrent query engine: accountant arithmetic and refusals against
+   the Prim composition modules, registry caching, pool determinism across
+   domain counts, and deadline handling. *)
+
+open Testutil
+
+let contains_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* --- Rng.derive --------------------------------------------------------- *)
+
+let test_derive_state_independent () =
+  let a = Prim.Rng.create ~seed:7 () in
+  let b = Prim.Rng.create ~seed:7 () in
+  (* Consume from [b] only: derived streams must not care. *)
+  for _ = 1 to 100 do
+    ignore (Prim.Rng.float b 1.0)
+  done;
+  List.iter
+    (fun s ->
+      let xa = Prim.Rng.float (Prim.Rng.derive a ~stream:s) 1.0 in
+      let xb = Prim.Rng.float (Prim.Rng.derive b ~stream:s) 1.0 in
+      check_float (Printf.sprintf "stream %d independent of parent state" s) xa xb)
+    [ 0; 1; 17; 4096 ];
+  (* Distinct streams differ, same stream repeats. *)
+  let x0 = Prim.Rng.float (Prim.Rng.derive a ~stream:0) 1.0 in
+  let x0' = Prim.Rng.float (Prim.Rng.derive a ~stream:0) 1.0 in
+  let x1 = Prim.Rng.float (Prim.Rng.derive a ~stream:1) 1.0 in
+  check_float "same stream repeats" x0 x0';
+  check_true "distinct streams differ" (x0 <> x1)
+
+(* --- Accountant --------------------------------------------------------- *)
+
+let p ~eps ~delta = { Prim.Dp.eps; delta }
+
+let test_accountant_basic_arithmetic () =
+  let acc = Engine.Accountant.create ~budget:(p ~eps:1.0 ~delta:1e-6) () in
+  check_true "charge 1" (Result.is_ok (Engine.Accountant.charge acc (p ~eps:0.5 ~delta:1e-7)));
+  check_true "charge 2" (Result.is_ok (Engine.Accountant.charge acc (p ~eps:0.25 ~delta:2e-7)));
+  let expected =
+    Prim.Composition.basic_list [ p ~eps:0.5 ~delta:1e-7; p ~eps:0.25 ~delta:2e-7 ]
+  in
+  let spent = Engine.Accountant.spent acc in
+  check_float ~tol:1e-12 "spent eps = basic_list" expected.Prim.Dp.eps spent.Prim.Dp.eps;
+  check_float ~tol:1e-18 "spent delta = basic_list" expected.Prim.Dp.delta spent.Prim.Dp.delta
+
+let test_accountant_refusal_leaves_ledger_unchanged () =
+  let acc = Engine.Accountant.create ~budget:(p ~eps:1.0 ~delta:1e-6) () in
+  check_true "within budget" (Result.is_ok (Engine.Accountant.charge acc (p ~eps:0.9 ~delta:1e-7)));
+  (match Engine.Accountant.charge acc (p ~eps:0.2 ~delta:1e-7) with
+  | Ok () -> Alcotest.fail "over-budget charge accepted"
+  | Error r ->
+      check_float ~tol:1e-12 "refusal reports the composed total" 1.1
+        r.Engine.Accountant.would_spend.Prim.Dp.eps);
+  let spent = Engine.Accountant.spent acc in
+  check_float ~tol:1e-12 "spent unchanged after refusal" 0.9 spent.Prim.Dp.eps;
+  check_int "one refusal recorded" 1 (Engine.Accountant.refusals acc);
+  check_int "one accepted entry" 1 (List.length (Engine.Accountant.entries acc));
+  (* An exact fit must still be accepted (tolerance guards float dust). *)
+  check_true "exact fill accepted"
+    (Result.is_ok (Engine.Accountant.charge acc (p ~eps:0.1 ~delta:1e-7)))
+
+let test_accountant_advanced_matches_composition () =
+  let charge = p ~eps:0.01 ~delta:1e-8 in
+  let slack = 1e-7 in
+  let k = 100 in
+  let adv = Prim.Composition.advanced charge ~k ~delta':slack in
+  let basic = Prim.Composition.basic charge ~k in
+  let budget = p ~eps:(Prim.Dp.eps basic +. 1.) ~delta:1e-4 in
+  let acc = Engine.Accountant.create ~mode:(Engine.Accountant.Advanced { slack }) ~budget () in
+  for i = 1 to k do
+    check_true (Printf.sprintf "charge %d accepted" i)
+      (Result.is_ok (Engine.Accountant.charge acc charge))
+  done;
+  let spent = Engine.Accountant.spent acc in
+  let expected_eps = Float.min adv.Prim.Dp.eps basic.Prim.Dp.eps in
+  check_float ~tol:1e-12 "advanced-mode spent eps" expected_eps spent.Prim.Dp.eps;
+  (* At k=30, eps=0.1 the advanced bound is the better one — make sure the
+     ledger actually switched to it rather than summing. *)
+  check_true "advanced bound engaged" (spent.Prim.Dp.eps < Prim.Dp.eps basic -. 1e-9)
+
+let test_accountant_zcdp_matches_ledger_arithmetic () =
+  let slack = 1e-7 in
+  let acc =
+    Engine.Accountant.create ~mode:(Engine.Accountant.Zcdp { slack })
+      ~budget:(p ~eps:4.0 ~delta:1e-4) ()
+  in
+  let charges = [ p ~eps:0.3 ~delta:1e-8; p ~eps:0.5 ~delta:0.; p ~eps:0.2 ~delta:2e-8 ] in
+  List.iter (fun c -> check_true "zcdp charge" (Result.is_ok (Engine.Accountant.charge acc c))) charges;
+  let rho =
+    Prim.Zcdp.compose (List.map (fun c -> Prim.Zcdp.of_pure_dp ~eps:c.Prim.Dp.eps) charges)
+  in
+  let conv = Prim.Zcdp.to_dp rho ~delta:slack in
+  let spent = Engine.Accountant.spent acc in
+  check_float ~tol:1e-12 "zcdp spent eps" conv.Prim.Dp.eps spent.Prim.Dp.eps;
+  check_float ~tol:1e-18 "zcdp spent delta = conversion slack + sum of deltas"
+    (conv.Prim.Dp.delta +. 3e-8) spent.Prim.Dp.delta
+
+(* --- Registry ----------------------------------------------------------- *)
+
+let test_registry_caches_bounds () =
+  let _, grid, w = small_workload () in
+  let reg = Engine.Registry.create () in
+  let ds =
+    Engine.Registry.register reg ~name:"d1" ~grid ~budget:(p ~eps:10. ~delta:1e-4)
+      w.Workload.Synth.points
+  in
+  let b1 = Engine.Registry.r_opt_bounds ds ~t:100 in
+  let b2 = Engine.Registry.r_opt_bounds ds ~t:100 in
+  let _b3 = Engine.Registry.r_opt_bounds ds ~t:150 in
+  check_true "cached bounds identical" (b1 = b2);
+  let lookups, hits = Engine.Registry.bounds_cache_stats ds in
+  check_int "three lookups" 3 lookups;
+  check_int "one hit" 1 hits;
+  (* Cached sandwich must agree with a fresh computation. *)
+  let idx = Engine.Registry.index ds in
+  let lo, hi = Workload.Metrics.r_opt_bounds_indexed idx ~t:100 in
+  check_float "cached r_lo" lo (fst b1);
+  check_float "cached r_hi" hi (snd b1);
+  (match Engine.Registry.register reg ~name:"d1" ~grid ~budget:(p ~eps:1. ~delta:1e-6) w.Workload.Synth.points with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate registration accepted")
+
+(* --- Job parsing -------------------------------------------------------- *)
+
+let test_job_parsing () =
+  let contents =
+    "# a comment\n\
+     one_cluster t_fraction=0.45 eps=0.5 delta=1e-7\n\
+     \n\
+     quantile q=0.25 eps=0.2 id=q25   # trailing comment\n\
+     k_cluster k=3 t_fraction=0.2 eps=1 delta=1e-7 deadline=30\n"
+  in
+  match Engine.Job.parse contents with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok specs ->
+      check_int "three jobs" 3 (List.length specs);
+      let j1 = List.nth specs 0 and j2 = List.nth specs 1 and j3 = List.nth specs 2 in
+      check_true "auto id" (j1.Engine.Job.id = "j1");
+      check_true "explicit id" (j2.Engine.Job.id = "q25");
+      check_true "quantile delta defaults to 0" (j2.Engine.Job.delta = 0.);
+      check_true "deadline parsed" (j3.Engine.Job.deadline_s = Some 30.);
+      (match j3.Engine.Job.kind with
+      | Engine.Job.K_cluster { k = 3; _ } -> ()
+      | _ -> Alcotest.fail "k_cluster kind");
+      (* Round-trip through the writer. *)
+      (match Engine.Job.parse (String.concat "\n" (List.map Engine.Job.spec_to_line specs)) with
+      | Ok specs' -> check_true "spec_to_line round-trips" (specs = specs')
+      | Error e -> Alcotest.failf "round-trip failed: %s" e)
+
+let test_job_parse_errors () =
+  let bad = [ "one_cluster"; "mystery eps=1"; "one_cluster eps=zero delta=1e-7"; "quantile q=2 eps=1" ] in
+  List.iter
+    (fun line ->
+      match Engine.Job.parse line with
+      | Ok _ -> Alcotest.failf "accepted bad line %S" line
+      | Error e -> check_true "error names line 1" (String.length e > 0 && String.sub e 0 6 = "line 1"))
+    bad
+
+(* --- Pool --------------------------------------------------------------- *)
+
+let test_pool_outcomes_in_order () =
+  let tasks = Array.init 17 (fun i -> Engine.Pool.task i) in
+  let outcomes = Engine.Pool.run ~domains:4 ~f:(fun _ i -> i * i) tasks in
+  Array.iteri
+    (fun i o ->
+      match o with
+      | Engine.Pool.Done v -> check_int (Printf.sprintf "slot %d" i) (i * i) v
+      | _ -> Alcotest.fail "unexpected non-Done outcome")
+    outcomes
+
+let test_pool_failure_isolation () =
+  let tasks = Array.init 5 (fun i -> Engine.Pool.task i) in
+  let outcomes =
+    Engine.Pool.run ~domains:2 ~f:(fun _ i -> if i = 2 then failwith "boom" else i) tasks
+  in
+  Array.iteri
+    (fun i o ->
+      match (i, o) with
+      | 2, Engine.Pool.Failed msg -> check_true "failure message" (String.length msg > 0)
+      | 2, _ -> Alcotest.fail "task 2 should fail"
+      | _, Engine.Pool.Done v -> check_int "others fine" i v
+      | _, _ -> Alcotest.fail "unexpected outcome")
+    outcomes
+
+let test_pool_deadline_timeout () =
+  (* An already-expired deadline: the task must never start. *)
+  let ran = Atomic.make false in
+  let outcomes =
+    Engine.Pool.run ~domains:1
+      ~f:(fun _ () -> Atomic.set ran true)
+      [| Engine.Pool.task ~deadline_s:0.0 () |]
+  in
+  (match outcomes.(0) with
+  | Engine.Pool.Timed_out _ -> ()
+  | _ -> Alcotest.fail "expired deadline should time out");
+  check_true "expired job never ran" (not (Atomic.get ran));
+  (* A job that overruns its deadline: reported as timeout, pool returns. *)
+  let outcomes =
+    Engine.Pool.run ~domains:1
+      ~f:(fun _ () -> Unix.sleepf 0.15)
+      [| Engine.Pool.task ~deadline_s:0.05 () |]
+  in
+  match outcomes.(0) with
+  | Engine.Pool.Timed_out { elapsed_ms } -> check_true "elapsed past deadline" (elapsed_ms >= 50.)
+  | _ -> Alcotest.fail "overrun should time out"
+
+(* --- Service ------------------------------------------------------------ *)
+
+let specs_for_batch =
+  [
+    {
+      Engine.Job.id = "a";
+      kind = Engine.Job.One_cluster { t_fraction = 0.45 };
+      eps = 2.0;
+      delta = 1e-6;
+      beta = 0.1;
+      deadline_s = None;
+    };
+    {
+      Engine.Job.id = "q";
+      kind = Engine.Job.Quantile { axis = 0; q = 0.5 };
+      eps = 0.3;
+      delta = 0.;
+      beta = 0.1;
+      deadline_s = None;
+    };
+    {
+      Engine.Job.id = "b";
+      kind = Engine.Job.One_cluster { t_fraction = 0.4 };
+      eps = 2.0;
+      delta = 1e-6;
+      beta = 0.1;
+      deadline_s = None;
+    };
+  ]
+
+let run_batch ~domains ~seed =
+  let service = Engine.Service.create ~domains ~seed () in
+  (* Big enough that the 1-cluster solver succeeds at eps=2. *)
+  let _, grid, w = small_workload ~n:1500 ~axis:256 ~radius:0.05 () in
+  let ds =
+    Engine.Service.register service ~name:"w" ~grid ~budget:(p ~eps:10. ~delta:1e-4)
+      w.Workload.Synth.points
+  in
+  Engine.Service.run_batch service ~dataset:ds specs_for_batch
+
+(* Everything except wall-clock latency must match. *)
+let canonical results =
+  List.map
+    (fun (r : Engine.Job.result) ->
+      (r.Engine.Job.spec.Engine.Job.id, Engine.Job.status_name r.Engine.Job.status, Engine.Job.detail r))
+    results
+
+let test_service_parallel_equals_sequential () =
+  let r1 = run_batch ~domains:1 ~seed:11 in
+  let r4 = run_batch ~domains:4 ~seed:11 in
+  check_true "all completed"
+    (List.for_all (fun (r : Engine.Job.result) -> Engine.Job.status_name r.Engine.Job.status = "ok") r1);
+  Alcotest.(check (list (triple string string string)))
+    "4 domains bit-identical to 1 domain" (canonical r1) (canonical r4);
+  let r1' = run_batch ~domains:1 ~seed:12 in
+  check_true "different seed, different draws" (canonical r1 <> canonical r1')
+
+let test_service_refuses_over_budget_jobs () =
+  let service = Engine.Service.create ~domains:1 ~seed:3 () in
+  let _, grid, w = small_workload () in
+  let ds =
+    Engine.Service.register service ~name:"w" ~grid ~budget:(p ~eps:1.5 ~delta:1e-5)
+      w.Workload.Synth.points
+  in
+  let mk id eps =
+    {
+      Engine.Job.id;
+      kind = Engine.Job.Quantile { axis = 0; q = 0.5 };
+      eps;
+      delta = 0.;
+      beta = 0.1;
+      deadline_s = None;
+    }
+  in
+  (* 0.9 accepted, 0.9 refused (would hit 1.8 > 1.5), 0.5 accepted: admission
+     is in submission order, not best-fit. *)
+  let results = Engine.Service.run_batch service ~dataset:ds [ mk "a" 0.9; mk "b" 0.9; mk "c" 0.5 ] in
+  let statuses =
+    List.map (fun (r : Engine.Job.result) -> Engine.Job.status_name r.Engine.Job.status) results
+  in
+  Alcotest.(check (list string)) "refusal pattern" [ "ok"; "refused"; "ok" ] statuses;
+  (match (List.nth results 1).Engine.Job.status with
+  | Engine.Job.Refused msg ->
+      check_true "refusal message names the budget" (contains_sub msg "budget")
+  | _ -> Alcotest.fail "expected refusal");
+  let spent = Engine.Accountant.spent (Engine.Registry.accountant ds) in
+  check_float ~tol:1e-12 "refused job not charged" 1.4 spent.Prim.Dp.eps;
+  check_int "telemetry saw all three"
+    3
+    (Engine.Telemetry.count (Engine.Service.telemetry service) ~kind:"quantile" ())
+
+let test_service_deadline_reports_timeout () =
+  let service = Engine.Service.create ~domains:2 ~seed:3 () in
+  let _, grid, w = small_workload () in
+  let ds =
+    Engine.Service.register service ~name:"w" ~grid ~budget:(p ~eps:10. ~delta:1e-4)
+      w.Workload.Synth.points
+  in
+  let spec =
+    {
+      Engine.Job.id = "late";
+      kind = Engine.Job.One_cluster { t_fraction = 0.45 };
+      eps = 1.0;
+      delta = 1e-7;
+      beta = 0.1;
+      deadline_s = Some 0.;  (* expired on arrival *)
+    }
+  in
+  match Engine.Service.run_batch service ~dataset:ds [ spec ] with
+  | [ r ] -> (
+      match r.Engine.Job.status with
+      | Engine.Job.Timed_out _ ->
+          check_int "timeout recorded in telemetry" 1
+            (Engine.Telemetry.count (Engine.Service.telemetry service) ~status:"timeout" ())
+      | s -> Alcotest.failf "expected timeout, got %s" (Engine.Job.status_name s))
+  | _ -> Alcotest.fail "one result expected"
+
+let suite =
+  [
+    case "rng derive is stream-keyed and state-independent" test_derive_state_independent;
+    case "accountant basic mode matches Composition.basic_list" test_accountant_basic_arithmetic;
+    case "accountant refusal leaves the ledger unchanged" test_accountant_refusal_leaves_ledger_unchanged;
+    case "accountant advanced mode matches Composition.advanced" test_accountant_advanced_matches_composition;
+    case "accountant zcdp mode matches the Zcdp ledger arithmetic" test_accountant_zcdp_matches_ledger_arithmetic;
+    case "registry caches the r_opt sandwich per t" test_registry_caches_bounds;
+    case "jobs-file parsing" test_job_parsing;
+    case "jobs-file parse errors name the line" test_job_parse_errors;
+    case "pool returns outcomes in submission order" test_pool_outcomes_in_order;
+    case "pool confines a task exception to its task" test_pool_failure_isolation;
+    case "pool deadline: expired jobs skip, overruns report timeout" test_pool_deadline_timeout;
+    slow_case "service: 4 domains bit-identical to 1 domain" test_service_parallel_equals_sequential;
+    case "service refuses over-budget jobs without running them" test_service_refuses_over_budget_jobs;
+    case "service deadline-exceeded job reports timeout" test_service_deadline_reports_timeout;
+  ]
