@@ -1,7 +1,7 @@
 (* Benchmark harness: runs the experiment suite (E1–E14, one per table /
    figure / theorem claim — see EXPERIMENTS.md) followed by the Bechamel
-   timing benches (B1–B7, one per pipeline stage) and the engine
-   throughput bench (B8).
+   timing benches (B1–B7, one per pipeline stage), the engine throughput
+   bench (B8) and the one-cluster allocation check.
 
    Usage:
      dune exec bench/main.exe                 # full suite
@@ -9,7 +9,10 @@
      dune exec bench/main.exe -- --only E1,E4 # subset
      dune exec bench/main.exe -- --jobs 4     # experiments on 4 engine-pool domains
      dune exec bench/main.exe -- --no-timing  # experiments only
-     dune exec bench/main.exe -- --timing-only *)
+     dune exec bench/main.exe -- --timing-only
+     dune exec bench/main.exe -- --json out.json   # machine-readable B1-B8 results
+     dune exec bench/main.exe -- --fix-n 10000 --fix-d 32  # timing fixture size
+     dune exec bench/main.exe -- --smoke      # one tiny call per bench (CI) *)
 
 open Bechamel
 
@@ -17,68 +20,94 @@ let delta = Workload.Harness.default_delta
 let beta = Workload.Harness.default_beta
 
 (* A fixed midsize workload shared by all timing benches so their costs are
-   comparable. *)
+   comparable.  [n]/[dim] are adjustable from the command line to track the
+   perf trajectory at larger scales (the index backend switches to the k-d
+   tree automatically past the dense threshold). *)
 type fixture = {
   rng : Prim.Rng.t;
   grid : Geometry.Grid.t;
   points : Geometry.Vec.t array;
+  ps : Geometry.Pointset.t;
   idx : Geometry.Pointset.index;
   t : int;
   radius : float;
 }
 
-let fixture () =
+let fixture ?(n = 1500) ?(dim = 2) () =
   let rng = Prim.Rng.create ~seed:99 () in
-  let grid = Geometry.Grid.create ~axis_size:256 ~dim:2 in
+  let grid = Geometry.Grid.create ~axis_size:256 ~dim in
   let w =
-    Workload.Synth.planted_ball rng ~grid ~n:1500 ~cluster_fraction:0.5 ~cluster_radius:0.05
+    Workload.Synth.planted_ball rng ~grid ~n ~cluster_fraction:0.5 ~cluster_radius:0.05
   in
-  let idx = Geometry.Pointset.build_index (Geometry.Pointset.create w.Workload.Synth.points) in
-  { rng; grid; points = w.Workload.Synth.points; idx; t = 600; radius = 0.1 }
+  let ps = Geometry.Pointset.create w.Workload.Synth.points in
+  let idx = Geometry.Pointset.auto_index ps in
+  { rng; grid; points = w.Workload.Synth.points; ps; idx; t = 2 * n / 5; radius = 0.1 }
 
-let timing_tests fx =
+(* Each stage bench as a plain thunk so the smoke path can execute every
+   bench exactly once without the Bechamel measurement machinery. *)
+let stage_thunks fx : (string * (unit -> unit)) list =
   let profile = Privcluster.Profile.practical in
+  let d = Geometry.Pointset.dim fx.ps in
+  let b3 =
+    let q =
+      Recconcave.Quality.of_array
+        (Array.init 1000 (fun i -> -.Float.abs (float_of_int (i - 700))))
+    in
+    fun () -> ignore (Recconcave.Rec_concave.solve fx.rng ~eps:1.0 q)
+  in
+  let b4 =
+    let jl = Geometry.Jl.make fx.rng ~input_dim:64 ~output_dim:16 in
+    let high =
+      Geometry.Pointset.of_storage ~dim:64
+        (Prim.Rng.gaussian_vector fx.rng ~dim:(Geometry.Pointset.n fx.ps * 64) ~sigma:1.0)
+    in
+    fun () -> ignore (Geometry.Jl.project jl high)
+  in
+  let b5 =
+    let boxing = Geometry.Boxing.make fx.rng ~dim:d ~len:(4. *. fx.radius) in
+    fun () ->
+      ignore
+        (Prim.Stability_hist.select fx.rng ~eps:0.5 ~delta:1e-6
+           (Geometry.Boxing.occupancy_ps boxing fx.ps))
+  in
+  let b6 =
+    let st = Geometry.Pointset.storage fx.ps in
+    let offs = Geometry.Pointset.row_offsets fx.ps in
+    fun () ->
+      ignore
+        (Prim.Noisy_avg.run_rows fx.rng ~eps:0.5 ~delta:1e-6 ~diameter:1.0
+           ~pred:(fun i -> st.(offs.(i)) < 0.5)
+           ~dim:d ~offs st)
+  in
   [
-    Test.make ~name:"B1 good-radius"
-      (Staged.stage (fun () ->
-           Privcluster.Good_radius.run fx.rng profile ~grid:fx.grid ~eps:2.0 ~delta ~beta
-             ~t:fx.t fx.idx));
-    Test.make ~name:"B2 good-center"
-      (Staged.stage (fun () ->
-           Privcluster.Good_center.run fx.rng profile ~eps:2.0 ~delta ~beta ~t:fx.t
-             ~radius:fx.radius fx.points));
-    Test.make ~name:"B3 rec-concave(1k)"
-      (Staged.stage
-         (let q =
-            Recconcave.Quality.of_array
-              (Array.init 1000 (fun i -> -.Float.abs (float_of_int (i - 700))))
-          in
-          fun () -> Recconcave.Rec_concave.solve fx.rng ~eps:1.0 q));
-    Test.make ~name:"B4 jl-project"
-      (Staged.stage
-         (let jl = Geometry.Jl.make fx.rng ~input_dim:64 ~output_dim:16 in
-          let v = Prim.Rng.gaussian_vector fx.rng ~dim:64 ~sigma:1.0 in
-          fun () -> Geometry.Jl.apply jl v));
-    Test.make ~name:"B5 stability-hist"
-      (Staged.stage
-         (let boxing = Geometry.Boxing.make fx.rng ~dim:2 ~len:(4. *. fx.radius) in
-          fun () ->
-            Prim.Stability_hist.select fx.rng ~eps:0.5 ~delta:1e-6
-              (Geometry.Boxing.occupancy boxing fx.points)));
-    Test.make ~name:"B6 noisy-avg"
-      (Staged.stage (fun () ->
-           Prim.Noisy_avg.run fx.rng ~eps:0.5 ~delta:1e-6 ~diameter:1.0
-             ~pred:(fun p -> p.(0) < 0.5)
-             ~dim:2 fx.points));
-    Test.make ~name:"B7 one-cluster e2e"
-      (Staged.stage (fun () ->
-           Privcluster.One_cluster.run_indexed fx.rng profile ~grid:fx.grid ~eps:2.0 ~delta
-             ~beta ~t:fx.t fx.idx));
+    ( "B1 good-radius",
+      fun () ->
+        ignore
+          (Privcluster.Good_radius.run fx.rng profile ~grid:fx.grid ~eps:2.0 ~delta ~beta
+             ~t:fx.t fx.idx) );
+    ( "B2 good-center",
+      fun () ->
+        ignore
+          (Privcluster.Good_center.run_ps fx.rng profile ~eps:2.0 ~delta ~beta ~t:fx.t
+             ~radius:fx.radius fx.ps) );
+    ("B3 rec-concave(1k)", b3);
+    ("B4 jl-project", b4);
+    ("B5 stability-hist", b5);
+    ("B6 noisy-avg", b6);
+    ( "B7 one-cluster e2e",
+      fun () ->
+        ignore
+          (Privcluster.One_cluster.run_indexed fx.rng profile ~grid:fx.grid ~eps:2.0 ~delta
+             ~beta ~t:fx.t fx.idx) );
   ]
 
-let run_timing ~quick =
+let timing_tests fx =
+  List.map
+    (fun (name, thunk) -> Test.make ~name (Staged.stage thunk))
+    (stage_thunks fx)
+
+let run_timing ~quick fx =
   Workload.Report.headline "B1-B7 - Bechamel timing benches (per-call wall clock)";
-  let fx = fixture () in
   let quota = if quick then 0.5 else 2.0 in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None () in
   let ols =
@@ -109,7 +138,8 @@ let run_timing ~quick =
            else Printf.sprintf "%.0f ns" ns
          in
          [ name; human; Workload.Report.f3 r2 ])
-       rows)
+       rows);
+  rows
 
 (* The experiment suite goes through the engine pool — the same worker-domain
    code path the CLI's batch subcommand uses — with each experiment's report
@@ -140,10 +170,9 @@ let run_experiments ~jobs cfg selected =
    jobs on the shared fixture, swept over worker-domain counts.  Also checks
    the engine's determinism claim: every domain count must produce the same
    outputs (per-job RNG streams are derived from the submission index). *)
-let run_engine_bench ~quick ~max_jobs =
+let run_engine_bench ~quick ~max_jobs fx =
   Workload.Report.headline "B8 - engine throughput (one-cluster batch over worker domains)";
   Workload.Report.kv "hardware threads" (string_of_int (Domain.recommended_domain_count ()));
-  let fx = fixture () in
   let n_jobs = if quick then 6 else 12 in
   let specs =
     List.init n_jobs (fun i ->
@@ -194,12 +223,148 @@ let run_engine_bench ~quick ~max_jobs =
          ])
        rows);
   Workload.Report.kv "outputs identical across domain counts"
-    (if deterministic then "yes" else "NO (engine determinism bug)")
+    (if deterministic then "yes" else "NO (engine determinism bug)");
+  (n_jobs, rows, deterministic)
+
+(* Allocation regression check: with the flat layout, one end-to-end
+   1-cluster call (prebuilt index) must allocate minor-heap words roughly
+   linearly in n and sublinearly in d — the boxed layout allocated a
+   d-length vector per point per stage.  Run the same workload at d and
+   8·d; the boxed path grew close to proportionally, the flat path must
+   stay under [max_ratio]. *)
+let run_alloc_check ~smoke =
+  Workload.Report.headline "B7-alloc - one-cluster minor-heap allocation vs dimension";
+  let n = if smoke then 200 else 400 in
+  let profile = Privcluster.Profile.practical in
+  let words_at dim =
+    let rng = Prim.Rng.create ~seed:7 () in
+    let grid = Geometry.Grid.create ~axis_size:64 ~dim in
+    let w =
+      Workload.Synth.planted_ball rng ~grid ~n ~cluster_fraction:0.5 ~cluster_radius:0.05
+    in
+    let idx =
+      Geometry.Pointset.build_index (Geometry.Pointset.create w.Workload.Synth.points)
+    in
+    (* One warm-up call, then measure a single end-to-end run. *)
+    ignore
+      (Privcluster.One_cluster.run_indexed rng profile ~grid ~eps:2.0 ~delta ~beta
+         ~t:(2 * n / 5) idx);
+    let before = Gc.minor_words () in
+    ignore
+      (Privcluster.One_cluster.run_indexed rng profile ~grid ~eps:2.0 ~delta ~beta
+         ~t:(2 * n / 5) idx);
+    Gc.minor_words () -. before
+  in
+  let d_lo = 4 and d_hi = 32 in
+  let w_lo = words_at d_lo and w_hi = words_at d_hi in
+  let ratio = w_hi /. w_lo in
+  let max_ratio = 4.0 in
+  let pass = ratio < max_ratio in
+  Workload.Report.kv (Printf.sprintf "minor words/call (n=%d, d=%d)" n d_lo)
+    (Printf.sprintf "%.0f" w_lo);
+  Workload.Report.kv (Printf.sprintf "minor words/call (n=%d, d=%d)" n d_hi)
+    (Printf.sprintf "%.0f" w_hi);
+  Workload.Report.kv
+    (Printf.sprintf "ratio (d x%d)" (d_hi / d_lo))
+    (Printf.sprintf "%.2f (max %.1f): %s" ratio max_ratio (if pass then "ok" else "FAIL"));
+  if not pass then begin
+    Printf.eprintf
+      "B7-alloc FAILED: allocation grew %.2fx when d grew %dx (O(n*d) regression)\n" ratio
+      (d_hi / d_lo);
+    exit 1
+  end;
+  (n, d_lo, d_hi, w_lo, w_hi, ratio)
+
+let json_of_results ~fx_n ~fx_d ~timing ~engine ~alloc =
+  let open Engine.Json in
+  let timing_json =
+    List.map
+      (fun (name, ns, r2) ->
+        Obj
+          [
+            ("name", String name);
+            ("ns_per_call", Float ns);
+            ("r_square", Float r2);
+          ])
+      timing
+  in
+  let engine_json =
+    match engine with
+    | None -> Null
+    | Some (n_jobs, rows, deterministic) ->
+        Obj
+          [
+            ("jobs", Int n_jobs);
+            ("deterministic", Bool deterministic);
+            ( "sweep",
+              List
+                (List.map
+                   (fun (domains, ms) ->
+                     Obj
+                       [
+                         ("domains", Int domains);
+                         ("wall_ms", Float ms);
+                         ("jobs_per_s", Float (1000. *. float_of_int n_jobs /. ms));
+                       ])
+                   rows) );
+          ]
+  in
+  let alloc_json =
+    match alloc with
+    | None -> Null
+    | Some (n, d_lo, d_hi, w_lo, w_hi, ratio) ->
+        Obj
+          [
+            ("n", Int n);
+            ("d_lo", Int d_lo);
+            ("d_hi", Int d_hi);
+            ("minor_words_lo", Float w_lo);
+            ("minor_words_hi", Float w_hi);
+            ("ratio", Float ratio);
+          ]
+  in
+  Obj
+    [
+      ("schema", String "privcluster-bench/1");
+      ("fixture", Obj [ ("n", Int fx_n); ("dim", Int fx_d) ]);
+      ("timing", List timing_json);
+      ("engine", engine_json);
+      ("alloc_check", alloc_json);
+    ]
+
+let write_json path json =
+  let oc = open_out path in
+  output_string oc (Engine.Json.to_string json);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "bench results written to %s\n" path
+
+(* CI mode: execute every bench path exactly once on a tiny fixture — no
+   measurement loops, just "does each stage still run end to end". *)
+let run_smoke ~json_path =
+  Workload.Report.headline "smoke - one tiny call per bench stage";
+  let fx = fixture ~n:160 ~dim:2 () in
+  List.iter
+    (fun (name, thunk) ->
+      let _, ms = Workload.Harness.time thunk in
+      Workload.Report.kv name (Printf.sprintf "ok (%.1f ms)" ms))
+    (stage_thunks fx);
+  let engine = run_engine_bench ~quick:true ~max_jobs:2 fx in
+  let alloc = run_alloc_check ~smoke:true in
+  (match json_path with
+  | None -> ()
+  | Some path ->
+      write_json path
+        (json_of_results ~fx_n:160 ~fx_d:2 ~timing:[] ~engine:(Some engine)
+           ~alloc:(Some alloc)));
+  print_endline "smoke OK"
 
 let () =
   let quick = ref false and only = ref [] and timing = ref true and experiments = ref true in
   let jobs = ref 1 in
-  let csv = ref None in
+  let csv = ref None and json_path = ref None in
+  let smoke = ref false in
+  let fix_n = ref 1500 and fix_d = ref 2 in
   let seed = ref Workload.Experiments.default_cfg.Workload.Experiments.seed in
   let spec =
     [
@@ -214,22 +379,39 @@ let () =
         "run the experiment suite on this many engine-pool worker domains (default 1)" );
       ("--seed", Arg.Set_int seed, "base RNG seed");
       ("--csv", Arg.String (fun d -> csv := Some d), "also write each table as CSV into this directory");
+      ( "--json",
+        Arg.String (fun f -> json_path := Some f),
+        "write B1-B8 and allocation-check results as JSON to this file" );
+      ("--fix-n", Arg.Set_int fix_n, "timing-fixture point count (default 1500)");
+      ("--fix-d", Arg.Set_int fix_d, "timing-fixture dimension (default 2)");
+      ("--smoke", Arg.Set smoke, "one tiny call per bench stage and exit (CI mode)");
     ]
   in
   Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) "privcluster bench";
   Workload.Report.set_csv_dir !csv;
-  let cfg = { Workload.Experiments.quick = !quick; seed = !seed } in
-  if !experiments then begin
-    let selected =
-      match !only with
-      | [] -> Workload.Experiments.all
-      | ids ->
-          timing := false;
-          List.filter (fun (id, _, _) -> List.mem id ids) Workload.Experiments.all
-    in
-    run_experiments ~jobs:!jobs cfg selected
-  end;
-  if !timing then begin
-    run_timing ~quick:!quick;
-    run_engine_bench ~quick:!quick ~max_jobs:!jobs
+  if !smoke then run_smoke ~json_path:!json_path
+  else begin
+    let cfg = { Workload.Experiments.quick = !quick; seed = !seed } in
+    if !experiments then begin
+      let selected =
+        match !only with
+        | [] -> Workload.Experiments.all
+        | ids ->
+            timing := false;
+            List.filter (fun (id, _, _) -> List.mem id ids) Workload.Experiments.all
+      in
+      run_experiments ~jobs:!jobs cfg selected
+    end;
+    if !timing then begin
+      let fx = fixture ~n:!fix_n ~dim:!fix_d () in
+      let timing_rows = run_timing ~quick:!quick fx in
+      let engine = run_engine_bench ~quick:!quick ~max_jobs:!jobs fx in
+      let alloc = run_alloc_check ~smoke:false in
+      match !json_path with
+      | None -> ()
+      | Some path ->
+          write_json path
+            (json_of_results ~fx_n:!fix_n ~fx_d:!fix_d ~timing:timing_rows
+               ~engine:(Some engine) ~alloc:(Some alloc))
+    end
   end

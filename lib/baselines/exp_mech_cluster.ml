@@ -35,7 +35,10 @@ let run rng ~grid ~eps ~t ps =
   let centers = all_centers grid in
   (* A k-d tree turns each of the |X|^d per-center counts from O(n·d) into a
      range query — the difference between minutes and seconds at d = 2. *)
-  let tree = Geometry.Kdtree.build (Geometry.Pointset.points ps) in
+  let tree =
+    Geometry.Kdtree.build_flat ~storage:(Geometry.Pointset.storage ps)
+      ~offs:(Geometry.Pointset.row_offsets ps) ~dim:(Geometry.Pointset.dim ps)
+  in
   let count_at r c = min t (Geometry.Kdtree.count_within tree ~center:c ~radius:r) in
   (* Radius search: max_c B̄_r(c) is a sensitivity-1, monotone score. *)
   let size = Geometry.Grid.radius_candidates grid in

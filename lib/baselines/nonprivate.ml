@@ -2,7 +2,7 @@ type answer = { center : Geometry.Vec.t; radius : float; exact : bool }
 
 let solve ps ~t =
   if Geometry.Pointset.dim ps = 1 then begin
-    let coords = Array.map (fun p -> p.(0)) (Geometry.Pointset.points ps) in
+    let coords = Geometry.Pointset.coords_axis ps 0 in
     let b = Geometry.Seb.exact_1d coords ~t in
     { center = b.Geometry.Seb.center; radius = b.Geometry.Seb.radius; exact = true }
   end

@@ -14,11 +14,10 @@ let coordinate_median rng ~grid ~eps coords =
 let run rng ~grid ~eps ~t ps =
   let d = Geometry.Pointset.dim ps in
   if d <> Geometry.Grid.dim grid then invalid_arg "Private_agg.run: dimension mismatch";
-  let points = Geometry.Pointset.points ps in
   let eps_axis = eps /. 2. /. float_of_int d in
   let center =
     Array.init d (fun i ->
-        coordinate_median rng ~grid ~eps:eps_axis (Array.map (fun p -> p.(i)) points))
+        coordinate_median rng ~grid ~eps:eps_axis (Geometry.Pointset.coords_axis ps i))
   in
   (* Private radius search: the in-ball count around the (now public) center
      is a monotone sensitivity-1 function of the radius. *)

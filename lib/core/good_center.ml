@@ -28,9 +28,11 @@ let pp_success ppf s =
     s.axis_fallbacks s.capture_radius s.noisy_count
 
 (* Steps 2–6: repeatedly draw a randomly shifted box partition of the
-   projected space and ask AboveThreshold whether some box is heavy. *)
+   projected space and ask AboveThreshold whether some box is heavy.
+   [proj] is the (already projected) pointset; occupancies are computed
+   over its flat rows. *)
 let find_heavy_boxing rng (profile : Profile.t) ~eps ~beta ~t ~side ~k proj =
-  let n = Array.length proj in
+  let n = Geometry.Pointset.n proj in
   let rounds = Profile.rounds profile ~n ~beta in
   let slack = Prim.Sparse_vector.accuracy_bound ~eps:(eps /. 4.) ~k:rounds ~beta in
   let sv =
@@ -40,7 +42,7 @@ let find_heavy_boxing rng (profile : Profile.t) ~eps ~beta ~t ~side ~k proj =
     if round > rounds then None
     else begin
       let boxing = Geometry.Boxing.make rng ~dim:k ~len:side in
-      let q = float_of_int (Geometry.Boxing.max_occupancy boxing proj) in
+      let q = float_of_int (Geometry.Boxing.max_occupancy_ps boxing proj) in
       match Prim.Sparse_vector.query sv q with
       | Prim.Sparse_vector.Above -> Some (boxing, round)
       | Prim.Sparse_vector.Below -> loop (round + 1)
@@ -52,7 +54,9 @@ let find_heavy_boxing rng (profile : Profile.t) ~eps ~beta ~t ~side ~k proj =
    Returns the center of the bounding ball C and the per-run count of axes
    that needed the data-independent fallback. *)
 let rotated_capture rng ~eps ~delta ~beta ~d ~k ~r ~axis_factor captured =
-  let n_captured = Array.length captured in
+  let n_captured = Geometry.Pointset.n captured in
+  let cst = Geometry.Pointset.storage captured in
+  let coffs = Geometry.Pointset.row_offsets captured in
   let rotation = Geometry.Rotation.make rng ~dim:d in
   let df = float_of_int d in
   let nf = float_of_int (max 2 n_captured) in
@@ -67,7 +71,9 @@ let rotated_capture rng ~eps ~delta ~beta ~d ~k ~r ~axis_factor captured =
   let centers =
     Array.init d (fun i ->
         let part = Geometry.Interval.make rng ~len:p in
-        let coords = Array.map (fun x -> Geometry.Rotation.project rotation x i) captured in
+        let coords =
+          Array.map (fun off -> Geometry.Rotation.project_row rotation cst ~off i) coffs
+        in
         let chosen =
           Prim.Stability_hist.select_by rng ~eps:eps_axis ~delta:delta_axis
             ~key:(Geometry.Interval.index_of part) coords
@@ -88,22 +94,24 @@ let rotated_capture rng ~eps ~delta ~beta ~d ~k ~r ~axis_factor captured =
   let capture_radius = 3. *. p *. sqrt df in
   (center, capture_radius, !fallbacks)
 
-let run rng (profile : Profile.t) ~eps ~delta ~beta ~t ~radius:r points =
+let run_ps rng (profile : Profile.t) ~eps ~delta ~beta ~t ~radius:r ps =
   if not (r > 0.) then invalid_arg "Good_center.run: radius must be positive";
   if not (eps > 0.) then invalid_arg "Good_center.run: eps must be positive";
-  if Array.length points = 0 then invalid_arg "Good_center.run: empty input";
-  let n = Array.length points in
-  let d = Geometry.Vec.dim points.(0) in
+  let n = Geometry.Pointset.n ps in
+  if n = 0 then invalid_arg "Good_center.run: empty input";
+  let d = Geometry.Pointset.dim ps in
   let k = Profile.jl_dim profile ~n ~d ~beta in
   let identity_projection = k >= d in
   let k = if identity_projection then d else k in
-  let project =
-    if identity_projection then fun x -> x
-    else
+  let proj =
+    if identity_projection then ps
+    else begin
       let jl = Geometry.Jl.make rng ~input_dim:d ~output_dim:k in
-      Geometry.Jl.apply jl
+      Geometry.Jl.project jl ps
+    end
   in
-  let proj = if identity_projection then points else Array.map project points in
+  let pst = Geometry.Pointset.storage proj in
+  let poffs = Geometry.Pointset.row_offsets proj in
   let side = profile.Profile.box_side_factor *. r in
   match find_heavy_boxing rng profile ~eps ~beta ~t ~side ~k proj with
   | None -> Error No_heavy_box
@@ -115,7 +123,7 @@ let run rng (profile : Profile.t) ~eps ~delta ~beta ~t ~radius:r points =
       (* Step 7: pick the heavy box privately. *)
       match
         Prim.Stability_hist.select rng ~eps:(eps /. 4.) ~delta:(delta /. 4.)
-          (Geometry.Boxing.occupancy boxing proj)
+          (Geometry.Boxing.occupancy_ps boxing proj)
       with
       | None -> Error Box_selection_failed
       | Some cell ->
@@ -123,7 +131,9 @@ let run rng (profile : Profile.t) ~eps ~delta ~beta ~t ~radius:r points =
           Log.debug (fun m ->
               m "box selected: true count %d, noisy %.1f" cell.Prim.Stability_hist.count
                 cell.Prim.Stability_hist.noisy_count);
-          let in_box x = Geometry.Boxing.key_of boxing (project x) = key in
+          (* Membership is decided on the precomputed projected rows —
+             bit-identical to re-projecting the original point. *)
+          let in_box i = Geometry.Boxing.key_of_row boxing pst ~off:poffs.(i) = key in
           let capture_center, capture_radius, axis_fallbacks =
             if identity_projection then begin
               (* The box itself bounds D deterministically: C is its
@@ -132,17 +142,29 @@ let run rng (profile : Profile.t) ~eps ~delta ~beta ~t ~radius:r points =
               (center, 0.5 *. side *. sqrt (float_of_int d), 0)
             end
             else begin
-              let captured = Array.of_list (List.filter in_box (Array.to_list points)) in
+              let kept = ref [] in
+              for i = n - 1 downto 0 do
+                if in_box i then kept := i :: !kept
+              done;
+              let captured =
+                Geometry.Pointset.subset ps ~indices:(Array.of_list !kept)
+              in
               rotated_capture rng ~eps ~delta ~beta ~d ~k ~r
                 ~axis_factor:(Profile.axis_interval_factor profile)
                 captured
             end
           in
-          let pred x = in_box x && Geometry.Vec.dist x capture_center <= capture_radius in
+          let st = Geometry.Pointset.storage ps in
+          let offs = Geometry.Pointset.row_offsets ps in
+          let pred i =
+            in_box i
+            && Geometry.Vec.dist_to_row st ~off:offs.(i) ~dim:d capture_center
+               <= capture_radius
+          in
           (* Step 11: noisy average of D ∩ C. *)
           let avg =
-            Prim.Noisy_avg.run rng ~eps:(eps /. 4.) ~delta:(delta /. 4.)
-              ~diameter:(2. *. capture_radius) ~pred ~dim:d points
+            Prim.Noisy_avg.run_rows rng ~eps:(eps /. 4.) ~delta:(delta /. 4.)
+              ~diameter:(2. *. capture_radius) ~pred ~dim:d ~offs st
           in
           (match avg with
           | Prim.Noisy_avg.Bottom -> Error Averaging_bottom
@@ -169,3 +191,9 @@ let run rng (profile : Profile.t) ~eps ~delta ~beta ~t ~radius:r points =
                   capture_radius;
                   noisy_count = m_hat;
                 }))
+
+let run rng profile ~eps ~delta ~beta ~t ~radius points =
+  if not (radius > 0.) then invalid_arg "Good_center.run: radius must be positive";
+  if not (eps > 0.) then invalid_arg "Good_center.run: eps must be positive";
+  if Array.length points = 0 then invalid_arg "Good_center.run: empty input";
+  run_ps rng profile ~eps ~delta ~beta ~t ~radius (Geometry.Pointset.create points)

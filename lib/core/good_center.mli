@@ -64,7 +64,25 @@ val run :
   radius:float ->
   Geometry.Vec.t array ->
   (success, failure) Stdlib.result
-(** [run rng profile ~eps ~delta ~beta ~t ~radius points].
+(** [run rng profile ~eps ~delta ~beta ~t ~radius points].  Packs the
+    points and delegates to {!run_ps}.
     @raise Invalid_argument if [radius <= 0] (a zero radius means a heavy
     exact point exists; {!One_cluster} handles that case with a plain
     stability histogram instead). *)
+
+val run_ps :
+  Prim.Rng.t ->
+  Profile.t ->
+  eps:float ->
+  delta:float ->
+  beta:float ->
+  t:int ->
+  radius:float ->
+  Geometry.Pointset.t ->
+  (success, failure) Stdlib.result
+(** Flat-path entry point: the whole pipeline — JL projection, box
+    occupancies, capture, NoisyAVG — runs over the pointset's contiguous
+    rows without boxing any intermediate vector; [points]-based {!run} on
+    the same data and RNG state returns bit-identical results.  The input
+    may be a zero-copy view ({!Geometry.Pointset.subset}).
+    @raise Invalid_argument additionally if the view is empty. *)

@@ -2,7 +2,6 @@ type ball = { center : Geometry.Vec.t; radius : float; core_radius : float }
 type result = { balls : ball list; uncovered : int; failures : int }
 
 let covered ball p = Geometry.Vec.dist p ball.center <= ball.radius +. 1e-12
-let core_covered ball p = Geometry.Vec.dist p ball.center <= ball.core_radius +. 1e-12
 
 let coverage balls points =
   Array.fold_left
@@ -14,21 +13,24 @@ let max_recommended_k ~eps ~n ~d =
   let k = ((eps *. float_of_int n) ** (2. /. 3.)) /. (float_of_int d ** (1. /. 3.)) in
   max 1 (int_of_float k)
 
-let run rng profile ~grid ~eps ~delta ~beta ~k ~t_fraction points =
+let run_ps rng profile ~grid ~eps ~delta ~beta ~k ~t_fraction ps =
   if k < 1 then invalid_arg "K_cluster.run: k must be >= 1";
   if not (t_fraction > 0. && t_fraction <= 1.) then
     invalid_arg "K_cluster.run: t_fraction must be in (0, 1]";
+  let dim = Geometry.Pointset.dim ps in
   let kf = float_of_int k in
   let eps_i = eps /. kf and delta_i = delta /. kf in
+  (* Peeling never copies coordinates: each iteration's remainder is an
+     index view over the original storage. *)
   let rec go iter remaining balls failures =
     if iter > k then (balls, remaining, failures)
     else begin
-      let m = Array.length remaining in
+      let m = Geometry.Pointset.n remaining in
       let t = max 1 (int_of_float (t_fraction *. float_of_int m)) in
       if m < max 8 t then (balls, remaining, failures)
       else begin
         match
-          One_cluster.run rng profile ~grid ~eps:eps_i ~delta:delta_i ~beta ~t remaining
+          One_cluster.run_ps rng profile ~grid ~eps:eps_i ~delta:delta_i ~beta ~t remaining
         with
         | Error _ -> go (iter + 1) remaining balls (failures + 1)
         | Ok r ->
@@ -41,12 +43,20 @@ let run rng profile ~grid ~eps ~delta ~beta ~k ~t_fraction points =
               }
             in
             let rest =
-              Array.of_list
-                (List.filter (fun p -> not (core_covered ball p)) (Array.to_list remaining))
+              Geometry.Pointset.filter_rows
+                (fun st off ->
+                  not
+                    (Geometry.Vec.dist_to_row st ~off ~dim ball.center
+                    <= ball.core_radius +. 1e-12))
+                remaining
             in
             go (iter + 1) rest (ball :: balls) failures
       end
     end
   in
-  let balls, remaining, failures = go 1 points [] 0 in
-  { balls = List.rev balls; uncovered = Array.length remaining; failures }
+  let balls, remaining, failures = go 1 ps [] 0 in
+  { balls = List.rev balls; uncovered = Geometry.Pointset.n remaining; failures }
+
+let run rng profile ~grid ~eps ~delta ~beta ~k ~t_fraction points =
+  run_ps rng profile ~grid ~eps ~delta ~beta ~k ~t_fraction
+    (Geometry.Pointset.create points)

@@ -39,6 +39,20 @@ val run :
     corresponds to [t_fraction = 1/k] on the first call); iterations stop
     early once fewer than [max(8, t)] points remain. *)
 
+val run_ps :
+  Prim.Rng.t ->
+  Profile.t ->
+  grid:Geometry.Grid.t ->
+  eps:float ->
+  delta:float ->
+  beta:float ->
+  k:int ->
+  t_fraction:float ->
+  Geometry.Pointset.t ->
+  result
+(** Like {!run} over an existing pointset; the between-iteration peeling
+    produces zero-copy index views instead of repacked arrays. *)
+
 val coverage : ball list -> Geometry.Vec.t array -> int
 (** Points covered by at least one ball (non-private diagnostic). *)
 

@@ -31,7 +31,6 @@ let center_stage_loss (profile : Profile.t) ~eps ~beta ~n =
 
 let run_indexed rng (profile : Profile.t) ~grid ~eps ~delta ~beta ~t index =
   let ps = Geometry.Pointset.index_pointset index in
-  let points = Geometry.Pointset.points ps in
   let n = Geometry.Pointset.n ps in
   (* The zero path is completed by a stability-histogram query at
      (ε/2, δ/2); only let the shortcut fire when that query can succeed. *)
@@ -47,10 +46,13 @@ let run_indexed rng (profile : Profile.t) ~grid ~eps ~delta ~beta ~t index =
   if radius_stage.Good_radius.zero_shortcut || radius_stage.Good_radius.radius = 0. then begin
     (* Radius 0 (via the step-2 shortcut or the search itself landing on
        candidate 0): some exact grid point is heavy; one histogram query
-       finds it. *)
+       finds it.  The histogram is keyed on snapped flat rows — same keys
+       in the same order as snapping boxed points. *)
+    let st = Geometry.Pointset.storage ps and offs = Geometry.Pointset.row_offsets ps in
     match
       Prim.Stability_hist.select_by rng ~eps:(eps /. 2.) ~delta:(delta /. 2.)
-        ~key:(Geometry.Grid.snap grid) points
+        ~key:(fun i -> Geometry.Grid.snap_row grid st ~off:offs.(i))
+        (Array.init n Fun.id)
     with
     | Some cell ->
         Ok
@@ -66,8 +68,8 @@ let run_indexed rng (profile : Profile.t) ~grid ~eps ~delta ~beta ~t index =
   end
   else begin
     match
-      Good_center.run rng profile ~eps:(eps /. 2.) ~delta:(delta /. 2.) ~beta ~t
-        ~radius:radius_stage.Good_radius.radius points
+      Good_center.run_ps rng profile ~eps:(eps /. 2.) ~delta:(delta /. 2.) ~beta ~t
+        ~radius:radius_stage.Good_radius.radius ps
     with
     | Error f -> Error (Center_failure f)
     | Ok success ->
@@ -88,9 +90,11 @@ let run_indexed rng (profile : Profile.t) ~grid ~eps ~delta ~beta ~t index =
           }
   end
 
+let run_ps rng profile ~grid ~eps ~delta ~beta ~t ps =
+  run_indexed rng profile ~grid ~eps ~delta ~beta ~t (Geometry.Pointset.build_index ps)
+
 let run rng profile ~grid ~eps ~delta ~beta ~t points =
-  run_indexed rng profile ~grid ~eps ~delta ~beta ~t
-    (Geometry.Pointset.build_index (Geometry.Pointset.create points))
+  run_ps rng profile ~grid ~eps ~delta ~beta ~t (Geometry.Pointset.create points)
 
 let budget_breakdown (profile : Profile.t) ~eps ~delta ~d =
   ignore profile;

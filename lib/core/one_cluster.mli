@@ -48,6 +48,20 @@ val run :
 (** Builds the O(n²) distance index internally; see {!run_indexed} to
     amortize it across calls. *)
 
+val run_ps :
+  Prim.Rng.t ->
+  Profile.t ->
+  grid:Geometry.Grid.t ->
+  eps:float ->
+  delta:float ->
+  beta:float ->
+  t:int ->
+  Geometry.Pointset.t ->
+  (result, failure) Stdlib.result
+(** Like {!run} but over an existing pointset (possibly a zero-copy view)
+    — no repacking; same results bit for bit on equal data and RNG
+    state. *)
+
 val run_indexed :
   Prim.Rng.t ->
   Profile.t ->

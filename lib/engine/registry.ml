@@ -17,11 +17,11 @@ let create () = { datasets = [] }
 let find t name = List.find_opt (fun d -> d.name = name) t.datasets
 let names t = List.rev_map (fun d -> d.name) t.datasets
 
-let register t ~name ~grid ?mode ~budget ?dense_threshold points =
+let register t ~name ~grid ?mode ~budget ?dense_threshold ?index_domains points =
   if find t name <> None then
     invalid_arg (Printf.sprintf "Registry.register: duplicate dataset %S" name);
   let pointset = Geometry.Pointset.create points in
-  let index = Geometry.Pointset.auto_index ?dense_threshold pointset in
+  let index = Geometry.Pointset.auto_index ?dense_threshold ?domains:index_domains pointset in
   let dataset =
     {
       name;

@@ -27,10 +27,14 @@ val register :
   ?mode:Accountant.mode ->
   budget:Prim.Dp.params ->
   ?dense_threshold:int ->
+  ?index_domains:int ->
   Geometry.Vec.t array ->
   dataset
 (** Build the index ({!Geometry.Pointset.auto_index} with the given dense
-    threshold) and the accountant, and file the dataset under [name].
+    threshold) and the accountant, and file the dataset under [name].  The
+    points are packed once into flat storage; every job then reads that
+    storage through zero-copy views.  [index_domains > 1] parallelizes the
+    dense-index construction (the result is identical for any value).
     @raise Invalid_argument on a duplicate name, an empty point array, or
     points of mixed dimension. *)
 

@@ -28,7 +28,10 @@ let domains t = t.domains
 let seed t = t.seed
 
 let register t ~name ~grid ?mode ~budget ?dense_threshold points =
-  Registry.register t.registry ~name ~grid ?mode ~budget ?dense_threshold points
+  (* The dense-index rows are independent, so building them on the
+     service's worker-domain count changes nothing but wall-clock. *)
+  Registry.register t.registry ~name ~grid ?mode ~budget ?dense_threshold
+    ~index_domains:t.domains points
 
 (* One admitted job, on a worker domain.  Everything read from [dataset] is
    immutable after registration except the r_opt-bounds cache, which locks
@@ -61,9 +64,10 @@ let execute t dataset rng (spec : Job.spec) : Job.status =
           Job.Solver_failed (Format.asprintf "%a" Privcluster.One_cluster.pp_failure f))
   | Job.K_cluster { k; t_fraction } ->
       let r =
-        Privcluster.K_cluster.run rng t.profile ~grid ~eps:spec.Job.eps ~delta:spec.Job.delta
-          ~beta:spec.Job.beta ~k ~t_fraction
-          (Geometry.Pointset.points ps)
+        (* Zero-copy: peeling inside run_ps produces index views over the
+           registry's flat storage. *)
+        Privcluster.K_cluster.run_ps rng t.profile ~grid ~eps:spec.Job.eps
+          ~delta:spec.Job.delta ~beta:spec.Job.beta ~k ~t_fraction ps
       in
       let balls =
         List.map
@@ -89,7 +93,7 @@ let execute t dataset rng (spec : Job.spec) : Job.status =
       if axis < 0 || axis >= d then
         Job.Solver_failed (Printf.sprintf "axis %d out of range for dimension %d" axis d)
       else
-        let values = Array.map (fun p -> p.(axis)) (Geometry.Pointset.points ps) in
+        let values = Geometry.Pointset.coords_axis ps axis in
         let grid1 =
           Geometry.Grid.create ~axis_size:(Geometry.Grid.axis_size grid) ~dim:1
         in

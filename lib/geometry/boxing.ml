@@ -30,7 +30,24 @@ let l2_diameter t =
          acc +. (s *. s))
        0. t.partitions)
 
+let key_of_row t st ~off =
+  Array.init (dim t) (fun i -> Interval.index_of t.partitions.(i) st.(off + i))
+
 let occupancy t points = Prim.Stability_hist.count_by ~key:(key_of t) points
 
 let max_occupancy t points =
   List.fold_left (fun acc (_, c) -> max acc c) 0 (occupancy t points)
+
+(* Flat variants: histogram the rows of a pointset without boxing any
+   point.  Keys are inserted in point order into a table of the same
+   initial size as the boxed path, so the resulting cell list is
+   identical (Stability_hist.count_by preserves insertion order). *)
+let occupancy_ps t ps =
+  if Pointset.dim ps <> dim t then invalid_arg "Boxing.occupancy_ps: dimension mismatch";
+  let st = Pointset.storage ps and offs = Pointset.row_offsets ps in
+  Prim.Stability_hist.count_by
+    ~key:(fun i -> key_of_row t st ~off:offs.(i))
+    (Array.init (Pointset.n ps) Fun.id)
+
+let max_occupancy_ps t ps =
+  List.fold_left (fun acc (_, c) -> max acc c) 0 (occupancy_ps t ps)

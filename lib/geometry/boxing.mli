@@ -24,6 +24,10 @@ val side : t -> int -> float
 val key_of : t -> Vec.t -> key
 (** Box containing a point. *)
 
+val key_of_row : t -> float array -> off:int -> key
+(** Box containing the row at [off] of a flat store (no boxed point is
+    materialized). *)
+
 val bounds : t -> key -> (float * float) array
 (** Per-axis [(lo, hi)] of a box. *)
 
@@ -40,3 +44,11 @@ val occupancy : t -> Vec.t array -> (key * int) list
 val max_occupancy : t -> Vec.t array -> int
 (** [max_{j⃗} |S ∩ B_{j⃗}|] — the sensitivity-1 query [q(S)] that GoodCenter
     feeds AboveThreshold (step 5). *)
+
+val occupancy_ps : t -> Pointset.t -> (key * int) list
+(** {!occupancy} over a pointset's flat rows — same cells in the same
+    order, without boxing any point.
+    @raise Invalid_argument on dimension mismatch. *)
+
+val max_occupancy_ps : t -> Pointset.t -> int
+(** {!max_occupancy} over a pointset's flat rows. *)

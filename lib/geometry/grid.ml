@@ -23,6 +23,13 @@ let snap g v =
       Float.round (x /. h) *. h)
     v
 
+let snap_row g st ~off =
+  let h = step g in
+  Array.init g.dim (fun i ->
+      let x = st.(off + i) in
+      let x = Float.max 0. (Float.min 1. x) in
+      Float.round (x /. h) *. h)
+
 let mem g v =
   Vec.dim v = g.dim
   &&

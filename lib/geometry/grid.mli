@@ -28,6 +28,10 @@ val snap : t -> Vec.t -> Vec.t
 (** Nearest grid point (each coordinate clamped to [0, 1] and rounded to a
     multiple of the step). *)
 
+val snap_row : t -> float array -> off:int -> Vec.t
+(** {!snap} of the [dim]-length row starting at element [off] of a flat
+    store (the only allocation is the returned grid point). *)
+
 val mem : t -> Vec.t -> bool
 (** Is the point exactly on the grid (within 1e-9 of a grid coordinate)? *)
 

@@ -17,6 +17,11 @@ val output_dim : t -> int
 val apply : t -> Vec.t -> Vec.t
 val apply_all : t -> Vec.t array -> Vec.t array
 
+val project : t -> Pointset.t -> Pointset.t
+(** Projects a whole pointset as one flat mat-mul into fresh contiguous
+    storage (row [i] of the result is [apply t] of point [i], bit for
+    bit, but without boxing any intermediate vector). *)
+
 val target_dim : n:int -> eta:float -> beta:float -> int
 (** The smallest [k] the lemma licenses: [⌈(8/η²)·ln(2n²/β)⌉]. *)
 

@@ -1,5 +1,12 @@
+(* k-d tree over flat row-major storage.  The tree never copies point
+   coordinates: it keeps a reference to the backing store and permutes an
+   array of row offsets.  The build replays exactly the same
+   median-quickselect comparison sequence as the historical boxed build, so
+   tree structure and query results are bit-identical to the old
+   [Vec.t array] implementation on the same input. *)
+
 type node =
-  | Leaf of { pts : Vec.t array }
+  | Leaf of { lo : int; hi : int }  (** [idx.(lo..hi)] inclusive. *)
   | Split of {
       axis : int;
       threshold : float;  (** left: coordinate <= threshold; right: >. *)
@@ -7,23 +14,24 @@ type node =
       right : node;
       bbox_lo : Vec.t;
       bbox_hi : Vec.t;
+      size : int;
     }
 
-type t = { root : node; size : int; dim : int }
+type t = { st : float array; idx : int array; root : node; size : int; dim : int }
 
 let leaf_capacity = 16
 
-let bbox pts =
-  let d = Vec.dim pts.(0) in
-  let lo = Array.make d infinity and hi = Array.make d neg_infinity in
-  Array.iter
-    (fun p ->
-      for i = 0 to d - 1 do
-        if p.(i) < lo.(i) then lo.(i) <- p.(i);
-        if p.(i) > hi.(i) then hi.(i) <- p.(i)
-      done)
-    pts;
-  (lo, hi)
+let bbox st dim idx lo hi =
+  let blo = Array.make dim infinity and bhi = Array.make dim neg_infinity in
+  for i = lo to hi do
+    let off = idx.(i) in
+    for j = 0 to dim - 1 do
+      let x = st.(off + j) in
+      if x < blo.(j) then blo.(j) <- x;
+      if x > bhi.(j) then bhi.(j) <- x
+    done
+  done;
+  (blo, bhi)
 
 let widest_axis lo hi =
   let best = ref 0 and best_w = ref neg_infinity in
@@ -37,50 +45,56 @@ let widest_axis lo hi =
     lo;
   !best
 
-(* In-place quickselect partition of pts[lo..hi] by coordinate [axis] so
+(* In-place quickselect partition of idx[lo..hi] by coordinate [axis] so
    that index mid holds the median element. *)
-let rec select pts axis lo hi mid =
+let rec select st idx axis lo hi mid =
   if lo < hi then begin
-    let pivot = pts.((lo + hi) / 2).(axis) in
+    let pivot = st.(idx.((lo + hi) / 2) + axis) in
     let i = ref lo and j = ref hi in
     while !i <= !j do
-      while pts.(!i).(axis) < pivot do incr i done;
-      while pts.(!j).(axis) > pivot do decr j done;
+      while st.(idx.(!i) + axis) < pivot do incr i done;
+      while st.(idx.(!j) + axis) > pivot do decr j done;
       if !i <= !j then begin
-        let tmp = pts.(!i) in
-        pts.(!i) <- pts.(!j);
-        pts.(!j) <- tmp;
+        let tmp = idx.(!i) in
+        idx.(!i) <- idx.(!j);
+        idx.(!j) <- tmp;
         incr i;
         decr j
       end
     done;
-    if mid <= !j then select pts axis lo !j mid
-    else if mid >= !i then select pts axis !i hi mid
+    if mid <= !j then select st idx axis lo !j mid
+    else if mid >= !i then select st idx axis !i hi mid
   end
 
-let rec build_node pts lo hi =
+let rec build_node st dim idx lo hi =
   let n = hi - lo + 1 in
-  if n <= leaf_capacity then Leaf { pts = Array.sub pts lo n }
+  if n <= leaf_capacity then Leaf { lo; hi }
   else begin
-    let slice = Array.sub pts lo n in
-    let blo, bhi = bbox slice in
+    let blo, bhi = bbox st dim idx lo hi in
     let axis = widest_axis blo bhi in
-    if bhi.(axis) -. blo.(axis) <= 0. then Leaf { pts = slice }
+    if bhi.(axis) -. blo.(axis) <= 0. then Leaf { lo; hi }
     else begin
       let mid = lo + (n / 2) in
-      select pts axis lo hi mid;
-      let threshold = pts.(mid).(axis) in
+      select st idx axis lo hi mid;
+      let threshold = st.(idx.(mid) + axis) in
       Split
         {
           axis;
           threshold;
-          left = build_node pts lo mid;
-          right = build_node pts (mid + 1) hi;
+          left = build_node st dim idx lo mid;
+          right = build_node st dim idx (mid + 1) hi;
           bbox_lo = blo;
           bbox_hi = bhi;
+          size = n;
         }
     end
   end
+
+let build_flat ~storage ~offs ~dim =
+  let n = Array.length offs in
+  if n = 0 then invalid_arg "Kdtree.build: empty";
+  let idx = Array.copy offs in
+  { st = storage; idx; root = build_node storage dim idx 0 (n - 1); size = n; dim }
 
 let build points =
   let n = Array.length points in
@@ -89,8 +103,9 @@ let build points =
   Array.iter
     (fun p -> if Vec.dim p <> d then invalid_arg "Kdtree.build: mixed dimensions")
     points;
-  let pts = Array.copy points in
-  { root = build_node pts 0 (n - 1); size = n; dim = d }
+  let storage = Array.make (n * d) 0. in
+  Array.iteri (fun i p -> Vec.set_row storage ~off:(i * d) p) points;
+  build_flat ~storage ~offs:(Array.init n (fun i -> i * d)) ~dim:d
 
 let size t = t.size
 let dim t = t.dim
@@ -113,27 +128,69 @@ let box_far_dist_sq lo hi p =
   done;
   !acc
 
-let rec count_node node center r2 =
+(* Same, against a flat row rather than a boxed center. *)
+let box_dist_sq_row lo hi cst coff =
+  let acc = ref 0. in
+  for i = 0 to Array.length lo - 1 do
+    let x = cst.(coff + i) in
+    let d = if x < lo.(i) then lo.(i) -. x else if x > hi.(i) then x -. hi.(i) else 0. in
+    acc := !acc +. (d *. d)
+  done;
+  !acc
+
+let box_far_dist_sq_row lo hi cst coff =
+  let acc = ref 0. in
+  for i = 0 to Array.length lo - 1 do
+    let x = cst.(coff + i) in
+    let d = Float.max (Float.abs (x -. lo.(i))) (Float.abs (x -. hi.(i))) in
+    acc := !acc +. (d *. d)
+  done;
+  !acc
+
+let node_size = function Leaf { lo; hi } -> hi - lo + 1 | Split { size; _ } -> size
+
+let rec count_node t node center r2 =
   match node with
-  | Leaf { pts } ->
-      Array.fold_left (fun acc p -> if Vec.dist_sq p center <= r2 then acc + 1 else acc) 0 pts
+  | Leaf { lo; hi } ->
+      let acc = ref 0 in
+      for i = lo to hi do
+        if Vec.dist_sq_to_row t.st ~off:t.idx.(i) ~dim:t.dim center <= r2 then incr acc
+      done;
+      !acc
   | Split { left; right; bbox_lo; bbox_hi; _ } ->
       if box_dist_sq bbox_lo bbox_hi center > r2 then 0
       else if box_far_dist_sq bbox_lo bbox_hi center <= r2 then node_size node
-      else count_node left center r2 + count_node right center r2
-
-and node_size = function
-  | Leaf { pts } -> Array.length pts
-  | Split { left; right; _ } -> node_size left + node_size right
+      else count_node t left center r2 + count_node t right center r2
 
 let count_within t ~center ~radius =
-  if radius < 0. then 0 else count_node t.root center (radius *. radius)
+  if radius < 0. then 0 else count_node t t.root center (radius *. radius)
 
-let iter_within t ~center ~radius f =
+(* Center given as a row of some flat store (possibly [t]'s own). *)
+let rec count_node_row t node cst coff r2 =
+  match node with
+  | Leaf { lo; hi } ->
+      let acc = ref 0 in
+      for i = lo to hi do
+        if Vec.dist_sq_rows t.st t.idx.(i) cst coff ~dim:t.dim <= r2 then incr acc
+      done;
+      !acc
+  | Split { left; right; bbox_lo; bbox_hi; _ } ->
+      if box_dist_sq_row bbox_lo bbox_hi cst coff > r2 then 0
+      else if box_far_dist_sq_row bbox_lo bbox_hi cst coff <= r2 then node_size node
+      else count_node_row t left cst coff r2 + count_node_row t right cst coff r2
+
+let count_within_row t cst ~off ~radius =
+  if radius < 0. then 0 else count_node_row t t.root cst off (radius *. radius)
+
+let iter_within_offs t ~center ~radius f =
   if radius >= 0. then begin
     let r2 = radius *. radius in
     let rec go = function
-      | Leaf { pts } -> Array.iter (fun p -> if Vec.dist_sq p center <= r2 then f p) pts
+      | Leaf { lo; hi } ->
+          for i = lo to hi do
+            let off = t.idx.(i) in
+            if Vec.dist_sq_to_row t.st ~off ~dim:t.dim center <= r2 then f off
+          done
       | Split { left; right; bbox_lo; bbox_hi; _ } ->
           if box_dist_sq bbox_lo bbox_hi center <= r2 then begin
             go left;
@@ -143,24 +200,28 @@ let iter_within t ~center ~radius f =
     go t.root
   end
 
+let iter_within t ~center ~radius f =
+  iter_within_offs t ~center ~radius (fun off -> f (Vec.of_row t.st ~off ~dim:t.dim))
+
 let points_within t ~center ~radius =
   let acc = ref [] in
-  iter_within t ~center ~radius (fun p -> acc := p :: !acc);
-  Array.of_list (List.rev !acc)
+  iter_within_offs t ~center ~radius (fun off -> acc := off :: !acc);
+  let offs = Array.of_list (List.rev !acc) in
+  Array.map (fun off -> Vec.of_row t.st ~off ~dim:t.dim) offs
 
 let nearest t query =
-  let best = ref None and best_d2 = ref infinity in
+  let best = ref (-1) and best_d2 = ref infinity in
   let rec go = function
-    | Leaf { pts } ->
-        Array.iter
-          (fun p ->
-            let d2 = Vec.dist_sq p query in
-            if d2 < !best_d2 then begin
-              best_d2 := d2;
-              best := Some p
-            end)
-          pts
-    | Split { left; right; bbox_lo; bbox_hi; axis; threshold } ->
+    | Leaf { lo; hi } ->
+        for i = lo to hi do
+          let off = t.idx.(i) in
+          let d2 = Vec.dist_sq_to_row t.st ~off ~dim:t.dim query in
+          if d2 < !best_d2 then begin
+            best_d2 := d2;
+            best := off
+          end
+        done
+    | Split { left; right; bbox_lo; bbox_hi; axis; threshold; _ } ->
         if box_dist_sq bbox_lo bbox_hi query < !best_d2 then begin
           (* Visit the side containing the query first. *)
           let first, second = if query.(axis) <= threshold then (left, right) else (right, left) in
@@ -169,9 +230,11 @@ let nearest t query =
         end
   in
   go t.root;
-  match !best with
-  | Some p -> (p, sqrt !best_d2)
-  | None -> invalid_arg "Kdtree.nearest: empty tree"
+  if !best < 0 then invalid_arg "Kdtree.nearest: empty tree"
+  else (Vec.of_row t.st ~off:!best ~dim:t.dim, sqrt !best_d2)
 
 let counts_within_all t centers ~radius =
   Array.map (fun c -> count_within t ~center:c ~radius) centers
+
+let counts_within_rows t cst ~offs ~radius =
+  Array.map (fun off -> count_within_row t cst ~off ~radius) offs

@@ -7,14 +7,23 @@
     O(n^{1−1/d} + out) without any quadratic precomputation, which is what
     the large-n experiment paths and the outlier predicates use.
 
-    The tree stores the points it is built from; queries never allocate
-    more than the output. *)
+    The tree is a {e view}: built from flat row-major storage, it keeps a
+    reference to the backing store and permutes only an array of row
+    offsets — no coordinate is ever copied.  The storage must not be
+    mutated while the tree is live (see DESIGN.md, "Memory layout").
+    Queries never allocate more than the output. *)
 
 type t
 
 val build : Vec.t array -> t
-(** O(n log n) construction (median splits along the widest axis).
+(** O(n log n) construction (median splits along the widest axis); packs
+    the boxed input into fresh flat storage first.
     @raise Invalid_argument on an empty array or mixed dimensions. *)
+
+val build_flat : storage:float array -> offs:int array -> dim:int -> t
+(** Zero-copy construction over existing flat storage: [offs.(i)] is the
+    element offset of point [i]'s row.  [offs] is copied (the build permutes
+    it); [storage] is shared.  @raise Invalid_argument on empty [offs]. *)
 
 val size : t -> int
 val dim : t -> int
@@ -23,14 +32,26 @@ val count_within : t -> center:Vec.t -> radius:float -> int
 (** Number of stored points with [dist p center <= radius] (inclusive, like
     {!Pointset.ball_count}). *)
 
+val count_within_row : t -> float array -> off:int -> radius:float -> int
+(** Same, with the center given as a row of a flat store (allocation-free;
+    the store may be the tree's own backing storage). *)
+
 val iter_within : t -> center:Vec.t -> radius:float -> (Vec.t -> unit) -> unit
+(** Visits a fresh copy of each point inside the ball. *)
+
+val iter_within_offs : t -> center:Vec.t -> radius:float -> (int -> unit) -> unit
+(** Allocation-free variant: visits the row offset of each point inside
+    the ball (offsets index the tree's backing storage). *)
 
 val points_within : t -> center:Vec.t -> radius:float -> Vec.t array
 
 val nearest : t -> Vec.t -> Vec.t * float
-(** Nearest stored point and its distance.  @raise Invalid_argument on an
-    empty tree (cannot happen via {!build}). *)
+(** Nearest stored point (a fresh copy) and its distance.
+    @raise Invalid_argument on an empty tree (cannot happen via {!build}). *)
 
 val counts_within_all : t -> Vec.t array -> radius:float -> int array
 (** [count_within] for a batch of centers (the per-point counts feeding
     GoodRadius's score on large inputs). *)
+
+val counts_within_rows : t -> float array -> offs:int array -> radius:float -> int array
+(** Batch {!count_within_row}: one count per row offset in [offs]. *)

@@ -32,16 +32,19 @@ let canonical_order centers =
   Array.sort compare_vec sorted;
   sorted
 
-(* k-means++: each next seed drawn proportionally to its squared distance
-   from the chosen set. *)
-let seed_plus_plus rng ~k points =
-  let n = Array.length points in
-  let centers = Array.make k points.(Prim.Rng.int rng n) in
-  let dist2 = Array.map (fun p -> Vec.dist_sq p centers.(0)) points in
+(* k-means++ over flat row-major storage: each next seed drawn
+   proportionally to its squared distance from the chosen set.  Returns the
+   k seeds as a flat k×d matrix.  The RNG draw sequence and every float
+   operation mirror the historical boxed implementation exactly. *)
+let seed_plus_plus_rows rng ~k st n d =
+  let cst = Array.make (k * d) 0. in
+  let blit_row i j = Array.blit st (i * d) cst (j * d) d in
+  blit_row (Prim.Rng.int rng n) 0;
+  let dist2 = Array.init n (fun i -> Vec.dist_sq_rows st (i * d) cst 0 ~dim:d) in
   for j = 1 to k - 1 do
     let total = Array.fold_left ( +. ) 0. dist2 in
     let next =
-      if total <= 0. then points.(Prim.Rng.int rng n)
+      if total <= 0. then Prim.Rng.int rng n
       else begin
         let x = Prim.Rng.float rng total in
         let acc = ref 0. and chosen = ref (n - 1) in
@@ -55,44 +58,75 @@ let seed_plus_plus rng ~k points =
                end)
              dist2
          with Exit -> ());
-        points.(!chosen)
+        !chosen
       end
     in
-    centers.(j) <- next;
-    Array.iteri (fun i p -> dist2.(i) <- Float.min dist2.(i) (Vec.dist_sq p next)) points
+    blit_row next j;
+    for i = 0 to n - 1 do
+      dist2.(i) <- Float.min dist2.(i) (Vec.dist_sq_rows st (i * d) cst (j * d) ~dim:d)
+    done
   done;
-  centers
+  cst
+
+let assign_rows cst k st p_off d =
+  let best = ref 0 and best_d = ref infinity in
+  for j = 0 to k - 1 do
+    let dist = Vec.dist_sq_rows st p_off cst (j * d) ~dim:d in
+    if dist < !best_d then begin
+      best_d := dist;
+      best := j
+    end
+  done;
+  !best
 
 let lloyd rng ~k ?(max_iterations = 64) ?(tolerance = 1e-9) points =
   let n = Array.length points in
   if k < 1 then invalid_arg "Kmeans.lloyd: k must be >= 1";
   if n < k then invalid_arg "Kmeans.lloyd: fewer points than centers";
   let d = Vec.dim points.(0) in
-  let centers = ref (seed_plus_plus rng ~k points) in
+  let st = Array.make (n * d) 0. in
+  Array.iteri
+    (fun i p ->
+      if Vec.dim p <> d then invalid_arg "Kmeans.lloyd: mixed dimensions";
+      Vec.set_row st ~off:(i * d) p)
+    points;
+  let cst = ref (seed_plus_plus_rows rng ~k st n d) in
   let iterations = ref 0 in
   let moved = ref infinity in
   while !iterations < max_iterations && !moved > tolerance do
     incr iterations;
-    let sums = Array.init k (fun _ -> Vec.zero d) in
+    let sums = Array.make (k * d) 0. in
     let counts = Array.make k 0 in
-    Array.iter
-      (fun p ->
-        let j = assign !centers p in
-        Vec.axpy 1.0 p sums.(j);
-        counts.(j) <- counts.(j) + 1)
-      points;
-    let next =
-      Array.init k (fun j ->
-          if counts.(j) = 0 then
-            (* Empty cluster: re-seed on a random point. *)
-            Vec.copy points.(Prim.Rng.int rng n)
-          else Vec.scale (1. /. float_of_int counts.(j)) sums.(j))
-    in
-    moved :=
-      Array.fold_left Float.max 0. (Array.init k (fun j -> Vec.dist !centers.(j) next.(j)));
-    centers := next
+    for i = 0 to n - 1 do
+      let j = assign_rows !cst k st (i * d) d in
+      let sb = j * d and pb = i * d in
+      for l = 0 to d - 1 do
+        sums.(sb + l) <- (1.0 *. st.(pb + l)) +. sums.(sb + l)
+      done;
+      counts.(j) <- counts.(j) + 1
+    done;
+    let next = Array.make (k * d) 0. in
+    for j = 0 to k - 1 do
+      if counts.(j) = 0 then
+        (* Empty cluster: re-seed on a random point. *)
+        Array.blit st (Prim.Rng.int rng n * d) next (j * d) d
+      else begin
+        let inv = 1. /. float_of_int counts.(j) in
+        for l = 0 to d - 1 do
+          next.((j * d) + l) <- inv *. sums.((j * d) + l)
+        done
+      end
+    done;
+    let m = ref 0. in
+    for j = 0 to k - 1 do
+      m := Float.max !m (Vec.dist_rows !cst (j * d) next (j * d) ~dim:d)
+    done;
+    moved := !m;
+    cst := next
   done;
-  let centers = canonical_order !centers in
+  let centers =
+    canonical_order (Array.init k (fun j -> Vec.of_row !cst ~off:(j * d) ~dim:d))
+  in
   { centers; inertia = inertia ~centers points; iterations = !iterations }
 
 let flatten centers = Array.concat (Array.to_list centers)

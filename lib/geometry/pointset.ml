@@ -1,4 +1,13 @@
-type t = { points : Vec.t array; dim : int }
+(* Flat, cache-friendly point storage.
+
+   A pointset owns (or shares) a single row-major [float array] of length
+   n·d; point [i] lives at [st.(offs.(i)) .. st.(offs.(i) + dim - 1)].
+   Subsets and filters are index views over the same storage — no
+   coordinate is copied.  All counting loops run on the flat layout and
+   accumulate in the same order as the historical boxed implementation, so
+   results are bit-identical. *)
+
+type t = { st : float array; offs : int array; dim : int }
 
 let create points =
   let count = Array.length points in
@@ -7,23 +16,57 @@ let create points =
   Array.iter
     (fun p -> if Vec.dim p <> dim then invalid_arg "Pointset.create: mixed dimensions")
     points;
-  { points; dim }
+  let st = Array.make (count * dim) 0. in
+  Array.iteri (fun i p -> Vec.set_row st ~off:(i * dim) p) points;
+  { st; offs = Array.init count (fun i -> i * dim); dim }
 
-let n t = Array.length t.points
+let of_storage ~dim st =
+  if dim < 1 then invalid_arg "Pointset.of_storage: dim must be >= 1";
+  let len = Array.length st in
+  if len = 0 then invalid_arg "Pointset.of_storage: empty";
+  if len mod dim <> 0 then invalid_arg "Pointset.of_storage: length not a multiple of dim";
+  { st; offs = Array.init (len / dim) (fun i -> i * dim); dim }
+
+let n t = Array.length t.offs
 let dim t = t.dim
-let point t i = t.points.(i)
-let points t = t.points
-let map_points f t = create (Array.map f t.points)
-let filter pred t = Array.of_list (List.filter pred (Array.to_list t.points))
-let subset t ~indices = create (Array.map (fun i -> t.points.(i)) indices)
+let storage t = t.st
+let row_offset t i = t.offs.(i)
+let row_offsets t = t.offs
+let point t i = Vec.of_row t.st ~off:t.offs.(i) ~dim:t.dim
+let points t = Array.init (n t) (point t)
+let coords_axis t axis =
+  if axis < 0 || axis >= t.dim then invalid_arg "Pointset.coords_axis: axis out of range";
+  Array.map (fun off -> t.st.(off + axis)) t.offs
+
+let map_points f t = create (Array.map f (points t))
+
+let subset t ~indices = { t with offs = Array.map (fun i -> t.offs.(i)) indices }
+
+let filter_rows pred t =
+  let keep = ref [] and kept = ref 0 in
+  for i = n t - 1 downto 0 do
+    if pred t.st t.offs.(i) then begin
+      keep := t.offs.(i) :: !keep;
+      incr kept
+    end
+  done;
+  let offs = Array.make !kept 0 in
+  List.iteri (fun j off -> offs.(j) <- off) !keep;
+  { t with offs }
+
+let filter pred t = filter_rows (fun st off -> pred (Vec.of_row st ~off ~dim:t.dim)) t
 
 let ball_count t ~center ~radius =
   let r2 = radius *. radius in
-  Array.fold_left (fun acc p -> if Vec.dist_sq p center <= r2 then acc + 1 else acc) 0 t.points
+  let acc = ref 0 in
+  for i = 0 to n t - 1 do
+    if Vec.dist_sq_to_row t.st ~off:t.offs.(i) ~dim:t.dim center <= r2 then incr acc
+  done;
+  !acc
 
 let ball_points t ~center ~radius =
   let r2 = radius *. radius in
-  filter (fun p -> Vec.dist_sq p center <= r2) t
+  points (filter_rows (fun st off -> Vec.dist_sq_to_row st ~off ~dim:t.dim center <= r2) t)
 
 let capped_ball_count t ~cap ~center ~radius = min cap (ball_count t ~center ~radius)
 
@@ -41,12 +84,18 @@ let top_average counts ~k =
 let score_l_direct t ~cap ~radius =
   if radius < 0. then 0.
   else begin
+    let r2 = radius *. radius in
+    let count = n t in
     let counts =
-      Array.map
-        (fun p -> float_of_int (capped_ball_count t ~cap ~center:p ~radius))
-        t.points
+      Array.init count (fun i ->
+          let oi = t.offs.(i) in
+          let c = ref 0 in
+          for j = 0 to count - 1 do
+            if Vec.dist_sq_rows t.st t.offs.(j) t.st oi ~dim:t.dim <= r2 then incr c
+          done;
+          float_of_int (min cap !c))
     in
-    top_average counts ~k:(min cap (n t))
+    top_average counts ~k:(min cap count)
   end
 
 type backend =
@@ -55,20 +104,43 @@ type backend =
 
 type index = { ps : t; backend : backend }
 
-let build_index ps =
-  let count = n ps in
-  let sorted_dists =
-    Array.init count (fun i ->
-        let row = Array.map (fun p -> Vec.dist ps.points.(i) p) ps.points in
-        Array.sort Float.compare row;
-        row)
+(* One dense row: distances from point [i] to every point, sorted.  Scans
+   the flat storage once per row; identical float sequence to the boxed
+   per-point [Vec.dist] map it replaces. *)
+let dense_row ps i =
+  let oi = ps.offs.(i) in
+  let row =
+    Array.init (n ps) (fun j -> Vec.dist_rows ps.st oi ps.st ps.offs.(j) ~dim:ps.dim)
   in
-  { ps; backend = Dense sorted_dists }
+  Array.sort Float.compare row;
+  row
 
-let build_tree_index ps = { ps; backend = Tree (Kdtree.build ps.points) }
+let build_index ?(domains = 1) ps =
+  let count = n ps in
+  let rows = Array.make count [||] in
+  let fill lo hi =
+    for i = lo to hi - 1 do
+      rows.(i) <- dense_row ps i
+    done
+  in
+  let domains = max 1 (min domains count) in
+  if domains <= 1 then fill 0 count
+  else begin
+    (* Rows are independent; each domain fills a contiguous chunk, so the
+       result (and every downstream query) is identical for any [domains]. *)
+    let chunk = (count + domains - 1) / domains in
+    List.init domains (fun k ->
+        let lo = k * chunk and hi = min count ((k + 1) * chunk) in
+        Domain.spawn (fun () -> fill lo hi))
+    |> List.iter Domain.join
+  end;
+  { ps; backend = Dense rows }
 
-let auto_index ?(dense_threshold = 4096) ps =
-  if n ps <= dense_threshold then build_index ps else build_tree_index ps
+let build_tree_index ps =
+  { ps; backend = Tree (Kdtree.build_flat ~storage:ps.st ~offs:ps.offs ~dim:ps.dim) }
+
+let auto_index ?(dense_threshold = 4096) ?domains ps =
+  if n ps <= dense_threshold then build_index ?domains ps else build_tree_index ps
 
 let index_is_dense idx = match idx.backend with Dense _ -> true | Tree _ -> false
 let index_pointset idx = idx.ps
@@ -92,7 +164,7 @@ let counts_within idx ~radius =
   else
     match idx.backend with
     | Dense rows -> Array.map (fun row -> count_row row radius) rows
-    | Tree tree -> Kdtree.counts_within_all tree idx.ps.points ~radius
+    | Tree tree -> Kdtree.counts_within_rows tree idx.ps.st ~offs:idx.ps.offs ~radius
 
 let score_l idx ~cap ~radius =
   if radius < 0. then 0.
@@ -109,9 +181,17 @@ let kth_neighbor_distance idx ~k i =
   | Tree tree ->
       (* The count around x_i is a step function of the radius jumping past
          k exactly at the k-th neighbor distance; bisect that jump. *)
-      let center = idx.ps.points.(i) in
-      let count r = Kdtree.count_within tree ~center ~radius:r in
-      let lo = ref 0. and hi = ref (Vec.norm_inf center +. 2. *. sqrt (float_of_int idx.ps.dim)) in
+      let ps = idx.ps in
+      let off = ps.offs.(i) in
+      let count r = Kdtree.count_within_row tree ps.st ~off ~radius:r in
+      let norm_inf =
+        let acc = ref 0. in
+        for j = 0 to ps.dim - 1 do
+          acc := Float.max !acc (Float.abs ps.st.(off + j))
+        done;
+        !acc
+      in
+      let lo = ref 0. and hi = ref (norm_inf +. (2. *. sqrt (float_of_int ps.dim))) in
       (* Ensure hi really covers k points (data may live outside [0,1]^d). *)
       while count !hi < k do
         hi := 2. *. Float.max 1. !hi

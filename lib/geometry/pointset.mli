@@ -1,4 +1,5 @@
-(** Finite point sets in R^d with the counting machinery of Section 3.1.
+(** Finite point sets in R^d with the counting machinery of Section 3.1,
+    stored flat.
 
     For a database [S = (x_1 … x_n)], a center [p] and radius [r ≥ 0], the
     paper defines
@@ -13,30 +14,72 @@
     [L(·, S)] is non-decreasing in [r] and has sensitivity 2 (Lemma 4.5);
     both facts are property-tested in [test/test_pointset.ml].
 
-    An optional {!index} precomputes, for every input point, the sorted array
-    of distances to all input points, turning each [L] evaluation into [n]
-    binary searches instead of an O(n²·d) scan. *)
+    {b Memory layout.}  A pointset owns a single row-major [float array] of
+    length n·d; point [i] is the row at {!row_offset}[ t i].  {!subset} and
+    {!filter} return index {e views} sharing that storage; {!point} and
+    {!points} return fresh copies, so callers can never mutate the backing
+    store through them.  The raw store is reachable via {!storage} /
+    {!row_offsets} for flat-path kernels (k-d tree, JL, SEB, NoisyAVG) and
+    is read-only by contract — see DESIGN.md, "Memory layout".
+
+    An optional {!index} precomputes, for every input point, the sorted
+    array of distances to all input points, turning each [L] evaluation
+    into [n] binary searches instead of an O(n²·d) scan. *)
 
 type t
 
 val create : Vec.t array -> t
-(** @raise Invalid_argument on an empty array or mixed dimensions. *)
+(** Packs the boxed points into fresh flat storage.
+    @raise Invalid_argument on an empty array or mixed dimensions. *)
+
+val of_storage : dim:int -> float array -> t
+(** Adopts an existing row-major store of length n·d (not copied; the
+    caller must not mutate it afterwards).
+    @raise Invalid_argument if empty or not a multiple of [dim]. *)
 
 val n : t -> int
 val dim : t -> int
+
 val point : t -> int -> Vec.t
+(** A fresh copy of point [i]. *)
+
 val points : t -> Vec.t array
-(** The underlying storage (not a copy; treat as read-only). *)
+(** Fresh copies of all points (O(n·d) allocation; mutating the result
+    never affects the pointset). *)
+
+val storage : t -> float array
+(** The shared backing store — read-only by contract.  Row [i] of this
+    pointset starts at [row_offset t i]; a view's rows need not be
+    contiguous or in storage order. *)
+
+val row_offset : t -> int -> int
+val row_offsets : t -> int array
+(** Element offsets of every row, aligned with point indices — read-only
+    by contract (shared with the pointset and any k-d tree built on it). *)
+
+val coords_axis : t -> int -> float array
+(** Coordinate [axis] of every point, in point order (one flat pass).
+    @raise Invalid_argument if the axis is out of range. *)
 
 val map_points : (Vec.t -> Vec.t) -> t -> t
-val filter : (Vec.t -> bool) -> t -> Vec.t array
+(** Applies [f] to a copy of each point and packs the results into a new
+    pointset (fresh storage). *)
+
+val filter : (Vec.t -> bool) -> t -> t
+(** Index view of the points satisfying the predicate (which receives a
+    fresh copy per point); shares storage, may be empty. *)
+
+val filter_rows : (float array -> int -> bool) -> t -> t
+(** Allocation-free filter: the predicate receives [(storage, offset)]. *)
+
 val subset : t -> indices:int array -> t
+(** Zero-copy view selecting [indices] in order (duplicates allowed). *)
 
 val ball_count : t -> center:Vec.t -> radius:float -> int
-(** [B_r(center, S)] — O(n·d). *)
+(** [B_r(center, S)] — one flat O(n·d) pass, no allocation. *)
 
 val ball_points : t -> center:Vec.t -> radius:float -> Vec.t array
-(** The points realizing {!ball_count}. *)
+(** Fresh copies of the points realizing {!ball_count}. *)
 
 val capped_ball_count : t -> cap:int -> center:Vec.t -> radius:float -> int
 (** [B̄_r]. *)
@@ -50,17 +93,21 @@ val score_l_direct : t -> cap:int -> radius:float -> float
 type index
 (** Either backend below; all query functions dispatch transparently. *)
 
-val build_index : t -> index
+val build_index : ?domains:int -> t -> index
 (** Dense backend: O(n²·d) time, O(n²) memory — precomputes per-point
-    sorted distance arrays, making every radius probe a batch of binary
-    searches.  The fastest choice up to a few thousand points. *)
+    sorted distance arrays in one pass over the flat storage, making every
+    radius probe a batch of binary searches.  The fastest choice up to a
+    few thousand points.  [domains > 1] splits the row construction across
+    that many OCaml domains; rows are independent, so the result is
+    identical for any value. *)
 
 val build_tree_index : t -> index
-(** k-d-tree backend ({!Kdtree}): O(n log n) memory-light construction;
-    each radius probe costs n tree queries.  The scalable choice for large
-    [n] (and the only reasonable one beyond ~10⁴ points). *)
+(** k-d-tree backend ({!Kdtree}): O(n log n) memory-light construction
+    sharing the pointset's storage (zero copy); each radius probe costs n
+    tree queries.  The scalable choice for large [n] (and the only
+    reasonable one beyond ~10⁴ points). *)
 
-val auto_index : ?dense_threshold:int -> t -> index
+val auto_index : ?dense_threshold:int -> ?domains:int -> t -> index
 (** Dense when [n <= dense_threshold] (default 4096), tree otherwise. *)
 
 val index_is_dense : index -> bool

@@ -19,6 +19,10 @@ val basis_vector : t -> int -> Vec.t
 val project : t -> Vec.t -> int -> float
 (** [project t v i = ⟨v, z_i⟩]. *)
 
+val project_row : t -> float array -> off:int -> int -> float
+(** Same, with the point given as a row of a flat store (allocation-free):
+    [project_row t st ~off i = ⟨st.(off..off+d-1), z_i⟩]. *)
+
 val to_coords : t -> Vec.t -> Vec.t
 (** All [d] projections — the coordinates of [v] in the rotated frame. *)
 

@@ -28,17 +28,22 @@ let kth_smallest arr k =
 let two_approx ps ~t =
   let n = Pointset.n ps in
   if t < 1 || t > n then invalid_arg "Seb.two_approx: t must be in [1, n]";
-  let best = ref infinity and best_c = ref (Pointset.point ps 0) in
+  let st = Pointset.storage ps and offs = Pointset.row_offsets ps in
+  let d = Pointset.dim ps in
+  let best = ref infinity and best_i = ref 0 in
+  let dists = Array.make n 0. in
   for i = 0 to n - 1 do
-    let c = Pointset.point ps i in
-    let dists = Array.map (fun p -> Vec.dist p c) (Pointset.points ps) in
+    let oi = offs.(i) in
+    for j = 0 to n - 1 do
+      dists.(j) <- Vec.dist_rows st offs.(j) st oi ~dim:d
+    done;
     let r = kth_smallest dists t in
     if r < !best then begin
       best := r;
-      best_c := c
+      best_i := i
     end
   done;
-  { center = Vec.copy !best_c; radius = !best }
+  { center = Pointset.point ps !best_i; radius = !best }
 
 let two_approx_indexed idx ~t =
   let ps = Pointset.index_pointset idx in
@@ -52,7 +57,7 @@ let two_approx_indexed idx ~t =
       best_i := i
     end
   done;
-  { center = Vec.copy (Pointset.point ps !best_i); radius = !best }
+  { center = Pointset.point ps !best_i; radius = !best }
 
 let farthest_from points c =
   let best = ref 0 and best_d = ref neg_infinity in
@@ -80,19 +85,50 @@ let min_enclosing_ball ?(iterations = 100) points =
   let r = Vec.dist points.(farthest_from points c) c in
   { center = c; radius = r }
 
-let t_nearest points ~t c =
-  let with_d = Array.map (fun p -> (Vec.dist_sq p c, p)) points in
+(* Flat Bădoiu–Clarkson over the rows listed in [offs]; same iteration as
+   [min_enclosing_ball] without materializing any point. *)
+let farthest_row st offs count d c =
+  let best = ref 0 and best_d = ref neg_infinity in
+  for i = 0 to count - 1 do
+    let dist = Vec.dist_sq_to_row st ~off:offs.(i) ~dim:d c in
+    if dist > !best_d then begin
+      best_d := dist;
+      best := i
+    end
+  done;
+  !best
+
+let meb_rows ?(iterations = 100) st offs count d =
+  let c = Vec.of_row st ~off:offs.(0) ~dim:d in
+  for i = 1 to iterations do
+    let p_off = offs.(farthest_row st offs count d c) in
+    let step = 1. /. float_of_int (i + 1) in
+    for j = 0 to d - 1 do
+      c.(j) <- c.(j) +. (step *. (st.(p_off + j) -. c.(j)))
+    done
+  done;
+  let r = Vec.dist_to_row st ~off:offs.(farthest_row st offs count d c) ~dim:d c in
+  { center = c; radius = r }
+
+(* Row offsets of the [t] points nearest [c].  The comparator only looks at
+   the distances, so the sort permutation — and hence the selected rows —
+   match the historical boxed implementation exactly. *)
+let t_nearest_offs st offs count d ~t c =
+  let with_d =
+    Array.init count (fun j -> (Vec.dist_sq_to_row st ~off:offs.(j) ~dim:d c, offs.(j)))
+  in
   Array.sort (fun (a, _) (b, _) -> Float.compare a b) with_d;
   Array.init t (fun i -> snd with_d.(i))
 
 let t_ball_heuristic ?(iterations = 8) ps ~t =
   let start = two_approx ps ~t in
-  let points = Pointset.points ps in
+  let st = Pointset.storage ps and offs = Pointset.row_offsets ps in
+  let count = Pointset.n ps and d = Pointset.dim ps in
   let best = ref start in
   let c = ref start.center in
   for _ = 1 to iterations do
-    let near = t_nearest points ~t !c in
-    let meb = min_enclosing_ball near in
+    let near = t_nearest_offs st offs count d ~t !c in
+    let meb = meb_rows st near t d in
     (* The MEB of the t nearest points always contains t points, so it is a
        feasible solution; keep it if it improves. *)
     if meb.radius < !best.radius then best := meb;

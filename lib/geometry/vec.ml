@@ -66,6 +66,65 @@ let equal ?(tol = 1e-12) a b =
   let rec go i = i = Array.length a || (Float.abs (a.(i) -. b.(i)) <= tol && go (i + 1)) in
   go 0
 
+(* ------------------------------------------------------------------ *)
+(* Flat row views.  A "row" is the slice [st.(off) .. st.(off+dim-1)] of a
+   row-major backing store; none of these allocate (except [of_row]), and
+   all accumulate in the same index order as the boxed operations above, so
+   boxed and flat paths agree bit-for-bit. *)
+
+let get st ~off i = st.(off + i)
+let set st ~off i x = st.(off + i) <- x
+let of_row st ~off ~dim = Array.sub st off dim
+let set_row st ~off v = Array.blit v 0 st off (Array.length v)
+
+let dist_sq_rows a oa b ob ~dim =
+  let acc = ref 0. in
+  for i = 0 to dim - 1 do
+    let d = a.(oa + i) -. b.(ob + i) in
+    acc := !acc +. (d *. d)
+  done;
+  !acc
+
+let dist_rows a oa b ob ~dim = sqrt (dist_sq_rows a oa b ob ~dim)
+
+let dist_sq_to_row st ~off ~dim v =
+  if Array.length v <> dim then invalid_arg "Vec.dist_sq_to_row: dimension mismatch";
+  let acc = ref 0. in
+  for i = 0 to dim - 1 do
+    let d = st.(off + i) -. v.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  !acc
+
+let dist_to_row st ~off ~dim v = sqrt (dist_sq_to_row st ~off ~dim v)
+
+let dot_row st ~off ~dim v =
+  if Array.length v <> dim then invalid_arg "Vec.dot_row: dimension mismatch";
+  let acc = ref 0. in
+  for i = 0 to dim - 1 do
+    acc := !acc +. (st.(off + i) *. v.(i))
+  done;
+  !acc
+
+let dot_rows a oa b ob ~dim =
+  let acc = ref 0. in
+  for i = 0 to dim - 1 do
+    acc := !acc +. (a.(oa + i) *. b.(ob + i))
+  done;
+  !acc
+
+let axpy_row a st ~off ~dim y =
+  if Array.length y <> dim then invalid_arg "Vec.axpy_row: dimension mismatch";
+  for i = 0 to dim - 1 do
+    y.(i) <- (a *. st.(off + i)) +. y.(i)
+  done
+
+let add_row st ~off ~dim acc =
+  if Array.length acc <> dim then invalid_arg "Vec.add_row: dimension mismatch";
+  for i = 0 to dim - 1 do
+    acc.(i) <- acc.(i) +. st.(off + i)
+  done
+
 let pp ppf a =
   Format.fprintf ppf "[%a]"
     (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") Format.pp_print_float)

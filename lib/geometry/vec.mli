@@ -39,3 +39,42 @@ val equal : ?tol:float -> t -> t -> bool
 (** Coordinatewise comparison with absolute tolerance (default 1e-12). *)
 
 val pp : Format.formatter -> t -> unit
+
+(** {1 Flat row views}
+
+    Zero-allocation kernels over a row [st.(off) .. st.(off + dim - 1)] of a
+    row-major backing store (see {!Pointset} for who owns such storage).
+    Every kernel accumulates in the same index order as its boxed
+    counterpart above, so the two paths agree bit-for-bit on identical
+    inputs. *)
+
+val get : float array -> off:int -> int -> float
+(** [get st ~off i] — coordinate [i] of the row at [off]. *)
+
+val set : float array -> off:int -> int -> float -> unit
+
+val of_row : float array -> off:int -> dim:int -> t
+(** Copy the row out into a fresh boxed vector. *)
+
+val set_row : float array -> off:int -> t -> unit
+(** Blit a boxed vector into the row at [off]. *)
+
+val dist_sq_rows : float array -> int -> float array -> int -> dim:int -> float
+(** [dist_sq_rows a oa b ob ~dim] — squared distance between row [oa] of
+    [a] and row [ob] of [b]. *)
+
+val dist_rows : float array -> int -> float array -> int -> dim:int -> float
+val dist_sq_to_row : float array -> off:int -> dim:int -> t -> float
+val dist_to_row : float array -> off:int -> dim:int -> t -> float
+
+val dot_row : float array -> off:int -> dim:int -> t -> float
+(** Inner product of a row with a boxed vector. *)
+
+val dot_rows : float array -> int -> float array -> int -> dim:int -> float
+
+val axpy_row : float -> float array -> off:int -> dim:int -> t -> unit
+(** [axpy_row a st ~off ~dim y] performs [y ← a·row + y] in place. *)
+
+val add_row : float array -> off:int -> dim:int -> t -> unit
+(** [add_row st ~off ~dim acc] performs [acc ← acc + row] in place
+    (accumulating as [acc.(i) +. row.(i)], matching {!mean}'s order). *)

@@ -26,6 +26,48 @@ let run rng ~eps ~delta ~diameter ~pred ~dim vectors =
     Average { average = Gaussian_mech.vector_with_sigma rng ~sigma mean; m_hat; sigma }
   end
 
+(* Flat variant: the candidate vectors are rows of [st] at the element
+   offsets [offs]; [pred i] selects by row index.  Selection, accumulation
+   and RNG draws happen in exactly the order of [run], so on equal inputs
+   the two produce bit-identical results (pinned by test_flat_layout). *)
+let run_rows rng ~eps ~delta ~diameter ~pred ~dim ~offs st =
+  if not (eps > 0.) then invalid_arg "Noisy_avg.run_rows: eps must be positive";
+  if not (delta > 0. && delta < 1.) then invalid_arg "Noisy_avg.run_rows: delta must be in (0, 1)";
+  if not (diameter >= 0.) then invalid_arg "Noisy_avg.run_rows: diameter must be non-negative";
+  let n = Array.length offs in
+  let sel = Array.make (max 1 n) 0 in
+  let m = ref 0 in
+  for i = 0 to n - 1 do
+    if pred i then begin
+      sel.(!m) <- offs.(i);
+      incr m
+    end
+  done;
+  let m = !m in
+  let m_hat =
+    float_of_int m
+    +. Rng.laplace rng ~scale:(2. /. eps) ()
+    -. (2. /. eps *. log (2. /. delta))
+  in
+  if m_hat <= 0. then Bottom
+  else begin
+    let mean =
+      if m = 0 then Array.make dim 0.
+      else begin
+        let acc = Array.make dim 0. in
+        for s = 0 to m - 1 do
+          let off = sel.(s) in
+          for i = 0 to dim - 1 do
+            acc.(i) <- acc.(i) +. st.(off + i)
+          done
+        done;
+        Array.map (fun s -> s /. float_of_int m) acc
+      end
+    in
+    let sigma = 8. *. diameter /. (eps *. m_hat) *. sqrt (2. *. log (8. /. delta)) in
+    Average { average = Gaussian_mech.vector_with_sigma rng ~sigma mean; m_hat; sigma }
+  end
+
 let expected_sigma ~eps ~delta ~diameter ~m =
   if m <= 0 then invalid_arg "Noisy_avg.expected_sigma: m must be positive";
   16. *. diameter /. (eps *. float_of_int m) *. sqrt (2. *. log (8. /. delta))

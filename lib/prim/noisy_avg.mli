@@ -43,6 +43,22 @@ val run :
     but the noisy count is positive, in which case the (noisy) zero vector is
     returned. *)
 
+val run_rows :
+  Rng.t ->
+  eps:float ->
+  delta:float ->
+  diameter:float ->
+  pred:(int -> bool) ->
+  dim:int ->
+  offs:int array ->
+  float array ->
+  result
+(** Flat variant of {!run}: candidate [i] is the [dim]-length row of the
+    storage array starting at element offset [offs.(i)], and [pred] selects
+    by row index.  No vector is boxed; selection order, accumulation order
+    and RNG draws are identical to {!run}, so equal inputs give bit-equal
+    results. *)
+
 val expected_sigma : eps:float -> delta:float -> diameter:float -> m:int -> float
 (** The σ of Observation A.1 for a selected count of [m] (with the noisy
     count at its typical value): [(16·Δg/(ε·m))·√(2 ln(8/δ))] — useful for

@@ -31,7 +31,12 @@ let score ?planted_radius ps ~t ~center ~radius =
   score_with_bounds ~r_lo ~r_hi ps ~t ~center ~radius
 
 let tight_radius ps ~center ~t =
-  let dists = Array.map (fun p -> Geometry.Vec.dist p center) (Geometry.Pointset.points ps) in
+  let st = Geometry.Pointset.storage ps and d = Geometry.Pointset.dim ps in
+  let dists =
+    Array.map
+      (fun off -> Geometry.Vec.dist_to_row st ~off ~dim:d center)
+      (Geometry.Pointset.row_offsets ps)
+  in
   Array.sort Float.compare dists;
   dists.(min (Array.length dists - 1) (max 0 (t - 1)))
 

@@ -11,6 +11,7 @@ let () =
       ("privacy-smoke", Test_privacy_smoke.suite);
       ("vec", Test_vec.suite);
       ("pointset", Test_pointset.suite);
+      ("flat-layout", Test_flat_layout.suite);
       ("grid", Test_grid.suite);
       ("interval-boxing", Test_interval_boxing.suite);
       ("jl-rotation", Test_jl_rotation.suite);

@@ -105,7 +105,8 @@ let test_subset_filter_map () =
   check_int "subset size" 2 (Geometry.Pointset.n sub);
   check_float "subset order" 2. (Geometry.Pointset.point sub 0).(0);
   let filtered = Geometry.Pointset.filter (fun p -> p.(0) > 0.5) ps in
-  check_int "filter" 2 (Array.length filtered);
+  check_int "filter" 2 (Geometry.Pointset.n filtered);
+  check_float "filter keeps order" 1. (Geometry.Pointset.point filtered 0).(0);
   let mapped = Geometry.Pointset.map_points (Geometry.Vec.scale 2.) ps in
   check_float "map" 4. (Geometry.Pointset.point mapped 2).(0)
 
