@@ -151,7 +151,8 @@ let run_experiments ~jobs cfg selected =
     let tasks = Array.of_list (List.map Engine.Pool.task selected) in
     let outcomes =
       Engine.Pool.run ~domains:jobs
-        ~f:(fun _ exp -> snd (Workload.Report.capture (fun () -> Workload.Experiments.run_one cfg exp)))
+        ~f:(fun ~index:_ ~attempt:_ exp ->
+          snd (Workload.Report.capture (fun () -> Workload.Experiments.run_one cfg exp)))
         tasks
     in
     Array.iteri
@@ -183,33 +184,53 @@ let run_engine_bench ~quick ~max_jobs fx =
           delta = 1e-7;
           beta;
           deadline_s = None;
+          fallback = false;
         })
   in
   let domain_counts =
     List.sort_uniq compare (1 :: 2 :: 4 :: (if max_jobs > 1 then [ max_jobs ] else []))
   in
   let summaries = Hashtbl.create 4 in
+  let run_once ~domains ~faults ~retries =
+    let service =
+      Engine.Service.create ~domains ~seed:99 ~retries ~faults ()
+    in
+    let dataset =
+      Engine.Service.register service ~name:"bench" ~grid:fx.grid
+        ~budget:(Prim.Dp.v ~eps:(float_of_int n_jobs) ~delta:1e-3)
+        fx.points
+    in
+    Workload.Harness.time (fun () -> Engine.Service.run_batch service ~dataset specs)
+  in
   let rows =
     List.map
       (fun domains ->
-        let service = Engine.Service.create ~domains ~seed:99 () in
-        let dataset =
-          Engine.Service.register service ~name:"bench" ~grid:fx.grid
-            ~budget:(Prim.Dp.v ~eps:(float_of_int n_jobs) ~delta:1e-3)
-            fx.points
-        in
-        let results, ms =
-          Workload.Harness.time (fun () -> Engine.Service.run_batch service ~dataset specs)
-        in
+        let results, ms = run_once ~domains ~faults:Engine.Faults.none ~retries:0 in
         Hashtbl.replace summaries domains
           (String.concat ";" (List.map Engine.Job.detail results));
         (domains, ms))
       domain_counts
   in
   let base_ms = match rows with (_, ms) :: _ -> ms | [] -> Float.nan in
+  let reference = Hashtbl.find summaries (List.hd domain_counts) in
   let deterministic =
-    let reference = Hashtbl.find summaries (List.hd domain_counts) in
     List.for_all (fun d -> Hashtbl.find summaries d = reference) domain_counts
+  in
+  (* The robustness half of the determinism claim: crash-before-output faults
+     on half the jobs, retried in place or rescheduled after worker kills,
+     must leave every output bit-identical to the fault-free reference. *)
+  let faulted_identical =
+    let faults =
+      Engine.Faults.explicit
+        (List.init (n_jobs / 2) (fun i ->
+             ( i,
+               Engine.Faults.rule
+                 (if i mod 2 = 0 then Engine.Faults.Crash else Engine.Faults.Kill_worker) )))
+    in
+    let results, _ = run_once ~domains:(List.nth domain_counts (List.length domain_counts - 1))
+        ~faults ~retries:3
+    in
+    String.concat ";" (List.map Engine.Job.detail results) = reference
   in
   Workload.Report.table ~csv:"b8_engine_throughput"
     ~header:[ "domains"; "wall"; "jobs/s"; "speedup" ]
@@ -224,7 +245,9 @@ let run_engine_bench ~quick ~max_jobs fx =
        rows);
   Workload.Report.kv "outputs identical across domain counts"
     (if deterministic then "yes" else "NO (engine determinism bug)");
-  (n_jobs, rows, deterministic)
+  Workload.Report.kv "outputs identical under injected crash/kill faults"
+    (if faulted_identical then "yes" else "NO (retry-replay bug)");
+  (n_jobs, rows, deterministic && faulted_identical)
 
 (* Allocation regression check: with the flat layout, one end-to-end
    1-cluster call (prebuilt index) must allocate minor-heap words roughly

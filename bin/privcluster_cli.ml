@@ -84,10 +84,16 @@ let solve_cmd =
 
 let batch_cmd =
   let run seed dim axis n frac radius profile jobs_file points_file budget_eps budget_delta mode_s
-      slack jobs json_out =
+      slack jobs retries faults_s json_out =
     let die fmt = Printf.ksprintf (fun m -> prerr_endline ("batch: " ^ m); exit 2) fmt in
     let mode =
       match Engine.Accountant.mode_of_string ~slack mode_s with Ok m -> m | Error e -> die "%s" e
+    in
+    let faults =
+      match faults_s with
+      | Some s -> (
+          match Engine.Faults.parse s with Ok f -> f | Error e -> die "--faults: %s" e)
+      | None -> ( try Engine.Faults.of_env () with Invalid_argument m -> die "%s" m)
     in
     let contents =
       try In_channel.with_open_text jobs_file In_channel.input_all
@@ -146,7 +152,7 @@ let batch_cmd =
             w.Workload.Synth.points,
             Printf.sprintf "synthetic planted ball (n=%d frac=%g radius=%g)" n frac radius )
     in
-    let service = Engine.Service.create ~profile ~domains:jobs ~seed () in
+    let service = Engine.Service.create ~profile ~domains:jobs ~seed ~retries ~faults () in
     let dataset =
       Engine.Service.register service ~name:"default" ~grid ~mode
         ~budget:(Prim.Dp.v ~eps:budget_eps ~delta:budget_delta)
@@ -162,6 +168,9 @@ let batch_cmd =
          (Engine.Accountant.mode_name mode));
     Workload.Report.kv "jobs / domains" (Printf.sprintf "%d / %d" (List.length specs) jobs);
     Workload.Report.kv "seed" (string_of_int seed);
+    Workload.Report.kv "retries" (string_of_int retries);
+    if not (Engine.Faults.is_none faults) then
+      Workload.Report.kv "fault injection" (Engine.Faults.to_string faults);
     let results = Engine.Service.run_batch service ~dataset specs in
     Workload.Report.subhead "job results";
     Workload.Report.table
@@ -221,12 +230,14 @@ let batch_cmd =
   let mode = Arg.(value & opt string "basic" & info [ "mode" ] ~doc:"Composition mode charged by the accountant: basic, advanced or zcdp.") in
   let slack = Arg.(value & opt float 1e-9 & info [ "slack" ] ~doc:"δ' slack for the advanced/zcdp modes.") in
   let jobs = Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~doc:"Worker domains. Results are identical for any value under a fixed --seed.") in
+  let retries = Arg.(value & opt int 2 & info [ "retries" ] ~doc:"In-place retry attempts per job after an exception (a crash-before-output retry replays the same RNG stream and consumes no extra budget).") in
+  let faults = Arg.(value & opt (some string) None & info [ "faults" ] ~doc:"Fault-injection schedule (e.g. 'crash\\@2,kill\\@5' or 'seed=1,rate=0.3'); defaults to \\$(b,PRIVCLUSTER_FAULTS) from the environment.") in
   let json_out = Arg.(value & opt (some string) None & info [ "json" ] ~doc:"Write the JSON report to this file ('-' for stdout).") in
   Cmd.v
     (Cmd.info "batch" ~doc:"Run a multi-job file through the concurrent private-query engine")
     Term.(
       const run $ seed $ dim $ axis $ n $ frac $ radius $ profile $ jobs_file $ points_file
-      $ budget_eps $ budget_delta $ mode $ slack $ jobs $ json_out)
+      $ budget_eps $ budget_delta $ mode $ slack $ jobs $ retries $ faults $ json_out)
 
 (* experiments ------------------------------------------------------- *)
 

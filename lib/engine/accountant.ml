@@ -12,8 +12,12 @@ type t = {
   mode : mode;
   budget : Prim.Dp.params;
   mutable charges : (string * Prim.Dp.params) list;  (* reverse charge order *)
+  mutable reservations : (int * string * Prim.Dp.params) list;  (* outstanding only *)
+  mutable next_reservation : int;
   mutable refusals : int;
 }
+
+type reservation = int
 
 type refusal = {
   requested : Prim.Dp.params;
@@ -22,7 +26,8 @@ type refusal = {
   budget : Prim.Dp.params;
 }
 
-let create ?(mode = Basic) ~budget () = { mode; budget; charges = []; refusals = 0 }
+let create ?(mode = Basic) ~budget () =
+  { mode; budget; charges = []; reservations = []; next_reservation = 0; refusals = 0 }
 let mode t = t.mode
 let budget (t : t) = t.budget
 
@@ -64,24 +69,58 @@ let total mode charges =
 
 let spent t = total t.mode t.charges
 
+(* Headroom checks see every outstanding reservation as if it were already
+   committed — a reservation is a promise the fallback charge will fit, so
+   admission must be conservative against it. *)
+let committed_and_reserved t =
+  List.rev_append (List.rev_map (fun (_, label, p) -> (label, p)) t.reservations) t.charges
+
 let tol = 1e-9
 
 let fits budget p =
   p.Prim.Dp.eps <= budget.Prim.Dp.eps +. tol && p.Prim.Dp.delta <= budget.Prim.Dp.delta +. tol
 
-let would_accept (t : t) p = fits t.budget (total t.mode ((" ", p) :: t.charges))
+let would_accept (t : t) p = fits t.budget (total t.mode ((" ", p) :: committed_and_reserved t))
 
-let charge t ?(label = "anon") p =
+let admit t ~label p ~accept =
   let before = spent t in
-  let after = total t.mode ((label, p) :: t.charges) in
+  let after = total t.mode ((label, p) :: committed_and_reserved t) in
   if fits t.budget after then begin
-    t.charges <- (label, p) :: t.charges;
+    accept ();
     Ok ()
   end
   else begin
     t.refusals <- t.refusals + 1;
     Error { requested = p; would_spend = after; spent = before; budget = t.budget }
   end
+
+let charge t ?(label = "anon") p =
+  admit t ~label p ~accept:(fun () -> t.charges <- (label, p) :: t.charges)
+
+let reserve t ?(label = "reserved") p =
+  let id = t.next_reservation in
+  match
+    admit t ~label p ~accept:(fun () ->
+        t.next_reservation <- id + 1;
+        t.reservations <- (id, label, p) :: t.reservations)
+  with
+  | Ok () -> Ok id
+  | Error r -> Error r
+
+let take_reservation t who id =
+  match List.partition (fun (i, _, _) -> i = id) t.reservations with
+  | [ entry ], rest ->
+      t.reservations <- rest;
+      entry
+  | _ -> invalid_arg (Printf.sprintf "Accountant.%s: unknown or already-settled reservation" who)
+
+let commit t id =
+  let _, label, p = take_reservation t "commit" id in
+  t.charges <- (label, p) :: t.charges
+
+let release t id = ignore (take_reservation t "release" id)
+
+let reserved t = List.rev_map (fun (_, label, p) -> (label, p)) t.reservations
 
 let entries t = List.rev t.charges
 let refusals t = t.refusals
@@ -111,6 +150,11 @@ let to_json (t : t) =
             delta = Float.max 0. (t.budget.Prim.Dp.delta -. s.Prim.Dp.delta);
           } );
       ("refusals", Json.Int t.refusals);
+      ( "reserved",
+        Json.List
+          (List.map
+             (fun (label, p) -> Json.Obj [ ("label", Json.String label); ("params", params_json p) ])
+             (reserved t)) );
       ( "charges",
         Json.List
           (List.map

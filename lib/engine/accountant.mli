@@ -25,7 +25,24 @@
     Charging is sequential by design: the engine charges every job of a
     batch in submission order {e before} dispatching any of them to the
     pool, so the accept/refuse decisions are deterministic and independent
-    of worker scheduling.  The ledger itself is not thread-safe. *)
+    of worker scheduling.  The ledger itself is not thread-safe; the
+    engine only touches it from the coordinator (admission and the
+    post-batch degradation pass), never from worker domains.
+
+    {2 Reservations}
+
+    The graceful-degradation path needs a charge that is {e admitted now}
+    but only {e spent later, maybe}: when a job opts into a fallback
+    solver, the fallback's price must be secured at admission time (so
+    degradation never discovers mid-batch that the budget is gone), yet it
+    must not count as spent if the job completes normally.  {!reserve}
+    admits such a charge and holds it against the budget — subsequent
+    {!charge}/{!reserve}/{!would_accept} decisions treat it as if it were
+    already committed — without adding it to {!spent}.  The holder then
+    settles it exactly once: {!commit} converts it into a real charge
+    (the fallback ran and its noise was drawn), {!release} frees the
+    headroom (the fallback was not needed — releasing is data-independent
+    post-processing of the job's public status, so it leaks nothing). *)
 
 type mode =
   | Basic
@@ -59,10 +76,31 @@ val spent : t -> Prim.Dp.params
     [(0, 0)] when nothing has been charged. *)
 
 val charge : t -> ?label:string -> Prim.Dp.params -> (unit, refusal) result
-(** Accept the charge iff the composed total stays within budget (with a
-    [1e-9] absolute tolerance on both coordinates, so a budget split into
-    equal parts fills exactly).  On [Error] the ledger is unchanged; the
-    refusal count is incremented. *)
+(** Accept the charge iff the composed total — including outstanding
+    reservations — stays within budget (with a [1e-9] absolute tolerance
+    on both coordinates, so a budget split into equal parts fills
+    exactly).  On [Error] the ledger is unchanged; the refusal count is
+    incremented. *)
+
+type reservation
+(** A held-but-not-spent charge; see the module preamble. *)
+
+val reserve : t -> ?label:string -> Prim.Dp.params -> (reservation, refusal) result
+(** Admit the charge (same budget test as {!charge}) but park it as a
+    reservation: it blocks later admissions yet does not enter {!spent}
+    or {!entries} until {!commit}.  A refused reservation increments the
+    refusal counter like a refused charge. *)
+
+val commit : t -> reservation -> unit
+(** Turn the reservation into a real charge (it joins {!entries} and
+    {!spent}).  @raise Invalid_argument if already settled. *)
+
+val release : t -> reservation -> unit
+(** Drop the reservation, freeing its headroom.
+    @raise Invalid_argument if already settled. *)
+
+val reserved : t -> (string * Prim.Dp.params) list
+(** Outstanding (unsettled) reservations, oldest first. *)
 
 val would_accept : t -> Prim.Dp.params -> bool
 (** The decision {!charge} would make, without making it. *)

@@ -1,0 +1,94 @@
+(** Deterministic fault injection for the batch engine.
+
+    Every failure path of {!Pool} and {!Service} — a job raising, a job
+    stalling past its deadline, a worker domain dying — is reachable on
+    demand through a fault {e schedule}: a pure function from (job
+    submission index, attempt number) to an optional fault.  Schedules
+    are deterministic by construction, so a CI run under
+    [PRIVCLUSTER_FAULTS] reproduces exactly, and the engine's central
+    robustness claim — crash-before-output faults change neither batch
+    outputs nor the accountant's final spend — is testable as a plain
+    diff (see [test/test_faults.ml]).
+
+    Faults are armed {e before} the job's solver draws any randomness
+    ({!Service} calls {!arm} ahead of the mechanism invocation), so an
+    injected crash or kill always models a {e crash before output}: the
+    retry replays the same derived RNG stream and is bit-identical to an
+    uninterrupted run.  Post-output failures are deliberately not
+    injectable — they would require refund semantics the engine refuses
+    to have (see DESIGN.md §7).
+
+    {2 Schedule grammar}
+
+    [parse] (also read from the [PRIVCLUSTER_FAULTS] environment variable
+    by {!of_env}) accepts either form, comma-separated:
+
+    - {b explicit} — [kind@INDEX[=ARG][xATTEMPTS]] rules, e.g.
+      ["crash@2,stall@5=0.25,kill@7x3"]: job 2 crashes on its first
+      attempt, job 5 stalls 0.25 s on its first attempt, job 7's worker
+      is killed on its first three attempts.
+    - {b seeded} — ["seed=S,rate=R[,kinds=crash+kill][,attempts=N]"]:
+      each job index faults independently with probability [R], decided
+      by a SplitMix64-derived stream of [(S, index)] — the same schedule
+      for the same seed, whatever the batch or domain count.  Seeded
+      schedules only emit [crash]/[kill] (the replayable kinds), so a
+      test suite stays green under any seed as long as retries ≥
+      [attempts]. *)
+
+type kind =
+  | Crash  (** The job raises {!Injected} before producing output. *)
+  | Stall of float
+      (** The job sleeps this many seconds before running — long enough,
+          it blows its cooperative deadline. *)
+  | Kill_worker  (** The job raises {!Pool.Worker_crash}: its worker domain dies. *)
+
+val kind_name : kind -> string
+(** ["crash"], ["stall"], ["kill"]. *)
+
+type rule = { kind : kind; attempts : int }
+(** Fires while the job's attempt number is [< attempts]. *)
+
+val rule : ?attempts:int -> kind -> rule
+(** [attempts] defaults to 1 (first attempt only — the retry succeeds). *)
+
+type t
+(** A fault schedule. *)
+
+exception Injected of string
+(** What {!Crash} raises; the message names the job index and attempt. *)
+
+val none : t
+(** The empty schedule ({!arm} is a no-op). *)
+
+val is_none : t -> bool
+
+val explicit : (int * rule) list -> t
+(** Schedule keyed by job submission index.  Later duplicates win.
+    @raise Invalid_argument on a negative index or non-positive attempts. *)
+
+val seeded : ?attempts:int -> ?kinds:kind list -> seed:int -> rate:float -> unit -> t
+(** Random-looking but fully deterministic schedule; [kinds] defaults to
+    [[Crash; Kill_worker]], [attempts] to 1.
+    @raise Invalid_argument if [rate ∉ [0, 1]], [attempts ≤ 0] or [kinds = []]. *)
+
+val lookup : t -> index:int -> attempt:int -> kind option
+(** The fault (if any) for attempt [attempt] of job [index].  Pure.
+    @raise Invalid_argument on negative arguments. *)
+
+val arm : t -> index:int -> attempt:int -> unit
+(** Act on {!lookup}: raise {!Injected}, sleep, raise
+    {!Pool.Worker_crash}, or do nothing. *)
+
+val parse : string -> (t, string) result
+(** Parse the grammar above.  [""] and ["none"] parse to {!none}. *)
+
+val to_string : t -> string
+(** Render back to the grammar ([parse]-roundtrippable). *)
+
+val env_var : string
+(** ["PRIVCLUSTER_FAULTS"]. *)
+
+val of_env : unit -> t
+(** Parse {!env_var} from the environment; {!none} when unset or empty.
+    @raise Invalid_argument when set but malformed (a typo'd schedule
+    must not silently run fault-free). *)

@@ -10,6 +10,7 @@ type spec = {
   delta : float;
   beta : float;
   deadline_s : float option;
+  fallback : bool;
 }
 
 let kind_name = function
@@ -18,6 +19,15 @@ let kind_name = function
   | Quantile _ -> "quantile"
 
 let cost spec = { Prim.Dp.eps = spec.eps; delta = spec.delta }
+
+(* The degraded path runs GoodRadius alone at half the job's price: the full
+   pipeline splits (ε, δ) evenly between GoodRadius and GoodCenter, so the
+   radius-only fallback is priced as exactly its stage share. *)
+let fallback_cost spec =
+  match spec.kind with
+  | One_cluster _ when spec.fallback ->
+      Some { Prim.Dp.eps = spec.eps /. 2.; delta = spec.delta /. 2. }
+  | _ -> None
 
 (* --- parsing ----------------------------------------------------------- *)
 
@@ -46,7 +56,7 @@ let parse_line ~default_beta ~lineno ~ordinal line =
       | None -> (
           let lookup k = List.assoc_opt k !kvs in
           let known_keys =
-            [ "eps"; "delta"; "beta"; "t_fraction"; "k"; "q"; "axis"; "deadline"; "id" ]
+            [ "eps"; "delta"; "beta"; "t_fraction"; "k"; "q"; "axis"; "deadline"; "id"; "fallback" ]
           in
           match List.find_opt (fun (k, _) -> not (List.mem k known_keys)) !kvs with
           | Some (k, _) -> fail "unknown key %S" k
@@ -96,8 +106,17 @@ let parse_line ~default_beta ~lineno ~ordinal line =
               in
               let* beta = float_of "beta" default_beta in
               let* deadline = float_of "deadline" Float.nan in
+              let* fallback =
+                match lookup "fallback" with
+                | None -> Ok false
+                | Some ("true" | "1") -> Ok true
+                | Some ("false" | "0") -> Ok false
+                | Some v -> fail "key fallback: expected true|false, got %S" v
+              in
               if eps <= 0. then fail "key eps: must be > 0"
               else if delta < 0. || delta >= 1. then fail "key delta: must be in [0, 1)"
+              else if fallback && (match kind with One_cluster _ -> false | _ -> true) then
+                fail "key fallback: only one_cluster jobs have a degradation fallback"
               else
                 Ok
                   (Some
@@ -111,6 +130,7 @@ let parse_line ~default_beta ~lineno ~ordinal line =
                        delta;
                        beta;
                        deadline_s = (if Float.is_nan deadline then None else Some deadline);
+                       fallback;
                      }))))
 
 let parse ?(default_beta = 0.1) contents =
@@ -140,6 +160,7 @@ let spec_to_line spec =
   (match spec.deadline_s with
   | Some d -> Buffer.add_string b (Printf.sprintf " deadline=%g" d)
   | None -> ());
+  if spec.fallback then Buffer.add_string b " fallback=true";
   Buffer.contents b
 
 (* --- results ----------------------------------------------------------- *)
@@ -150,20 +171,23 @@ type output =
   | Cluster of { ball : ball; t : int; ratio_vs_hi : float; delta_bound : float }
   | Clusters of { balls : ball list; uncovered : int; failures : int }
   | Quantile_value of { value : float; target_rank : float }
+  | Radius of { radius : float; t : int; delta_bound : float }
 
 type status =
   | Completed of output
   | Refused of string
   | Timed_out of { elapsed_ms : float }
   | Solver_failed of string
+  | Degraded of { output : output; reason : string }
 
 let status_name = function
   | Completed _ -> "ok"
   | Refused _ -> "refused"
   | Timed_out _ -> "timeout"
   | Solver_failed _ -> "failed"
+  | Degraded _ -> "degraded"
 
-type result = { spec : spec; status : status; latency_ms : float }
+type result = { spec : spec; status : status; latency_ms : float; attempts : int }
 
 let ball_json { center; radius; covered } =
   Json.Obj
@@ -191,6 +215,13 @@ let output_json = function
         ]
   | Quantile_value { value; target_rank } ->
       Json.Obj [ ("value", Json.Float value); ("target_rank", Json.Float target_rank) ]
+  | Radius { radius; t; delta_bound } ->
+      Json.Obj
+        [
+          ("radius", Json.Float radius);
+          ("t", Json.Int t);
+          ("delta_bound", Json.Float delta_bound);
+        ]
 
 let result_to_json r =
   let base =
@@ -201,6 +232,7 @@ let result_to_json r =
       ("eps", Json.Float r.spec.eps);
       ("delta", Json.Float r.spec.delta);
       ("latency_ms", Json.Float r.latency_ms);
+      ("attempts", Json.Int r.attempts);
     ]
   in
   let extra =
@@ -209,20 +241,27 @@ let result_to_json r =
     | Refused msg -> [ ("reason", Json.String msg) ]
     | Timed_out { elapsed_ms } -> [ ("elapsed_ms", Json.Float elapsed_ms) ]
     | Solver_failed msg -> [ ("reason", Json.String msg) ]
+    | Degraded { output; reason } ->
+        [ ("output", output_json output); ("reason", Json.String reason) ]
   in
   Json.Obj (base @ extra)
 
-let detail r =
-  match r.status with
-  | Completed (Cluster { ball; t; ratio_vs_hi; _ }) ->
+let output_detail = function
+  | Cluster { ball; t; ratio_vs_hi; _ } ->
       Printf.sprintf "radius %.4f covered %d/%d (w=%.2f)" ball.radius ball.covered t ratio_vs_hi
-  | Completed (Clusters { balls; uncovered; failures }) ->
+  | Clusters { balls; uncovered; failures } ->
       Printf.sprintf "%d balls, %d uncovered, %d failed iters" (List.length balls) uncovered
         failures
-  | Completed (Quantile_value { value; target_rank }) ->
+  | Quantile_value { value; target_rank } ->
       Printf.sprintf "value %.4f (target rank %.0f)" value target_rank
+  | Radius { radius; t; _ } -> Printf.sprintf "radius %.4f for t=%d (no center)" radius t
+
+let detail r =
+  match r.status with
+  | Completed o -> output_detail o
   | Refused msg | Solver_failed msg -> msg
   | Timed_out { elapsed_ms } -> Printf.sprintf "deadline exceeded after %.0f ms" elapsed_ms
+  | Degraded { output; reason } -> Printf.sprintf "%s [degraded: %s]" (output_detail output) reason
 
 let pp_result ppf r =
   Format.fprintf ppf "%-12s %-12s %-8s %6.1fms  %s" r.spec.id (kind_name r.spec.kind)

@@ -27,6 +27,7 @@
     and [k_cluster], default [0] otherwise), [beta] (default 0.1),
     [t_fraction] (default 0.5), [k] (required for [k_cluster]), [q]
     (default 0.5), [axis] (default 0), [deadline] (seconds, default none),
+    [fallback] (true/false, default false; [one_cluster] only),
     [id] (default ["j<line-position>"]). *)
 
 type kind =
@@ -41,6 +42,11 @@ type spec = {
   delta : float;
   beta : float;
   deadline_s : float option;
+  fallback : bool;
+      (** Opt-in graceful degradation: when the job cannot complete
+          (retries exhausted, deadline blown, solver failure), run the
+          radius-only fallback whose charge was reserved at admission and
+          report {!Degraded}. *)
 }
 
 val kind_name : kind -> string
@@ -48,6 +54,12 @@ val kind_name : kind -> string
 
 val cost : spec -> Prim.Dp.params
 (** What the accountant is charged: the job's [(ε, δ)]. *)
+
+val fallback_cost : spec -> Prim.Dp.params option
+(** What the accountant additionally {e reserves} at admission when the
+    job opts into degradation: [(ε/2, δ/2)] for a [one_cluster] job with
+    [fallback = true] — the GoodRadius stage share of the full pipeline's
+    even split — and [None] otherwise. *)
 
 val parse : ?default_beta:float -> string -> (spec list, string) result
 (** Parse a whole jobs file (the contents, not a path).  [Error] carries a
@@ -66,20 +78,30 @@ type output =
           sandwich (the experiment suite's [w_private]). *)
   | Clusters of { balls : ball list; uncovered : int; failures : int }
   | Quantile_value of { value : float; target_rank : float }
+  | Radius of { radius : float; t : int; delta_bound : float }
+      (** The degraded fallback's output: a GoodRadius-only answer — a
+          certified radius for target size [t], but no center. *)
 
 type status =
   | Completed of output
   | Refused of string  (** Accountant refusal — the job never ran. *)
   | Timed_out of { elapsed_ms : float }
   | Solver_failed of string
-      (** The private solver returned its failure value (or raised); the
-          budget stays charged — noise was drawn. *)
+      (** The private solver returned its failure value (or every retry
+          attempt raised); the budget stays charged — noise may have been
+          drawn. *)
+  | Degraded of { output : output; reason : string }
+      (** The job could not complete but its opt-in fallback did; the
+          fallback's reserved charge is committed on top of the job's
+          original charge.  [reason] names the original failure. *)
 
 val status_name : status -> string
-(** ["ok"], ["refused"], ["timeout"], ["failed"] — the telemetry status
-    vocabulary. *)
+(** ["ok"], ["refused"], ["timeout"], ["failed"], ["degraded"] — the
+    telemetry status vocabulary. *)
 
-type result = { spec : spec; status : status; latency_ms : float }
+type result = { spec : spec; status : status; latency_ms : float; attempts : int }
+(** [attempts] — execution attempts consumed (0 for refused jobs, 1 for
+    a first-try success, more after retries). *)
 
 val result_to_json : result -> Json.t
 

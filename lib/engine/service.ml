@@ -4,19 +4,27 @@ type t = {
   profile : Privcluster.Profile.t;
   domains : int;
   seed : int;
+  retries : int;
+  backoff_s : float;
+  faults : Faults.t;
   base_rng : Prim.Rng.t;  (* never drawn from; only [Rng.derive]d per job *)
   registry : Registry.t;
   telemetry : Telemetry.t;
 }
 
-let create ?(profile = Privcluster.Profile.practical) ?domains ?(seed = 1) () =
+let create ?(profile = Privcluster.Profile.practical) ?domains ?(seed = 1) ?(retries = 2)
+    ?(backoff_s = 1e-3) ?faults () =
   let domains =
     max 1 (match domains with Some d -> d | None -> Pool.recommended_domains ())
   in
+  let faults = match faults with Some f -> f | None -> Faults.of_env () in
   {
     profile;
     domains;
     seed;
+    retries = max 0 retries;
+    backoff_s;
+    faults;
     base_rng = Prim.Rng.create ~seed ();
     registry = Registry.create ();
     telemetry = Telemetry.create ();
@@ -26,6 +34,8 @@ let registry t = t.registry
 let telemetry t = t.telemetry
 let domains t = t.domains
 let seed t = t.seed
+let retries t = t.retries
+let faults t = t.faults
 
 let register t ~name ~grid ?mode ~budget ?dense_threshold points =
   (* The dense-index rows are independent, so building them on the
@@ -33,16 +43,21 @@ let register t ~name ~grid ?mode ~budget ?dense_threshold points =
   Registry.register t.registry ~name ~grid ?mode ~budget ?dense_threshold
     ~index_domains:t.domains points
 
+let target_of spec dataset =
+  match spec.Job.kind with
+  | Job.One_cluster { t_fraction } | Job.K_cluster { t_fraction; _ } ->
+      max 1 (int_of_float (ceil (t_fraction *. float_of_int (Registry.n dataset))))
+  | Job.Quantile _ -> 1
+
 (* One admitted job, on a worker domain.  Everything read from [dataset] is
    immutable after registration except the r_opt-bounds cache, which locks
    internally. *)
 let execute t dataset rng (spec : Job.spec) : Job.status =
   let grid = Registry.grid dataset in
   let ps = Registry.pointset dataset in
-  let n = Registry.n dataset in
   match spec.Job.kind with
-  | Job.One_cluster { t_fraction } -> (
-      let target = max 1 (int_of_float (ceil (t_fraction *. float_of_int n))) in
+  | Job.One_cluster _ -> (
+      let target = target_of spec dataset in
       match
         Privcluster.One_cluster.run_indexed rng t.profile ~grid ~eps:spec.Job.eps
           ~delta:spec.Job.delta ~beta:spec.Job.beta ~t:target (Registry.index dataset)
@@ -108,42 +123,102 @@ let execute t dataset rng (spec : Job.spec) : Job.status =
                target_rank = res.Privcluster.Quantile.target_rank;
              })
 
-let run_batch ?domains t ~dataset specs =
+(* Why a failed-then-degraded job names its original failure: the reason
+   string is derived from the job's public status, never from drawn noise. *)
+let degrade_reason = function
+  | Job.Timed_out { elapsed_ms } ->
+      Printf.sprintf "deadline exceeded after %.0f ms" elapsed_ms
+  | Job.Solver_failed msg -> msg
+  | _ -> "unknown"
+
+(* The GoodRadius-only fallback, run on the coordinator after the pool has
+   drained (the accountant is not thread-safe, and commit/release must be
+   interleaved with nothing).  Its randomness is a dedicated sub-stream of
+   the job's stream — deterministic in (seed, submission index) and disjoint
+   from the main attempt's draws. *)
+let run_fallback t dataset ~stream (spec : Job.spec) cost =
+  let rng = Prim.Rng.derive (Prim.Rng.derive t.base_rng ~stream) ~stream:1 in
+  let target = target_of spec dataset in
+  let r =
+    Privcluster.Good_radius.run rng t.profile ~grid:(Registry.grid dataset)
+      ~eps:cost.Prim.Dp.eps ~delta:cost.Prim.Dp.delta ~beta:spec.Job.beta ~t:target
+      (Registry.index dataset)
+  in
+  Job.Radius
+    {
+      radius = r.Privcluster.Good_radius.radius;
+      t = target;
+      delta_bound = r.Privcluster.Good_radius.delta_bound;
+    }
+
+type admission =
+  | Refused_at_admission of string
+  | Admitted of Accountant.reservation option  (* the fallback reservation, if held *)
+
+let run_batch ?domains ?retries ?faults t ~dataset specs =
   let domains = max 1 (Option.value ~default:t.domains domains) in
+  let retries = max 0 (Option.value ~default:t.retries retries) in
+  let faults = Option.value ~default:t.faults faults in
   let accountant = Registry.accountant dataset in
-  (* Phase 1 — admission, in submission order, before anything runs. *)
+  (* Phase 1 — admission, in submission order, before anything runs.  A job
+     with a fallback also reserves the fallback's charge now, so degradation
+     can never be refused mid-batch; if the reservation alone does not fit,
+     the job still runs — it just has no fallback (logged below). *)
   let admitted =
     List.map
       (fun (spec : Job.spec) ->
         match Accountant.charge accountant ~label:spec.Job.id (Job.cost spec) with
-        | Ok () -> Ok spec
-        | Error refusal -> Error (Accountant.refusal_message refusal))
+        | Error refusal -> Refused_at_admission (Accountant.refusal_message refusal)
+        | Ok () -> (
+            match Job.fallback_cost spec with
+            | None -> Admitted None
+            | Some c -> (
+                match
+                  Accountant.reserve accountant ~label:(spec.Job.id ^ ":fallback") c
+                with
+                | Ok resv -> Admitted (Some resv)
+                | Error _ ->
+                    Log.warn (fun m ->
+                        m "job %s: no budget headroom for its fallback — degradation disabled"
+                          spec.Job.id);
+                    Admitted None)))
       specs
   in
   let n_admitted =
-    List.length (List.filter (function Ok _ -> true | Error _ -> false) admitted)
+    List.length (List.filter (function Admitted _ -> true | _ -> false) admitted)
   in
   Log.info (fun m ->
-      m "batch start: dataset=%s jobs=%d admitted=%d domains=%d seed=%d"
-        (Registry.name dataset) (List.length specs) n_admitted domains t.seed);
+      m "batch start: dataset=%s jobs=%d admitted=%d domains=%d seed=%d retries=%d faults=%s"
+        (Registry.name dataset) (List.length specs) n_admitted domains t.seed retries
+        (Faults.to_string faults));
   (* Phase 2 — execution.  Stream index = submission index (refusals
      included), so admitting a different prefix never reshuffles the
-     randomness of later jobs. *)
+     randomness of later jobs; and every retry attempt re-derives the same
+     stream, so a crash-before-output replay is bit-identical and free. *)
   let tasks =
     List.mapi (fun i a -> (i, a)) admitted
     |> List.filter_map (fun (i, a) ->
            match a with
-           | Ok (spec : Job.spec) -> Some (Pool.task ?deadline_s:spec.Job.deadline_s (i, spec))
-           | Error _ -> None)
+           | Admitted _ ->
+               let spec = List.nth specs i in
+               Some (Pool.task ?deadline_s:spec.Job.deadline_s (i, spec))
+           | Refused_at_admission _ -> None)
     |> Array.of_list
   in
+  let on_event = function
+    | Pool.Task_retry _ -> Telemetry.incr t.telemetry "retries"
+    | Pool.Worker_restart -> Telemetry.incr t.telemetry "worker_restarts"
+  in
   let outcomes =
-    Pool.run ~domains
-      ~f:(fun _ (stream, spec) ->
+    Pool.run ~retries ~backoff_s:t.backoff_s ~on_event ~domains
+      ~f:(fun ~index:_ ~attempt (stream, spec) ->
         let rng = Prim.Rng.derive t.base_rng ~stream in
+        (* Faults are armed before any randomness is drawn, so an injected
+           crash or kill is always a crash *before output*. *)
+        Faults.arm faults ~index:stream ~attempt;
         let t0 = Unix.gettimeofday () in
         let status = execute t dataset rng spec in
-        (status, (Unix.gettimeofday () -. t0) *. 1000.))
+        (status, (Unix.gettimeofday () -. t0) *. 1000., attempt + 1))
       tasks
   in
   let by_index = Hashtbl.create (Array.length tasks) in
@@ -152,17 +227,54 @@ let run_batch ?domains t ~dataset specs =
       let i, _ = tasks.(j).Pool.payload in
       Hashtbl.replace by_index i outcome)
     outcomes;
+  (* Phase 3 — settlement, sequential, in submission order: map outcomes to
+     results, run fallbacks for jobs that could not complete, and settle
+     every reservation (commit on degrade, release otherwise). *)
+  let settle i (spec : Job.spec) resv (status, latency_ms, attempts) =
+    let degrade () =
+      match (resv, Job.fallback_cost spec) with
+      | Some resv, Some cost -> (
+          let reason = degrade_reason status in
+          match run_fallback t dataset ~stream:i spec cost with
+          | output ->
+              Accountant.commit accountant resv;
+              Telemetry.incr t.telemetry "degraded";
+              Some (Job.Degraded { output; reason })
+          | exception exn ->
+              Log.warn (fun m ->
+                  m "job %s: fallback itself failed (%s) — keeping original status" spec.Job.id
+                    (Printexc.to_string exn));
+              Accountant.release accountant resv;
+              None)
+      | _ -> None
+    in
+    match status with
+    | Job.Completed _ | Job.Refused _ ->
+        Option.iter (Accountant.release accountant) resv;
+        { Job.spec; status; latency_ms; attempts }
+    | Job.Timed_out _ | Job.Solver_failed _ -> (
+        match degrade () with
+        | Some status -> { Job.spec; status; latency_ms; attempts }
+        | None ->
+            Option.iter (Accountant.release accountant) resv;
+            { Job.spec; status; latency_ms; attempts })
+    | Job.Degraded _ ->
+        (* execute never produces Degraded; keep the match exhaustive. *)
+        Option.iter (Accountant.release accountant) resv;
+        { Job.spec; status; latency_ms; attempts }
+  in
   let results =
     List.mapi
       (fun i (spec : Job.spec) ->
         match List.nth admitted i with
-        | Error msg -> { Job.spec; status = Job.Refused msg; latency_ms = 0. }
-        | Ok _ -> (
+        | Refused_at_admission msg ->
+            { Job.spec; status = Job.Refused msg; latency_ms = 0.; attempts = 0 }
+        | Admitted resv -> (
             match Hashtbl.find by_index i with
-            | Pool.Done (status, ms) -> { Job.spec; status; latency_ms = ms }
+            | Pool.Done (status, ms, attempts) -> settle i spec resv (status, ms, attempts)
             | Pool.Timed_out { elapsed_ms } ->
-                { Job.spec; status = Job.Timed_out { elapsed_ms }; latency_ms = elapsed_ms }
-            | Pool.Failed msg -> { Job.spec; status = Job.Solver_failed msg; latency_ms = 0. }))
+                settle i spec resv (Job.Timed_out { elapsed_ms }, elapsed_ms, 0)
+            | Pool.Failed msg -> settle i spec resv (Job.Solver_failed msg, 0., retries + 1)))
       specs
   in
   List.iter
@@ -170,13 +282,15 @@ let run_batch ?domains t ~dataset specs =
       Telemetry.record t.telemetry ~kind:(Job.kind_name r.Job.spec.Job.kind)
         ~status:(Job.status_name r.Job.status) ~latency_ms:r.Job.latency_ms)
     results;
+  let count st =
+    List.length (List.filter (fun r -> Job.status_name r.Job.status = st) results)
+  in
   Log.info (fun m ->
-      m "batch done: dataset=%s ok=%d refused=%d timeout=%d failed=%d"
-        (Registry.name dataset)
-        (List.length (List.filter (fun r -> Job.status_name r.Job.status = "ok") results))
-        (List.length (List.filter (fun r -> Job.status_name r.Job.status = "refused") results))
-        (List.length (List.filter (fun r -> Job.status_name r.Job.status = "timeout") results))
-        (List.length (List.filter (fun r -> Job.status_name r.Job.status = "failed") results)));
+      m "batch done: dataset=%s ok=%d refused=%d timeout=%d failed=%d degraded=%d retries=%d restarts=%d"
+        (Registry.name dataset) (count "ok") (count "refused") (count "timeout") (count "failed")
+        (count "degraded")
+        (Telemetry.counter t.telemetry "retries")
+        (Telemetry.counter t.telemetry "worker_restarts"));
   results
 
 let report_json t ~dataset results =

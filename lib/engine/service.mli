@@ -1,28 +1,50 @@
 (** The engine front door: run a batch of jobs against a registered
     dataset.
 
-    [run_batch] proceeds in two deterministic phases:
+    [run_batch] proceeds in three deterministic phases:
 
     + {b Admission} (sequential, coordinator only): every job is charged
       against the dataset's {!Accountant} in submission order.  Refused
       jobs get a {!Job.Refused} result immediately and are never
       dispatched — no noise is drawn for them, so refusal is free in the
-      privacy ledger.  Doing all charging before any execution makes the
+      privacy ledger.  A job that opts into graceful degradation
+      additionally {!Accountant.reserve}s its fallback's price here; if
+      only the reservation is refused, the job still runs, just without a
+      fallback.  Doing all charging before any execution makes the
       accept/refuse set a pure function of the submission list, never of
       worker timing.
-    + {b Execution} (parallel): admitted jobs run on a {!Pool} of
-      [domains] worker domains.  Job [i] (by submission index, counting
-      refused jobs) draws its randomness from
-      [Prim.Rng.derive base ~stream:i], so the batch output is
-      bit-identical for any domain count under a fixed [seed].
+    + {b Execution} (parallel): admitted jobs run on a supervised {!Pool}
+      of [domains] worker domains, with up to [retries] in-place retry
+      attempts per job.  Job [i] (by submission index, counting refused
+      jobs) draws its randomness from [Prim.Rng.derive base ~stream:i] on
+      {e every} attempt, so a retry after a crash-before-output fault is
+      a bit-identical replay of the same mechanism invocation — it
+      consumes no additional privacy and needs no new charge.  The batch
+      output is bit-identical for any domain count under a fixed [seed],
+      with or without injected faults (as long as the schedule is
+      survivable; see {!Faults}).
+    + {b Settlement} (sequential, coordinator only): outcomes are mapped
+      to results in submission order and every fallback reservation is
+      settled exactly once — {!Accountant.commit}ted if the job degraded
+      (the fallback ran {!Privcluster.Good_radius} at the reserved price
+      and the result is {!Job.Degraded}), {!Accountant.release}d
+      otherwise.  Releasing depends only on the job's public status, so
+      it leaks nothing.
 
     A job that times out or whose solver fails keeps its budget charge:
     by then the mechanism may already have consumed randomness, and
     refunds conditioned on the private outcome would themselves leak.
-    (Admission-time refusals are the only free path.)
+    (Admission-time refusals are the only free path; a released fallback
+    reservation is not a refund — the reserved amount was never spent.)
+
+    Deterministic solver failure values ([Error] returns) are not
+    retried: a replay of the same stream fails identically.  Only raised
+    exceptions — the crash-before-output shape — are retried.
 
     Results come back in submission order; every finished job is recorded
-    in the service {!Telemetry} and logged on ["privcluster.engine"]. *)
+    in the service {!Telemetry} (statuses plus the ["retries"],
+    ["worker_restarts"] and ["degraded"] counters) and logged on
+    ["privcluster.engine"].  See OPERATIONS.md for the operator's view. *)
 
 type t
 
@@ -30,16 +52,25 @@ val create :
   ?profile:Privcluster.Profile.t ->
   ?domains:int ->
   ?seed:int ->
+  ?retries:int ->
+  ?backoff_s:float ->
+  ?faults:Faults.t ->
   unit ->
   t
 (** [profile] defaults to {!Privcluster.Profile.practical}; [domains] to
     {!Pool.recommended_domains} and is clamped to ≥ 1; [seed] (default 1)
-    is the base of every per-job derived stream. *)
+    is the base of every per-job derived stream; [retries] (default 2,
+    clamped to ≥ 0) is the per-job in-place retry allowance; [backoff_s]
+    (default 1 ms) the base retry backoff; [faults] defaults to
+    {!Faults.of_env} — the [PRIVCLUSTER_FAULTS] schedule, or no faults
+    when the variable is unset. *)
 
 val registry : t -> Registry.t
 val telemetry : t -> Telemetry.t
 val domains : t -> int
 val seed : t -> int
+val retries : t -> int
+val faults : t -> Faults.t
 
 val register :
   t ->
@@ -53,10 +84,17 @@ val register :
 (** Convenience passthrough to {!Registry.register} on the service's
     registry. *)
 
-val run_batch : ?domains:int -> t -> dataset:Registry.dataset -> Job.spec list -> Job.result list
-(** Run the batch as described above; [domains] overrides the service
-    default for this call. *)
+val run_batch :
+  ?domains:int ->
+  ?retries:int ->
+  ?faults:Faults.t ->
+  t ->
+  dataset:Registry.dataset ->
+  Job.spec list ->
+  Job.result list
+(** Run the batch as described above; [domains], [retries] and [faults]
+    override the service defaults for this call. *)
 
 val report_json : t -> dataset:Registry.dataset -> Job.result list -> Json.t
-(** The batch report the CLI emits: dataset (with ledger), per-job
-    results, telemetry. *)
+(** The batch report the CLI emits: dataset (with ledger, including
+    outstanding reservations), per-job results, telemetry. *)

@@ -21,9 +21,31 @@ type kind_stats = {
   mutable max_ms : float;
 }
 
-type t = { mutex : Mutex.t; kinds : (string, kind_stats) Hashtbl.t }
+type t = {
+  mutex : Mutex.t;
+  kinds : (string, kind_stats) Hashtbl.t;
+  counters : (string, int) Hashtbl.t;
+}
 
-let create () = { mutex = Mutex.create (); kinds = Hashtbl.create 8 }
+let create () =
+  { mutex = Mutex.create (); kinds = Hashtbl.create 8; counters = Hashtbl.create 8 }
+
+let incr t name =
+  Mutex.lock t.mutex;
+  Hashtbl.replace t.counters name (1 + Option.value ~default:0 (Hashtbl.find_opt t.counters name));
+  Mutex.unlock t.mutex
+
+let counter t name =
+  Mutex.lock t.mutex;
+  let v = Option.value ~default:0 (Hashtbl.find_opt t.counters name) in
+  Mutex.unlock t.mutex;
+  v
+
+let counters t =
+  Mutex.lock t.mutex;
+  let l = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.counters [] in
+  Mutex.unlock t.mutex;
+  List.sort compare l
 
 let stats_for t kind =
   match Hashtbl.find_opt t.kinds kind with
@@ -142,7 +164,12 @@ let to_json t =
     fold t (fun k s acc -> kind_json k s :: acc) []
     |> List.sort (fun (a, _) (b, _) -> compare a b)
   in
-  Json.Obj [ ("total_jobs", Json.Int (total t)); ("kinds", Json.Obj kinds) ]
+  Json.Obj
+    [
+      ("total_jobs", Json.Int (total t));
+      ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (counters t)));
+      ("kinds", Json.Obj kinds);
+    ]
 
 let pp_summary ppf t =
   let rows =
@@ -151,7 +178,13 @@ let pp_summary ppf t =
   List.iter
     (fun (k, s) ->
       let st name = Option.value ~default:0 (Hashtbl.find_opt s.by_status name) in
-      Format.fprintf ppf "%s: %d jobs (ok %d, refused %d, timeout %d, failed %d) p50 %.1fms p99 %.1fms@."
-        k s.count (st "ok") (st "refused") (st "timeout") (st "failed")
+      Format.fprintf ppf
+        "%s: %d jobs (ok %d, refused %d, timeout %d, failed %d, degraded %d) p50 %.1fms p99 %.1fms@."
+        k s.count (st "ok") (st "refused") (st "timeout") (st "failed") (st "degraded")
         (quantile_of_hist s ~q:0.5) (quantile_of_hist s ~q:0.99))
-    rows
+    rows;
+  match counters t with
+  | [] -> ()
+  | cs ->
+      Format.fprintf ppf "counters: %s@."
+        (String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "%s %d" k v) cs))

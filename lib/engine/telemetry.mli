@@ -19,7 +19,20 @@ val log_src : Logs.src
 
 val record : t -> kind:string -> status:string -> latency_ms:float -> unit
 (** Thread-safe.  [kind] is the job kind name (["one_cluster"], …);
-    [status] is ["ok"], ["refused"], ["timeout"] or ["failed"]. *)
+    [status] is ["ok"], ["refused"], ["timeout"], ["failed"] or
+    ["degraded"]. *)
+
+val incr : t -> string -> unit
+(** Thread-safe named event counter (+1).  The engine uses ["retries"]
+    (a job attempt was re-run after a crash), ["worker_restarts"] (a dead
+    worker domain was replaced) and ["degraded"] (a job fell back to its
+    cheaper solver); callers may add their own names. *)
+
+val counter : t -> string -> int
+(** Current value of a named counter; [0] when never incremented. *)
+
+val counters : t -> (string * int) list
+(** All named counters, sorted by name. *)
 
 val total : t -> int
 (** Observations recorded so far. *)

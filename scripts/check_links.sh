@@ -1,0 +1,34 @@
+#!/bin/sh
+# Checks that every relative markdown link [text](path) in the top-level
+# docs points at a file that exists. External (scheme://) links and
+# intra-page anchors (#...) are skipped. Exits non-zero on the first
+# broken link, listing all of them.
+set -u
+
+cd "$(dirname "$0")/.."
+
+docs="README.md OPERATIONS.md DESIGN.md HACKING.md ROADMAP.md EXPERIMENTS.md PAPER_MAP.md"
+status=0
+
+for doc in $docs; do
+  [ -f "$doc" ] || continue
+  # Pull out the (target) of every [text](target), one per line.
+  links=$(grep -o '\[[^]]*\]([^)]*)' "$doc" | sed 's/.*(\([^)]*\))/\1/')
+  for link in $links; do
+    case "$link" in
+      *://*) continue ;;        # external URL
+      '#'*) continue ;;         # same-page anchor
+    esac
+    target=${link%%#*}          # strip a trailing anchor
+    [ -n "$target" ] || continue
+    if [ ! -e "$target" ]; then
+      echo "BROKEN: $doc -> $link" >&2
+      status=1
+    fi
+  done
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "check_links: all relative doc links resolve."
+fi
+exit "$status"

@@ -30,6 +30,7 @@ let () =
       ("profile", Test_profile.suite);
       ("robustness", Test_robustness.suite);
       ("engine", Test_engine.suite);
+      ("faults", Test_faults.suite);
       ("pp", Test_pp.suite);
       ("invariants", Test_invariants.suite);
     ]

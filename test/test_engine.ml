@@ -163,7 +163,7 @@ let test_job_parse_errors () =
 
 let test_pool_outcomes_in_order () =
   let tasks = Array.init 17 (fun i -> Engine.Pool.task i) in
-  let outcomes = Engine.Pool.run ~domains:4 ~f:(fun _ i -> i * i) tasks in
+  let outcomes = Engine.Pool.run ~domains:4 ~f:(fun ~index:_ ~attempt:_ i -> i * i) tasks in
   Array.iteri
     (fun i o ->
       match o with
@@ -174,7 +174,9 @@ let test_pool_outcomes_in_order () =
 let test_pool_failure_isolation () =
   let tasks = Array.init 5 (fun i -> Engine.Pool.task i) in
   let outcomes =
-    Engine.Pool.run ~domains:2 ~f:(fun _ i -> if i = 2 then failwith "boom" else i) tasks
+    Engine.Pool.run ~domains:2
+      ~f:(fun ~index:_ ~attempt:_ i -> if i = 2 then failwith "boom" else i)
+      tasks
   in
   Array.iteri
     (fun i o ->
@@ -190,7 +192,7 @@ let test_pool_deadline_timeout () =
   let ran = Atomic.make false in
   let outcomes =
     Engine.Pool.run ~domains:1
-      ~f:(fun _ () -> Atomic.set ran true)
+      ~f:(fun ~index:_ ~attempt:_ () -> Atomic.set ran true)
       [| Engine.Pool.task ~deadline_s:0.0 () |]
   in
   (match outcomes.(0) with
@@ -200,7 +202,7 @@ let test_pool_deadline_timeout () =
   (* A job that overruns its deadline: reported as timeout, pool returns. *)
   let outcomes =
     Engine.Pool.run ~domains:1
-      ~f:(fun _ () -> Unix.sleepf 0.15)
+      ~f:(fun ~index:_ ~attempt:_ () -> Unix.sleepf 0.15)
       [| Engine.Pool.task ~deadline_s:0.05 () |]
   in
   match outcomes.(0) with
@@ -218,6 +220,7 @@ let specs_for_batch =
       delta = 1e-6;
       beta = 0.1;
       deadline_s = None;
+      fallback = false;
     };
     {
       Engine.Job.id = "q";
@@ -226,6 +229,7 @@ let specs_for_batch =
       delta = 0.;
       beta = 0.1;
       deadline_s = None;
+      fallback = false;
     };
     {
       Engine.Job.id = "b";
@@ -234,11 +238,12 @@ let specs_for_batch =
       delta = 1e-6;
       beta = 0.1;
       deadline_s = None;
+      fallback = false;
     };
   ]
 
 let run_batch ~domains ~seed =
-  let service = Engine.Service.create ~domains ~seed () in
+  let service = Engine.Service.create ~domains ~seed ~faults:Engine.Faults.none () in
   (* Big enough that the 1-cluster solver succeeds at eps=2. *)
   let _, grid, w = small_workload ~n:1500 ~axis:256 ~radius:0.05 () in
   let ds =
@@ -265,7 +270,7 @@ let test_service_parallel_equals_sequential () =
   check_true "different seed, different draws" (canonical r1 <> canonical r1')
 
 let test_service_refuses_over_budget_jobs () =
-  let service = Engine.Service.create ~domains:1 ~seed:3 () in
+  let service = Engine.Service.create ~domains:1 ~seed:3 ~faults:Engine.Faults.none () in
   let _, grid, w = small_workload () in
   let ds =
     Engine.Service.register service ~name:"w" ~grid ~budget:(p ~eps:1.5 ~delta:1e-5)
@@ -279,6 +284,7 @@ let test_service_refuses_over_budget_jobs () =
       delta = 0.;
       beta = 0.1;
       deadline_s = None;
+      fallback = false;
     }
   in
   (* 0.9 accepted, 0.9 refused (would hit 1.8 > 1.5), 0.5 accepted: admission
@@ -299,7 +305,7 @@ let test_service_refuses_over_budget_jobs () =
     (Engine.Telemetry.count (Engine.Service.telemetry service) ~kind:"quantile" ())
 
 let test_service_deadline_reports_timeout () =
-  let service = Engine.Service.create ~domains:2 ~seed:3 () in
+  let service = Engine.Service.create ~domains:2 ~seed:3 ~faults:Engine.Faults.none () in
   let _, grid, w = small_workload () in
   let ds =
     Engine.Service.register service ~name:"w" ~grid ~budget:(p ~eps:10. ~delta:1e-4)
@@ -313,6 +319,7 @@ let test_service_deadline_reports_timeout () =
       delta = 1e-7;
       beta = 0.1;
       deadline_s = Some 0.;  (* expired on arrival *)
+      fallback = false;
     }
   in
   match Engine.Service.run_batch service ~dataset:ds [ spec ] with
