@@ -1,7 +1,8 @@
 (* Benchmark harness: runs the experiment suite (E1–E14, one per table /
    figure / theorem claim — see EXPERIMENTS.md) followed by the Bechamel
-   timing benches (B1–B7, one per pipeline stage), the engine throughput
-   bench (B8) and the one-cluster allocation check.
+   timing benches (B1–B7, one per pipeline stage, plus B9 for the
+   statistical-check estimators), the engine throughput bench (B8) and the
+   one-cluster allocation check.
 
    Usage:
      dune exec bench/main.exe                 # full suite
@@ -99,6 +100,15 @@ let stage_thunks fx : (string * (unit -> unit)) list =
         ignore
           (Privcluster.One_cluster.run_indexed fx.rng profile ~grid:fx.grid ~eps:2.0 ~delta
              ~beta ~t:fx.t fx.idx) );
+    ( "B9 check-estimators",
+      let cdf x = Prim.Laplace.cdf ~eps:0.7 ~sensitivity:1.0 x in
+      let samples =
+        Array.init 4096 (fun _ -> Prim.Laplace.noise fx.rng ~eps:0.7 ~sensitivity:1.0)
+      in
+      fun () ->
+        ignore (Check.Stats.ks_test ~cdf samples);
+        ignore (Check.Stats.ad_test ~cdf samples);
+        ignore (Check.Stats.clopper_pearson ~alpha:0.05 ~k:37 ~n:4096) );
   ]
 
 let timing_tests fx =

@@ -428,6 +428,133 @@ let domain_cmd =
     (Cmd.info "domain-solve" ~doc:"Solve over a non-unit rectangular domain (Remark 3.3)")
     Term.(const run $ seed $ eps $ delta $ beta $ axis $ n)
 
+(* check --------------------------------------------------------------- *)
+
+(* Statistical verification: goodness-of-fit of every primitive's output
+   law, DP distinguisher estimates with Clopper–Pearson bounds, and the
+   Theorem 3.2 utility certifier.  Exits 1 when any check reports a
+   violation, so CI can gate on it. *)
+
+let check_cmd =
+  let run seed trials deep significance alpha slack jobs only list_names json_out =
+    if list_names then List.iter print_endline (Check.Suite.names ())
+    else begin
+      let cfg =
+        { Check.Suite.seed; trials; deep; significance; alpha; slack; domains = jobs }
+      in
+      let only =
+        match only with
+        | None -> None
+        | Some s ->
+            Some
+              (String.split_on_char ',' s |> List.map String.trim
+              |> List.filter (fun x -> x <> ""))
+      in
+      Workload.Report.headline "statistical DP verification & utility certification";
+      Workload.Report.kv "seed / trials" (Printf.sprintf "%d / %d" seed trials);
+      Workload.Report.kv "deep" (string_of_bool deep);
+      Workload.Report.kv "gof significance" (Workload.Report.g significance);
+      Workload.Report.kv "CP alpha / ratio slack"
+        (Printf.sprintf "%s / %s" (Workload.Report.g alpha) (Workload.Report.g slack));
+      Workload.Report.kv "domains" (string_of_int jobs);
+      let results = Check.Suite.run ?only cfg in
+      if results = [] then begin
+        prerr_endline "check: no checks matched --only (see --list)";
+        exit 2
+      end;
+      Workload.Report.subhead "checks";
+      Workload.Report.table
+        ~header:[ "check"; "kind"; "status"; "detail" ]
+        (List.map
+           (fun (r : Check.Suite.result) ->
+             [
+               r.Check.Suite.name;
+               r.Check.Suite.kind;
+               (match r.Check.Suite.status with
+               | Check.Suite.Pass -> "pass"
+               | Check.Suite.Violation -> "VIOLATION");
+               r.Check.Suite.detail;
+             ])
+           results);
+      let violations =
+        List.length
+          (List.filter (fun r -> r.Check.Suite.status = Check.Suite.Violation) results)
+      in
+      Workload.Report.kv "summary"
+        (Printf.sprintf "%d checks, %d violation%s" (List.length results) violations
+           (if violations = 1 then "" else "s"));
+      (match json_out with
+      | None -> ()
+      | Some dest ->
+          let json =
+            Engine.Json.to_string (Check.Suite.report_json cfg results) ^ "\n"
+          in
+          if dest = "-" then print_string json
+          else begin
+            Out_channel.with_open_text dest (fun oc -> Out_channel.output_string oc json);
+            Workload.Report.kv "json report" dest
+          end);
+      if violations > 0 then exit 1
+    end
+  in
+  let trials =
+    Arg.(
+      value
+      & opt int Check.Suite.default.Check.Suite.trials
+      & info [ "trials" ] ~doc:"Samples per side for full-rate checks (composites divide it).")
+  in
+  let deep =
+    Arg.(
+      value & flag
+      & info [ "deep" ] ~doc:"Quadruple the composite / certifier sample sizes.")
+  in
+  let significance =
+    Arg.(
+      value
+      & opt float Check.Suite.default.Check.Suite.significance
+      & info [ "significance" ] ~doc:"Goodness-of-fit rejection level.")
+  in
+  let alpha =
+    Arg.(
+      value
+      & opt float Check.Suite.default.Check.Suite.alpha
+      & info [ "alpha" ] ~doc:"Clopper-Pearson confidence parameter.")
+  in
+  let slack =
+    Arg.(
+      value
+      & opt float Check.Suite.default.Check.Suite.slack
+      & info [ "slack" ] ~doc:"Distinguisher ratio slack on top of e^eps.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ]
+          ~doc:"Worker domains for the sampling fan-out. Results are identical for any value under a fixed --seed.")
+  in
+  let only =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "only" ]
+          ~doc:"Comma-separated check names or group prefixes (e.g. 'laplace,one_cluster/utility').")
+  in
+  let list_names =
+    Arg.(value & flag & info [ "list" ] ~doc:"List the registered check names and exit.")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~doc:"Write the JSON report to this file ('-' for stdout).")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Statistically verify the DP mechanisms and certify utility contracts")
+    Term.(
+      const run $ seed $ trials $ deep $ significance $ alpha $ slack $ jobs $ only
+      $ list_names $ json_out)
+
 let () =
   let doc = "differentially private location of a small cluster (PODS 2016)" in
   let info = Cmd.info "privcluster-cli" ~doc ~version:"1.0.0" in
@@ -443,4 +570,5 @@ let () =
             interior_cmd;
             quantile_cmd;
             domain_cmd;
+            check_cmd;
           ]))

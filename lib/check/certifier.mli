@@ -1,0 +1,58 @@
+(** Utility certification for Theorem 3.2's contract.
+
+    The theorem promises that with probability ≥ 1 − β the released ball
+    [B(c, r)] covers at least [t − Δ] input points (Δ the run's certified
+    [delta_bound]) and [r] stays within a bounded factor [w] of [r_opt].
+    This module replays many independently seeded planted workloads through
+    {!Privcluster.One_cluster} and reports the observed failure rate of
+    each clause with an exact Clopper–Pearson interval.
+
+    Since β upper-bounds the {e union} of both failure modes, the verdict
+    is one-sided and conservative in the same spirit as the DP
+    distinguisher: a violation is declared only when the CP lower bound on
+    the total failure rate exceeds β — i.e. we are confident the contract
+    is broken, not merely unlucky. *)
+
+type spec = {
+  runs : int;
+  n : int;
+  dim : int;
+  axis : int;
+  fraction : float;  (** Planted cluster fraction of [n]. *)
+  radius : float;  (** Planted cluster radius. *)
+  t_fraction : float;  (** Target [t] as a share of the planted size. *)
+  eps : float;
+  delta : float;
+  beta : float;
+  w_max : float;
+      (** The radius-ratio factor to certify: [r ≤ w_max · r_hi] with
+          [r_hi] the planted-radius-tightened upper bound on [r_opt]. *)
+}
+
+val default_spec : spec
+(** 200 runs of the experiment suite's midsize planted workload
+    ([n = 1500], [d = 2], [|X| = 256]) at [(ε, δ) = (2, 1e-6)],
+    [β = 0.1], [w_max = 40] — the conservative envelope over the
+    [wPriv ≈ 18–22] capture constant EXPERIMENTS.md (E2) measures for
+    the practical profile's identity path at [d = 2]. *)
+
+type outcome = {
+  spec : spec;
+  solver_failures : int;  (** Runs where the solver returned [Error]. *)
+  coverage_failures : int;  (** Covered fewer than [t − Δ] points. *)
+  radius_failures : int;  (** Returned radius above [w_max · r_hi]. *)
+  failures : int;  (** Runs failing any clause (not the sum: one run can fail several). *)
+  failure_rate : float;
+  failure_ci : Stats.interval;
+  median_w : float;  (** Median of radius / r_hi over successful runs. *)
+  median_coverage_margin : float;
+      (** Median of [covered − (t − Δ)] over non-solver-failure runs. *)
+  violation : bool;  (** [failure_ci.lo > beta]. *)
+}
+
+val one_cluster :
+  Prim.Rng.t -> ?alpha:float -> ?domains:int -> Privcluster.Profile.t -> spec -> outcome
+(** Replay [spec.runs] independently seeded workloads (streams derived
+    from the given generator, fanned out over an {!Engine.Pool} of
+    [domains] worker domains — results independent of [domains]) and
+    certify the contract at confidence [1 − alpha] (default 0.05). *)

@@ -1,0 +1,44 @@
+let laplace_cdf = Prim.Laplace.cdf
+
+let gaussian_cdf ~sigma ?(mu = 0.) x = Stats.normal_cdf ~mu ~sigma x
+
+let exp_mech_law ~eps ~sensitivity ~qualities =
+  Prim.Exp_mech.probabilities ~eps ~sensitivity ~qualities
+
+(* P(cell i released) = ∫_T^∞ f_b(x − c_i) · Π_{j≠i} F_b(x − c_j) dx where
+   b = 2/ε, T the release threshold and F_b/f_b the Laplace CDF/density
+   (ties have measure zero).  Simpson on a fixed fine grid over [T, c* + 40b]
+   — the integrand decays like e^{−x/b}, so 40b of tail is ~1e-17. *)
+let stability_hist_law ~eps ~delta cells =
+  if cells = [] then invalid_arg "Dist.stability_hist_law: no cells";
+  let b = 2. /. eps in
+  let thr = Prim.Stability_hist.release_threshold ~eps ~delta in
+  let counts = Array.of_list (List.map (fun (_, c) -> float_of_int c) cells) in
+  let k = Array.length counts in
+  let pdf z = exp (-.Float.abs z /. b) /. (2. *. b) in
+  let cdf z = if z < 0. then 0.5 *. exp (z /. b) else 1. -. (0.5 *. exp (-.z /. b)) in
+  let hi = Array.fold_left Float.max neg_infinity counts +. (40. *. b) in
+  let steps = 8192 in
+  let h = (hi -. thr) /. float_of_int steps in
+  let integrand i x =
+    let acc = ref (pdf (x -. counts.(i))) in
+    for j = 0 to k - 1 do
+      if j <> i then acc := !acc *. cdf (x -. counts.(j))
+    done;
+    !acc
+  in
+  let p_select i =
+    if hi <= thr then 0.
+    else begin
+      let sum = ref (integrand i thr +. integrand i hi) in
+      for s = 1 to steps - 1 do
+        let x = thr +. (float_of_int s *. h) in
+        let w = if s land 1 = 1 then 4. else 2. in
+        sum := !sum +. (w *. integrand i x)
+      done;
+      !sum *. h /. 3.
+    end
+  in
+  let probs = Array.init k p_select in
+  let released = Array.fold_left ( +. ) 0. probs in
+  Array.append probs [| Float.max 0. (1. -. released) |]

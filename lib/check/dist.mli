@@ -1,0 +1,30 @@
+(** Exact reference laws for the shipped mechanisms.
+
+    A distribution test is only as good as its null hypothesis; this module
+    centralizes the closed-form (or quadrature-computed) output laws the
+    goodness-of-fit testers in {!Stats} compare empirical samples against.
+    The Laplace and exponential-mechanism laws delegate to the mechanism
+    modules themselves ({!Prim.Laplace.cdf}, {!Prim.Exp_mech.probabilities})
+    so the test and the implementation can never disagree about the intended
+    calibration; the stability-histogram law has no closed form and is
+    computed here by adaptive-step Simpson quadrature over the Laplace
+    noise. *)
+
+val laplace_cdf : eps:float -> sensitivity:float -> ?mu:float -> float -> float
+(** [Prim.Laplace.cdf] re-exported: the law of one released value centered
+    at the true answer [mu]. *)
+
+val gaussian_cdf : sigma:float -> ?mu:float -> float -> float
+(** The law of one Gaussian-mechanism coordinate at noise level [sigma]. *)
+
+val exp_mech_law : eps:float -> sensitivity:float -> qualities:float array -> float array
+(** [Prim.Exp_mech.probabilities] re-exported. *)
+
+val stability_hist_law :
+  eps:float -> delta:float -> ('k * int) list -> float array
+(** The exact output law of {!Prim.Stability_hist.select} on the given
+    non-empty cells: entry [i] is the probability that cell [i] (in list
+    order) is released, and the final extra entry is the probability that
+    nothing clears the threshold.  Computed by numerically integrating
+    [P(noisy_i = max ∧ noisy_i ≥ threshold)]; accurate to ~1e-6, far below
+    any sampling error the harness can resolve. *)

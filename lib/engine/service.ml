@@ -136,8 +136,8 @@ let degrade_reason = function
    interleaved with nothing).  Its randomness is a dedicated sub-stream of
    the job's stream — deterministic in (seed, submission index) and disjoint
    from the main attempt's draws. *)
-let run_fallback t dataset ~stream (spec : Job.spec) cost =
-  let rng = Prim.Rng.derive (Prim.Rng.derive t.base_rng ~stream) ~stream:1 in
+let run_fallback t dataset ~base_rng ~stream (spec : Job.spec) cost =
+  let rng = Prim.Rng.derive (Prim.Rng.derive base_rng ~stream) ~stream:1 in
   let target = target_of spec dataset in
   let r =
     Privcluster.Good_radius.run rng t.profile ~grid:(Registry.grid dataset)
@@ -155,10 +155,15 @@ type admission =
   | Refused_at_admission of string
   | Admitted of Accountant.reservation option  (* the fallback reservation, if held *)
 
-let run_batch ?domains ?retries ?faults t ~dataset specs =
+let run_batch ?domains ?retries ?faults ?seed t ~dataset specs =
   let domains = max 1 (Option.value ~default:t.domains domains) in
   let retries = max 0 (Option.value ~default:t.retries retries) in
   let faults = Option.value ~default:t.faults faults in
+  let base_rng, seed =
+    match seed with
+    | None -> (t.base_rng, t.seed)
+    | Some s -> (Prim.Rng.create ~seed:s (), s)
+  in
   let accountant = Registry.accountant dataset in
   (* Phase 1 — admission, in submission order, before anything runs.  A job
      with a fallback also reserves the fallback's charge now, so degradation
@@ -189,7 +194,7 @@ let run_batch ?domains ?retries ?faults t ~dataset specs =
   in
   Log.info (fun m ->
       m "batch start: dataset=%s jobs=%d admitted=%d domains=%d seed=%d retries=%d faults=%s"
-        (Registry.name dataset) (List.length specs) n_admitted domains t.seed retries
+        (Registry.name dataset) (List.length specs) n_admitted domains seed retries
         (Faults.to_string faults));
   (* Phase 2 — execution.  Stream index = submission index (refusals
      included), so admitting a different prefix never reshuffles the
@@ -212,7 +217,7 @@ let run_batch ?domains ?retries ?faults t ~dataset specs =
   let outcomes =
     Pool.run ~retries ~backoff_s:t.backoff_s ~on_event ~domains
       ~f:(fun ~index:_ ~attempt (stream, spec) ->
-        let rng = Prim.Rng.derive t.base_rng ~stream in
+        let rng = Prim.Rng.derive base_rng ~stream in
         (* Faults are armed before any randomness is drawn, so an injected
            crash or kill is always a crash *before output*. *)
         Faults.arm faults ~index:stream ~attempt;
@@ -235,7 +240,7 @@ let run_batch ?domains ?retries ?faults t ~dataset specs =
       match (resv, Job.fallback_cost spec) with
       | Some resv, Some cost -> (
           let reason = degrade_reason status in
-          match run_fallback t dataset ~stream:i spec cost with
+          match run_fallback t dataset ~base_rng ~stream:i spec cost with
           | output ->
               Accountant.commit accountant resv;
               Telemetry.incr t.telemetry "degraded";

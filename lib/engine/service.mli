@@ -88,12 +88,17 @@ val run_batch :
   ?domains:int ->
   ?retries:int ->
   ?faults:Faults.t ->
+  ?seed:int ->
   t ->
   dataset:Registry.dataset ->
   Job.spec list ->
   Job.result list
 (** Run the batch as described above; [domains], [retries] and [faults]
-    override the service defaults for this call. *)
+    override the service defaults for this call.  [seed] overrides the base
+    of the per-job derived streams for this batch only — the statistical
+    verification harness ({!Check}) uses it to draw many independent runs of
+    the same batch (including the reserve/commit fallback path) against one
+    registered dataset without rebuilding the registry's indexes. *)
 
 val report_json : t -> dataset:Registry.dataset -> Job.result list -> Json.t
 (** The batch report the CLI emits: dataset (with ledger, including

@@ -6,6 +6,17 @@ let select rng ~eps ~sensitivity ~qualities =
   let log_weights = Array.map (fun q -> scale *. q) qualities in
   Rng.categorical_log rng ~log_weights
 
+let probabilities ~eps ~sensitivity ~qualities =
+  if Array.length qualities = 0 then invalid_arg "Exp_mech.probabilities: empty candidate set";
+  if not (eps > 0.) then invalid_arg "Exp_mech.probabilities: eps must be positive";
+  if not (sensitivity > 0.) then
+    invalid_arg "Exp_mech.probabilities: sensitivity must be positive";
+  let scale = eps /. (2. *. sensitivity) in
+  let m = Array.fold_left (fun acc q -> Float.max acc (scale *. q)) neg_infinity qualities in
+  let w = Array.map (fun q -> exp ((scale *. q) -. m)) qualities in
+  let z = Array.fold_left ( +. ) 0. w in
+  Array.map (fun x -> x /. z) w
+
 let select_elt rng ~eps ~sensitivity ~quality candidates =
   let qualities = Array.map quality candidates in
   candidates.(select rng ~eps ~sensitivity ~qualities)

@@ -9,6 +9,12 @@ val select : Rng.t -> eps:float -> sensitivity:float -> qualities:float array ->
 (** Index of the selected candidate.  Implemented with the Gumbel-max trick
     so arbitrarily large score ranges cannot overflow. *)
 
+val probabilities : eps:float -> sensitivity:float -> qualities:float array -> float array
+(** The exact output law of {!select}: candidate [i] is chosen with
+    probability [exp(ε·q_i/(2s)) / Σ_j exp(ε·q_j/(2s))] (computed in a
+    max-shifted, overflow-free form).  The verification harness's chi-square
+    tester compares empirical selection counts against this. *)
+
 val select_elt :
   Rng.t -> eps:float -> sensitivity:float -> quality:('a -> float) -> 'a array -> 'a
 (** Convenience wrapper evaluating [quality] on each element. *)

@@ -12,3 +12,10 @@ let vector rng ~eps ~l1_sensitivity v =
 let tail_bound ~eps ~sensitivity ~beta =
   if not (beta > 0. && beta <= 1.) then invalid_arg "Laplace.tail_bound: beta in (0, 1]";
   sensitivity /. eps *. log (1. /. beta)
+
+let cdf ~eps ~sensitivity ?(mu = 0.) x =
+  if not (eps > 0.) then invalid_arg "Laplace.cdf: eps must be positive";
+  if not (sensitivity > 0.) then invalid_arg "Laplace.cdf: sensitivity must be positive";
+  let scale = sensitivity /. eps in
+  let z = (x -. mu) /. scale in
+  if z < 0. then 0.5 *. exp z else 1. -. (0.5 *. exp (-.z))

@@ -24,3 +24,10 @@ val tail_bound : eps:float -> sensitivity:float -> beta:float -> float
     Laplace draw exceeds [m] in absolute value with probability at most
     [beta]:  [m = (sensitivity/ε) · ln(1/beta)].  Used by utility analyses
     (e.g. the [4/ε · ln(2/β)] slack in GoodRadius step 2). *)
+
+val cdf : eps:float -> sensitivity:float -> ?mu:float -> float -> float
+(** The exact CDF of one released value centered at [mu] (the true answer):
+    [P(mu + Lap(sensitivity/ε) ≤ x)].  This is the reference law the
+    statistical verification harness ({!Check}) tests empirical samples
+    against — kept here so test and mechanism can never disagree about the
+    intended scale. *)

@@ -1,0 +1,239 @@
+(* Unit and integration tests for the lib/check verification harness:
+   the special functions and estimators against closed forms, the exact
+   reference laws, the distinguisher's verdict logic on synthetic counts,
+   and (deep tier) the composite checks of the Suite registry. *)
+
+open Testutil
+
+(* ---- special functions against closed forms ----------------------- *)
+
+let test_special_functions () =
+  (* Γ(5) = 24. *)
+  check_float ~tol:1e-9 "log_gamma 5" (log 24.) (Check.Stats.log_gamma 5.);
+  (* Regularized incomplete beta at a = b = 1 is the identity. *)
+  check_float ~tol:1e-9 "I_1,1(0.3)" 0.3 (Check.Stats.reg_inc_beta ~a:1. ~b:1. 0.3);
+  (* chi2 survival at df = 2 is exp(-x/2). *)
+  check_float ~tol:1e-9 "chi2_sf df=2" (exp (-1.)) (Check.Stats.chi2_sf ~df:2 2.);
+  (* Standard normal quantiles. *)
+  check_float ~tol:1e-9 "Phi(0)" 0.5 (Check.Stats.normal_cdf ~sigma:1. 0.);
+  check_float ~tol:1e-4 "Phi(1.96)" 0.975 (Check.Stats.normal_cdf ~sigma:1. 1.959964);
+  check_float ~tol:1e-12 "erfc(0)" 1. (Check.Stats.erfc 0.)
+
+let test_clopper_pearson () =
+  let n = 50 and alpha = 0.05 in
+  (* k = 0: lo = 0, hi = 1 - (alpha/2)^(1/n) (exact closed form). *)
+  let ci = Check.Stats.clopper_pearson ~alpha ~k:0 ~n in
+  check_float ~tol:1e-9 "k=0 lo" 0. ci.Check.Stats.lo;
+  check_float ~tol:1e-6 "k=0 hi" (1. -. ((alpha /. 2.) ** (1. /. float_of_int n))) ci.Check.Stats.hi;
+  (* k = n mirrors it. *)
+  let ci = Check.Stats.clopper_pearson ~alpha ~k:n ~n in
+  check_float ~tol:1e-6 "k=n lo" ((alpha /. 2.) ** (1. /. float_of_int n)) ci.Check.Stats.lo;
+  check_float ~tol:1e-9 "k=n hi" 1. ci.Check.Stats.hi;
+  (* The interval contains the point estimate and is monotone in k. *)
+  let ci = Check.Stats.clopper_pearson ~alpha ~k:25 ~n in
+  check_in_range "k=n/2 straddles 0.5" ~lo:ci.Check.Stats.lo ~hi:ci.Check.Stats.hi 0.5;
+  check_true "interval proper" (ci.Check.Stats.lo < ci.Check.Stats.hi)
+
+(* ---- goodness-of-fit testers -------------------------------------- *)
+
+let laplace_cdf x = Check.Dist.laplace_cdf ~eps:0.7 ~sensitivity:1.0 x
+
+let test_ks_accepts_and_rejects r =
+  let good = Array.init 4000 (fun _ -> Prim.Laplace.noise r ~eps:0.7 ~sensitivity:1.0) in
+  let ks = Check.Stats.ks_test ~cdf:laplace_cdf good in
+  check_true
+    (Printf.sprintf "correct scale accepted (p = %.4f)" ks.Check.Stats.p_value)
+    (ks.Check.Stats.p_value > 0.001);
+  (* Half the intended noise scale must be rejected overwhelmingly. *)
+  let bad = Array.map (fun x -> 0.5 *. x) good in
+  let ks = Check.Stats.ks_test ~cdf:laplace_cdf bad in
+  check_true
+    (Printf.sprintf "wrong scale rejected (p = %.2g)" ks.Check.Stats.p_value)
+    (ks.Check.Stats.p_value < 1e-6)
+
+let test_ad_accepts_and_rejects r =
+  let good = Array.init 4000 (fun _ -> Prim.Laplace.noise r ~eps:0.7 ~sensitivity:1.0) in
+  let ad = Check.Stats.ad_test ~cdf:laplace_cdf good in
+  check_true
+    (Printf.sprintf "correct scale accepted (A2 = %.3f)" ad.Check.Stats.a2)
+    (ad.Check.Stats.a2 < Check.Stats.ad_critical ~significance:0.01);
+  let bad = Array.map (fun x -> 0.5 *. x) good in
+  let ad = Check.Stats.ad_test ~cdf:laplace_cdf bad in
+  check_true
+    (Printf.sprintf "wrong scale rejected (A2 = %.1f)" ad.Check.Stats.a2)
+    (ad.Check.Stats.a2 > Check.Stats.ad_critical ~significance:0.005)
+
+let test_chi2_pools_and_rejects r =
+  let expected = [| 0.5; 0.3; 0.15; 0.05 |] in
+  let sample p rng =
+    let u = Prim.Rng.float rng 1. in
+    let rec go i acc = if u <= acc +. p.(i) || i = 3 then i else go (i + 1) (acc +. p.(i)) in
+    go 0 0.
+  in
+  let counts p =
+    let c = Array.make 4 0 in
+    for _ = 1 to 4000 do
+      let i = sample p r in
+      c.(i) <- c.(i) + 1
+    done;
+    c
+  in
+  let ok = Check.Stats.chi2_test ~expected ~observed:(counts expected) in
+  check_true
+    (Printf.sprintf "matching law accepted (p = %.4f)" ok.Check.Stats.p_value)
+    (ok.Check.Stats.p_value > 0.001);
+  let skewed = Check.Stats.chi2_test ~expected ~observed:(counts [| 0.25; 0.25; 0.25; 0.25 |]) in
+  check_true
+    (Printf.sprintf "wrong law rejected (p = %.2g)" skewed.Check.Stats.p_value)
+    (skewed.Check.Stats.p_value < 1e-6)
+
+(* ---- exact reference laws ----------------------------------------- *)
+
+let test_exp_mech_law () =
+  let qualities = [| 3.; 5.; 4.; 1. |] in
+  let p = Check.Dist.exp_mech_law ~eps:0.8 ~sensitivity:1.0 ~qualities in
+  check_float ~tol:1e-12 "law sums to 1" 1. (Array.fold_left ( +. ) 0. p);
+  (* Softmax ratio law: p_i/p_j = exp(eps (q_i - q_j) / 2). *)
+  check_float ~tol:1e-9 "ratio law" (exp (0.8 *. (5. -. 3.) /. 2.)) (p.(1) /. p.(0))
+
+let test_stability_hist_law () =
+  (* Singleton fresh cell: released exactly when 1 + Lap(2/ε) clears the
+     threshold 1 + (2/ε)·ln(2/δ), i.e. with probability δ/4. *)
+  let eps = 1.0 and delta = 1e-4 in
+  let law = Check.Dist.stability_hist_law ~eps ~delta [ ("only", 1) ] in
+  check_int "law has k+1 entries" 2 (Array.length law);
+  check_float ~tol:1e-7 "release prob = delta/4" (delta /. 4.) law.(0);
+  check_float ~tol:1e-7 "none prob = 1 - delta/4" (1. -. (delta /. 4.)) law.(1);
+  (* Multi-cell law remains a probability vector, dominated by the heavy
+     cell once counts clear the threshold comfortably. *)
+  let law = Check.Dist.stability_hist_law ~eps ~delta [ ("a", 60); ("b", 40) ] in
+  check_float ~tol:1e-6 "multi-cell law sums to 1" 1. (Array.fold_left ( +. ) 0. law);
+  check_true "heavy cell dominates" (law.(0) > 0.9)
+
+(* ---- distinguisher verdict logic on synthetic counts --------------- *)
+
+let test_verdict_logic () =
+  let events = [ "e" ] in
+  (* 900/1000 vs 100/1000: loss ≈ ln 9.  Claimed ε = 0.1 must be violated;
+     claimed ε = 3 must not. *)
+  let verdict eps =
+    Check.Distinguisher.verdict ~claimed:(Prim.Dp.pure ~eps) ~events ~left:(1000, [| 900 |])
+      ~right:(1000, [| 100 |]) ()
+  in
+  let v = verdict 0.1 in
+  check_true "gross gap flagged at eps=0.1" v.Check.Distinguisher.violation;
+  check_true
+    (Printf.sprintf "certified loss %.2f below true ln 9" v.Check.Distinguisher.eps_lb)
+    (v.Check.Distinguisher.eps_lb > 1.5 && v.Check.Distinguisher.eps_lb < log 9.);
+  check_true "same gap legal at eps=3" (not (verdict 3.0).Check.Distinguisher.violation);
+  (* delta absorbs a small event: 30/10000 vs 0/10000 under (0.1, 0.01). *)
+  let v =
+    Check.Distinguisher.verdict
+      ~claimed:(Prim.Dp.v ~eps:0.1 ~delta:0.01)
+      ~events ~left:(10_000, [| 30 |]) ~right:(10_000, [| 0 |]) ()
+  in
+  check_true "delta absorbs a rare event" (not v.Check.Distinguisher.violation);
+  (* ...but not a large one. *)
+  let v =
+    Check.Distinguisher.verdict
+      ~claimed:(Prim.Dp.v ~eps:0.1 ~delta:0.01)
+      ~events ~left:(10_000, [| 3000 |]) ~right:(10_000, [| 100 |]) ()
+  in
+  check_true "large gap not absorbed" v.Check.Distinguisher.violation
+
+let test_verdict_symmetry () =
+  (* The inequality is checked in both directions: a gap hidden on the
+     right side is caught too. *)
+  let v =
+    Check.Distinguisher.verdict ~claimed:(Prim.Dp.pure ~eps:0.1) ~events:[ "e" ]
+      ~left:(1000, [| 100 |]) ~right:(1000, [| 900 |]) ()
+  in
+  check_true "right-side gap flagged" v.Check.Distinguisher.violation
+
+(* ---- the suite registry -------------------------------------------- *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let fast_cfg =
+  { Check.Suite.default with Check.Suite.seed = suite_seed; trials = 2500; domains = 2 }
+
+let test_suite_fast_checks () =
+  let results = Check.Suite.run ~only:[ "laplace"; "exp_mech" ] fast_cfg in
+  check_int "laplace + exp_mech checks" 5 (List.length results);
+  List.iter
+    (fun (r : Check.Suite.result) ->
+      check_true (r.Check.Suite.name ^ " passes") (r.Check.Suite.status = Check.Suite.Pass))
+    results;
+  (* The JSON report is well-formed enough to round-trip names. *)
+  let json = Engine.Json.to_string (Check.Suite.report_json fast_cfg results) in
+  check_true "report mentions laplace/ks"
+    (String.length json > 0
+    && contains json "laplace/ks"
+    && contains json "\"violations\": 0")
+
+let test_suite_names_registered () =
+  let names = Check.Suite.names () in
+  List.iter
+    (fun expected ->
+      check_true (expected ^ " registered") (List.mem expected names))
+    [
+      "laplace/ks"; "laplace/ad"; "gaussian/ks"; "gaussian/ad"; "exp_mech/chi2";
+      "stability_hist/chi2"; "laplace/dp"; "gaussian/dp"; "exp_mech/dp"; "noisy_max/dp";
+      "sparse_vector/dp"; "stability_hist/dp"; "noisy_avg/dp"; "good_radius/dp";
+      "one_cluster/dp"; "engine_fallback/dp"; "one_cluster/utility";
+    ]
+
+(* Determinism: the fan-out shards trials over a fixed chunk count, so the
+   verdict is bit-identical for any worker-domain count. *)
+let test_suite_domain_independence () =
+  let run domains =
+    Check.Suite.run ~only:[ "laplace/ks" ] { fast_cfg with Check.Suite.domains }
+  in
+  match (run 1, run 4) with
+  | [ a ], [ b ] ->
+      check_true "same detail across domain counts" (a.Check.Suite.detail = b.Check.Suite.detail)
+  | _ -> Alcotest.fail "expected exactly one result per run"
+
+(* ---- deep tier ------------------------------------------------------ *)
+
+let deep_cfg =
+  { Check.Suite.default with Check.Suite.seed = suite_seed; trials = 8000; domains = 4 }
+
+let test_deep_composites () =
+  let results =
+    Check.Suite.run ~only:[ "good_radius/dp"; "one_cluster/dp"; "engine_fallback/dp" ] deep_cfg
+  in
+  check_int "three composite checks" 3 (List.length results);
+  List.iter
+    (fun (r : Check.Suite.result) ->
+      if r.Check.Suite.status <> Check.Suite.Pass then
+        Alcotest.failf "%s: %s" r.Check.Suite.name r.Check.Suite.detail)
+    results
+
+let test_deep_utility () =
+  match Check.Suite.run ~only:[ "one_cluster/utility" ] deep_cfg with
+  | [ r ] ->
+      if r.Check.Suite.status <> Check.Suite.Pass then
+        Alcotest.failf "utility certification: %s" r.Check.Suite.detail
+  | _ -> Alcotest.fail "expected exactly one utility result"
+
+let suite =
+  [
+    case "special functions vs closed forms" test_special_functions;
+    case "clopper-pearson closed forms" test_clopper_pearson;
+    stat_case "ks accepts right / rejects wrong scale" test_ks_accepts_and_rejects;
+    stat_case "ad accepts right / rejects wrong scale" test_ad_accepts_and_rejects;
+    stat_case "chi2 accepts right / rejects wrong law" test_chi2_pools_and_rejects;
+    case "exponential-mechanism law" test_exp_mech_law;
+    case "stability-histogram law" test_stability_hist_law;
+    case "distinguisher verdict logic" test_verdict_logic;
+    case "distinguisher checks both directions" test_verdict_symmetry;
+    slow_case "suite fast checks pass" test_suite_fast_checks;
+    case "suite registry complete" test_suite_names_registered;
+    slow_case "suite verdicts domain-independent" test_suite_domain_independence;
+  ]
+  @ deep_case "deep: composite distinguishers" (fun _ -> test_deep_composites ())
+  @ deep_case "deep: utility certification" (fun _ -> test_deep_utility ())

@@ -394,6 +394,78 @@ let test_qcheck_spend_invariant =
       && spent.Prim.Dp.eps = ref_spent.Prim.Dp.eps
       && spent.Prim.Dp.delta = ref_spent.Prim.Dp.delta)
 
+(* Reservation-protocol model check: under an arbitrary interleaving of
+   reserve / commit / release / charge operations, the accountant must
+   never double-charge (its spend matches a simple replay model that adds
+   each price exactly once, on commit or charge), and once every
+   outstanding reservation is settled the reserved list is empty again.
+   The budget is set far above anything the interleaving can spend, so
+   every operation is accepted and the model stays exact. *)
+let test_qcheck_reservation_interleavings =
+  qcheck ~count:200 "reserve/commit/release interleavings settle cleanly"
+    QCheck2.Gen.(list_size (int_range 0 40) (int_range 0 5))
+    (fun ops ->
+      let acc = Engine.Accountant.create ~budget:(p ~eps:1e6 ~delta:0.5) () in
+      let live = ref [] in
+      let model_eps = ref 0. and model_delta = ref 0. in
+      let spend (pr : Prim.Dp.params) =
+        model_eps := !model_eps +. pr.Prim.Dp.eps;
+        model_delta := !model_delta +. pr.Prim.Dp.delta
+      in
+      let price i =
+        p
+          ~eps:(0.01 *. float_of_int (1 + (i mod 7)))
+          ~delta:(1e-9 *. float_of_int (i mod 3))
+      in
+      List.iteri
+        (fun i op ->
+          match op with
+          | 0 | 1 -> (
+              (* Reserve (twice as likely as the other ops, to keep a pool
+                 of outstanding reservations alive). *)
+              match
+                Engine.Accountant.reserve acc ~label:(Printf.sprintf "r%d" i) (price i)
+              with
+              | Ok r -> live := (r, price i) :: !live
+              | Error _ -> ())
+          | 2 -> (
+              (* Commit the newest outstanding reservation. *)
+              match !live with
+              | (r, pr) :: tl ->
+                  Engine.Accountant.commit acc r;
+                  live := tl;
+                  spend pr
+              | [] -> ())
+          | 3 -> (
+              (* Release the newest outstanding reservation. *)
+              match !live with
+              | (r, _) :: tl ->
+                  Engine.Accountant.release acc r;
+                  live := tl
+              | [] -> ())
+          | 4 -> (
+              (* Commit the oldest outstanding reservation. *)
+              match List.rev !live with
+              | (r, pr) :: _ ->
+                  Engine.Accountant.commit acc r;
+                  live := List.filter (fun (x, _) -> x != r) !live;
+                  spend pr
+              | [] -> ())
+          | _ -> (
+              match
+                Engine.Accountant.charge acc ~label:(Printf.sprintf "c%d" i) (price i)
+              with
+              | Ok () -> spend (price i)
+              | Error _ -> ()))
+        ops;
+      (* Settle every outstanding reservation, then nothing may linger and
+         the ledger must equal the replay model. *)
+      List.iter (fun (r, _) -> Engine.Accountant.release acc r) !live;
+      let spent = Engine.Accountant.spent acc in
+      Engine.Accountant.reserved acc = []
+      && Float.abs (spent.Prim.Dp.eps -. !model_eps) < 1e-9
+      && Float.abs (spent.Prim.Dp.delta -. !model_delta) < 1e-12)
+
 let suite =
   [
     case "fault grammar parses and roundtrips" test_parse_roundtrip;
@@ -411,4 +483,5 @@ let suite =
     case "missing fallback headroom disables degradation only" test_no_headroom_disables_fallback;
     case "exhausted attempts keep the admission charge" test_attempt_limit_keeps_charge;
     test_qcheck_spend_invariant;
+    test_qcheck_reservation_interleavings;
   ]

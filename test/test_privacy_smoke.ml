@@ -1,107 +1,140 @@
-(* Empirical differential-privacy smoke tests.
+(* Empirical differential-privacy smoke tests, on the Check estimators.
 
-   These do not prove privacy (no finite test can), but they catch gross
-   calibration bugs: for a pair of neighbouring databases we estimate the
-   output distribution of a mechanism on both and check that observed
-   probability ratios stay within e^ε plus sampling slack.  A broken noise
-   scale (for instance Lap(1/2ε) instead of Lap(2/ε)) fails these tests
-   immediately. *)
+   These do not prove privacy (no finite test can — see TESTING.md), but
+   they catch gross calibration bugs with a statistically sound verdict:
+   for a pair of neighbouring databases the Check.Distinguisher estimates
+   event probabilities on both sides with exact Clopper–Pearson intervals,
+   and declares a violation only when the confidence bounds themselves
+   break e^ε·(1+slack) + δ.  A broken noise scale (for instance Lap(1/2ε)
+   instead of Lap(2/ε)) is flagged immediately; a correctly calibrated
+   mechanism passes at any seed with probability ≥ 1 − α per event. *)
 
 open Testutil
 
-let trials = 60_000
+let trials = 30_000
 
-(* Max log-ratio between two empirical histograms, ignoring bins whose
-   counts are too small for a stable estimate. *)
-let max_log_ratio counts_a counts_b =
-  let worst = ref 0. in
-  Array.iteri
-    (fun i a ->
-      let b = counts_b.(i) in
-      if a >= 200 && b >= 200 then
-        worst := Float.max !worst (Float.abs (log (float_of_int a /. float_of_int b))))
-    counts_a;
-  !worst
+let fail_verdict name (v : Check.Distinguisher.verdict) =
+  Alcotest.failf "%s: %a" name Check.Distinguisher.pp_verdict v
 
-let test_laplace_count_ratio () =
-  let r = rng () in
+let assert_private name (v : Check.Distinguisher.verdict) =
+  if v.Check.Distinguisher.violation then fail_verdict name v
+
+let assert_flagged name (v : Check.Distinguisher.verdict) =
+  if not v.Check.Distinguisher.violation then fail_verdict name v
+
+(* Laplace counting on neighbouring counts 50 / 51: no violation, and the
+   distinguisher should certify a substantial share of the claimed loss
+   (the densest threshold events sit right at the e^ε ratio). *)
+let test_laplace_count r =
   let eps = 0.5 in
-  (* Neighbouring databases: counts 50 and 51. *)
-  let bins = 80 in
-  let histogram value =
-    let h = Array.make bins 0 in
-    for _ = 1 to trials do
-      let x = Prim.Laplace.count r ~eps value in
-      let bin = int_of_float (Float.round (x -. 50.)) + (bins / 2) in
-      if bin >= 0 && bin < bins then h.(bin) <- h.(bin) + 1
-    done;
-    h
+  let v =
+    Check.Distinguisher.run r ~claimed:(Prim.Dp.pure ~eps) ~trials
+      ~events:(Check.Distinguisher.thresholds ~lo:44. ~hi:58. ~count:15)
+      ~left:(fun r -> Prim.Laplace.count r ~eps 50)
+      ~right:(fun r -> Prim.Laplace.count r ~eps 51)
+      ()
   in
-  let ratio = max_log_ratio (histogram 50) (histogram 51) in
-  (* Allowed: ε plus generous sampling slack. *)
+  assert_private "laplace count" v;
   check_true
-    (Printf.sprintf "laplace log-ratio %.3f <= eps %.3f + slack" ratio eps)
-    (ratio <= eps +. 0.15)
+    (Printf.sprintf "laplace eps_lb %.3f should be positive" v.Check.Distinguisher.eps_lb)
+    (v.Check.Distinguisher.eps_lb > 0.2)
 
-let test_gaussian_ratio () =
-  let r = rng () in
+(* The acceptance probe for the harness itself: a deliberately mis-scaled
+   Laplace — Lap(1/2ε), four times too little noise at sensitivity 1 —
+   must be flagged as violating its claimed ε at the very significance
+   level under which every shipped mechanism passes. *)
+let test_misscaled_laplace_flagged r =
+  let eps = 0.5 in
+  let broken value rng = float_of_int value +. Prim.Rng.laplace rng ~scale:(1. /. (2. *. eps)) () in
+  let v =
+    Check.Distinguisher.run r ~claimed:(Prim.Dp.pure ~eps) ~trials
+      ~events:(Check.Distinguisher.thresholds ~lo:48. ~hi:53. ~count:11)
+      ~left:(broken 50) ~right:(broken 51) ()
+  in
+  assert_flagged "mis-scaled laplace must be caught" v;
+  check_true
+    (Printf.sprintf "certified loss %.3f should far exceed claimed %.3f"
+       v.Check.Distinguisher.eps_lb eps)
+    (v.Check.Distinguisher.eps_lb > eps)
+
+let test_gaussian r =
   let eps = 0.5 and delta = 1e-5 in
-  let bins = 60 in
-  let histogram value =
-    let h = Array.make bins 0 in
-    let sigma = Prim.Gaussian_mech.sigma ~eps ~delta ~l2_sensitivity:1.0 in
-    for _ = 1 to trials do
-      let x = value +. Prim.Rng.gaussian r ~sigma () in
-      let bin = int_of_float (Float.round ((x -. 50.) /. sigma *. 4.)) + (bins / 2) in
-      if bin >= 0 && bin < bins then h.(bin) <- h.(bin) + 1
-    done;
-    h
-  in
-  let ratio = max_log_ratio (histogram 50.) (histogram 51.) in
-  check_true
-    (Printf.sprintf "gaussian log-ratio %.3f <= eps + slack" ratio)
-    (ratio <= eps +. 0.15)
+  let sigma = Prim.Gaussian_mech.sigma ~eps ~delta ~l2_sensitivity:1.0 in
+  assert_private "gaussian"
+    (Check.Distinguisher.run r
+       ~claimed:(Prim.Dp.v ~eps ~delta)
+       ~trials
+       ~events:(Check.Distinguisher.thresholds ~lo:42. ~hi:60. ~count:15)
+       ~left:(fun r -> 50. +. Prim.Rng.gaussian r ~sigma ())
+       ~right:(fun r -> 51. +. Prim.Rng.gaussian r ~sigma ())
+       ())
 
-let test_exp_mech_ratio () =
-  let r = rng () in
+(* Neighbouring sensitivity-1 score vectors for the selection mechanisms. *)
+let scores_a = [| 3.; 5.; 4. |]
+
+let scores_b = [| 4.; 4.; 3. |]
+
+let test_exp_mech r =
   let eps = 0.5 in
-  (* Neighbouring score vectors (sensitivity 1 per candidate). *)
-  let qa = [| 3.; 5.; 4. |] and qb = [| 4.; 4.; 3. |] in
-  let histogram q =
-    let h = Array.make 3 0 in
-    for _ = 1 to trials do
-      let i = Prim.Exp_mech.select r ~eps ~sensitivity:1.0 ~qualities:q in
-      h.(i) <- h.(i) + 1
-    done;
-    h
-  in
-  let ratio = max_log_ratio (histogram qa) (histogram qb) in
-  check_true
-    (Printf.sprintf "exp-mech log-ratio %.3f <= eps + slack" ratio)
-    (ratio <= eps +. 0.1)
+  assert_private "exp-mech"
+    (Check.Distinguisher.run r ~claimed:(Prim.Dp.pure ~eps) ~trials
+       ~events:(Check.Distinguisher.categories ~k:3)
+       ~left:(fun r -> Prim.Exp_mech.select r ~eps ~sensitivity:1.0 ~qualities:scores_a)
+       ~right:(fun r -> Prim.Exp_mech.select r ~eps ~sensitivity:1.0 ~qualities:scores_b)
+       ())
 
-let test_stability_hist_release_rate () =
-  (* A cell present in S' but absent in S must be released with probability
-     <= delta-ish; here: a singleton cell can never clear the threshold
-     except through an enormous Laplace tail. *)
-  let r = rng () in
+(* Report-noisy-max must match the exponential mechanism's ε claim on the
+   same neighbouring score pair (its selection law differs; its privacy
+   guarantee does not). *)
+let test_noisy_max r =
+  let eps = 0.5 in
+  assert_private "noisy-max"
+    (Check.Distinguisher.run r ~claimed:(Prim.Dp.pure ~eps) ~trials
+       ~events:(Check.Distinguisher.categories ~k:3)
+       ~left:(fun r -> Prim.Noisy_max.argmax r ~eps ~sensitivity:1.0 scores_a)
+       ~right:(fun r -> Prim.Noisy_max.argmax r ~eps ~sensitivity:1.0 scores_b)
+       ())
+
+(* A cell present only in S' is released with probability ≤ δ/4 per draw
+   (the Lap(2/ε) tail above the 1 + (2/ε)·ln(2/δ) threshold).  The CI-based
+   verdict: fail only when the CP lower bound on the release rate clears
+   that tail bound — i.e. we are confident of over-release, not unlucky. *)
+let test_stability_hist_release_rate r =
   let eps = 1.0 and delta = 1e-4 in
-  let released = ref 0 in
   let runs = 20_000 in
+  let released = ref 0 in
   for _ = 1 to runs do
     match Prim.Stability_hist.select r ~eps ~delta [ ("new-cell", 1) ] with
     | Some _ -> incr released
     | None -> ()
   done;
-  (* P(1 + Lap(2) >= 1 + 2 ln(2/δ)) = δ/4 per draw. *)
+  let ci = Check.Stats.clopper_pearson ~alpha:0.01 ~k:!released ~n:runs in
   check_true
-    (Printf.sprintf "singleton release rate %d/%d within delta budget" !released runs)
-    (float_of_int !released /. float_of_int runs <= 4. *. delta)
+    (Printf.sprintf "singleton release rate %d/%d (CP lo %.2g) within delta/4 = %.2g"
+       !released runs ci.Check.Stats.lo (delta /. 4.))
+    (ci.Check.Stats.lo <= delta /. 4.)
 
-let test_noisy_avg_count_offset () =
-  (* The count lower bound m̂ must undershoot the true count (that is what
-     makes σ safe); equality-direction errors would show as m̂ > m often. *)
-  let r = rng () in
+(* Neighbouring singleton histograms through the distinguisher: adding one
+   element to a fresh cell shifts the release law by at most (ε, δ). *)
+let test_stability_hist_dp r =
+  let eps = 1.0 and delta = 1e-4 in
+  let obs cells rng =
+    match Prim.Stability_hist.select rng ~eps ~delta cells with
+    | None -> 0
+    | Some cell -> if cell.Prim.Stability_hist.key = "x" then 1 else 2
+  in
+  assert_private "stability-hist"
+    (Check.Distinguisher.run r
+       ~claimed:(Prim.Dp.v ~eps ~delta)
+       ~trials
+       ~events:(Check.Distinguisher.categories ~k:3)
+       ~left:(obs [ ("x", 30) ])
+       ~right:(obs [ ("x", 30); ("y", 1) ])
+       ())
+
+(* The count lower bound m̂ must undershoot the true count (that is what
+   makes σ safe); equality-direction errors would show as m̂ > m often. *)
+let test_noisy_avg_count_offset r =
   let vs = Array.init 500 (fun _ -> [| 0.5 |]) in
   let overshoot = ref 0 in
   for _ = 1 to 2000 do
@@ -113,13 +146,36 @@ let test_noisy_avg_count_offset () =
   done;
   check_int "m_hat never exceeds the true count by design margin" 0 !overshoot
 
-let test_sparse_vector_budget_independence () =
-  (* Below-threshold answers are "free": a long stream of Belows must not
-     change the distribution of a later Above decision (the mechanism keeps
-     only one noisy threshold).  We check the Above rate on query k is the
-     same whether 1 or 100 Belows preceded it. *)
-  let r = rng () in
-  let rate prefix_len =
+(* AboveThreshold calibration: the Above probability must be monotone in
+   the query's distance to the threshold and near-saturated far from it,
+   with Clopper–Pearson intervals doing the separating. *)
+let test_sparse_vector_calibration r =
+  let eps = 1.0 and threshold = 100. in
+  let above_ci value =
+    let runs = 10_000 in
+    let above = ref 0 in
+    for _ = 1 to runs do
+      let sv = Prim.Sparse_vector.create r ~eps ~threshold in
+      if Prim.Sparse_vector.query sv value = Prim.Sparse_vector.Above then incr above
+    done;
+    Check.Stats.clopper_pearson ~alpha:0.01 ~k:!above ~n:runs
+  in
+  let far_below = above_ci 60. in
+  let below = above_ci 90. in
+  let above = above_ci 110. in
+  let far_above = above_ci 140. in
+  check_true "far-below fires almost never" (far_below.Check.Stats.hi < 0.05);
+  check_true "far-above fires almost always" (far_above.Check.Stats.lo > 0.95);
+  check_true
+    (Printf.sprintf "monotone: [%.3f, %.3f] below < above [%.3f, %.3f]"
+       below.Check.Stats.lo below.Check.Stats.hi above.Check.Stats.lo above.Check.Stats.hi)
+    (below.Check.Stats.hi < above.Check.Stats.lo)
+
+(* Below-threshold answers are "free": a long stream of Belows must not
+   change a later Above decision's distribution (one noisy threshold is
+   kept).  CI-based: the two rates' intervals must overlap. *)
+let test_sparse_vector_budget_independence r =
+  let rate_ci prefix_len =
     let above = ref 0 in
     let runs = 20_000 in
     for _ = 1 to runs do
@@ -127,22 +183,54 @@ let test_sparse_vector_budget_independence () =
       for _ = 1 to prefix_len do
         if not (Prim.Sparse_vector.halted sv) then ignore (Prim.Sparse_vector.query sv 0.)
       done;
-      if (not (Prim.Sparse_vector.halted sv)) && Prim.Sparse_vector.query sv 100. = Prim.Sparse_vector.Above
+      if
+        (not (Prim.Sparse_vector.halted sv))
+        && Prim.Sparse_vector.query sv 100. = Prim.Sparse_vector.Above
       then incr above
     done;
-    float_of_int !above /. float_of_int runs
+    Check.Stats.clopper_pearson ~alpha:0.01 ~k:!above ~n:runs
   in
-  let r1 = rate 1 and r100 = rate 100 in
+  let r1 = rate_ci 1 and r100 = rate_ci 100 in
   check_true
-    (Printf.sprintf "rates %.3f vs %.3f close" r1 r100)
-    (Float.abs (r1 -. r100) < 0.05)
+    (Printf.sprintf "rate CIs [%.3f, %.3f] and [%.3f, %.3f] overlap" r1.Check.Stats.lo
+       r1.Check.Stats.hi r100.Check.Stats.lo r100.Check.Stats.hi)
+    (r1.Check.Stats.lo <= r100.Check.Stats.hi && r100.Check.Stats.lo <= r1.Check.Stats.hi)
+
+(* The full AboveThreshold interaction as a distinguisher target: feed a
+   neighbouring query stream (every query shifted by the sensitivity) and
+   compare the law of the firing index. *)
+let test_sparse_vector_dp r =
+  let eps = 1.0 in
+  let queries_a = [| 9.; 11.; 9.; 12.; 8. |] in
+  let queries_b = Array.map (fun q -> q +. 1.) queries_a in
+  let fire queries rng =
+    let sv = Prim.Sparse_vector.create rng ~eps ~threshold:10. in
+    let n = Array.length queries in
+    let rec go i =
+      if i >= n then n
+      else
+        match Prim.Sparse_vector.query sv queries.(i) with
+        | Prim.Sparse_vector.Above -> i
+        | Prim.Sparse_vector.Below -> go (i + 1)
+    in
+    go 0
+  in
+  assert_private "sparse-vector firing index"
+    (Check.Distinguisher.run r ~claimed:(Prim.Dp.pure ~eps) ~trials
+       ~events:(Check.Distinguisher.categories ~k:(Array.length queries_a + 1))
+       ~left:(fire queries_a) ~right:(fire queries_b) ())
 
 let suite =
   [
-    slow_case "laplace neighbouring ratio" test_laplace_count_ratio;
-    slow_case "gaussian neighbouring ratio" test_gaussian_ratio;
-    slow_case "exp-mech neighbouring ratio" test_exp_mech_ratio;
-    slow_case "stability-hist singleton release rate" test_stability_hist_release_rate;
-    slow_case "noisy-avg count offset direction" test_noisy_avg_count_offset;
-    slow_case "sparse-vector below-answers are free" test_sparse_vector_budget_independence;
+    stat_slow_case "laplace neighbouring counts" test_laplace_count;
+    stat_slow_case "mis-scaled laplace is flagged" test_misscaled_laplace_flagged;
+    stat_slow_case "gaussian neighbouring counts" test_gaussian;
+    stat_slow_case "exp-mech neighbouring scores" test_exp_mech;
+    stat_slow_case "noisy-max neighbouring scores" test_noisy_max;
+    stat_slow_case "stability-hist singleton release rate" test_stability_hist_release_rate;
+    stat_slow_case "stability-hist neighbouring histograms" test_stability_hist_dp;
+    stat_slow_case "noisy-avg count offset direction" test_noisy_avg_count_offset;
+    stat_slow_case "sparse-vector above/below calibration" test_sparse_vector_calibration;
+    stat_slow_case "sparse-vector below-answers are free" test_sparse_vector_budget_independence;
+    stat_slow_case "sparse-vector firing-index privacy" test_sparse_vector_dp;
   ]

@@ -1,6 +1,28 @@
 (* Shared helpers for the test-suite. *)
 
-let rng ?(seed = 424242) () = Prim.Rng.create ~seed ()
+(* Every statistical test in the suite derives its generator from this one
+   seed, so a flaky failure is reproducible: the failure message prints the
+   seed, and PRIVCLUSTER_TEST_SEED re-runs the whole suite under it. *)
+let suite_seed =
+  match Sys.getenv_opt "PRIVCLUSTER_TEST_SEED" with
+  | None | Some "" -> 424242
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some v -> v
+      | None -> invalid_arg "PRIVCLUSTER_TEST_SEED must be an integer")
+
+(* The deep statistical tier (large-sample distinguisher runs, the utility
+   certifier) only runs when PRIVCLUSTER_DEEP_CHECKS=1 — see TESTING.md. *)
+let deep_checks =
+  match Sys.getenv_opt "PRIVCLUSTER_DEEP_CHECKS" with
+  | Some ("1" | "true" | "yes") -> true
+  | _ -> false
+
+let rng ?seed () = Prim.Rng.create ~seed:(Option.value seed ~default:suite_seed) ()
+
+(* A generator on a per-test-name stream of the suite seed: independent
+   across tests, reproducible across runs and test orderings. *)
+let rng_named name = Prim.Rng.derive (rng ()) ~stream:(Hashtbl.hash name)
 
 let check_float ?(tol = 1e-9) msg expected actual =
   if Float.abs (expected -. actual) > tol then
@@ -35,3 +57,20 @@ let small_workload ?(seed = 3) ?(n = 400) ?(dim = 2) ?(axis = 128) ?(fraction = 
 
 let case name f = Alcotest.test_case name `Quick f
 let slow_case name f = Alcotest.test_case name `Slow f
+
+(* Statistical cases: the body receives a generator on the test's own
+   stream of the suite seed, and a failure prints how to reproduce it. *)
+let with_seed_trace name f () =
+  try f (rng_named name)
+  with e ->
+    Printf.eprintf
+      "statistical case %S failed under suite seed %d (re-run: PRIVCLUSTER_TEST_SEED=%d)\n%!"
+      name suite_seed suite_seed;
+    raise e
+
+let stat_case name f = Alcotest.test_case name `Quick (with_seed_trace name f)
+let stat_slow_case name f = Alcotest.test_case name `Slow (with_seed_trace name f)
+
+(* Deep-tier case: present only under PRIVCLUSTER_DEEP_CHECKS=1. *)
+let deep_case name f =
+  if deep_checks then [ Alcotest.test_case name `Slow (with_seed_trace name f) ] else []
