@@ -1,8 +1,9 @@
 (* Benchmark harness: runs the experiment suite (E1–E14, one per table /
    figure / theorem claim — see EXPERIMENTS.md) followed by the Bechamel
    timing benches (B1–B7, one per pipeline stage, plus B9 for the
-   statistical-check estimators), the engine throughput bench (B8) and the
-   one-cluster allocation check.
+   statistical-check estimators), the engine throughput bench (B8), the
+   one-cluster allocation check, and the disabled-tracing overhead gate
+   (B10).
 
    Usage:
      dune exec bench/main.exe                 # full suite
@@ -308,7 +309,101 @@ let run_alloc_check ~smoke =
   end;
   (n, d_lo, d_hi, w_lo, w_hi, ratio)
 
-let json_of_results ~fx_n ~fx_d ~timing ~engine ~alloc =
+(* B10 — cost of the tracing switch on the hot path.  Tracing is off by
+   default and every instrumented call site must then cost no more than
+   one atomic load; this measures that cost directly (a tight loop over a
+   disabled [Obs.Span.with_span], baseline-subtracted), counts how many
+   spans one end-to-end 1-cluster call records when enabled, and gates
+   the implied whole-pipeline overhead at [max_pct] of the B7 time. *)
+let run_tracing_overhead ~smoke fx =
+  Workload.Report.headline "B10 - disabled-tracing overhead on the one-cluster path";
+  if Obs.Span.enabled () then begin
+    prerr_endline "B10: tracing unexpectedly enabled";
+    exit 1
+  end;
+  let time_ns_per f iters =
+    let t0 = Obs.Clock.now_ns () in
+    for _ = 1 to iters do
+      f ()
+    done;
+    Int64.to_float (Int64.sub (Obs.Clock.now_ns ()) t0) /. float_of_int iters
+  in
+  let iters = if smoke then 500_000 else 5_000_000 in
+  let bare () = ignore (Sys.opaque_identity 0) in
+  let spanned () = Obs.Span.with_span "b10.probe" (fun () -> ignore (Sys.opaque_identity 0)) in
+  (* Warm up both loops, then take the best of three to shed scheduler noise
+     (the gate must be deterministic in CI, not a coin flip). *)
+  ignore (time_ns_per bare iters);
+  ignore (time_ns_per spanned iters);
+  let best f = List.fold_left Float.min infinity (List.init 3 (fun _ -> time_ns_per f iters)) in
+  let ns_per_span = Float.max 0. (best spanned -. best bare) in
+  (* How many disabled-path crossings one B7 call performs = how many spans
+     it records when enabled. *)
+  let span_count =
+    Obs.Span.set_enabled true;
+    Obs.Span.reset ();
+    ignore
+      (Privcluster.One_cluster.run_indexed fx.rng Privcluster.Profile.practical ~grid:fx.grid
+         ~eps:2.0 ~delta ~beta ~t:fx.t fx.idx);
+    let c = Obs.Span.count () in
+    Obs.Span.reset ();
+    Obs.Span.set_enabled false;
+    c
+  in
+  let b7_ns =
+    let call () =
+      ignore
+        (Privcluster.One_cluster.run_indexed fx.rng Privcluster.Profile.practical ~grid:fx.grid
+           ~eps:2.0 ~delta ~beta ~t:fx.t fx.idx)
+    in
+    call ();
+    let reps = if smoke then 1 else 3 in
+    let _, ms = Workload.Harness.time (fun () -> for _ = 1 to reps do call () done) in
+    ms *. 1e6 /. float_of_int reps
+  in
+  let overhead_pct = 100. *. ns_per_span *. float_of_int span_count /. b7_ns in
+  let max_pct = 2.0 in
+  let pass = overhead_pct <= max_pct in
+  Workload.Report.kv "disabled with_span crossing" (Printf.sprintf "%.2f ns" ns_per_span);
+  Workload.Report.kv "spans per one-cluster call" (string_of_int span_count);
+  Workload.Report.kv "one-cluster e2e" (Printf.sprintf "%.2f ms" (b7_ns /. 1e6));
+  Workload.Report.kv "implied overhead"
+    (Printf.sprintf "%.4f%% (max %.1f%%): %s" overhead_pct max_pct (if pass then "ok" else "FAIL"));
+  if not pass then begin
+    Printf.eprintf "B10 FAILED: disabled-tracing overhead %.4f%% exceeds %.1f%%\n" overhead_pct
+      max_pct;
+    exit 1
+  end;
+  (ns_per_span, span_count, b7_ns, overhead_pct)
+
+(* Run metadata stamped into --json output so archived results say what
+   produced them. *)
+let run_meta ~jobs =
+  let git_commit =
+    try
+      let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+      let line = try input_line ic with End_of_file -> "" in
+      match Unix.close_process_in ic with
+      | Unix.WEXITED 0 when line <> "" -> Some line
+      | _ -> None
+    with Unix.Unix_error _ | Sys_error _ -> None
+  in
+  let timestamp =
+    let tm = Unix.gmtime (Unix.time ()) in
+    Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
+      tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+  in
+  let open Engine.Json in
+  Obj
+    [
+      ("git_commit", (match git_commit with Some c -> String c | None -> Null));
+      ("timestamp_utc", String timestamp);
+      ("ocaml_version", String Sys.ocaml_version);
+      ("jobs", Int jobs);
+      ("word_size", Int Sys.word_size);
+    ]
+
+let json_of_results ~meta ~fx_n ~fx_d ~timing ~engine ~alloc ~b10 =
   let open Engine.Json in
   let timing_json =
     List.map
@@ -356,13 +451,27 @@ let json_of_results ~fx_n ~fx_d ~timing ~engine ~alloc =
             ("ratio", Float ratio);
           ]
   in
+  let b10_json =
+    match b10 with
+    | None -> Null
+    | Some (ns_per_span, span_count, b7_ns, overhead_pct) ->
+        Obj
+          [
+            ("ns_per_disabled_span", Float ns_per_span);
+            ("spans_per_one_cluster", Int span_count);
+            ("one_cluster_ns", Float b7_ns);
+            ("overhead_pct", Float overhead_pct);
+          ]
+  in
   Obj
     [
-      ("schema", String "privcluster-bench/1");
+      ("schema", String "privcluster-bench/2");
+      ("meta", meta);
       ("fixture", Obj [ ("n", Int fx_n); ("dim", Int fx_d) ]);
       ("timing", List timing_json);
       ("engine", engine_json);
       ("alloc_check", alloc_json);
+      ("tracing_overhead", b10_json);
     ]
 
 let write_json path json =
@@ -374,7 +483,7 @@ let write_json path json =
 
 (* CI mode: execute every bench path exactly once on a tiny fixture — no
    measurement loops, just "does each stage still run end to end". *)
-let run_smoke ~json_path =
+let run_smoke ~jobs ~json_path =
   Workload.Report.headline "smoke - one tiny call per bench stage";
   let fx = fixture ~n:160 ~dim:2 () in
   List.iter
@@ -384,12 +493,13 @@ let run_smoke ~json_path =
     (stage_thunks fx);
   let engine = run_engine_bench ~quick:true ~max_jobs:2 fx in
   let alloc = run_alloc_check ~smoke:true in
+  let b10 = run_tracing_overhead ~smoke:true fx in
   (match json_path with
   | None -> ()
   | Some path ->
       write_json path
-        (json_of_results ~fx_n:160 ~fx_d:2 ~timing:[] ~engine:(Some engine)
-           ~alloc:(Some alloc)));
+        (json_of_results ~meta:(run_meta ~jobs) ~fx_n:160 ~fx_d:2 ~timing:[]
+           ~engine:(Some engine) ~alloc:(Some alloc) ~b10:(Some b10)));
   print_endline "smoke OK"
 
 let () =
@@ -422,7 +532,7 @@ let () =
   in
   Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) "privcluster bench";
   Workload.Report.set_csv_dir !csv;
-  if !smoke then run_smoke ~json_path:!json_path
+  if !smoke then run_smoke ~jobs:!jobs ~json_path:!json_path
   else begin
     let cfg = { Workload.Experiments.quick = !quick; seed = !seed } in
     if !experiments then begin
@@ -440,11 +550,12 @@ let () =
       let timing_rows = run_timing ~quick:!quick fx in
       let engine = run_engine_bench ~quick:!quick ~max_jobs:!jobs fx in
       let alloc = run_alloc_check ~smoke:false in
+      let b10 = run_tracing_overhead ~smoke:false fx in
       match !json_path with
       | None -> ()
       | Some path ->
           write_json path
-            (json_of_results ~fx_n:!fix_n ~fx_d:!fix_d ~timing:timing_rows
-               ~engine:(Some engine) ~alloc:(Some alloc))
+            (json_of_results ~meta:(run_meta ~jobs:!jobs) ~fx_n:!fix_n ~fx_d:!fix_d
+               ~timing:timing_rows ~engine:(Some engine) ~alloc:(Some alloc) ~b10:(Some b10))
     end
   end

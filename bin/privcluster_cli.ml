@@ -13,6 +13,73 @@ open Cmdliner
 let delta_default = Workload.Harness.default_delta
 let beta_default = Workload.Harness.default_beta
 
+(* Logging ------------------------------------------------------------ *)
+
+(* [-v] / [--log-level] (env PRIVCLUSTER_LOG) select the level for the
+   ["privcluster.engine"] log source; the reporter serialises concurrent
+   worker-domain writes behind one mutex so lines never interleave. *)
+
+let setup_logs =
+  let setup verbose level_s =
+    let level =
+      match level_s with
+      | Some s -> (
+          match Logs.level_of_string s with
+          | Ok l -> l
+          | Error (`Msg m) ->
+              prerr_endline ("privcluster-cli: --log-level: " ^ m);
+              exit 2)
+      | None -> (
+          match List.length verbose with
+          | 0 -> Some Logs.Warning
+          | 1 -> Some Logs.Info
+          | _ -> Some Logs.Debug)
+    in
+    Logs.set_level level;
+    let m = Mutex.create () in
+    Logs.set_reporter_mutex ~lock:(fun () -> Mutex.lock m) ~unlock:(fun () -> Mutex.unlock m);
+    Logs.set_reporter (Logs.format_reporter ())
+  in
+  let verbose =
+    Arg.(
+      value & flag_all
+      & info [ "v"; "verbose" ] ~doc:"Increase log verbosity (repeatable: info, then debug).")
+  in
+  let level =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log-level" ]
+          ~env:(Cmd.Env.info "PRIVCLUSTER_LOG")
+          ~docv:"LEVEL"
+          ~doc:"Log level: quiet, error, warning, info or debug. Overrides $(b,-v).")
+  in
+  Term.(const setup $ verbose $ level)
+
+(* Tracing ------------------------------------------------------------ *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Enable span collection and write a Chrome trace-event JSON to $(docv) (load it in \
+           Perfetto or chrome://tracing).")
+
+let enable_trace trace = if trace <> None then Obs.Span.set_enabled true
+
+let write_trace trace =
+  match trace with
+  | None -> ()
+  | Some file ->
+      let json = Obs.Trace.to_string (Obs.Span.spans ()) ^ "\n" in
+      if file = "-" then print_string json
+      else begin
+        Out_channel.with_open_text file (fun oc -> Out_channel.output_string oc json);
+        Workload.Report.kv "trace" (Printf.sprintf "%s (%d spans)" file (Obs.Span.count ()))
+      end
+
 (* Shared options. *)
 let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"RNG seed.")
 let eps = Arg.(value & opt float 2.0 & info [ "eps" ] ~doc:"Privacy parameter ε.")
@@ -39,7 +106,8 @@ let profile =
 (* solve ------------------------------------------------------------- *)
 
 let solve_cmd =
-  let run seed eps delta beta dim axis n frac radius profile =
+  let run () seed eps delta beta dim axis n frac radius profile trace =
+    enable_trace trace;
     let rng = Prim.Rng.create ~seed () in
     let grid = Geometry.Grid.create ~axis_size:axis ~dim in
     let w = Workload.Synth.planted_ball rng ~grid ~n ~cluster_fraction:frac ~cluster_radius:radius in
@@ -68,12 +136,15 @@ let solve_cmd =
           (Printf.sprintf "w = %s x r_opt" (Workload.Report.f2 score.Workload.Harness.w_tight));
         Workload.Report.kv "covered / t" (Printf.sprintf "%d / %d" score.Workload.Harness.covered t);
         Workload.Report.kv "certified delta bound" (Workload.Report.f2 r.Privcluster.One_cluster.delta_bound));
-    Workload.Report.kv "time" (Printf.sprintf "%.0f ms" score.Workload.Harness.time_ms)
+    Workload.Report.kv "time" (Printf.sprintf "%.0f ms" score.Workload.Harness.time_ms);
+    write_trace trace
   in
   let frac = Arg.(value & opt float 0.5 & info [ "frac" ] ~doc:"Planted cluster fraction.") in
   let radius = Arg.(value & opt float 0.05 & info [ "radius" ] ~doc:"Planted cluster radius.") in
   Cmd.v (Cmd.info "solve" ~doc:"Run the 1-cluster solver on a planted synthetic workload")
-    Term.(const run $ seed $ eps $ delta $ beta $ dim $ axis $ n $ frac $ radius $ profile)
+    Term.(
+      const run $ setup_logs $ seed $ eps $ delta $ beta $ dim $ axis $ n $ frac $ radius $ profile
+      $ trace_arg)
 
 (* batch -------------------------------------------------------------- *)
 
@@ -83,8 +154,9 @@ let solve_cmd =
    the seed no matter the domain count. *)
 
 let batch_cmd =
-  let run seed dim axis n frac radius profile jobs_file points_file budget_eps budget_delta mode_s
-      slack jobs retries faults_s json_out =
+  let run () seed dim axis n frac radius profile jobs_file points_file budget_eps budget_delta
+      mode_s slack jobs retries faults_s json_out trace metrics_out =
+    enable_trace trace;
     let die fmt = Printf.ksprintf (fun m -> prerr_endline ("batch: " ^ m); exit 2) fmt in
     let mode =
       match Engine.Accountant.mode_of_string ~slack mode_s with Ok m -> m | Error e -> die "%s" e
@@ -205,7 +277,7 @@ let batch_cmd =
           | None -> Workload.Report.kv "telemetry" line)
       (String.split_on_char '\n'
          (Format.asprintf "%a" Engine.Telemetry.pp_summary (Engine.Service.telemetry service)));
-    match json_out with
+    (match json_out with
     | None -> ()
     | Some dest ->
         let json =
@@ -215,6 +287,33 @@ let batch_cmd =
         else begin
           Out_channel.with_open_text dest (fun oc -> Out_channel.output_string oc json);
           Workload.Report.kv "json report" dest
+        end);
+    (match metrics_out with
+    | None -> ()
+    | Some dest ->
+        let spans = if trace = None then [] else Obs.Span.spans () in
+        let text =
+          Engine.Exposition.render ~spans ~dataset
+            ~telemetry:(Engine.Service.telemetry service)
+            ()
+        in
+        if dest = "-" then print_string text
+        else begin
+          Out_channel.with_open_text dest (fun oc -> Out_channel.output_string oc text);
+          Workload.Report.kv "metrics" dest
+        end);
+    match trace with
+    | None -> ()
+    | Some _ ->
+        (* Reconcile the trace against the accountant ledger; a mismatch is
+           a bug in the budget bookkeeping, so it fails the run loudly. *)
+        let report = Engine.Service.attribution ~dataset () in
+        Workload.Report.subhead "budget attribution";
+        print_string (Obs.Attribution.to_text report);
+        write_trace trace;
+        if not report.Obs.Attribution.ok then begin
+          prerr_endline "batch: budget attribution FAILED (trace disagrees with the ledger)";
+          exit 1
         end
   in
   let jobs_file =
@@ -233,11 +332,21 @@ let batch_cmd =
   let retries = Arg.(value & opt int 2 & info [ "retries" ] ~doc:"In-place retry attempts per job after an exception (a crash-before-output retry replays the same RNG stream and consumes no extra budget).") in
   let faults = Arg.(value & opt (some string) None & info [ "faults" ] ~doc:"Fault-injection schedule (e.g. 'crash\\@2,kill\\@5' or 'seed=1,rate=0.3'); defaults to \\$(b,PRIVCLUSTER_FAULTS) from the environment.") in
   let json_out = Arg.(value & opt (some string) None & info [ "json" ] ~doc:"Write the JSON report to this file ('-' for stdout).") in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Write Prometheus text exposition of the run (job counters, latency histograms, \
+             budget gauges; span aggregates too under --trace) to $(docv) ('-' for stdout).")
+  in
   Cmd.v
     (Cmd.info "batch" ~doc:"Run a multi-job file through the concurrent private-query engine")
     Term.(
-      const run $ seed $ dim $ axis $ n $ frac $ radius $ profile $ jobs_file $ points_file
-      $ budget_eps $ budget_delta $ mode $ slack $ jobs $ retries $ faults $ json_out)
+      const run $ setup_logs $ seed $ dim $ axis $ n $ frac $ radius $ profile $ jobs_file
+      $ points_file $ budget_eps $ budget_delta $ mode $ slack $ jobs $ retries $ faults
+      $ json_out $ trace_arg $ metrics_out)
 
 (* experiments ------------------------------------------------------- *)
 
@@ -436,9 +545,10 @@ let domain_cmd =
    violation, so CI can gate on it. *)
 
 let check_cmd =
-  let run seed trials deep significance alpha slack jobs only list_names json_out =
+  let run () seed trials deep significance alpha slack jobs only list_names json_out trace =
     if list_names then List.iter print_endline (Check.Suite.names ())
     else begin
+      enable_trace trace;
       let cfg =
         { Check.Suite.seed; trials; deep; significance; alpha; slack; domains = jobs }
       in
@@ -494,6 +604,7 @@ let check_cmd =
             Out_channel.with_open_text dest (fun oc -> Out_channel.output_string oc json);
             Workload.Report.kv "json report" dest
           end);
+      write_trace trace;
       if violations > 0 then exit 1
     end
   in
@@ -552,8 +663,69 @@ let check_cmd =
     (Cmd.info "check"
        ~doc:"Statistically verify the DP mechanisms and certify utility contracts")
     Term.(
-      const run $ seed $ trials $ deep $ significance $ alpha $ slack $ jobs $ only
-      $ list_names $ json_out)
+      const run $ setup_logs $ seed $ trials $ deep $ significance $ alpha $ slack $ jobs $ only
+      $ list_names $ json_out $ trace_arg)
+
+(* metrics ------------------------------------------------------------- *)
+
+let metrics_cmd =
+  let run report_file =
+    let die fmt = Printf.ksprintf (fun m -> prerr_endline ("metrics: " ^ m); exit 2) fmt in
+    let contents =
+      try In_channel.with_open_text report_file In_channel.input_all
+      with Sys_error e -> die "%s" e
+    in
+    match Obs.Json.parse contents with
+    | Error e -> die "%s: %s" report_file e
+    | Ok json -> (
+        match Engine.Exposition.of_report_json json with
+        | Error e -> die "%s: %s" report_file e
+        | Ok families -> print_string (Obs.Prom.render families))
+  in
+  let report_file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"REPORT_JSON"
+          ~doc:"A batch report written earlier with $(b,batch --json FILE).")
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:"Expose a saved batch report as Prometheus text format (post-hoc scrape)")
+    Term.(const run $ report_file)
+
+(* validate-trace ------------------------------------------------------ *)
+
+let validate_trace_cmd =
+  let run trace_file =
+    let die fmt = Printf.ksprintf (fun m -> prerr_endline ("validate-trace: " ^ m); exit 1) fmt in
+    let contents =
+      try In_channel.with_open_text trace_file In_channel.input_all
+      with Sys_error e -> die "%s" e
+    in
+    match Obs.Json.parse contents with
+    | Error e -> die "%s: not valid JSON: %s" trace_file e
+    | Ok json -> (
+        match Obs.Trace.validate json with
+        | Error e -> die "%s: %s" trace_file e
+        | Ok () ->
+            let events =
+              match Obs.Json.member "traceEvents" json with
+              | Some l -> ( match Obs.Json.to_list l with Some l -> List.length l | None -> 0)
+              | None -> 0
+            in
+            Printf.printf "%s: valid Chrome trace (%d events)\n" trace_file events)
+  in
+  let trace_file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE_JSON" ~doc:"A trace written with $(b,--trace FILE).")
+  in
+  Cmd.v
+    (Cmd.info "validate-trace"
+       ~doc:"Check that a file is well-formed Chrome trace-event JSON (CI gate)")
+    Term.(const run $ trace_file)
 
 let () =
   let doc = "differentially private location of a small cluster (PODS 2016)" in
@@ -571,4 +743,6 @@ let () =
             quantile_cmd;
             domain_cmd;
             check_cmd;
+            metrics_cmd;
+            validate_trace_cmd;
           ]))

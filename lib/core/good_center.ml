@@ -34,6 +34,10 @@ let pp_success ppf s =
 let find_heavy_boxing rng (profile : Profile.t) ~eps ~beta ~t ~side ~k proj =
   let n = Geometry.Pointset.n proj in
   let rounds = Profile.rounds profile ~n ~beta in
+  Obs.Span.with_span ~cat:"phase"
+    ~attrs:(fun () -> [ ("rounds_max", Obs.Span.I rounds) ])
+    "good_center.above_threshold"
+  @@ fun () ->
   let slack = Prim.Sparse_vector.accuracy_bound ~eps:(eps /. 4.) ~k:rounds ~beta in
   let sv =
     Prim.Sparse_vector.create rng ~eps:(eps /. 4.) ~threshold:(float_of_int t -. slack)
@@ -54,6 +58,15 @@ let find_heavy_boxing rng (profile : Profile.t) ~eps ~beta ~t ~side ~k proj =
    Returns the center of the bounding ball C and the per-run count of axes
    that needed the data-independent fallback. *)
 let rotated_capture rng ~eps ~delta ~beta ~d ~k ~r ~axis_factor captured =
+  (* The d per-axis histograms run at (ε_axis, δ_axis); their advanced
+     composition is certified ≤ (ε/4, δ/4) (Lemma 4.11), which is what
+     this phase charges.  The [composition] attribute marks that the
+     children's {e basic} sum may legitimately exceed the phase charge. *)
+  Obs.Span.with_charged ~cat:"phase"
+    ~attrs:(fun () ->
+      [ ("axes", Obs.Span.I d); ("composition", Obs.Span.S "advanced") ])
+    ~eps:(eps /. 4.) ~delta:(delta /. 4.) "good_center.rotated_capture"
+  @@ fun () ->
   let n_captured = Geometry.Pointset.n captured in
   let cst = Geometry.Pointset.storage captured in
   let coffs = Geometry.Pointset.row_offsets captured in
@@ -103,11 +116,24 @@ let run_ps rng (profile : Profile.t) ~eps ~delta ~beta ~t ~radius:r ps =
   let k = Profile.jl_dim profile ~n ~d ~beta in
   let identity_projection = k >= d in
   let k = if identity_projection then d else k in
+  (* Stage span carrying GoodCenter's budgeted share.  Its four mechanism
+     phases consume ε/4 + (ε/4, δ/4) + (ε/4, δ/4) + (ε/4, δ/4) ≤ (ε, δ)
+     (the rotated-capture phase runs only off the JL path). *)
+  Obs.Span.with_charged ~cat:"stage"
+    ~attrs:(fun () ->
+      [ ("t", Obs.Span.I t); ("jl_dim", Obs.Span.I k);
+        ("identity_projection", Obs.Span.B identity_projection) ])
+    ~eps ~delta "good_center"
+  @@ fun () ->
   let proj =
     if identity_projection then ps
     else begin
-      let jl = Geometry.Jl.make rng ~input_dim:d ~output_dim:k in
-      Geometry.Jl.project jl ps
+      Obs.Span.with_span ~cat:"phase"
+        ~attrs:(fun () -> [ ("d", Obs.Span.I d); ("k", Obs.Span.I k) ])
+        "good_center.jl_project"
+        (fun () ->
+          let jl = Geometry.Jl.make rng ~input_dim:d ~output_dim:k in
+          Geometry.Jl.project jl ps)
     end
   in
   let pst = Geometry.Pointset.storage proj in
@@ -122,8 +148,9 @@ let run_ps rng (profile : Profile.t) ~eps ~delta ~beta ~t ~radius:r ps =
       (
       (* Step 7: pick the heavy box privately. *)
       match
-        Prim.Stability_hist.select rng ~eps:(eps /. 4.) ~delta:(delta /. 4.)
-          (Geometry.Boxing.occupancy_ps boxing proj)
+        Obs.Span.with_span ~cat:"phase" "good_center.box_select" (fun () ->
+            Prim.Stability_hist.select rng ~eps:(eps /. 4.) ~delta:(delta /. 4.)
+              (Geometry.Boxing.occupancy_ps boxing proj))
       with
       | None -> Error Box_selection_failed
       | Some cell ->
@@ -163,8 +190,9 @@ let run_ps rng (profile : Profile.t) ~eps ~delta ~beta ~t ~radius:r ps =
           in
           (* Step 11: noisy average of D ∩ C. *)
           let avg =
-            Prim.Noisy_avg.run_rows rng ~eps:(eps /. 4.) ~delta:(delta /. 4.)
-              ~diameter:(2. *. capture_radius) ~pred ~dim:d ~offs st
+            Obs.Span.with_span ~cat:"phase" "good_center.noisy_average" (fun () ->
+                Prim.Noisy_avg.run_rows rng ~eps:(eps /. 4.) ~delta:(delta /. 4.)
+                  ~diameter:(2. *. capture_radius) ~pred ~dim:d ~offs st)
           in
           (match avg with
           | Prim.Noisy_avg.Bottom -> Error Averaging_bottom

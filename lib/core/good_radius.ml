@@ -51,6 +51,13 @@ let run rng (profile : Profile.t) ~grid ~eps ~delta ~beta ~t ?(zero_floor = 0.) 
   if not (eps > 0.) then invalid_arg "Good_radius.run: eps must be positive";
   if t < 1 || t > Geometry.Pointset.n (Geometry.Pointset.index_pointset index) then
     invalid_arg "Good_radius.run: t must be in [1, n]";
+  (* Stage span carrying GoodRadius's budgeted share (the invocation
+     (ε, δ)); the mechanism children — zero-test Laplace at ε/2 and the
+     RecConcave / binary-search run at ε/2 — consume exactly ε of it. *)
+  Obs.Span.with_charged ~cat:"stage"
+    ~attrs:(fun () -> [ ("t", Obs.Span.I t) ])
+    ~eps ~delta "good_radius"
+  @@ fun () ->
   let cand = candidates profile grid in
   let g = gamma profile ~grid ~eps ~delta ~beta in
   let tf = float_of_int t in
@@ -68,7 +75,9 @@ let run rng (profile : Profile.t) ~grid ~eps ~delta ~beta ~t ?(zero_floor = 0.) 
      hurts utility because the main search covers radius 0 too (index 0 is
      a candidate). *)
   let slack = 4. /. eps *. log (2. /. beta) in
-  let l0_noisy = l 0 +. Prim.Rng.laplace rng ~scale:(4. /. eps) () in
+  (* Sensitivity-2 release at ε/2: scale 2/(ε/2) = 4/ε, bit-identical to
+     the former direct [Rng.laplace] draw. *)
+  let l0_noisy = Prim.Laplace.scalar rng ~eps:(eps /. 2.) ~sensitivity:2.0 (l 0) in
   let zero_threshold =
     Float.max (tf -. (2. *. g) -. slack)
       (Float.max zero_floor (Float.max (2. *. slack) (tf /. 2.)))

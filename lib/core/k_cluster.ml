@@ -20,6 +20,12 @@ let run_ps rng profile ~grid ~eps ~delta ~beta ~k ~t_fraction ps =
   let dim = Geometry.Pointset.dim ps in
   let kf = float_of_int k in
   let eps_i = eps /. kf and delta_i = delta /. kf in
+  (* Uncharged: attribution sums the per-iteration one_cluster subtrees,
+     so an early stop legitimately attributes less than k·(ε/k, δ/k). *)
+  Obs.Span.with_span ~cat:"stage"
+    ~attrs:(fun () -> [ ("k", Obs.Span.I k) ])
+    "k_cluster"
+  @@ fun () ->
   (* Peeling never copies coordinates: each iteration's remainder is an
      index view over the original storage. *)
   let rec go iter remaining balls failures =

@@ -30,6 +30,14 @@ let center_stage_loss (profile : Profile.t) ~eps ~beta ~n =
   (2. *. sv) +. hist
 
 let run_indexed rng (profile : Profile.t) ~grid ~eps ~delta ~beta ~t index =
+  (* End-to-end span.  Deliberately uncharged: its attribution is the sum
+     of its stage children — GoodRadius at (ε/2, δ/2) plus either
+     GoodCenter at (ε/2, δ/2) or the zero-path histogram at (ε/2, δ/2) —
+     which totals exactly (ε, δ). *)
+  Obs.Span.with_span ~cat:"stage"
+    ~attrs:(fun () -> [ ("t", Obs.Span.I t); ("eps", Obs.Span.F eps); ("delta", Obs.Span.F delta) ])
+    "one_cluster"
+  @@ fun () ->
   let ps = Geometry.Pointset.index_pointset index in
   let n = Geometry.Pointset.n ps in
   (* The zero path is completed by a stability-histogram query at

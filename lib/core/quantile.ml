@@ -12,6 +12,10 @@ let quantile rng ?(profile = Profile.practical) ~grid ~eps ~q values =
   let target = q *. float_of_int n in
   let axis = Geometry.Grid.axis_size grid in
   let step = Geometry.Grid.step grid in
+  Obs.Span.with_charged ~cat:"stage"
+    ~attrs:(fun () -> [ ("q", Obs.Span.F q); ("axis", Obs.Span.I axis) ])
+    ~eps ~delta:0. "quantile"
+  @@ fun () ->
   let quality =
     Recconcave.Quality.create ~size:axis ~f:(fun i ->
         rank_quality values ~target (float_of_int i *. step))

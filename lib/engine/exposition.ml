@@ -1,0 +1,241 @@
+(* Families are built from a plain intermediate so the live path
+   (Telemetry/Accountant values) and the post-hoc path (a report JSON)
+   render identically. *)
+
+type kind_row = {
+  kind : string;
+  statuses : (string * int) list;
+  buckets : int array;  (* telemetry layout: bounds buckets + overflow *)
+  observations : int;
+  total_ms : float;
+}
+
+type acct_row = {
+  dataset : string;
+  budget_eps : float;
+  budget_delta : float;
+  spent_eps : float;
+  spent_delta : float;
+  refusals : int;
+}
+
+type source = {
+  kinds : kind_row list;
+  counters : (string * int) list;
+  acct : acct_row option;
+}
+
+let families_of_source src =
+  let open Obs.Prom in
+  let jobs =
+    Counter
+      {
+        name = "privcluster_jobs_total";
+        help = "Finished jobs by kind and status.";
+        samples =
+          List.concat_map
+            (fun r ->
+              List.map
+                (fun (status, c) ->
+                  ([ ("kind", r.kind); ("status", status) ], float_of_int c))
+                r.statuses)
+            src.kinds;
+      }
+  in
+  let bounds = Telemetry.bucket_upper_bounds in
+  let latency =
+    Histogram
+      {
+        name = "privcluster_job_latency_ms";
+        help = "Job latency histogram (milliseconds) by kind.";
+        samples =
+          List.map
+            (fun r ->
+              let counts = Array.sub r.buckets 0 (min (Array.length bounds) (Array.length r.buckets)) in
+              ( [ ("kind", r.kind) ],
+                { bounds; counts; sum = r.total_ms; count = r.observations } ))
+            src.kinds;
+      }
+  in
+  let events =
+    Counter
+      {
+        name = "privcluster_engine_events_total";
+        help = "Engine event counters (retries, worker restarts, degradations).";
+        samples =
+          List.map (fun (k, v) -> ([ ("event", k) ], float_of_int v)) src.counters;
+      }
+  in
+  let acct =
+    match src.acct with
+    | None -> []
+    | Some a ->
+        let l = [ ("dataset", a.dataset) ] in
+        [
+          Gauge
+            {
+              name = "privcluster_budget_epsilon";
+              help = "Privacy-budget epsilon, total and composed spend.";
+              samples =
+                [
+                  (l @ [ ("quantity", "budget") ], a.budget_eps);
+                  (l @ [ ("quantity", "spent") ], a.spent_eps);
+                ];
+            };
+          Gauge
+            {
+              name = "privcluster_budget_delta";
+              help = "Privacy-budget delta, total and composed spend.";
+              samples =
+                [
+                  (l @ [ ("quantity", "budget") ], a.budget_delta);
+                  (l @ [ ("quantity", "spent") ], a.spent_delta);
+                ];
+            };
+          Counter
+            {
+              name = "privcluster_budget_refusals_total";
+              help = "Jobs refused at admission for lack of budget.";
+              samples = [ (l, float_of_int a.refusals) ];
+            };
+        ]
+  in
+  (jobs :: latency :: events :: acct)
+
+let source_of_live ?dataset telemetry =
+  let kinds =
+    List.map
+      (fun (e : Telemetry.export_stats) ->
+        {
+          kind = e.Telemetry.kind;
+          statuses = e.Telemetry.statuses;
+          buckets = e.Telemetry.buckets;
+          observations = e.Telemetry.observations;
+          total_ms = e.Telemetry.total_ms;
+        })
+      (Telemetry.export telemetry)
+  in
+  let acct =
+    Option.map
+      (fun d ->
+        let a = Registry.accountant d in
+        let budget = Accountant.budget a and spent = Accountant.spent a in
+        {
+          dataset = Registry.name d;
+          budget_eps = budget.Prim.Dp.eps;
+          budget_delta = budget.Prim.Dp.delta;
+          spent_eps = spent.Prim.Dp.eps;
+          spent_delta = spent.Prim.Dp.delta;
+          refusals = Accountant.refusals a;
+        })
+      dataset
+  in
+  { kinds; counters = Telemetry.counters telemetry; acct }
+
+let families ?(spans = []) ?dataset ~telemetry () =
+  families_of_source (source_of_live ?dataset telemetry)
+  @ (if spans = [] then [] else Obs.Prom.of_spans spans)
+
+let render ?spans ?dataset ~telemetry () =
+  Obs.Prom.render (families ?spans ?dataset ~telemetry ())
+
+(* --- post-hoc: rebuild from a report JSON -------------------------------- *)
+
+let ( let* ) = Result.bind
+
+let field name json =
+  match Obs.Json.member name json with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let as_obj what = function
+  | Obs.Json.Obj fields -> Ok fields
+  | _ -> Error (Printf.sprintf "%s is not an object" what)
+
+let num what j =
+  match Obs.Json.to_float j with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "%s is not a number" what)
+
+let kind_of_json (kind, j) =
+  let* statuses = field "by_status" j in
+  let* statuses = as_obj (kind ^ ".by_status") statuses in
+  let statuses =
+    List.filter_map (fun (s, v) -> Option.map (fun c -> (s, c)) (Obs.Json.to_int v)) statuses
+  in
+  let* count =
+    match Option.bind (Obs.Json.member "count" j) Obs.Json.to_int with
+    | Some c -> Ok c
+    | None -> Error (kind ^ ".count missing")
+  in
+  let* bucket_list =
+    match Option.bind (Obs.Json.member "latency_buckets" j) Obs.Json.to_list with
+    | Some l -> Ok l
+    | None -> Error (kind ^ ".latency_buckets missing")
+  in
+  let buckets =
+    Array.of_list
+      (List.map
+         (fun b ->
+           Option.value ~default:0 (Option.bind (Obs.Json.member "count" b) Obs.Json.to_int))
+         bucket_list)
+  in
+  (* The report stores mean, not sum; reconstruct (0 when no jobs —
+     mean_ms is null/NaN then). *)
+  let total_ms =
+    if count = 0 then 0.
+    else
+      match Option.bind (Obs.Json.member "mean_ms" j) Obs.Json.to_float with
+      | Some m when Float.is_finite m -> m *. float_of_int count
+      | _ -> 0.
+  in
+  Ok { kind; statuses; buckets; observations = count; total_ms }
+
+let acct_of_json ~dataset j =
+  let* budget = field "budget" j in
+  let* spent = field "spent" j in
+  let* budget_eps = num "budget.eps" (Option.value ~default:Obs.Json.Null (Obs.Json.member "eps" budget)) in
+  let* budget_delta = num "budget.delta" (Option.value ~default:Obs.Json.Null (Obs.Json.member "delta" budget)) in
+  let* spent_eps = num "spent.eps" (Option.value ~default:Obs.Json.Null (Obs.Json.member "eps" spent)) in
+  let* spent_delta = num "spent.delta" (Option.value ~default:Obs.Json.Null (Obs.Json.member "delta" spent)) in
+  let refusals =
+    Option.value ~default:0 (Option.bind (Obs.Json.member "refusals" j) Obs.Json.to_int)
+  in
+  Ok { dataset; budget_eps; budget_delta; spent_eps; spent_delta; refusals }
+
+let of_report_json json =
+  let* telemetry = field "telemetry" json in
+  let* kinds_obj =
+    match Obs.Json.member "kinds" telemetry with
+    | Some k -> as_obj "telemetry.kinds" k
+    | None -> Error "missing field \"telemetry.kinds\""
+  in
+  let* kinds =
+    List.fold_left
+      (fun acc kv ->
+        let* acc = acc in
+        let* row = kind_of_json kv in
+        Ok (row :: acc))
+      (Ok []) kinds_obj
+  in
+  let counters =
+    match Option.bind (Obs.Json.member "counters" telemetry) (fun c -> Result.to_option (as_obj "counters" c)) with
+    | None -> []
+    | Some fields ->
+        List.filter_map (fun (k, v) -> Option.map (fun i -> (k, i)) (Obs.Json.to_int v)) fields
+  in
+  let* acct =
+    match Obs.Json.member "dataset" json with
+    | None -> Ok None
+    | Some d -> (
+        let name =
+          Option.value ~default:"dataset"
+            (Option.bind (Obs.Json.member "name" d) Obs.Json.to_str)
+        in
+        match Obs.Json.member "accountant" d with
+        | None -> Ok None
+        | Some a ->
+            let* row = acct_of_json ~dataset:name a in
+            Ok (Some row))
+  in
+  Ok (families_of_source { kinds = List.rev kinds; counters; acct })

@@ -1,0 +1,39 @@
+(** Prometheus text exposition of engine state.
+
+    Turns the engine's observable state — {!Telemetry} job stats, the
+    {!Accountant} privacy ledger, and (when tracing ran) collected
+    {!Obs.Span} aggregates — into {!Obs.Prom} families:
+
+    - [privcluster_jobs_total{kind,status}] — finished jobs;
+    - [privcluster_job_latency_ms{kind}] — latency histogram on the
+      telemetry buckets;
+    - [privcluster_engine_events_total{event}] — named counters
+      (retries, worker restarts, degradations);
+    - [privcluster_budget_epsilon] / [..._delta]
+      [{dataset,quantity="budget"|"spent"}] and
+      [privcluster_budget_refusals_total{dataset}] — the ledger;
+    - the [privcluster_spans_*] families of {!Obs.Prom.of_spans}.
+
+    {!of_report_json} rebuilds the same families from a batch report
+    written earlier ({!Service.report_json}), so [privcluster-cli
+    metrics] can expose a run after the fact without re-running it. *)
+
+val families :
+  ?spans:Obs.Span.span list ->
+  ?dataset:Registry.dataset ->
+  telemetry:Telemetry.t ->
+  unit ->
+  Obs.Prom.family list
+
+val render :
+  ?spans:Obs.Span.span list ->
+  ?dataset:Registry.dataset ->
+  telemetry:Telemetry.t ->
+  unit ->
+  string
+(** [Obs.Prom.render (families ...)]. *)
+
+val of_report_json : Obs.Json.t -> (Obs.Prom.family list, string) result
+(** Rebuild families from a {!Service.report_json} document (its
+    [telemetry] and [dataset.accountant] sections).  Errors name the
+    missing or malformed field. *)

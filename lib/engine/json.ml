@@ -1,80 +1,4 @@
-type t =
-  | Null
-  | Bool of bool
-  | Int of int
-  | Float of float
-  | String of string
-  | List of t list
-  | Obj of (string * t) list
-
-let escape s =
-  let buf = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
-let rec emit buf ~indent ~depth v =
-  let pad d = if indent then Buffer.add_string buf (String.make (2 * d) ' ') in
-  let nl () = if indent then Buffer.add_char buf '\n' in
-  match v with
-  | Null -> Buffer.add_string buf "null"
-  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
-  | Int i -> Buffer.add_string buf (string_of_int i)
-  | Float x ->
-      if Float.is_nan x || Float.abs x = Float.infinity then Buffer.add_string buf "null"
-      else Buffer.add_string buf (Printf.sprintf "%.12g" x)
-  | String s ->
-      Buffer.add_char buf '"';
-      Buffer.add_string buf (escape s);
-      Buffer.add_char buf '"'
-  | List [] -> Buffer.add_string buf "[]"
-  | List items ->
-      Buffer.add_char buf '[';
-      nl ();
-      List.iteri
-        (fun i item ->
-          if i > 0 then begin
-            Buffer.add_char buf ',';
-            nl ()
-          end;
-          pad (depth + 1);
-          emit buf ~indent ~depth:(depth + 1) item)
-        items;
-      nl ();
-      pad depth;
-      Buffer.add_char buf ']'
-  | Obj [] -> Buffer.add_string buf "{}"
-  | Obj fields ->
-      Buffer.add_char buf '{';
-      nl ();
-      List.iteri
-        (fun i (k, item) ->
-          if i > 0 then begin
-            Buffer.add_char buf ',';
-            nl ()
-          end;
-          pad (depth + 1);
-          Buffer.add_char buf '"';
-          Buffer.add_string buf (escape k);
-          Buffer.add_string buf (if indent then "\": " else "\":");
-          emit buf ~indent ~depth:(depth + 1) item)
-        fields;
-      nl ();
-      pad depth;
-      Buffer.add_char buf '}'
-
-let to_string ?(indent = true) v =
-  let buf = Buffer.create 256 in
-  emit buf ~indent ~depth:0 v;
-  Buffer.contents buf
-
-let pp ppf v = Format.pp_print_string ppf (to_string v)
+(* The JSON tree moved to [Obs.Json] (the exporters there need a parser
+   too); this alias keeps every engine-internal [Json.] reference and the
+   public [Engine.Json] path working unchanged. *)
+include Obs.Json

@@ -1,24 +1,9 @@
-(** A minimal JSON tree and printer.
+(** JSON tree and printer — re-export of {!Obs.Json}.
 
     The engine's reports (per-job results, the privacy ledger, telemetry
-    dumps) are machine-readable JSON; the project deliberately has no JSON
-    dependency, so this module carries the few dozen lines of emitter the
-    engine needs.  Emission only — the jobs {e input} format is the
-    line-oriented one of {!Job.parse}, chosen so batch files stay hand-
-    writable without a parser dependency. *)
+    dumps) are machine-readable JSON; the project deliberately has no
+    JSON dependency, so {!Obs.Json} carries the few dozen lines of
+    emitter (and, for the observability exporters, parser) the project
+    needs.  This alias preserves the historical [Engine.Json] path. *)
 
-type t =
-  | Null
-  | Bool of bool
-  | Int of int
-  | Float of float  (** [nan] and infinities are emitted as [null]. *)
-  | String of string
-  | List of t list
-  | Obj of (string * t) list
-
-val to_string : ?indent:bool -> t -> string
-(** [indent] (default [true]) pretty-prints with two-space indentation;
-    otherwise the output is a single line. *)
-
-val pp : Format.formatter -> t -> unit
-(** Indented form. *)
+include module type of Obs.Json

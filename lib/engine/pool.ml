@@ -18,8 +18,8 @@ let recommended_domains () = min 8 (Domain.recommended_domain_count ())
 let backoff_delay ~backoff_s attempt =
   Float.min 0.25 (backoff_s *. (2. ** float_of_int (attempt - 1)))
 
-let run ?(retries = 0) ?(backoff_s = 1e-3) ?max_restarts ?(on_event = fun _ -> ()) ~domains ~f
-    tasks =
+let run ?(retries = 0) ?(backoff_s = 1e-3) ?max_restarts ?(on_event = fun _ -> ())
+    ?trace_parent ~domains ~f tasks =
   let n = Array.length tasks in
   if n = 0 then [||]
   else begin
@@ -84,6 +84,12 @@ let run ?(retries = 0) ?(backoff_s = 1e-3) ?max_restarts ?(on_event = fun _ -> (
             attempts.(i) <- a + 1;
             if a > 0 then begin
               on_event (Task_retry { index = i; attempt = a });
+              (* Worker domains have no open span; the batch span is
+                 stitched in explicitly. *)
+              Obs.Span.event ~cat:"pool" ?parent:trace_parent
+                ~attrs:(fun () ->
+                  [ ("index", Obs.Span.I i); ("attempt", Obs.Span.I a) ])
+                "pool.retry";
               Unix.sleepf (backoff_delay ~backoff_s a)
             end;
             if expired () then Timed_out { elapsed_ms = elapsed_ms () }
@@ -103,6 +109,9 @@ let run ?(retries = 0) ?(backoff_s = 1e-3) ?max_restarts ?(on_event = fun _ -> (
               if Atomic.fetch_and_add restarts_left (-1) > 0 then begin
                 reschedule i;
                 on_event Worker_restart;
+                Obs.Span.event ~cat:"pool" ?parent:trace_parent
+                  ~attrs:(fun () -> [ ("index", Obs.Span.I i) ])
+                  "pool.restart";
                 if spawned then register (Domain.spawn (worker ~spawned:true))
                 else worker ~spawned ()
               end

@@ -82,6 +82,7 @@ val run :
   ?backoff_s:float ->
   ?max_restarts:int ->
   ?on_event:(event -> unit) ->
+  ?trace_parent:Obs.Span.id ->
   domains:int ->
   f:(index:int -> attempt:int -> 'a -> 'b) ->
   'a task array ->
@@ -90,4 +91,8 @@ val run :
     [domains] is clamped to [[1, Array.length tasks]]; [retries] extra
     attempts per task (default 0); [backoff_s] base backoff (default
     1 ms); [max_restarts] worker-replacement budget (default
-    [2·domains]).  Blocks until the batch is drained. *)
+    [2·domains]).  Blocks until the batch is drained.
+
+    When tracing is enabled ({!Obs.Span.set_enabled}), retries and worker
+    restarts additionally emit [cat="pool"] instant events parented under
+    [trace_parent] (worker domains have no open span of their own). *)

@@ -155,6 +155,16 @@ type admission =
   | Refused_at_admission of string
   | Admitted of Accountant.reservation option  (* the fallback reservation, if held *)
 
+let charge_of (p : Prim.Dp.params) =
+  Obs.Span.charge ~eps:p.Prim.Dp.eps ~delta:p.Prim.Dp.delta ()
+
+(* One [cat="budget"] instant per ledger operation.  Attribution counts
+   [charge] and [commit] — exactly the operations that create
+   [Accountant.entries] — so the event stream and the ledger reconcile
+   term by term. *)
+let budget_event op ~label cost =
+  Obs.Span.event ~cat:"budget" ~label ~charge:(charge_of cost) op
+
 let run_batch ?domains ?retries ?faults ?seed t ~dataset specs =
   let domains = max 1 (Option.value ~default:t.domains domains) in
   let retries = max 0 (Option.value ~default:t.retries retries) in
@@ -165,24 +175,47 @@ let run_batch ?domains ?retries ?faults ?seed t ~dataset specs =
     | Some s -> (Prim.Rng.create ~seed:s (), s)
   in
   let accountant = Registry.accountant dataset in
+  (* Root span for the whole batch (handle API: it brackets all three
+     phases).  Coordinator-side phase spans nest under it implicitly;
+     worker-side job spans are stitched to it by id. *)
+  let batch =
+    Obs.Span.start ~cat:"batch"
+      ~attrs:(fun () ->
+        [
+          ("dataset", Obs.Span.S (Registry.name dataset));
+          ("jobs", Obs.Span.I (List.length specs));
+          ("domains", Obs.Span.I domains);
+          ("seed", Obs.Span.I seed);
+          ("retries", Obs.Span.I retries);
+        ])
+      "service.batch"
+  in
+  let batch_id = Obs.Span.h_id batch in
   (* Phase 1 — admission, in submission order, before anything runs.  A job
      with a fallback also reserves the fallback's charge now, so degradation
      can never be refused mid-batch; if the reservation alone does not fit,
      the job still runs — it just has no fallback (logged below). *)
   let admitted =
+    Obs.Span.with_span ~cat:"phase" ?parent:batch_id "service.admission" @@ fun () ->
     List.map
       (fun (spec : Job.spec) ->
         match Accountant.charge accountant ~label:spec.Job.id (Job.cost spec) with
-        | Error refusal -> Refused_at_admission (Accountant.refusal_message refusal)
+        | Error refusal ->
+            budget_event "refuse" ~label:spec.Job.id (Job.cost spec);
+            Refused_at_admission (Accountant.refusal_message refusal)
         | Ok () -> (
+            budget_event "charge" ~label:spec.Job.id (Job.cost spec);
             match Job.fallback_cost spec with
             | None -> Admitted None
             | Some c -> (
                 match
                   Accountant.reserve accountant ~label:(spec.Job.id ^ ":fallback") c
                 with
-                | Ok resv -> Admitted (Some resv)
+                | Ok resv ->
+                    budget_event "reserve" ~label:(spec.Job.id ^ ":fallback") c;
+                    Admitted (Some resv)
                 | Error _ ->
+                    budget_event "refuse" ~label:(spec.Job.id ^ ":fallback") c;
                     Log.warn (fun m ->
                         m "job %s: no budget headroom for its fallback — degradation disabled"
                           spec.Job.id);
@@ -215,8 +248,21 @@ let run_batch ?domains ?retries ?faults ?seed t ~dataset specs =
     | Pool.Worker_restart -> Telemetry.incr t.telemetry "worker_restarts"
   in
   let outcomes =
-    Pool.run ~retries ~backoff_s:t.backoff_s ~on_event ~domains
+    Pool.run ~retries ~backoff_s:t.backoff_s ~on_event ?trace_parent:batch_id ~domains
       ~f:(fun ~index:_ ~attempt (stream, spec) ->
+        (* Per-job root span, parented to the batch span across the domain
+           boundary.  The label keys budget attribution; stream and attempt
+           let the reconciler collapse bit-identical retry replays. *)
+        Obs.Span.with_span ~cat:"job" ?parent:batch_id
+          ~attrs:(fun () ->
+            [
+              ("id", Obs.Span.S spec.Job.id);
+              ("stream", Obs.Span.I stream);
+              ("attempt", Obs.Span.I (attempt + 1));
+            ])
+          (Job.kind_name spec.Job.kind)
+        @@ fun () ->
+        Obs.Span.set_label spec.Job.id;
         let rng = Prim.Rng.derive base_rng ~stream in
         (* Faults are armed before any randomness is drawn, so an injected
            crash or kill is always a crash *before output*. *)
@@ -235,40 +281,69 @@ let run_batch ?domains ?retries ?faults ?seed t ~dataset specs =
   (* Phase 3 — settlement, sequential, in submission order: map outcomes to
      results, run fallbacks for jobs that could not complete, and settle
      every reservation (commit on degrade, release otherwise). *)
+  let release_resv (spec : Job.spec) resv =
+    Option.iter
+      (fun r ->
+        Accountant.release accountant r;
+        Obs.Span.event ~cat:"budget" ~label:(spec.Job.id ^ ":fallback") "release")
+      resv
+  in
   let settle i (spec : Job.spec) resv (status, latency_ms, attempts) =
     let degrade () =
       match (resv, Job.fallback_cost spec) with
       | Some resv, Some cost -> (
           let reason = degrade_reason status in
+          (* The fallback's execution span is a [cat="job"] root of its
+             own, labelled like its ledger entry; on failure the label is
+             left unset so the aborted subtree joins no attribution line
+             (its reservation is released, not spent). *)
+          let h =
+            Obs.Span.start ~cat:"job" ?parent:batch_id
+              ~attrs:(fun () ->
+                [
+                  ("id", Obs.Span.S spec.Job.id);
+                  ("stream", Obs.Span.I i);
+                  ("fallback", Obs.Span.B true);
+                  ("reason", Obs.Span.S reason);
+                ])
+              "good_radius_fallback"
+          in
           match run_fallback t dataset ~base_rng ~stream:i spec cost with
           | output ->
+              Obs.Span.h_set_label h (spec.Job.id ^ ":fallback");
+              Obs.Span.finish h;
               Accountant.commit accountant resv;
+              budget_event "commit" ~label:(spec.Job.id ^ ":fallback") cost;
               Telemetry.incr t.telemetry "degraded";
               Some (Job.Degraded { output; reason })
           | exception exn ->
+              Obs.Span.h_set_attr h "error" (Obs.Span.S (Printexc.to_string exn));
+              Obs.Span.finish h;
               Log.warn (fun m ->
                   m "job %s: fallback itself failed (%s) — keeping original status" spec.Job.id
                     (Printexc.to_string exn));
               Accountant.release accountant resv;
+              Obs.Span.event ~cat:"budget" ~label:(spec.Job.id ^ ":fallback") "release";
               None)
       | _ -> None
     in
     match status with
     | Job.Completed _ | Job.Refused _ ->
-        Option.iter (Accountant.release accountant) resv;
+        release_resv spec resv;
         { Job.spec; status; latency_ms; attempts }
     | Job.Timed_out _ | Job.Solver_failed _ -> (
         match degrade () with
         | Some status -> { Job.spec; status; latency_ms; attempts }
         | None ->
-            Option.iter (Accountant.release accountant) resv;
+            release_resv spec resv;
             { Job.spec; status; latency_ms; attempts })
     | Job.Degraded _ ->
         (* execute never produces Degraded; keep the match exhaustive. *)
-        Option.iter (Accountant.release accountant) resv;
+        release_resv spec resv;
         { Job.spec; status; latency_ms; attempts }
   in
   let results =
+    Obs.Span.with_span ~cat:"phase" ?parent:batch_id "service.settlement" @@ fun () ->
     List.mapi
       (fun i (spec : Job.spec) ->
         match List.nth admitted i with
@@ -296,7 +371,16 @@ let run_batch ?domains ?retries ?faults ?seed t ~dataset specs =
         (count "degraded")
         (Telemetry.counter t.telemetry "retries")
         (Telemetry.counter t.telemetry "worker_restarts"));
+  Obs.Span.finish batch;
   results
+
+let ledger ~dataset =
+  List.map
+    (fun (label, p) -> (label, charge_of p))
+    (Accountant.entries (Registry.accountant dataset))
+
+let attribution ~dataset () =
+  Obs.Attribution.reconcile ~ledger:(ledger ~dataset) (Obs.Span.spans ())
 
 let report_json t ~dataset results =
   Json.Obj

@@ -103,3 +103,22 @@ val run_batch :
 val report_json : t -> dataset:Registry.dataset -> Job.result list -> Json.t
 (** The batch report the CLI emits: dataset (with ledger, including
     outstanding reservations), per-job results, telemetry. *)
+
+(** {2 Tracing and budget attribution}
+
+    With tracing enabled ({!Obs.Span.set_enabled}), [run_batch] emits a
+    [service.batch] root span bracketing [service.admission] /
+    per-job execution / [service.settlement], one [cat="job"] root span
+    per job attempt (labelled with the job id, stitched to the batch
+    span across worker domains), a separate labelled root for a
+    committed fallback run, and one [cat="budget"] instant event per
+    accountant operation.  Tracing draws no randomness: batch outputs
+    are bit-identical with tracing on or off. *)
+
+val ledger : dataset:Registry.dataset -> (string * Obs.Span.charge) list
+(** The dataset accountant's accepted charges ({!Accountant.entries}),
+    as attribution charges. *)
+
+val attribution : dataset:Registry.dataset -> unit -> Obs.Attribution.report
+(** Reconcile all collected spans against the dataset's ledger; see
+    {!Obs.Attribution} for what is checked. *)

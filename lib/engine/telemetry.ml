@@ -132,6 +132,31 @@ let quantile_ms t ~kind ~q =
   Mutex.unlock t.mutex;
   r
 
+type export_stats = {
+  kind : string;
+  statuses : (string * int) list;
+  buckets : int array;
+  observations : int;
+  total_ms : float;
+}
+
+let bucket_upper_bounds = Array.copy bucket_bounds
+
+let export t =
+  fold t
+    (fun kind s acc ->
+      {
+        kind;
+        statuses =
+          Hashtbl.fold (fun st c acc -> (st, c) :: acc) s.by_status [] |> List.sort compare;
+        buckets = Array.copy s.hist;
+        observations = s.count;
+        total_ms = s.sum_ms;
+      }
+      :: acc)
+    []
+  |> List.sort (fun a b -> compare a.kind b.kind)
+
 let kind_json kind s =
   let statuses =
     Hashtbl.fold (fun st c acc -> (st, Json.Int c) :: acc) s.by_status []

@@ -43,6 +43,29 @@ val count : t -> ?kind:string -> ?status:string -> unit -> int
 val quantile_ms : t -> kind:string -> q:float -> float
 (** Estimated latency quantile for a kind; [nan] when nothing recorded. *)
 
+(** {2 Exposition}
+
+    A plain snapshot of the per-kind stats, for renderers that cannot
+    reach inside the mutex-protected tables ({!Exposition} turns it into
+    Prometheus text). *)
+
+type export_stats = {
+  kind : string;
+  statuses : (string * int) list;  (** Sorted by status name. *)
+  buckets : int array;
+      (** Per-bucket (non-cumulative) latency counts; the last entry is
+          the overflow bucket beyond {!bucket_upper_bounds}. *)
+  observations : int;
+  total_ms : float;
+}
+
+val bucket_upper_bounds : float array
+(** Upper bounds (ms) of the latency buckets, ascending; the overflow
+    bucket is implicit. *)
+
+val export : t -> export_stats list
+(** Thread-safe snapshot, sorted by kind. *)
+
 val to_json : t -> Json.t
 (** Per-kind: counts by status, min/mean/max latency, p50/p90/p99, and the
     raw bucket counts (upper bounds included so the dump is

@@ -1,0 +1,205 @@
+type line = {
+  label : string;
+  ledger : Span.charge;
+  events : Span.charge;
+  executed : Span.charge option;
+  events_ok : bool;
+  overspend : bool;
+  exact : bool;
+  retry_consistent : bool;
+}
+
+type report = {
+  lines : line list;
+  ledger_total : Span.charge;
+  executed_total : Span.charge;
+  ok : bool;
+  exact : bool;
+}
+
+(* Sums reach the same totals along different association orders (ledger
+   order vs span order), so compare up to float round-off, not bit
+   equality. *)
+let feq a b = Float.abs (a -. b) <= 1e-9 +. (1e-9 *. Float.max (Float.abs a) (Float.abs b))
+
+let ceq (a : Span.charge) (b : Span.charge) =
+  feq a.eps b.eps && feq a.delta b.delta && feq a.rho b.rho
+
+let cle (a : Span.charge) (b : Span.charge) =
+  (a.eps <= b.eps || feq a.eps b.eps)
+  && (a.delta <= b.delta || feq a.delta b.delta)
+  && (a.rho <= b.rho || feq a.rho b.rho)
+
+let tbl_add tbl key c =
+  let prev = Option.value ~default:Span.zero_charge (Hashtbl.find_opt tbl key) in
+  Hashtbl.replace tbl key (Span.add_charges prev c)
+
+let reconcile ~ledger spans =
+  (* Ledger totals by label. *)
+  let ledger_tbl : (string, Span.charge) Hashtbl.t = Hashtbl.create 16 in
+  List.iter (fun (label, c) -> tbl_add ledger_tbl label c) ledger;
+  (* Counted budget events ([charge] and [commit]) by label. *)
+  let events_tbl : (string, Span.charge) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (sp : Span.span) ->
+      if sp.cat = "budget" && (sp.name = "charge" || sp.name = "commit") then
+        match (sp.label, sp.span_charge) with
+        | Some label, Some c -> tbl_add events_tbl label c
+        | _ -> ())
+    spans;
+  (* Execution roots: cat="job" spans with a label.  Group by
+     (label, stream); within a group only the last attempt counts.
+     Attempts that raised (tagged with an "error" attribute — a crashed
+     worker, an aborted subtree) legitimately attribute less than a full
+     replay, so the equal-charges check runs over clean attempts only;
+     a group with no clean attempt (the job failed for good) keeps its
+     last partial subtree, which the ≤-ledger bound still covers. *)
+  let exec_groups : (string * int, (int * Span.charge * bool) list) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.iter
+    (fun (sp : Span.span) ->
+      if sp.cat = "job" then
+        match sp.label with
+        | None -> ()
+        | Some label ->
+            let stream = Option.value ~default:0 (Span.attr_int sp "stream") in
+            let attempt = Option.value ~default:1 (Span.attr_int sp "attempt") in
+            let errored = Span.attr sp "error" <> None in
+            let total = Span.attributed spans sp in
+            let key = (label, stream) in
+            let prev = Option.value ~default:[] (Hashtbl.find_opt exec_groups key) in
+            Hashtbl.replace exec_groups key ((attempt, total, errored) :: prev))
+    spans;
+  let exec_tbl : (string, Span.charge) Hashtbl.t = Hashtbl.create 16 in
+  let retry_bad : (string, unit) Hashtbl.t = Hashtbl.create 4 in
+  Hashtbl.iter
+    (fun (label, _stream) attempts ->
+      let clean = List.filter (fun (_, _, e) -> not e) attempts in
+      let pool = if clean <> [] then clean else attempts in
+      let _, last, _ =
+        List.fold_left
+          (fun ((besta, _, _) as best) ((a, _, _) as cand) ->
+            if a > besta then cand else best)
+          (List.hd pool) (List.tl pool)
+      in
+      List.iter
+        (fun (_, c, _) -> if not (ceq c last) then Hashtbl.replace retry_bad label ())
+        clean;
+      tbl_add exec_tbl label last)
+    exec_groups;
+  (* One line per label seen anywhere. *)
+  let labels : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  Hashtbl.iter (fun l _ -> Hashtbl.replace labels l ()) ledger_tbl;
+  Hashtbl.iter (fun l _ -> Hashtbl.replace labels l ()) events_tbl;
+  Hashtbl.iter (fun l _ -> Hashtbl.replace labels l ()) exec_tbl;
+  let lines =
+    Hashtbl.fold (fun l () acc -> l :: acc) labels []
+    |> List.sort compare
+    |> List.map (fun label ->
+           let ledger =
+             Option.value ~default:Span.zero_charge (Hashtbl.find_opt ledger_tbl label)
+           in
+           let events =
+             Option.value ~default:Span.zero_charge (Hashtbl.find_opt events_tbl label)
+           in
+           let executed = Hashtbl.find_opt exec_tbl label in
+           let events_ok = ceq ledger events in
+           let overspend =
+             match executed with None -> false | Some c -> not (cle c ledger)
+           in
+           let exact = match executed with None -> false | Some c -> ceq c ledger in
+           {
+             label;
+             ledger;
+             events;
+             executed;
+             events_ok;
+             overspend;
+             exact;
+             retry_consistent = not (Hashtbl.mem retry_bad label);
+           })
+  in
+  let ledger_total =
+    List.fold_left (fun acc l -> Span.add_charges acc l.ledger) Span.zero_charge lines
+  in
+  let executed_total =
+    List.fold_left
+      (fun acc l -> Span.add_charges acc (Option.value ~default:Span.zero_charge l.executed))
+      Span.zero_charge lines
+  in
+  let ok =
+    List.for_all (fun l -> l.events_ok && (not l.overspend) && l.retry_consistent) lines
+  in
+  let exact = List.for_all (fun l -> match l.executed with None -> true | Some _ -> l.exact) lines
+  in
+  { lines; ledger_total; executed_total; ok; exact }
+
+(* --- rendering ----------------------------------------------------------- *)
+
+let pp_charge (c : Span.charge) =
+  if c.rho <> 0. then Printf.sprintf "(%.6g, %.3g; rho=%.6g)" c.eps c.delta c.rho
+  else Printf.sprintf "(%.6g, %.3g)" c.eps c.delta
+
+let to_text r =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-28s %-24s %-24s %s\n" "label" "ledger (eps, delta)"
+       "executed (eps, delta)" "status");
+  List.iter
+    (fun l ->
+      let executed =
+        match l.executed with None -> "-" | Some c -> pp_charge c
+      in
+      let status =
+        if not l.events_ok then "EVENT-MISMATCH"
+        else if l.overspend then "OVERSPEND"
+        else if not l.retry_consistent then "RETRY-DRIFT"
+        else if l.exact then "exact"
+        else if l.executed = None then "not-executed"
+        else "under"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%-28s %-24s %-24s %s\n" l.label (pp_charge l.ledger) executed
+           status))
+    r.lines;
+  Buffer.add_string buf
+    (Printf.sprintf "total: ledger %s, executed %s\n" (pp_charge r.ledger_total)
+       (pp_charge r.executed_total));
+  Buffer.add_string buf
+    (Printf.sprintf "attribution: %s%s\n"
+       (if r.ok then "OK" else "FAILED")
+       (if r.ok then if r.exact then " (exact)" else " (under-utilized lines present)"
+        else ""));
+  Buffer.contents buf
+
+let charge_json (c : Span.charge) =
+  Json.Obj
+    ([ ("eps", Json.Float c.eps); ("delta", Json.Float c.delta) ]
+    @ if c.rho <> 0. then [ ("rho", Json.Float c.rho) ] else [])
+
+let to_json r =
+  Json.Obj
+    [
+      ( "lines",
+        Json.List
+          (List.map
+             (fun l ->
+               Json.Obj
+                 [
+                   ("label", Json.String l.label);
+                   ("ledger", charge_json l.ledger);
+                   ("events", charge_json l.events);
+                   ( "executed",
+                     match l.executed with None -> Json.Null | Some c -> charge_json c );
+                   ("events_ok", Json.Bool l.events_ok);
+                   ("overspend", Json.Bool l.overspend);
+                   ("exact", Json.Bool l.exact);
+                   ("retry_consistent", Json.Bool l.retry_consistent);
+                 ])
+             r.lines) );
+      ("ledger_total", charge_json r.ledger_total);
+      ("executed_total", charge_json r.executed_total);
+      ("ok", Json.Bool r.ok);
+      ("exact", Json.Bool r.exact);
+    ]

@@ -1,0 +1,38 @@
+/* Monotonic clock for span timings.  CLOCK_MONOTONIC never jumps with
+   wall-clock adjustments, so span durations and orderings stay truthful
+   even if NTP steps the system time mid-run. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+#if defined(_WIN32)
+#include <windows.h>
+
+CAMLprim value obs_clock_now_ns(value unit)
+{
+  static LARGE_INTEGER freq;
+  LARGE_INTEGER now;
+  if (freq.QuadPart == 0)
+    QueryPerformanceFrequency(&freq);
+  QueryPerformanceCounter(&now);
+  return caml_copy_int64((int64_t)((double)now.QuadPart * 1e9 / (double)freq.QuadPart));
+}
+
+#else
+#include <time.h>
+#include <sys/time.h>
+
+CAMLprim value obs_clock_now_ns(value unit)
+{
+#if defined(CLOCK_MONOTONIC)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+    return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec);
+#endif
+  {
+    struct timeval tv;
+    gettimeofday(&tv, NULL);
+    return caml_copy_int64((int64_t)tv.tv_sec * 1000000000 + (int64_t)tv.tv_usec * 1000);
+  }
+}
+#endif

@@ -2,9 +2,15 @@ let select rng ~eps ~sensitivity ~qualities =
   if Array.length qualities = 0 then invalid_arg "Exp_mech.select: empty candidate set";
   if not (eps > 0.) then invalid_arg "Exp_mech.select: eps must be positive";
   if not (sensitivity > 0.) then invalid_arg "Exp_mech.select: sensitivity must be positive";
-  let scale = eps /. (2. *. sensitivity) in
-  let log_weights = Array.map (fun q -> scale *. q) qualities in
-  Rng.categorical_log rng ~log_weights
+  Obs.Span.with_charged
+    ~attrs:(fun () ->
+      [ ("candidates", Obs.Span.I (Array.length qualities));
+        ("sensitivity", Obs.Span.F sensitivity) ])
+    ~eps ~delta:0. "exp_mech"
+    (fun () ->
+      let scale = eps /. (2. *. sensitivity) in
+      let log_weights = Array.map (fun q -> scale *. q) qualities in
+      Rng.categorical_log rng ~log_weights)
 
 let probabilities ~eps ~sensitivity ~qualities =
   if Array.length qualities = 0 then invalid_arg "Exp_mech.probabilities: empty candidate set";

@@ -11,12 +11,21 @@ let sigma ~eps ~delta ~l2_sensitivity =
   l2_sensitivity /. eps *. sqrt (2. *. log (1.25 /. delta))
 
 let scalar rng ~eps ~delta ~l2_sensitivity x =
-  x +. Rng.gaussian rng ~sigma:(sigma ~eps ~delta ~l2_sensitivity) ()
+  Obs.Span.with_charged
+    ~attrs:(fun () -> [ ("sensitivity", Obs.Span.F l2_sensitivity) ])
+    ~eps ~delta "gaussian"
+    (fun () -> x +. Rng.gaussian rng ~sigma:(sigma ~eps ~delta ~l2_sensitivity) ())
 
+(* Uncharged: the caller owns the (ε, δ) that calibrated [sigma] (e.g.
+   [Noisy_avg] charges its whole budget on its own span). *)
 let vector_with_sigma rng ~sigma v = Array.map (fun x -> x +. Rng.gaussian rng ~sigma ()) v
 
 let vector rng ~eps ~delta ~l2_sensitivity v =
-  vector_with_sigma rng ~sigma:(sigma ~eps ~delta ~l2_sensitivity) v
+  Obs.Span.with_charged
+    ~attrs:(fun () ->
+      [ ("sensitivity", Obs.Span.F l2_sensitivity); ("dim", Obs.Span.I (Array.length v)) ])
+    ~eps ~delta "gaussian_vector"
+    (fun () -> vector_with_sigma rng ~sigma:(sigma ~eps ~delta ~l2_sensitivity) v)
 
 let coordinate_tail_bound ~sigma ~dim ~beta =
   if not (beta > 0. && beta <= 1.) then

@@ -1,13 +1,29 @@
-let noise rng ~eps ~sensitivity =
+(* [noise_raw] is the uninstrumented core; the public entry points wrap it
+   in one charged span each so a traced vector release records a single
+   span (the per-coordinate draws share the one ε budget), and [scalar]
+   does not double-record through [noise]. *)
+let noise_raw rng ~eps ~sensitivity =
   if not (eps > 0.) then invalid_arg "Laplace.noise: eps must be positive";
   if not (sensitivity > 0.) then invalid_arg "Laplace.noise: sensitivity must be positive";
   Rng.laplace rng ~scale:(sensitivity /. eps) ()
 
-let scalar rng ~eps ~sensitivity x = x +. noise rng ~eps ~sensitivity
+let attrs ~sensitivity () = [ ("sensitivity", Obs.Span.F sensitivity) ]
+
+let noise rng ~eps ~sensitivity =
+  Obs.Span.with_charged ~attrs:(attrs ~sensitivity) ~eps ~delta:0. "laplace" (fun () ->
+      noise_raw rng ~eps ~sensitivity)
+
+let scalar rng ~eps ~sensitivity x =
+  Obs.Span.with_charged ~attrs:(attrs ~sensitivity) ~eps ~delta:0. "laplace" (fun () ->
+      x +. noise_raw rng ~eps ~sensitivity)
+
 let count rng ~eps n = scalar rng ~eps ~sensitivity:1.0 (float_of_int n)
 
 let vector rng ~eps ~l1_sensitivity v =
-  Array.map (fun x -> x +. noise rng ~eps ~sensitivity:l1_sensitivity) v
+  Obs.Span.with_charged
+    ~attrs:(fun () -> [ ("sensitivity", Obs.Span.F l1_sensitivity); ("dim", Obs.Span.I (Array.length v)) ])
+    ~eps ~delta:0. "laplace_vector"
+    (fun () -> Array.map (fun x -> x +. noise_raw rng ~eps ~sensitivity:l1_sensitivity) v)
 
 let tail_bound ~eps ~sensitivity ~beta =
   if not (beta > 0. && beta <= 1.) then invalid_arg "Laplace.tail_bound: beta in (0, 1]";

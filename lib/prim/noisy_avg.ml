@@ -5,6 +5,10 @@ let run rng ~eps ~delta ~diameter ~pred ~dim vectors =
   if not (eps > 0.) then invalid_arg "Noisy_avg.run: eps must be positive";
   if not (delta > 0. && delta < 1.) then invalid_arg "Noisy_avg.run: delta must be in (0, 1)";
   if not (diameter >= 0.) then invalid_arg "Noisy_avg.run: diameter must be non-negative";
+  Obs.Span.with_charged
+    ~attrs:(fun () -> [ ("dim", Obs.Span.I dim) ])
+    ~eps ~delta "noisy_avg"
+  @@ fun () ->
   let selected = Array.of_list (List.filter pred (Array.to_list vectors)) in
   let m = Array.length selected in
   let m_hat =
@@ -34,6 +38,10 @@ let run_rows rng ~eps ~delta ~diameter ~pred ~dim ~offs st =
   if not (eps > 0.) then invalid_arg "Noisy_avg.run_rows: eps must be positive";
   if not (delta > 0. && delta < 1.) then invalid_arg "Noisy_avg.run_rows: delta must be in (0, 1)";
   if not (diameter >= 0.) then invalid_arg "Noisy_avg.run_rows: diameter must be non-negative";
+  Obs.Span.with_charged
+    ~attrs:(fun () -> [ ("dim", Obs.Span.I dim) ])
+    ~eps ~delta "noisy_avg"
+  @@ fun () ->
   let n = Array.length offs in
   let sel = Array.make (max 1 n) 0 in
   let m = ref 0 in

@@ -24,22 +24,28 @@ let query_scale t =
 
 let arm t = t.noisy_threshold <- t.threshold +. Rng.laplace t.rng ~scale:(threshold_scale t) ()
 
+(* The whole ε is charged here at creation: it pays for the threshold
+   perturbation and every later query/release draw of this instance. *)
 let make rng ~eps ~threshold ~firings ~mode =
   if not (eps > 0.) then invalid_arg "Sparse_vector.create: eps must be positive";
   if firings < 1 then invalid_arg "Sparse_vector.create_multi: firings must be >= 1";
-  let t =
-    {
-      rng;
-      eps_each = eps /. float_of_int firings;
-      threshold;
-      mode;
-      noisy_threshold = 0.;
-      firings_left = firings;
-      asked = 0;
-    }
-  in
-  arm t;
-  t
+  Obs.Span.with_charged
+    ~attrs:(fun () -> [ ("firings", Obs.Span.I firings) ])
+    ~eps ~delta:0. "sparse_vector"
+    (fun () ->
+      let t =
+        {
+          rng;
+          eps_each = eps /. float_of_int firings;
+          threshold;
+          mode;
+          noisy_threshold = 0.;
+          firings_left = firings;
+          asked = 0;
+        }
+      in
+      arm t;
+      t)
 
 let create_multi rng ~eps ~threshold ~firings = make rng ~eps ~threshold ~firings ~mode:Plain
 let create rng ~eps ~threshold = create_multi rng ~eps ~threshold ~firings:1

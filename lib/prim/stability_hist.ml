@@ -24,25 +24,33 @@ let noisy_cells rng ~eps cells =
     cells
 
 let select rng ~eps ~delta cells =
-  let threshold = release_threshold ~eps ~delta in
-  let best =
-    List.fold_left
-      (fun acc c ->
-        match acc with
-        | Some b when b.noisy_count >= c.noisy_count -> acc
-        | _ -> Some c)
-      None
-      (noisy_cells rng ~eps cells)
-  in
-  match best with Some c when c.noisy_count >= threshold -> Some c | _ -> None
+  Obs.Span.with_charged
+    ~attrs:(fun () -> [ ("cells", Obs.Span.I (List.length cells)) ])
+    ~eps ~delta "stability_hist"
+    (fun () ->
+      let threshold = release_threshold ~eps ~delta in
+      let best =
+        List.fold_left
+          (fun acc c ->
+            match acc with
+            | Some b when b.noisy_count >= c.noisy_count -> acc
+            | _ -> Some c)
+          None
+          (noisy_cells rng ~eps cells)
+      in
+      match best with Some c when c.noisy_count >= threshold -> Some c | _ -> None)
 
 let select_by rng ~eps ~delta ~key data = select rng ~eps ~delta (count_by ~key data)
 
 let heavy_cells rng ~eps ~delta cells =
-  let threshold = release_threshold ~eps ~delta in
-  noisy_cells rng ~eps cells
-  |> List.filter (fun c -> c.noisy_count >= threshold)
-  |> List.sort (fun a b -> compare b.noisy_count a.noisy_count)
+  Obs.Span.with_charged
+    ~attrs:(fun () -> [ ("cells", Obs.Span.I (List.length cells)) ])
+    ~eps ~delta "stability_hist"
+    (fun () ->
+      let threshold = release_threshold ~eps ~delta in
+      noisy_cells rng ~eps cells
+      |> List.filter (fun c -> c.noisy_count >= threshold)
+      |> List.sort (fun a b -> compare b.noisy_count a.noisy_count))
 
 let utility_requirement ~eps ~delta ~n ~beta =
   2. /. eps *. log (4. *. float_of_int n /. (beta *. delta))

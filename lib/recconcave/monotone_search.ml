@@ -9,14 +9,18 @@ let solve rng ~eps ~sensitivity ~target q =
   let size = Quality.size q in
   let comparisons = comparisons_for size in
   let eps_each = eps /. float_of_int comparisons in
+  Obs.Span.with_charged ~cat:"stage"
+    ~attrs:(fun () -> [ ("comparisons", Obs.Span.I comparisons); ("size", Obs.Span.I size) ])
+    ~eps ~delta:0. "monotone_search"
+  @@ fun () ->
   (* Invariant: every index < lo failed its (noisy) comparison; hi is the
-     smallest index known (noisily) to reach the target, or size - 1. *)
+     smallest index known (noisily) to reach the target, or size - 1.  Each
+     comparison is a Laplace release at ε_each ([Laplace.scalar] draws with
+     scale sensitivity/ε_each, bit-identical to the former direct draw). *)
   let lo = ref 0 and hi = ref (size - 1) in
   while !lo < !hi do
     let mid = (!lo + !hi) / 2 in
-    let noisy =
-      Quality.eval q mid +. Prim.Rng.laplace rng ~scale:(sensitivity /. eps_each) ()
-    in
+    let noisy = Prim.Laplace.scalar rng ~eps:eps_each ~sensitivity (Quality.eval q mid) in
     if noisy >= target then hi := mid else lo := mid + 1
   done;
   { index = !lo; comparisons; eps_each }

@@ -41,6 +41,15 @@ let solve rng ~eps ?(base = default_base) ?(sensitivity = 1.0) q =
   let d = depth ~base (Quality.size q) in
   let mechanisms = (2 * d) + 1 in
   let eps_each = eps /. float_of_int mechanisms in
+  (* Stage span: carries the whole ε budget; its exp-mech children sum to
+     exactly mechanisms × eps_each = ε. *)
+  Obs.Span.with_charged ~cat:"stage"
+    ~attrs:(fun () ->
+      [ ("depth", Obs.Span.I d);
+        ("mechanisms", Obs.Span.I mechanisms);
+        ("size", Obs.Span.I (Quality.size q)) ])
+    ~eps ~delta:0. "rec_concave"
+  @@ fun () ->
   let select qualities =
     Prim.Exp_mech.select rng ~eps:eps_each ~sensitivity ~qualities
   in

@@ -31,6 +31,7 @@ let () =
       ("robustness", Test_robustness.suite);
       ("engine", Test_engine.suite);
       ("faults", Test_faults.suite);
+      ("obs", Test_obs.suite);
       ("check", Test_check.suite);
       ("pp", Test_pp.suite);
       ("invariants", Test_invariants.suite);

@@ -1,0 +1,551 @@
+(* The observability layer: span collection and tree well-formedness under
+   engine fan-out, budget attribution against the accountant ledger (all
+   composition modes, fallback commit/release, retry replay), the Chrome
+   trace exporter's schema, the JSON parser, and Prometheus exposition.
+   Tracing must also be inert: enabling it draws no randomness and a
+   disabled collector records nothing. *)
+
+open Testutil
+
+let contains_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* Tracing state is global; every test runs inside this bracket so a
+   failure cannot leak an enabled collector into other suites. *)
+let with_tracing f =
+  Obs.Span.reset ();
+  Obs.Span.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Span.set_enabled false;
+      Obs.Span.reset ())
+    f
+
+(* --- batch fixtures ------------------------------------------------------ *)
+
+let oc ?(eps = 0.4) ?(delta = 1e-7) ?deadline_s ?(fallback = false) id =
+  {
+    Engine.Job.id;
+    kind = Engine.Job.One_cluster { t_fraction = 0.45 };
+    eps;
+    delta;
+    beta = 0.1;
+    deadline_s;
+    fallback;
+  }
+
+let qt ?(eps = 0.1) id =
+  {
+    Engine.Job.id;
+    kind = Engine.Job.Quantile { axis = 0; q = 0.5 };
+    eps;
+    delta = 0.;
+    beta = 0.1;
+    deadline_s = None;
+    fallback = false;
+  }
+
+(* One traced batch on a small planted workload; returns the results, the
+   attribution report and the collected spans. *)
+let traced_batch ?(domains = 2) ?(retries = 0) ?(faults = Engine.Faults.none) ?mode
+    ?(budget_eps = 2.0) ?(n = 400) ?(axis = 128) ?(radius = 0.06) specs =
+  let service = Engine.Service.create ~domains ~seed:5 ~retries ~faults () in
+  let _, grid, w = small_workload ~n ~axis ~radius () in
+  let dataset =
+    Engine.Service.register service ~name:"obs-test" ~grid ?mode
+      ~budget:(Prim.Dp.v ~eps:budget_eps ~delta:1e-4)
+      w.Workload.Synth.points
+  in
+  let results = Engine.Service.run_batch service ~dataset specs in
+  let report = Engine.Service.attribution ~dataset () in
+  (results, report, Obs.Span.spans ())
+
+let admitted results =
+  List.filter_map
+    (fun (r : Engine.Job.result) ->
+      match r.Engine.Job.status with
+      | Engine.Job.Refused _ -> None
+      | _ -> Some r.Engine.Job.spec.Engine.Job.id)
+    results
+
+(* --- span-tree well-formedness ------------------------------------------- *)
+
+let end_ns (sp : Obs.Span.span) = Int64.add sp.Obs.Span.start_ns sp.Obs.Span.dur_ns
+
+let check_well_formed spans =
+  let ids = Hashtbl.create 64 in
+  List.iter
+    (fun (sp : Obs.Span.span) ->
+      if Hashtbl.mem ids sp.Obs.Span.id then Alcotest.failf "duplicate span id %d" sp.Obs.Span.id;
+      Hashtbl.replace ids sp.Obs.Span.id sp)
+    spans;
+  List.iter
+    (fun (sp : Obs.Span.span) ->
+      if sp.Obs.Span.dur_ns < 0L then Alcotest.failf "span %s: negative duration" sp.Obs.Span.name;
+      match sp.Obs.Span.parent with
+      | None -> ()
+      | Some pid -> (
+          match Hashtbl.find_opt ids pid with
+          | None -> Alcotest.failf "span %s: dangling parent id %d" sp.Obs.Span.name pid
+          | Some parent ->
+              if sp.Obs.Span.start_ns < parent.Obs.Span.start_ns then
+                Alcotest.failf "span %s starts before its parent %s" sp.Obs.Span.name
+                  parent.Obs.Span.name;
+              if end_ns sp > end_ns parent then
+                Alcotest.failf "span %s ends after its parent %s" sp.Obs.Span.name
+                  parent.Obs.Span.name))
+    spans
+
+let batch_root spans =
+  match List.filter (fun (sp : Obs.Span.span) -> sp.Obs.Span.cat = "batch") spans with
+  | [ b ] -> b
+  | l -> Alcotest.failf "expected exactly one batch span, got %d" (List.length l)
+
+let test_tree_under_fan_out () =
+  let prop (n_jobs, domains) =
+    with_tracing @@ fun () ->
+    let specs = List.init n_jobs (fun i -> qt ~eps:0.05 (Printf.sprintf "q%d" i)) in
+    let results, report, spans = traced_batch ~domains specs in
+    check_well_formed spans;
+    let batch = batch_root spans in
+    check_true "batch span is a root" (batch.Obs.Span.parent = None);
+    check_true "batch span has duration" (batch.Obs.Span.dur_ns > 0L);
+    (* Every admitted job produced exactly one execution root stitched to
+       the batch span, labelled with its id; refused jobs produced none. *)
+    let job_spans =
+      List.filter (fun (sp : Obs.Span.span) -> sp.Obs.Span.cat = "job") spans
+    in
+    List.iter
+      (fun (sp : Obs.Span.span) ->
+        check_true "job span parented to the batch span"
+          (sp.Obs.Span.parent = Some batch.Obs.Span.id))
+      job_spans;
+    let ids = admitted results in
+    check_int "one job span per admitted job" (List.length ids) (List.length job_spans);
+    List.iter
+      (fun id ->
+        check_true ("execution span for " ^ id)
+          (List.exists (fun (sp : Obs.Span.span) -> sp.Obs.Span.label = Some id) job_spans))
+      ids;
+    (* Coordinator phases bracket the execution. *)
+    List.iter
+      (fun phase ->
+        check_true (phase ^ " present")
+          (List.exists (fun (sp : Obs.Span.span) -> sp.Obs.Span.name = phase) spans))
+      [ "service.admission"; "service.settlement" ];
+    check_true "attribution reconciles" (report.Obs.Attribution.ok && report.Obs.Attribution.exact);
+    true
+  in
+  QCheck2.Test.check_exn
+    (QCheck2.Test.make ~count:8 ~name:"span tree under pool fan-out"
+       QCheck2.Gen.(pair (1 -- 5) (1 -- 4))
+       prop)
+
+(* --- budget reconciliation ----------------------------------------------- *)
+
+let find_line (report : Obs.Attribution.report) label =
+  match List.find_opt (fun (l : Obs.Attribution.line) -> l.Obs.Attribution.label = label)
+          report.Obs.Attribution.lines
+  with
+  | Some l -> l
+  | None -> Alcotest.failf "no attribution line for %S" label
+
+(* zCDP needs headroom: converting even one (0.4, 1e-7) charge back to
+   approximate DP at slack 1e-9 lands near ε = 2.7. *)
+let reconciliation_for ?budget_eps mode () =
+  with_tracing @@ fun () ->
+  let specs = [ oc "a"; qt "b"; oc ~eps:0.5 "c"; oc ~eps:50.0 "greedy" ] in
+  let _, report, _ = traced_batch ?mode ?budget_eps specs in
+  check_true "report ok" report.Obs.Attribution.ok;
+  check_true "report exact" report.Obs.Attribution.exact;
+  List.iter
+    (fun label ->
+      let l = find_line report label in
+      check_true (label ^ " events match ledger") l.Obs.Attribution.events_ok;
+      check_true (label ^ " exact") l.Obs.Attribution.exact)
+    [ "a"; "b"; "c" ];
+  (* The refused job never reached the ledger or the workers. *)
+  check_true "no line for the refused job"
+    (not
+       (List.exists
+          (fun (l : Obs.Attribution.line) -> l.Obs.Attribution.label = "greedy")
+          report.Obs.Attribution.lines));
+  (* The pipeline's invocation arguments are what lands in the ledger. *)
+  let a = find_line report "a" in
+  check_float ~tol:1e-12 "ledger eps is the job price" 0.4 a.Obs.Attribution.ledger.Obs.Span.eps;
+  check_float ~tol:1e-18 "ledger delta is the job price" 1e-7
+    a.Obs.Attribution.ledger.Obs.Span.delta
+
+let test_reconcile_basic = reconciliation_for None
+let test_reconcile_advanced = reconciliation_for (Some (Engine.Accountant.Advanced { slack = 1e-9 }))
+let test_reconcile_zcdp =
+  reconciliation_for ~budget_eps:8.0 (Some (Engine.Accountant.Zcdp { slack = 1e-9 }))
+
+let test_reconcile_fallback_commit () =
+  with_tracing @@ fun () ->
+  (* deadline=0 forces degradation: the reserved GoodRadius share is
+     committed under the <id>:fallback label and must reconcile exactly
+     against the fallback's execution span. *)
+  let specs = [ oc "main"; oc ~deadline_s:0. ~fallback:true "slow" ] in
+  let results, report, spans = traced_batch ~domains:2 specs in
+  let degraded =
+    List.exists
+      (fun (r : Engine.Job.result) ->
+        r.Engine.Job.spec.Engine.Job.id = "slow"
+        && match r.Engine.Job.status with Engine.Job.Degraded _ -> true | _ -> false)
+      results
+  in
+  check_true "slow degraded" degraded;
+  check_true "report ok" report.Obs.Attribution.ok;
+  check_true "report exact" report.Obs.Attribution.exact;
+  let fb = find_line report "slow:fallback" in
+  check_true "fallback committed and reconciled"
+    (fb.Obs.Attribution.events_ok && fb.Obs.Attribution.exact);
+  check_float ~tol:1e-12 "fallback price is the GoodRadius share" 0.2
+    fb.Obs.Attribution.ledger.Obs.Span.eps;
+  (* A commit budget event exists; the full job kept its admission charge
+     even though it never produced a result. *)
+  check_true "commit event present"
+    (List.exists
+       (fun (sp : Obs.Span.span) ->
+         sp.Obs.Span.cat = "budget" && sp.Obs.Span.name = "commit"
+         && sp.Obs.Span.label = Some "slow:fallback")
+       spans);
+  let slow = find_line report "slow" in
+  check_float ~tol:1e-12 "blown job keeps its charge" 0.4 slow.Obs.Attribution.ledger.Obs.Span.eps
+
+let test_reconcile_fallback_release () =
+  with_tracing @@ fun () ->
+  (* A fallback job that succeeds releases its reservation: a release
+     event, no :fallback ledger line, and the report stays exact.  The
+     solver needs the bigger planted workload to actually succeed at this
+     ε (on the 400-point one it degrades and would commit instead). *)
+  let specs = [ oc ~eps:1.0 ~fallback:true "fine" ] in
+  let results, report, spans = traced_batch ~domains:1 ~n:1500 ~axis:256 ~radius:0.05 specs in
+  check_true "fine completed"
+    (List.exists
+       (fun (r : Engine.Job.result) ->
+         match r.Engine.Job.status with Engine.Job.Completed _ -> true | _ -> false)
+       results);
+  check_true "report ok and exact" (report.Obs.Attribution.ok && report.Obs.Attribution.exact);
+  check_true "no fallback line"
+    (not
+       (List.exists
+          (fun (l : Obs.Attribution.line) -> l.Obs.Attribution.label = "fine:fallback")
+          report.Obs.Attribution.lines));
+  check_true "release event present"
+    (List.exists
+       (fun (sp : Obs.Span.span) -> sp.Obs.Span.cat = "budget" && sp.Obs.Span.name = "release")
+       spans)
+
+let test_reconcile_retry_replay () =
+  with_tracing @@ fun () ->
+  (* A crash-before-output fault on job 0: the retry replays the same RNG
+     stream, so both attempts' spans exist but only the clean one counts,
+     and the replay attributes exactly the ledger charge. *)
+  let faults = Engine.Faults.explicit [ (0, Engine.Faults.rule Engine.Faults.Crash) ] in
+  let specs = [ qt "crashy"; qt "calm" ] in
+  let results, report, spans = traced_batch ~domains:2 ~retries:2 ~faults specs in
+  check_true "crashy recovered"
+    (List.exists
+       (fun (r : Engine.Job.result) ->
+         r.Engine.Job.spec.Engine.Job.id = "crashy"
+         && (match r.Engine.Job.status with Engine.Job.Completed _ -> true | _ -> false)
+         && r.Engine.Job.attempts > 1)
+       results);
+  check_true "a retry event was recorded"
+    (List.exists
+       (fun (sp : Obs.Span.span) -> sp.Obs.Span.cat = "pool" && sp.Obs.Span.name = "pool.retry")
+       spans);
+  let attempts =
+    List.filter
+      (fun (sp : Obs.Span.span) ->
+        sp.Obs.Span.cat = "job" && sp.Obs.Span.label = Some "crashy")
+      spans
+  in
+  check_true "both attempts left spans" (List.length attempts >= 2);
+  check_true "report ok" report.Obs.Attribution.ok;
+  check_true "report exact" report.Obs.Attribution.exact;
+  let l = find_line report "crashy" in
+  check_true "retry attempts consistent" l.Obs.Attribution.retry_consistent
+
+let test_reconcile_detects_mismatch () =
+  (* Attribution is a checker, not a formality: feed it a cooked ledger
+     and it must fail (events mismatch), and an execution charge above
+     the ledger must flag overspend. *)
+  with_tracing @@ fun () ->
+  Obs.Span.with_span ~cat:"job" "one_cluster" (fun () ->
+      Obs.Span.set_label "j1";
+      Obs.Span.with_charged ~eps:0.4 ~delta:0. "laplace" (fun () -> ()));
+  Obs.Span.event ~cat:"budget" ~label:"j1"
+    ~charge:(Obs.Span.charge ~eps:0.4 ~delta:0. ())
+    "charge";
+  let spans = Obs.Span.spans () in
+  let good = Obs.Attribution.reconcile ~ledger:[ ("j1", Obs.Span.charge ~eps:0.4 ~delta:0. ()) ] spans in
+  check_true "consistent view passes" (good.Obs.Attribution.ok && good.Obs.Attribution.exact);
+  let cooked =
+    Obs.Attribution.reconcile ~ledger:[ ("j1", Obs.Span.charge ~eps:0.3 ~delta:0. ()) ] spans
+  in
+  check_true "cooked ledger fails" (not cooked.Obs.Attribution.ok);
+  let l = find_line cooked "j1" in
+  check_true "events mismatch flagged" (not l.Obs.Attribution.events_ok);
+  check_true "overspend flagged" l.Obs.Attribution.overspend
+
+(* --- tracing is inert ----------------------------------------------------- *)
+
+let details results = List.map Engine.Job.detail results
+
+let test_tracing_draws_no_randomness () =
+  let specs = [ oc "a"; qt "b"; oc ~eps:0.5 ~fallback:true "c" ] in
+  Obs.Span.reset ();
+  Obs.Span.set_enabled false;
+  let plain, _, _ = traced_batch ~domains:2 specs in
+  let traced, _, spans = with_tracing (fun () -> traced_batch ~domains:2 specs) in
+  check_true "tracing collected spans" (List.length spans > 0);
+  List.iter2 (fun a b -> Alcotest.(check string) "output bit-identical under tracing" a b)
+    (details plain) (details traced)
+
+let test_disabled_collector_records_nothing () =
+  Obs.Span.reset ();
+  check_true "disabled" (not (Obs.Span.enabled ()));
+  let v =
+    Obs.Span.with_span "outer" (fun () ->
+        Obs.Span.event "instant";
+        Obs.Span.set_attr "k" (Obs.Span.I 1);
+        Obs.Span.with_charged ~eps:1.0 ~delta:0. "inner" (fun () -> 17))
+  in
+  check_int "value passes through" 17 v;
+  check_int "nothing collected" 0 (Obs.Span.count ());
+  check_true "no current span" (Obs.Span.current () = None)
+
+let test_attributed_convention () =
+  with_tracing @@ fun () ->
+  (* A stage's own charge wins over its children's sum (the budgeted-share
+     convention); an uncharged stage sums its children. *)
+  Obs.Span.with_charged ~cat:"stage" ~eps:1.0 ~delta:0. "stage" (fun () ->
+      Obs.Span.with_charged ~eps:0.3 ~delta:0. "m1" (fun () -> ());
+      Obs.Span.with_charged ~eps:0.3 ~delta:0. "m2" (fun () -> ()));
+  Obs.Span.with_span ~cat:"stage" "uncharged" (fun () ->
+      Obs.Span.with_charged ~eps:0.25 ~delta:1e-8 "m3" (fun () -> ()));
+  let spans = Obs.Span.spans () in
+  let find name =
+    List.find (fun (sp : Obs.Span.span) -> sp.Obs.Span.name = name) spans
+  in
+  let c1 = Obs.Span.attributed spans (find "stage") in
+  check_float ~tol:1e-12 "own charge wins" 1.0 c1.Obs.Span.eps;
+  let c2 = Obs.Span.attributed spans (find "uncharged") in
+  check_float ~tol:1e-12 "children sum" 0.25 c2.Obs.Span.eps;
+  check_float ~tol:1e-18 "children delta sums" 1e-8 c2.Obs.Span.delta
+
+(* --- Chrome trace export -------------------------------------------------- *)
+
+let test_trace_schema () =
+  let _, _, spans =
+    with_tracing (fun () -> traced_batch ~domains:2 [ oc "a"; qt "b" ])
+  in
+  let doc = Obs.Trace.to_json spans in
+  (* The serialized document parses back and validates. *)
+  (match Obs.Json.parse (Obs.Trace.to_string spans) with
+  | Error e -> Alcotest.failf "trace does not parse: %s" e
+  | Ok parsed -> (
+      match Obs.Trace.validate parsed with
+      | Error e -> Alcotest.failf "trace does not validate: %s" e
+      | Ok () -> ()));
+  (* Golden shape: every complete event carries the Chrome-required keys
+     and our args payload. *)
+  let events =
+    match Option.bind (Obs.Json.member "traceEvents" doc) Obs.Json.to_list with
+    | Some l -> l
+    | None -> Alcotest.fail "no traceEvents array"
+  in
+  check_true "one event per span plus thread metadata"
+    (List.length events >= List.length spans);
+  let an_x =
+    List.find_opt
+      (fun e ->
+        match Option.bind (Obs.Json.member "ph" e) Obs.Json.to_str with
+        | Some "X" -> true
+        | _ -> false)
+      events
+  in
+  (match an_x with
+  | None -> Alcotest.fail "no complete (ph=X) event in the trace"
+  | Some e ->
+      List.iter
+        (fun key ->
+          check_true ("complete event has " ^ key) (Obs.Json.member key e <> None))
+        [ "name"; "cat"; "ph"; "ts"; "dur"; "pid"; "tid"; "args" ];
+      check_true "args carry the span id"
+        (Option.bind (Obs.Json.member "args" e) (Obs.Json.member "span_id") <> None));
+  (* Thread-name metadata is present so Perfetto labels the lanes. *)
+  check_true "thread_name metadata emitted"
+    (List.exists
+       (fun e ->
+         match Option.bind (Obs.Json.member "name" e) Obs.Json.to_str with
+         | Some "thread_name" -> true
+         | _ -> false)
+       events)
+
+let test_trace_validate_rejects_malformed () =
+  let reject doc what =
+    match Obs.Trace.validate doc with
+    | Ok () -> Alcotest.failf "validate accepted %s" what
+    | Error _ -> ()
+  in
+  reject (Obs.Json.Obj []) "a document without traceEvents";
+  reject
+    (Obs.Json.Obj [ ("traceEvents", Obs.Json.List [ Obs.Json.Obj [ ("cat", Obs.Json.String "x") ] ]) ])
+    "an event without a name";
+  reject
+    (Obs.Json.Obj
+       [
+         ( "traceEvents",
+           Obs.Json.List
+             [
+               Obs.Json.Obj
+                 [
+                   ("name", Obs.Json.String "e");
+                   ("cat", Obs.Json.String "c");
+                   ("ph", Obs.Json.String "Q");
+                   ("ts", Obs.Json.Float 0.);
+                   ("pid", Obs.Json.Int 1);
+                   ("tid", Obs.Json.Int 0);
+                 ];
+             ] );
+       ])
+    "an unknown phase"
+
+(* --- JSON parser ---------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let doc =
+    Obs.Json.Obj
+      [
+        ("s", Obs.Json.String "a \"quoted\" line\nwith\ttabs and \\ slashes");
+        ("i", Obs.Json.Int (-42));
+        ("f", Obs.Json.Float 1.5);
+        ("b", Obs.Json.Bool true);
+        ("nothing", Obs.Json.Null);
+        ("l", Obs.Json.List [ Obs.Json.Int 1; Obs.Json.Float 2.25; Obs.Json.String "x" ]);
+        ("nested", Obs.Json.Obj [ ("empty_l", Obs.Json.List []); ("empty_o", Obs.Json.Obj []) ]);
+      ]
+  in
+  (match Obs.Json.parse (Obs.Json.to_string doc) with
+  | Error e -> Alcotest.failf "roundtrip parse failed: %s" e
+  | Ok parsed -> check_true "roundtrip preserves the document" (parsed = doc));
+  (* Escapes decode, including a surrogate pair. *)
+  (match Obs.Json.parse {|"café 😀"|} with
+  | Ok (Obs.Json.String s) ->
+      check_true "unicode escapes decode to UTF-8" (s = "caf\xc3\xa9 \xf0\x9f\x98\x80")
+  | _ -> Alcotest.fail "unicode string did not parse");
+  (* Malformed inputs are rejected, not mangled. *)
+  List.iter
+    (fun bad ->
+      match Obs.Json.parse bad with
+      | Ok _ -> Alcotest.failf "parse accepted %S" bad
+      | Error _ -> ())
+    [ "{"; "[1,]"; "01"; "1 trailing"; "\"unterminated"; "nul"; "{\"a\" 1}"; "" ]
+
+(* --- Prometheus exposition ------------------------------------------------ *)
+
+let test_prom_render () =
+  let open Obs.Prom in
+  let text =
+    render
+      [
+        Counter
+          {
+            name = "jobs_total";
+            help = "Finished \"jobs\".";
+            samples = [ ([ ("kind", "one_cluster") ], 3.) ];
+          };
+        Histogram
+          {
+            name = "lat_ms";
+            help = "Latency.";
+            samples =
+              [
+                ( [],
+                  { bounds = [| 1.; 5. |]; counts = [| 2; 1 |]; sum = 9.5; count = 4 } );
+              ];
+          };
+      ]
+  in
+  List.iter
+    (fun needle -> check_true ("render contains " ^ needle) (contains_sub text needle))
+    [
+      "# HELP jobs_total";
+      "# TYPE jobs_total counter";
+      "jobs_total{kind=\"one_cluster\"} 3";
+      "# TYPE lat_ms histogram";
+      "lat_ms_bucket{le=\"1\"} 2";
+      (* Cumulative: 2 under 1ms + 1 more under 5ms. *)
+      "lat_ms_bucket{le=\"5\"} 3";
+      (* +Inf equals the total observation count (one overflow sample). *)
+      "lat_ms_bucket{le=\"+Inf\"} 4";
+      "lat_ms_sum 9.5";
+      "lat_ms_count 4";
+    ]
+
+let test_prom_of_spans_and_exposition () =
+  let _, _, spans =
+    with_tracing (fun () -> traced_batch ~domains:1 [ oc "a"; qt "b" ])
+  in
+  let text = Obs.Prom.render (Obs.Prom.of_spans spans) in
+  List.iter
+    (fun needle -> check_true ("of_spans contains " ^ needle) (contains_sub text needle))
+    [
+      "privcluster_spans_total{name=\"laplace\",cat=\"mech\"}";
+      "privcluster_span_epsilon_total";
+    ];
+  (* A saved report round-trips through the post-hoc exposition path.
+     The bigger workload makes the one_cluster job genuinely succeed so
+     the status="ok" sample is meaningful. *)
+  let service = Engine.Service.create ~domains:1 ~seed:6 ~faults:Engine.Faults.none () in
+  let _, grid, w = small_workload ~n:1500 ~axis:256 ~radius:0.05 () in
+  let dataset =
+    Engine.Service.register service ~name:"expo" ~grid
+      ~budget:(Prim.Dp.v ~eps:2.0 ~delta:1e-4)
+      w.Workload.Synth.points
+  in
+  let results = Engine.Service.run_batch service ~dataset [ oc ~eps:1.0 "a"; qt "b" ] in
+  let report = Engine.Service.report_json service ~dataset results in
+  match Obs.Json.parse (Engine.Json.to_string report) with
+  | Error e -> Alcotest.failf "report JSON does not parse: %s" e
+  | Ok doc -> (
+      match Engine.Exposition.of_report_json doc with
+      | Error e -> Alcotest.failf "of_report_json: %s" e
+      | Ok families ->
+          let text = Obs.Prom.render families in
+          List.iter
+            (fun needle ->
+              check_true ("post-hoc exposition contains " ^ needle) (contains_sub text needle))
+            [
+              "privcluster_jobs_total{kind=\"one_cluster\",status=\"ok\"} 1";
+              "privcluster_jobs_total{kind=\"quantile\",status=\"ok\"} 1";
+              "privcluster_job_latency_ms_bucket";
+              "privcluster_budget_epsilon{dataset=\"expo\",quantity=\"budget\"} 2";
+              "privcluster_budget_refusals_total{dataset=\"expo\"} 0";
+            ])
+
+let suite =
+  [
+    case "span tree well-formed under pool fan-out (qcheck)" test_tree_under_fan_out;
+    case "reconciliation: basic ledger exact" test_reconcile_basic;
+    case "reconciliation: advanced ledger exact" test_reconcile_advanced;
+    case "reconciliation: zcdp ledger exact" test_reconcile_zcdp;
+    case "reconciliation: fallback commit" test_reconcile_fallback_commit;
+    case "reconciliation: fallback release" test_reconcile_fallback_release;
+    case "reconciliation: retry replays reconcile" test_reconcile_retry_replay;
+    case "reconciliation: cooked ledger fails loudly" test_reconcile_detects_mismatch;
+    case "tracing draws no randomness" test_tracing_draws_no_randomness;
+    case "disabled collector records nothing" test_disabled_collector_records_nothing;
+    case "attributed: own charge wins, else children sum" test_attributed_convention;
+    case "chrome trace schema" test_trace_schema;
+    case "trace validation rejects malformed docs" test_trace_validate_rejects_malformed;
+    case "json parser roundtrip and rejection" test_json_roundtrip;
+    case "prometheus text format" test_prom_render;
+    case "prometheus span families and post-hoc exposition" test_prom_of_spans_and_exposition;
+  ]
