@@ -2,8 +2,8 @@
    figure / theorem claim — see EXPERIMENTS.md) followed by the Bechamel
    timing benches (B1–B7, one per pipeline stage, plus B9 for the
    statistical-check estimators), the engine throughput bench (B8), the
-   one-cluster allocation check, and the disabled-tracing overhead gate
-   (B10).
+   one-cluster allocation check, the disabled-tracing overhead gate
+   (B10), and the daemon round-trip overhead bench (B11).
 
    Usage:
      dune exec bench/main.exe                 # full suite
@@ -260,6 +260,130 @@ let run_engine_bench ~quick ~max_jobs fx =
     (if faulted_identical then "yes" else "NO (retry-replay bug)");
   (n_jobs, rows, deterministic && faulted_identical)
 
+(* B11 — daemon round-trip: the B8 job bag submitted to a resident
+   privclusterd over a unix socket, versus the same batch run in-process
+   on an identically-configured service.  The gap prices the wire
+   protocol, admission queue, and per-charge WAL fsync together; the
+   verdicts and the ledger must be identical — the daemon may add
+   latency, never change answers or charges. *)
+let run_daemon_bench ~quick ~jobs =
+  Workload.Report.headline "B11 - daemon round-trip vs in-process batch";
+  let n_jobs = if quick then 6 else 12 in
+  let iters = if quick then 2 else 5 in
+  let n = if quick then 300 else 1000 in
+  let seed = 99 in
+  let specs =
+    List.init n_jobs (fun i ->
+        {
+          Engine.Job.id = Printf.sprintf "j%d" (i + 1);
+          kind = Engine.Job.One_cluster { t_fraction = 0.4 };
+          eps = 0.5;
+          delta = 1e-7;
+          beta;
+          deadline_s = None;
+          fallback = false;
+        })
+  in
+  (* warm-up batch + iters measured batches, all charged to one ledger *)
+  let batches = iters + 1 in
+  let budget =
+    Prim.Dp.v ~eps:(0.5 *. float_of_int (n_jobs * batches) +. 1.) ~delta:1e-3
+  in
+  let jobs_text =
+    String.concat "\n" (List.map Engine.Job.spec_to_line specs) ^ "\n"
+  in
+  let mean l = List.fold_left ( +. ) 0. l /. float_of_int (List.length l) in
+  let statuses results =
+    List.map (fun (r : Engine.Job.result) -> Engine.Job.status_name r.Engine.Job.status) results
+  in
+  (* in-process reference: replicate the daemon's dataset generation
+     convention exactly (seed + 7919) so both paths solve the same points *)
+  let svc = Engine.Service.create ~domains:jobs ~seed ~retries:0 ~faults:Engine.Faults.none () in
+  let grid = Geometry.Grid.create ~axis_size:256 ~dim:2 in
+  let w =
+    Workload.Synth.planted_ball
+      (Prim.Rng.create ~seed:(seed + 7919) ())
+      ~grid ~n ~cluster_fraction:0.5 ~cluster_radius:0.05
+  in
+  let ds = Engine.Service.register svc ~name:"bench" ~grid ~budget w.Workload.Synth.points in
+  let local_statuses = ref [] in
+  let run_local () =
+    let results, ms = Workload.Harness.time (fun () -> Engine.Service.run_batch svc ~dataset:ds specs) in
+    if !local_statuses = [] then local_statuses := statuses results;
+    ms
+  in
+  ignore (run_local ());
+  let local_ms = List.init iters (fun _ -> run_local ()) in
+  (* daemon path: resident process state, unix socket, fsync'd WAL *)
+  let dir = Filename.temp_file "privcluster_bench" ".d" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let cfg =
+    {
+      Server.Daemon.listen = `Unix (Filename.concat dir "b.sock");
+      wal_path = Filename.concat dir "b.wal";
+      tenants = [ { Server.Tenants.name = "bench"; token = "bench"; max_in_flight = 8 } ];
+      capacity = 64;
+      domains = jobs;
+      retries = 0;
+      seed;
+      sync = true;
+    }
+  in
+  let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("B11: " ^ m); exit 1) fmt in
+  let d = match Server.Daemon.start cfg with Ok d -> d | Error e -> fail "start: %s" e in
+  let c =
+    match Server.Client.connect cfg.Server.Daemon.listen ~tenant:"bench" ~token:"bench" with
+    | Ok c -> c
+    | Error f -> fail "connect: %s" (Server.Client.fail_message f)
+  in
+  let rpc what = function Ok v -> v | Error f -> fail "%s: %s" what (Server.Client.fail_message f) in
+  ignore
+    (rpc "register"
+       (Server.Client.register c ~dataset:"bench" ~n ~dim:2 ~axis:256 ~frac:0.5
+          ~radius:0.05 ~seed ~budget ()));
+  let daemon_statuses = ref [] in
+  let run_remote () =
+    let payload, ms =
+      Workload.Harness.time (fun () -> rpc "run" (Server.Client.run c ~dataset:"bench" ~jobs:jobs_text ()))
+    in
+    if !daemon_statuses = [] then
+      daemon_statuses :=
+        (match Option.bind (Engine.Json.member "results" payload) Engine.Json.to_list with
+        | None -> fail "run reply has no results"
+        | Some rs ->
+            List.map
+              (fun r ->
+                Option.value ~default:"?"
+                  (Option.bind (Engine.Json.member "status" r) Engine.Json.to_str))
+              rs);
+    ms
+  in
+  ignore (run_remote ());
+  let daemon_ms = List.init iters (fun _ -> run_remote ()) in
+  Server.Client.close c;
+  Server.Daemon.stop d;
+  List.iter (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ()) [ "b.wal"; "b.sock" ];
+  (try Unix.rmdir dir with Unix.Unix_error (_, _, _) -> ());
+  let lm = mean local_ms and dm = mean daemon_ms in
+  let overhead_pct = (dm -. lm) /. lm *. 100. in
+  let identical = !local_statuses = !daemon_statuses && !local_statuses <> [] in
+  Workload.Report.table ~csv:"b11_daemon_roundtrip"
+    ~header:[ "path"; "wall/batch"; "jobs/s" ]
+    [
+      [ "in-process"; Printf.sprintf "%.1f ms" lm; Workload.Report.f2 (1000. *. float_of_int n_jobs /. lm) ];
+      [ "daemon"; Printf.sprintf "%.1f ms" dm; Workload.Report.f2 (1000. *. float_of_int n_jobs /. dm) ];
+    ];
+  Workload.Report.kv "round-trip overhead per batch"
+    (Printf.sprintf "%.1f ms (%.1f%%)" (dm -. lm) overhead_pct);
+  Workload.Report.kv "verdicts identical across paths"
+    (if identical then "yes" else "NO (daemon changed answers)");
+  if not identical then begin
+    prerr_endline "B11 FAILED: daemon verdicts differ from the in-process batch";
+    exit 1
+  end;
+  (n_jobs, iters, lm, dm, overhead_pct, identical)
+
 (* Allocation regression check: with the flat layout, one end-to-end
    1-cluster call (prebuilt index) must allocate minor-heap words roughly
    linearly in n and sublinearly in d — the boxed layout allocated a
@@ -403,7 +527,7 @@ let run_meta ~jobs =
       ("word_size", Int Sys.word_size);
     ]
 
-let json_of_results ~meta ~fx_n ~fx_d ~timing ~engine ~alloc ~b10 =
+let json_of_results ~meta ~fx_n ~fx_d ~timing ~engine ~alloc ~b10 ~b11 =
   let open Engine.Json in
   let timing_json =
     List.map
@@ -463,6 +587,21 @@ let json_of_results ~meta ~fx_n ~fx_d ~timing ~engine ~alloc ~b10 =
             ("overhead_pct", Float overhead_pct);
           ]
   in
+  let b11_json =
+    match b11 with
+    | None -> Null
+    | Some (n_jobs, iters, local_ms, daemon_ms, overhead_pct, identical) ->
+        Obj
+          [
+            ("jobs", Int n_jobs);
+            ("iters", Int iters);
+            ("in_process_ms", Float local_ms);
+            ("daemon_ms", Float daemon_ms);
+            ("overhead_ms", Float (daemon_ms -. local_ms));
+            ("overhead_pct", Float overhead_pct);
+            ("verdicts_identical", Bool identical);
+          ]
+  in
   Obj
     [
       ("schema", String "privcluster-bench/2");
@@ -472,6 +611,7 @@ let json_of_results ~meta ~fx_n ~fx_d ~timing ~engine ~alloc ~b10 =
       ("engine", engine_json);
       ("alloc_check", alloc_json);
       ("tracing_overhead", b10_json);
+      ("daemon_roundtrip", b11_json);
     ]
 
 let write_json path json =
@@ -494,12 +634,13 @@ let run_smoke ~jobs ~json_path =
   let engine = run_engine_bench ~quick:true ~max_jobs:2 fx in
   let alloc = run_alloc_check ~smoke:true in
   let b10 = run_tracing_overhead ~smoke:true fx in
+  let b11 = run_daemon_bench ~quick:true ~jobs:2 in
   (match json_path with
   | None -> ()
   | Some path ->
       write_json path
         (json_of_results ~meta:(run_meta ~jobs) ~fx_n:160 ~fx_d:2 ~timing:[]
-           ~engine:(Some engine) ~alloc:(Some alloc) ~b10:(Some b10)));
+           ~engine:(Some engine) ~alloc:(Some alloc) ~b10:(Some b10) ~b11:(Some b11)));
   print_endline "smoke OK"
 
 let () =
@@ -551,11 +692,13 @@ let () =
       let engine = run_engine_bench ~quick:!quick ~max_jobs:!jobs fx in
       let alloc = run_alloc_check ~smoke:false in
       let b10 = run_tracing_overhead ~smoke:false fx in
+      let b11 = run_daemon_bench ~quick:!quick ~jobs:(max !jobs 4) in
       match !json_path with
       | None -> ()
       | Some path ->
           write_json path
             (json_of_results ~meta:(run_meta ~jobs:!jobs) ~fx_n:!fix_n ~fx_d:!fix_d
-               ~timing:timing_rows ~engine:(Some engine) ~alloc:(Some alloc) ~b10:(Some b10))
+               ~timing:timing_rows ~engine:(Some engine) ~alloc:(Some alloc) ~b10:(Some b10)
+               ~b11:(Some b11))
     end
   end

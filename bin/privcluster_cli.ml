@@ -727,6 +727,279 @@ let validate_trace_cmd =
        ~doc:"Check that a file is well-formed Chrome trace-event JSON (CI gate)")
     Term.(const run $ trace_file)
 
+(* serve / client ----------------------------------------------------- *)
+
+(* The resident daemon (privclusterd) and its line-protocol client; see
+   OPERATIONS.md §10 for the protocol reference and recovery story. *)
+
+let listen_term flags =
+  let socket =
+    Arg.(
+      value
+      & opt string "privclusterd.sock"
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+  in
+  let tcp =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tcp" ] ~docv:"HOST:PORT"
+          ~doc:(Printf.sprintf "%s on TCP instead of the Unix socket." flags))
+  in
+  let combine socket tcp : Server.Daemon.listen =
+    match tcp with
+    | None -> `Unix socket
+    | Some spec -> (
+        match String.rindex_opt spec ':' with
+        | Some i -> (
+            let host = String.sub spec 0 i in
+            let port = String.sub spec (i + 1) (String.length spec - i - 1) in
+            match int_of_string_opt port with
+            | Some p when p >= 0 -> `Tcp ((if host = "" then "127.0.0.1" else host), p)
+            | _ ->
+                prerr_endline ("--tcp: bad port in " ^ spec);
+                exit 2)
+        | None ->
+            prerr_endline ("--tcp: expected HOST:PORT, got " ^ spec);
+            exit 2)
+  in
+  Term.(const combine $ socket $ tcp)
+
+let serve_cmd =
+  let run () listen wal tenant_specs capacity jobs retries seed no_sync trace =
+    enable_trace trace;
+    let die fmt = Printf.ksprintf (fun m -> prerr_endline ("serve: " ^ m); exit 2) fmt in
+    let tenants =
+      List.map
+        (fun s ->
+          match Server.Tenants.spec_of_string s with Ok t -> t | Error e -> die "--tenant: %s" e)
+        tenant_specs
+    in
+    if tenants = [] then die "at least one --tenant NAME:TOKEN[:CAP] is required";
+    let cfg =
+      {
+        Server.Daemon.listen;
+        wal_path = wal;
+        tenants;
+        capacity;
+        domains = jobs;
+        retries;
+        seed;
+        sync = not no_sync;
+      }
+    in
+    let on_ready t =
+      let addr =
+        match Server.Daemon.sockaddr t with
+        | Unix.ADDR_UNIX p -> "unix:" ^ p
+        | Unix.ADDR_INET (a, p) -> Printf.sprintf "tcp:%s:%d" (Unix.string_of_inet_addr a) p
+      in
+      (* Scripts wait for this line before connecting. *)
+      print_endline ("privclusterd listening on " ^ addr);
+      flush stdout
+    in
+    match Server.Daemon.run ~on_ready cfg with
+    | Ok () ->
+        write_trace trace;
+        print_endline "privclusterd: clean drain"
+    | Error e -> die "%s" e
+  in
+  let wal =
+    Arg.(
+      value
+      & opt string "privclusterd.wal"
+      & info [ "wal" ] ~docv:"PATH"
+          ~doc:
+            "Journaled budget ledger (append-only, fsync'd, CRC-framed). Replayed on restart so \
+             \\(ε, δ\\) spend survives crashes.")
+  in
+  let tenant =
+    Arg.(
+      value & opt_all string []
+      & info [ "tenant" ] ~docv:"NAME:TOKEN[:CAP]"
+          ~doc:
+            "Register a tenant (repeatable): its auth token and optional in-flight batch cap \
+             (default 8).")
+  in
+  let capacity =
+    Arg.(
+      value & opt int 64
+      & info [ "capacity" ]
+          ~doc:"Submission-queue bound; runs beyond it are shed with $(i,queue_full).")
+  in
+  let jobs =
+    Arg.(value & opt int 2 & info [ "jobs"; "j" ] ~doc:"Worker domains per batch.")
+  in
+  let retries = Arg.(value & opt int 2 & info [ "retries" ] ~doc:"Per-job retry allowance.") in
+  let no_sync =
+    Arg.(
+      value & flag
+      & info [ "no-sync" ]
+          ~doc:
+            "Skip the per-record WAL fsync. Only for benchmarks: a crash may then lose the \
+             tail of the journal.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run privclusterd: the resident multi-tenant private-query daemon")
+    Term.(
+      const run $ setup_logs $ listen_term "Listen" $ wal $ tenant $ capacity $ jobs $ retries
+      $ seed $ no_sync $ trace_arg)
+
+let client_cmd =
+  let die fmt = Printf.ksprintf (fun m -> prerr_endline ("client: " ^ m); exit 2) fmt in
+  let connect listen tenant token =
+    match Server.Client.connect listen ~tenant ~token with
+    | Ok c -> c
+    | Error f -> die "%s" (Server.Client.fail_message f)
+  in
+  let finish = function
+    | Ok json ->
+        print_string (Engine.Json.to_string json ^ "\n")
+    | Error (`Server e) when (match e.Server.Wire.code with Server.Wire.Rejected _ -> true | _ -> false) ->
+        prerr_endline ("client: " ^ Server.Client.fail_message (`Server e));
+        exit 3
+    | Error f ->
+        prerr_endline ("client: " ^ Server.Client.fail_message f);
+        exit 1
+  in
+  let tenant_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "tenant" ] ~docv:"NAME" ~doc:"Tenant name.")
+  in
+  let token_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "token" ]
+          ~env:(Cmd.Env.info "PRIVCLUSTER_TOKEN")
+          ~docv:"TOKEN" ~doc:"Tenant auth token.")
+  in
+  let dataset_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "dataset" ] ~docv:"NAME" ~doc:"Dataset id (namespaced per tenant).")
+  in
+  let register_cmd =
+    let run () listen tenant token dataset n dim axis frac radius seed budget_eps budget_delta
+        mode_s slack =
+      let mode =
+        match Engine.Accountant.mode_of_string ~slack mode_s with
+        | Ok m -> m
+        | Error e -> die "%s" e
+      in
+      let c = connect listen tenant token in
+      let r =
+        Server.Client.register c ~dataset ~n ~dim ~axis ~frac ~radius ~seed
+          ~budget:(Prim.Dp.v ~eps:budget_eps ~delta:budget_delta)
+          ~mode ()
+      in
+      Server.Client.close c;
+      finish r
+    in
+    let frac = Arg.(value & opt float 0.5 & info [ "frac" ] ~doc:"Planted cluster fraction.") in
+    let radius = Arg.(value & opt float 0.05 & info [ "radius" ] ~doc:"Planted cluster radius.") in
+    let budget_eps = Arg.(value & opt float 4.0 & info [ "budget-eps" ] ~doc:"Lifetime ε budget.") in
+    let budget_delta =
+      Arg.(value & opt float 1e-5 & info [ "budget-delta" ] ~doc:"Lifetime δ budget.")
+    in
+    let mode =
+      Arg.(value & opt string "basic" & info [ "mode" ] ~doc:"Composition mode: basic, advanced or zcdp.")
+    in
+    let slack = Arg.(value & opt float 1e-9 & info [ "slack" ] ~doc:"δ' slack for advanced/zcdp.") in
+    Cmd.v
+      (Cmd.info "register"
+         ~doc:
+           "Register a synthetic planted-ball dataset with a lifetime budget (re-registering a \
+            journaled dataset after a daemon restart replays its ledger)")
+      Term.(
+        const run $ setup_logs $ listen_term "Connect" $ tenant_arg $ token_arg $ dataset_arg
+        $ n $ dim $ axis $ frac $ radius $ seed $ budget_eps $ budget_delta $ mode $ slack)
+  in
+  let run_cmd =
+    let run () listen tenant token dataset jobs_file seed_opt =
+      let jobs =
+        try In_channel.with_open_text jobs_file In_channel.input_all
+        with Sys_error e -> die "%s" e
+      in
+      let c = connect listen tenant token in
+      let r = Server.Client.run c ~dataset ?seed:seed_opt ~jobs () in
+      Server.Client.close c;
+      finish r
+    in
+    let jobs_file =
+      Arg.(
+        required
+        & pos 0 (some file) None
+        & info [] ~docv:"JOBS_FILE" ~doc:"Jobs file shipped to the daemon (same format as batch).")
+    in
+    let seed_opt =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "seed" ]
+            ~doc:
+              "Batch RNG base: with a fixed seed the verdicts are deterministic no matter how \
+               clients interleave.")
+    in
+    Cmd.v
+      (Cmd.info "run" ~doc:"Run a jobs file on the daemon (exit 3 if the request was shed)")
+      Term.(
+        const run $ setup_logs $ listen_term "Connect" $ tenant_arg $ token_arg $ dataset_arg
+        $ jobs_file $ seed_opt)
+  in
+  let simple name doc req =
+    Cmd.v
+      (Cmd.info name ~doc)
+      Term.(
+        const (fun () listen tenant token ->
+            let c = connect listen tenant token in
+            let r = Server.Client.request c req in
+            Server.Client.close c;
+            finish r)
+        $ setup_logs $ listen_term "Connect" $ tenant_arg $ token_arg)
+  in
+  let ledger_cmd =
+    Cmd.v
+      (Cmd.info "ledger"
+         ~doc:"Fetch a dataset's privacy ledger (with attribution when the daemon traces)")
+      Term.(
+        const (fun () listen tenant token dataset ->
+            let c = connect listen tenant token in
+            let r = Server.Client.ledger c ~dataset in
+            Server.Client.close c;
+            finish r)
+        $ setup_logs $ listen_term "Connect" $ tenant_arg $ token_arg $ dataset_arg)
+  in
+  let metrics_cmd =
+    Cmd.v
+      (Cmd.info "metrics" ~doc:"Scrape this tenant's Prometheus text exposition")
+      Term.(
+        const (fun () listen tenant token ->
+            let c = connect listen tenant token in
+            let r = Server.Client.metrics c in
+            Server.Client.close c;
+            match r with
+            | Ok text -> print_string text
+            | Error f ->
+                prerr_endline ("client: " ^ Server.Client.fail_message f);
+                Stdlib.exit 1)
+        $ setup_logs $ listen_term "Connect" $ tenant_arg $ token_arg)
+  in
+  Cmd.group
+    (Cmd.info "client" ~doc:"Talk to a running privclusterd")
+    [
+      register_cmd;
+      run_cmd;
+      ledger_cmd;
+      simple "datasets" "List this tenant's datasets" Server.Wire.Datasets;
+      metrics_cmd;
+      simple "ping" "Liveness probe (also answers while draining)" Server.Wire.Ping;
+    ]
+
 let () =
   let doc = "differentially private location of a small cluster (PODS 2016)" in
   let info = Cmd.info "privcluster-cli" ~doc ~version:"1.0.0" in
@@ -745,4 +1018,6 @@ let () =
             check_cmd;
             metrics_cmd;
             validate_trace_cmd;
+            serve_cmd;
+            client_cmd;
           ]))

@@ -8,17 +8,6 @@ let mode_of_string ?(slack = 1e-9) = function
   | "zcdp" -> Ok (Zcdp { slack })
   | s -> Error (Printf.sprintf "unknown composition mode %S (expected basic|advanced|zcdp)" s)
 
-type t = {
-  mode : mode;
-  budget : Prim.Dp.params;
-  mutable charges : (string * Prim.Dp.params) list;  (* reverse charge order *)
-  mutable reservations : (int * string * Prim.Dp.params) list;  (* outstanding only *)
-  mutable next_reservation : int;
-  mutable refusals : int;
-}
-
-type reservation = int
-
 type refusal = {
   requested : Prim.Dp.params;
   would_spend : Prim.Dp.params;
@@ -26,8 +15,42 @@ type refusal = {
   budget : Prim.Dp.params;
 }
 
+type event =
+  | Charged of { label : string; cost : Prim.Dp.params }
+  | Refused of { label : string; cost : Prim.Dp.params; reserve : bool; refusal : refusal }
+  | Reserved of { id : int; label : string; cost : Prim.Dp.params }
+  | Committed of { id : int; label : string; cost : Prim.Dp.params }
+  | Released of { id : int; label : string; cost : Prim.Dp.params }
+
+type t = {
+  mode : mode;
+  budget : Prim.Dp.params;
+  mutable charges : (string * Prim.Dp.params) list;  (* reverse charge order *)
+  mutable reservations : (int * string * Prim.Dp.params) list;  (* outstanding only *)
+  mutable next_reservation : int;
+  mutable refusals : int;
+  mutable listeners : (event -> unit) list;  (* reverse subscription order *)
+}
+
+type reservation = int
+
 let create ?(mode = Basic) ~budget () =
-  { mode; budget; charges = []; reservations = []; next_reservation = 0; refusals = 0 }
+  {
+    mode;
+    budget;
+    charges = [];
+    reservations = [];
+    next_reservation = 0;
+    refusals = 0;
+    listeners = [];
+  }
+
+let subscribe t f = t.listeners <- f :: t.listeners
+
+(* Listeners observe the ledger, they never steer it: events fire after the
+   state change, in subscription order, and the decision that produced them
+   is already final. *)
+let emit t ev = List.iter (fun f -> f ev) (List.rev t.listeners)
 let mode t = t.mode
 let budget (t : t) = t.budget
 
@@ -82,7 +105,7 @@ let fits budget p =
 
 let would_accept (t : t) p = fits t.budget (total t.mode ((" ", p) :: committed_and_reserved t))
 
-let admit t ~label p ~accept =
+let admit t ~label ~is_reserve p ~accept =
   let before = spent t in
   let after = total t.mode ((label, p) :: committed_and_reserved t) in
   if fits t.budget after then begin
@@ -91,18 +114,23 @@ let admit t ~label p ~accept =
   end
   else begin
     t.refusals <- t.refusals + 1;
-    Error { requested = p; would_spend = after; spent = before; budget = t.budget }
+    let refusal = { requested = p; would_spend = after; spent = before; budget = t.budget } in
+    emit t (Refused { label; cost = p; reserve = is_reserve; refusal });
+    Error refusal
   end
 
 let charge t ?(label = "anon") p =
-  admit t ~label p ~accept:(fun () -> t.charges <- (label, p) :: t.charges)
+  admit t ~label ~is_reserve:false p ~accept:(fun () ->
+      t.charges <- (label, p) :: t.charges;
+      emit t (Charged { label; cost = p }))
 
 let reserve t ?(label = "reserved") p =
   let id = t.next_reservation in
   match
-    admit t ~label p ~accept:(fun () ->
+    admit t ~label ~is_reserve:true p ~accept:(fun () ->
         t.next_reservation <- id + 1;
-        t.reservations <- (id, label, p) :: t.reservations)
+        t.reservations <- (id, label, p) :: t.reservations;
+        emit t (Reserved { id; label; cost = p }))
   with
   | Ok () -> Ok id
   | Error r -> Error r
@@ -116,9 +144,12 @@ let take_reservation t who id =
 
 let commit t id =
   let _, label, p = take_reservation t "commit" id in
-  t.charges <- (label, p) :: t.charges
+  t.charges <- (label, p) :: t.charges;
+  emit t (Committed { id; label; cost = p })
 
-let release t id = ignore (take_reservation t "release" id)
+let release t id =
+  let _, label, p = take_reservation t "release" id in
+  emit t (Released { id; label; cost = p })
 
 let reserved t = List.rev_map (fun (_, label, p) -> (label, p)) t.reservations
 

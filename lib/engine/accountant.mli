@@ -65,6 +65,34 @@ type refusal = {
   budget : Prim.Dp.params;
 }
 
+(** {2 Event stream}
+
+    Every ledger operation emits one structured event to every subscribed
+    listener, {e after} the state change it describes — a listener that
+    reads the ledger sees the post-event state.  Consumers that need a
+    durable or remote view of the ledger (the daemon's journaled WAL, the
+    tracing budget-event emitter) subscribe here instead of peeking at
+    internals; the [label] carries the job id the operation was charged
+    under, and reservation events carry the reservation's sequence number
+    [id] so reserve/commit/release triples can be paired up downstream.
+    Listeners observe only: they cannot veto or reorder operations, and a
+    ledger with no listeners behaves bit-identically to one that has
+    never heard of events. *)
+
+type event =
+  | Charged of { label : string; cost : Prim.Dp.params }
+  | Refused of { label : string; cost : Prim.Dp.params; reserve : bool; refusal : refusal }
+      (** [reserve] distinguishes a refused {!reserve} from a refused
+          {!charge} (both leave the ledger unchanged and bump the refusal
+          counter). *)
+  | Reserved of { id : int; label : string; cost : Prim.Dp.params }
+  | Committed of { id : int; label : string; cost : Prim.Dp.params }
+  | Released of { id : int; label : string; cost : Prim.Dp.params }
+
+val subscribe : t -> (event -> unit) -> unit
+(** Add a listener; listeners fire in subscription order, synchronously,
+    on the thread performing the ledger operation. *)
+
 val create : ?mode:mode -> budget:Prim.Dp.params -> unit -> t
 (** Fresh ledger with nothing spent.  [mode] defaults to {!Basic}. *)
 

@@ -22,7 +22,7 @@ type acct_row = {
 type source = {
   kinds : kind_row list;
   counters : (string * int) list;
-  acct : acct_row option;
+  acct : acct_row list;  (* one row per dataset; the [dataset] label keys them *)
 }
 
 let families_of_source src =
@@ -67,42 +67,53 @@ let families_of_source src =
       }
   in
   let acct =
+    (* All datasets share the three budget families; the [dataset] label
+       distinguishes rows, so a multi-dataset tenant scrapes one family
+       per quantity rather than one family per dataset. *)
     match src.acct with
-    | None -> []
-    | Some a ->
-        let l = [ ("dataset", a.dataset) ] in
+    | [] -> []
+    | rows ->
+        let samples f =
+          List.concat_map
+            (fun a ->
+              let l = [ ("dataset", a.dataset) ] in
+              f l a)
+            rows
+        in
         [
           Gauge
             {
               name = "privcluster_budget_epsilon";
               help = "Privacy-budget epsilon, total and composed spend.";
               samples =
-                [
-                  (l @ [ ("quantity", "budget") ], a.budget_eps);
-                  (l @ [ ("quantity", "spent") ], a.spent_eps);
-                ];
+                samples (fun l a ->
+                    [
+                      (l @ [ ("quantity", "budget") ], a.budget_eps);
+                      (l @ [ ("quantity", "spent") ], a.spent_eps);
+                    ]);
             };
           Gauge
             {
               name = "privcluster_budget_delta";
               help = "Privacy-budget delta, total and composed spend.";
               samples =
-                [
-                  (l @ [ ("quantity", "budget") ], a.budget_delta);
-                  (l @ [ ("quantity", "spent") ], a.spent_delta);
-                ];
+                samples (fun l a ->
+                    [
+                      (l @ [ ("quantity", "budget") ], a.budget_delta);
+                      (l @ [ ("quantity", "spent") ], a.spent_delta);
+                    ]);
             };
           Counter
             {
               name = "privcluster_budget_refusals_total";
               help = "Jobs refused at admission for lack of budget.";
-              samples = [ (l, float_of_int a.refusals) ];
+              samples = samples (fun l a -> [ (l, float_of_int a.refusals) ]);
             };
         ]
   in
   (jobs :: latency :: events :: acct)
 
-let source_of_live ?dataset telemetry =
+let source_of_live ?dataset ?(datasets = []) telemetry =
   let kinds =
     List.map
       (fun (e : Telemetry.export_stats) ->
@@ -116,7 +127,7 @@ let source_of_live ?dataset telemetry =
       (Telemetry.export telemetry)
   in
   let acct =
-    Option.map
+    List.map
       (fun d ->
         let a = Registry.accountant d in
         let budget = Accountant.budget a and spent = Accountant.spent a in
@@ -128,16 +139,16 @@ let source_of_live ?dataset telemetry =
           spent_delta = spent.Prim.Dp.delta;
           refusals = Accountant.refusals a;
         })
-      dataset
+      (Option.to_list dataset @ datasets)
   in
   { kinds; counters = Telemetry.counters telemetry; acct }
 
-let families ?(spans = []) ?dataset ~telemetry () =
-  families_of_source (source_of_live ?dataset telemetry)
+let families ?(spans = []) ?dataset ?datasets ~telemetry () =
+  families_of_source (source_of_live ?dataset ?datasets telemetry)
   @ (if spans = [] then [] else Obs.Prom.of_spans spans)
 
-let render ?spans ?dataset ~telemetry () =
-  Obs.Prom.render (families ?spans ?dataset ~telemetry ())
+let render ?spans ?dataset ?datasets ~telemetry () =
+  Obs.Prom.render (families ?spans ?dataset ?datasets ~telemetry ())
 
 (* --- post-hoc: rebuild from a report JSON -------------------------------- *)
 
@@ -226,16 +237,16 @@ let of_report_json json =
   in
   let* acct =
     match Obs.Json.member "dataset" json with
-    | None -> Ok None
+    | None -> Ok []
     | Some d -> (
         let name =
           Option.value ~default:"dataset"
             (Option.bind (Obs.Json.member "name" d) Obs.Json.to_str)
         in
         match Obs.Json.member "accountant" d with
-        | None -> Ok None
+        | None -> Ok []
         | Some a ->
             let* row = acct_of_json ~dataset:name a in
-            Ok (Some row))
+            Ok [ row ])
   in
   Ok (families_of_source { kinds = List.rev kinds; counters; acct })

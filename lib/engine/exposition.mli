@@ -21,13 +21,19 @@
 val families :
   ?spans:Obs.Span.span list ->
   ?dataset:Registry.dataset ->
+  ?datasets:Registry.dataset list ->
   telemetry:Telemetry.t ->
   unit ->
   Obs.Prom.family list
+(** [dataset] and [datasets] both contribute ledger rows — the budget
+    families carry one sample set per dataset, keyed by the [dataset]
+    label, so a multi-dataset tenant (the daemon's metrics endpoint)
+    renders in single Prometheus families. *)
 
 val render :
   ?spans:Obs.Span.span list ->
   ?dataset:Registry.dataset ->
+  ?datasets:Registry.dataset list ->
   telemetry:Telemetry.t ->
   unit ->
   string

@@ -374,6 +374,22 @@ let run_batch ?domains ?retries ?faults ?seed t ~dataset specs =
   Obs.Span.finish batch;
   results
 
+let find_dataset t name =
+  match Registry.find t.registry name with
+  | Some d -> Ok d
+  | None ->
+      Error
+        (match Registry.names t.registry with
+        | [] -> Printf.sprintf "unknown dataset %S: no datasets are registered" name
+        | names ->
+            Printf.sprintf "unknown dataset %S: registered datasets are %s" name
+              (String.concat ", " (List.map (Printf.sprintf "%S") names)))
+
+let run_batch_named ?domains ?retries ?faults ?seed t ~dataset specs =
+  match find_dataset t dataset with
+  | Error _ as e -> e
+  | Ok dataset -> Ok (run_batch ?domains ?retries ?faults ?seed t ~dataset specs)
+
 let ledger ~dataset =
   List.map
     (fun (label, p) -> (label, charge_of p))

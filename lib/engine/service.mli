@@ -100,6 +100,24 @@ val run_batch :
     the same batch (including the reserve/commit fallback path) against one
     registered dataset without rebuilding the registry's indexes. *)
 
+val find_dataset : t -> string -> (Registry.dataset, string) result
+(** Look a dataset up by name on the service's registry.  The error text
+    is written for a remote caller who cannot list the registry herself:
+    it names the requested id {e and} the registered ids, so a typo'd
+    request is actionable from the error alone. *)
+
+val run_batch_named :
+  ?domains:int ->
+  ?retries:int ->
+  ?faults:Faults.t ->
+  ?seed:int ->
+  t ->
+  dataset:string ->
+  Job.spec list ->
+  (Job.result list, string) result
+(** {!run_batch} against {!find_dataset}; [Error] is the lookup failure
+    (nothing is charged — the batch never reaches admission). *)
+
 val report_json : t -> dataset:Registry.dataset -> Job.result list -> Json.t
 (** The batch report the CLI emits: dataset (with ledger, including
     outstanding reservations), per-job results, telemetry. *)

@@ -1,0 +1,114 @@
+type counter = { c_mutex : Mutex.t; mutable count : int }
+
+let counter () = { c_mutex = Mutex.create (); count = 0 }
+
+let in_flight c =
+  Mutex.lock c.c_mutex;
+  let n = c.count in
+  Mutex.unlock c.c_mutex;
+  n
+
+let incr_counter c =
+  Mutex.lock c.c_mutex;
+  c.count <- c.count + 1;
+  Mutex.unlock c.c_mutex
+
+let decr_counter c =
+  Mutex.lock c.c_mutex;
+  c.count <- c.count - 1;
+  Mutex.unlock c.c_mutex
+
+type item = { work : unit -> unit; slot : counter option; control : bool }
+
+type t = {
+  capacity : int;
+  queue : item Queue.t;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  idle : Condition.t;  (* queue empty and nothing executing *)
+  mutable queued : int;  (* non-control items in [queue] *)
+  mutable active : int;  (* items currently executing *)
+  mutable draining_ : bool;
+  mutable stopped : bool;
+}
+
+let create ~capacity =
+  {
+    capacity = max 1 capacity;
+    queue = Queue.create ();
+    mutex = Mutex.create ();
+    nonempty = Condition.create ();
+    idle = Condition.create ();
+    queued = 0;
+    active = 0;
+    draining_ = false;
+    stopped = false;
+  }
+
+let length t =
+  Mutex.lock t.mutex;
+  let n = t.queued in
+  Mutex.unlock t.mutex;
+  n
+
+let draining t =
+  Mutex.lock t.mutex;
+  let d = t.draining_ in
+  Mutex.unlock t.mutex;
+  d
+
+let submit t ?(control = false) ?slot work =
+  Mutex.lock t.mutex;
+  let verdict =
+    if t.stopped then Error Wire.Draining
+    else if control then Ok ()
+    else if t.draining_ then Error Wire.Draining
+    else
+      match slot with
+      | Some (c, cap) when in_flight c >= cap -> Error Wire.Tenant_cap
+      | _ when t.queued >= t.capacity -> Error Wire.Queue_full
+      | _ -> Ok ()
+  in
+  (match verdict with
+  | Ok () ->
+      let slot = if control then None else slot in
+      Option.iter (fun (c, _) -> incr_counter c) slot;
+      Queue.push { work; slot = Option.map fst slot; control } t.queue;
+      if not control then t.queued <- t.queued + 1;
+      Condition.signal t.nonempty
+  | Error _ -> ());
+  Mutex.unlock t.mutex;
+  verdict
+
+let run t =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.queue && not t.stopped do
+      Condition.wait t.nonempty t.mutex
+    done;
+    if Queue.is_empty t.queue then Mutex.unlock t.mutex (* stopped *)
+    else begin
+      let item = Queue.pop t.queue in
+      if not item.control then t.queued <- t.queued - 1;
+      t.active <- t.active + 1;
+      Mutex.unlock t.mutex;
+      (try item.work () with _ -> ());
+      Option.iter decr_counter item.slot;
+      Mutex.lock t.mutex;
+      t.active <- t.active - 1;
+      if Queue.is_empty t.queue && t.active = 0 then Condition.broadcast t.idle;
+      Mutex.unlock t.mutex;
+      loop ()
+    end
+  in
+  loop ()
+
+let drain t =
+  Mutex.lock t.mutex;
+  t.draining_ <- true;
+  while not (Queue.is_empty t.queue && t.active = 0) do
+    Condition.wait t.idle t.mutex
+  done;
+  t.stopped <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mutex

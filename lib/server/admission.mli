@@ -1,0 +1,56 @@
+(** Admission control for the daemon's executor: a bounded submission
+    queue with load-shedding, per-tenant in-flight caps, and graceful
+    drain.
+
+    All tenant state (services, ledgers, the WAL) is touched only by the
+    single executor thread running {!run}; connection threads hand work
+    over through {!submit} and block on their own reply mailboxes.  The
+    shed decision is made {e at submit time}, before the work item ever
+    reaches the executor — a shed request cannot have charged the budget
+    because it never reached the code that charges.
+
+    Checks, in order (first failure wins): [Draining] (drain has begun),
+    [Tenant_cap] (the tenant's queued+running count is at its cap),
+    [Queue_full] (the global queue is at capacity).  Control operations
+    ([~control:true] — register, ledger, datasets, metrics) bypass all
+    three so an operator can still inspect a draining or saturated
+    daemon; they execute on the same executor thread, so they serialize
+    with runs and need no extra locking. *)
+
+type t
+
+val create : capacity:int -> t
+(** [capacity] bounds the number of queued non-control items (clamped to
+    ≥ 1). *)
+
+type counter
+(** A per-tenant in-flight count: items accepted but not yet finished. *)
+
+val counter : unit -> counter
+val in_flight : counter -> int
+
+val submit :
+  t ->
+  ?control:bool ->
+  ?slot:counter * int ->
+  (unit -> unit) ->
+  (unit, Wire.shed_reason) result
+(** Enqueue a work item.  [slot = (c, cap)] sheds with [Tenant_cap] when
+    [in_flight c >= cap], increments [c] on acceptance and decrements it
+    after the item runs (or is abandoned at shutdown).  The shed check
+    and the enqueue are one atomic step under the queue lock. *)
+
+val length : t -> int
+(** Queued non-control items (for the metrics endpoint). *)
+
+val draining : t -> bool
+
+val run : t -> unit
+(** The executor loop: runs items in submission order until {!drain}
+    completes.  Exceptions escaping an item are swallowed (the item's
+    mailbox protocol is responsible for reporting errors). *)
+
+val drain : t -> unit
+(** Begin graceful drain: new non-control submissions shed with
+    [Draining]; blocks until every accepted item has run; then stops the
+    executor ({!run} returns).  Idempotent. *)

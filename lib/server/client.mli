@@ -1,0 +1,50 @@
+(** Blocking client for the privclusterd {!Wire} protocol.
+
+    One connection per client; requests are sent synchronously and the
+    reply matched by id.  Errors split into transport failures
+    ([`Transport] — the socket died or the reply was unparseable) and
+    protocol errors ([`Server] — a typed {!Wire.error} from the daemon,
+    e.g. [Rejected Queue_full], which provably charged nothing). *)
+
+type t
+
+type fail = [ `Transport of string | `Server of Wire.error ]
+
+val fail_message : fail -> string
+
+val connect :
+  Daemon.listen -> tenant:string -> token:string -> (t, fail) result
+(** Connect and complete the [hello] exchange. *)
+
+val close : t -> unit
+
+val request : t -> Wire.request -> (Engine.Json.t, fail) result
+(** Send one request, wait for its reply. *)
+
+(** Convenience wrappers over {!request}: *)
+
+val register :
+  t ->
+  dataset:string ->
+  ?n:int ->
+  ?dim:int ->
+  ?axis:int ->
+  ?frac:float ->
+  ?radius:float ->
+  ?seed:int ->
+  budget:Prim.Dp.params ->
+  ?mode:Engine.Accountant.mode ->
+  unit ->
+  (Engine.Json.t, fail) result
+(** Defaults mirror the CLI batch command: [n = 3000], [dim = 2],
+    [axis = 256], [frac = 0.5], [radius = 0.05], [seed = 1],
+    [mode = Basic]. *)
+
+val run : t -> dataset:string -> ?seed:int -> jobs:string -> unit -> (Engine.Json.t, fail) result
+val ledger : t -> dataset:string -> (Engine.Json.t, fail) result
+val datasets : t -> (Engine.Json.t, fail) result
+
+val metrics : t -> (string, fail) result
+(** The Prometheus text body itself. *)
+
+val ping : t -> (Engine.Json.t, fail) result

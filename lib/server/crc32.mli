@@ -1,0 +1,15 @@
+(** CRC-32 (IEEE 802.3 polynomial, the zlib/PNG variant).
+
+    Used to frame WAL records so a torn or bit-rotted write is detected at
+    replay instead of silently corrupting the privacy ledger.  The project
+    deliberately has no compression/checksum dependency; this is the
+    standard reflected table-driven implementation (~20 lines). *)
+
+val string : string -> int32
+(** CRC-32 of a whole string. *)
+
+val to_hex : int32 -> string
+(** Lower-case 8-digit hex, the WAL's frame encoding. *)
+
+val of_hex : string -> int32 option
+(** Inverse of {!to_hex}; [None] unless exactly 8 hex digits. *)

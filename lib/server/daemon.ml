@@ -1,0 +1,520 @@
+module Json = Engine.Json
+module Accountant = Engine.Accountant
+module Registry = Engine.Registry
+module Service = Engine.Service
+module Job = Engine.Job
+
+let src = Logs.Src.create "privcluster.server" ~doc:"privclusterd daemon"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type listen = [ `Unix of string | `Tcp of string * int ]
+
+type config = {
+  listen : listen;
+  wal_path : string;
+  tenants : Tenants.spec list;
+  capacity : int;
+  domains : int;
+  retries : int;
+  seed : int;
+  sync : bool;
+}
+
+let default_config =
+  {
+    listen = `Unix "privclusterd.sock";
+    wal_path = "privclusterd.wal";
+    tenants = [];
+    capacity = 64;
+    domains = 2;
+    retries = 2;
+    seed = 1;
+    sync = true;
+  }
+
+(* --- reply mailboxes ----------------------------------------------------- *)
+
+module Mailbox = struct
+  type 'a t = { m : Mutex.t; c : Condition.t; mutable v : 'a option }
+
+  let create () = { m = Mutex.create (); c = Condition.create (); v = None }
+
+  let put mb v =
+    Mutex.lock mb.m;
+    mb.v <- Some v;
+    Condition.signal mb.c;
+    Mutex.unlock mb.m
+
+  let take mb =
+    Mutex.lock mb.m;
+    let rec wait () =
+      match mb.v with
+      | Some v -> v
+      | None ->
+          Condition.wait mb.c mb.m;
+          wait ()
+    in
+    let v = wait () in
+    Mutex.unlock mb.m;
+    v
+end
+
+(* --- daemon state -------------------------------------------------------- *)
+
+type t = {
+  cfg : config;
+  wal : Wal.t;
+  mutable histories : ((string * string) * Wal.op list) list;
+      (* journal streams awaiting re-registration; executor thread only *)
+  tenants : Tenants.t;
+  admission : Admission.t;
+  listen_fd : Unix.file_descr;
+  bound : Unix.sockaddr;
+  stopping : bool Atomic.t;
+  mutable stopped : bool;  (* guarded by stop_mutex *)
+  stop_mutex : Mutex.t;
+  conn_mutex : Mutex.t;
+  mutable conns : Unix.file_descr list;
+  mutable conn_threads : Thread.t list;
+  mutable accept_thread : Thread.t option;
+  mutable executor_thread : Thread.t option;
+}
+
+let sockaddr t = t.bound
+
+let err code fmt =
+  Printf.ksprintf (fun message -> Error { Wire.code; message }) fmt
+
+(* --- executor-side handlers ---------------------------------------------- *)
+
+let charge_of (p : Prim.Dp.params) =
+  Obs.Span.charge ~eps:p.Prim.Dp.eps ~delta:p.Prim.Dp.delta ()
+
+(* Replayed ledger operations re-enter the tracing stream exactly as
+   [Service.run_batch] emits them live, so [Obs.Attribution.reconcile]'s
+   hard ledger = events check holds across a restart. *)
+let emit_budget_event (ev : Accountant.event) =
+  match ev with
+  | Accountant.Charged { label; cost } ->
+      Obs.Span.event ~cat:"budget" ~label ~charge:(charge_of cost) "charge"
+  | Accountant.Refused { label; cost; _ } ->
+      Obs.Span.event ~cat:"budget" ~label ~charge:(charge_of cost) "refuse"
+  | Accountant.Reserved { label; cost; _ } ->
+      Obs.Span.event ~cat:"budget" ~label ~charge:(charge_of cost) "reserve"
+  | Accountant.Committed { label; cost; _ } ->
+      Obs.Span.event ~cat:"budget" ~label ~charge:(charge_of cost) "commit"
+  | Accountant.Released { label; _ } -> Obs.Span.event ~cat:"budget" ~label "release"
+
+let tenant_datasets tenant =
+  let reg = Service.registry (Tenants.service tenant) in
+  List.filter_map (Registry.find reg) (Registry.names reg)
+
+let exec_register t tenant ~dataset ~n ~dim ~axis ~frac ~radius ~seed ~budget ~mode =
+  let svc = Tenants.service tenant in
+  let tname = Tenants.name tenant in
+  if Result.is_ok (Service.find_dataset svc dataset) then
+    err Wire.Conflict "dataset %S is already registered" dataset
+  else
+    let key = (tname, dataset) in
+    let ops = Option.value ~default:[] (List.assoc_opt key t.histories) in
+    let check =
+      match Wal.opening ops with
+      | Some (jmode, jbudget) when jmode = mode && jbudget = budget -> Ok ()
+      | Some (jmode, jbudget) ->
+          err Wire.Conflict
+            "journal for %S was opened with budget (%g, %g) under %s composition — \
+             re-register with the same budget and mode to recover its ledger"
+            dataset jbudget.Prim.Dp.eps jbudget.Prim.Dp.delta (Accountant.mode_name jmode)
+      | None -> Ok ()
+    in
+    match check with
+    | Error _ as e -> e
+    | Ok () -> (
+        (* Dry-run the journal against a scratch ledger first: a diverging
+           journal must fail the request without leaving a half-registered
+           dataset behind (the registry has no unregister). *)
+        let dry =
+          if ops = [] then Ok 0
+          else Wal.replay ops (Accountant.create ~mode ~budget ())
+        in
+        match dry with
+        | Error e -> err Wire.Conflict "%s" e
+        | Ok _ -> (
+            let rng = Prim.Rng.create ~seed:(seed + 7919) () in
+            let grid = Geometry.Grid.create ~axis_size:axis ~dim in
+            let w =
+              Workload.Synth.planted_ball rng ~grid ~n ~cluster_fraction:frac
+                ~cluster_radius:radius
+            in
+            match
+              Service.register svc ~name:dataset ~grid ~mode ~budget
+                w.Workload.Synth.points
+            with
+            | exception Invalid_argument m -> err Wire.Bad_request "register: %s" m
+            | ds ->
+                let acct = Registry.accountant ds in
+                let orphans =
+                  if ops = [] then begin
+                    Wal.append t.wal
+                      { Wal.tenant = tname; dataset; op = Wal.Open { mode; budget } };
+                    0
+                  end
+                  else begin
+                    t.histories <- List.remove_assoc key t.histories;
+                    match Wal.replay ~on_event:emit_budget_event ops acct with
+                    | Ok orphans -> orphans
+                    | Error _ -> assert false (* the dry run above validated *)
+                  end
+                in
+                (* Journal from here on; subscribing after replay keeps the
+                   replayed ops from being re-appended. *)
+                Accountant.subscribe acct (fun ev ->
+                    Wal.append t.wal (Wal.record_of_event ~tenant:tname ~dataset ev));
+                if ops <> [] then
+                  Log.info (fun m ->
+                      m "tenant %s: dataset %s recovered from journal (%d ops, %d orphaned \
+                         reservations held)"
+                        tname dataset (List.length ops) orphans);
+                Ok
+                  (Json.Obj
+                     [
+                       ("dataset", Registry.to_json ds);
+                       ("replayed", Json.Bool (ops <> []));
+                       ("replayed_ops", Json.Int (List.length ops));
+                       ("orphaned_reservations", Json.Int orphans);
+                     ])))
+
+let ledger_json ds =
+  let acct = Registry.accountant ds in
+  let attribution =
+    (* Only meaningful when tracing is on: with no spans collected the
+       ledger = events check would fail vacuously. *)
+    if Obs.Span.enabled () then
+      [ ("attribution", Obs.Attribution.to_json (Service.attribution ~dataset:ds ())) ]
+    else []
+  in
+  Json.Obj
+    ([
+       ("dataset", Json.String (Registry.name ds));
+       ("ledger", Accountant.to_json acct);
+     ]
+    @ attribution)
+
+let exec_run t tenant ~dataset ~seed specs =
+  let svc = Tenants.service tenant in
+  match Service.run_batch_named ?seed ~domains:t.cfg.domains svc ~dataset specs with
+  | Error msg -> err Wire.Unknown_dataset "%s" msg
+  | Ok results ->
+      let ds = Result.get_ok (Service.find_dataset svc dataset) in
+      Ok
+        (Json.Obj
+           [
+             ("dataset", Json.String dataset);
+             ("results", Json.List (List.map Job.result_to_json results));
+             ("ledger", Accountant.to_json (Registry.accountant ds));
+           ])
+
+let exec_ledger _t tenant ~dataset =
+  match Service.find_dataset (Tenants.service tenant) dataset with
+  | Error msg -> err Wire.Unknown_dataset "%s" msg
+  | Ok ds -> Ok (ledger_json ds)
+
+let exec_datasets _t tenant =
+  Ok (Json.Obj [ ("datasets", Json.List (List.map Registry.to_json (tenant_datasets tenant))) ])
+
+let exec_metrics t tenant =
+  let svc = Tenants.service tenant in
+  let datasets = tenant_datasets tenant in
+  let daemon_families =
+    let open Obs.Prom in
+    [
+      Gauge
+        {
+          name = "privclusterd_queue_depth";
+          help = "Runs queued for the executor.";
+          samples = [ ([], float_of_int (Admission.length t.admission)) ];
+        };
+      Gauge
+        {
+          name = "privclusterd_tenant_in_flight";
+          help = "This tenant's queued-plus-running batches.";
+          samples =
+            [
+              ( [ ("tenant", Tenants.name tenant) ],
+                float_of_int (Admission.in_flight (Tenants.slot tenant)) );
+            ];
+        };
+      Gauge
+        {
+          name = "privclusterd_draining";
+          help = "1 while graceful drain is in progress.";
+          samples = [ ([], if Admission.draining t.admission then 1. else 0.) ];
+        };
+    ]
+  in
+  let text =
+    Engine.Exposition.render ~datasets ~telemetry:(Service.telemetry svc) ()
+    ^ Obs.Prom.render daemon_families
+  in
+  Ok (Json.Obj [ ("metrics", Json.String text) ])
+
+(* --- connection handling ------------------------------------------------- *)
+
+type reader = { rfd : Unix.file_descr; rbuf : Buffer.t; chunk : bytes }
+
+let make_reader fd = { rfd = fd; rbuf = Buffer.create 4096; chunk = Bytes.create 4096 }
+
+let rec read_line r =
+  let s = Buffer.contents r.rbuf in
+  match String.index_opt s '\n' with
+  | Some i ->
+      Buffer.clear r.rbuf;
+      Buffer.add_string r.rbuf (String.sub s (i + 1) (String.length s - i - 1));
+      Some (String.sub s 0 i)
+  | None -> (
+      match Unix.read r.rfd r.chunk 0 (Bytes.length r.chunk) with
+      | 0 -> None
+      | n ->
+          Buffer.add_subbytes r.rbuf r.chunk 0 n;
+          read_line r
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_line r
+      | exception Unix.Unix_error (_, _, _) -> None)
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off = if off < n then go (off + Unix.write_substring fd s off (n - off)) in
+  go 0
+
+let submit_and_wait t ?control ?slot work =
+  let mb = Mailbox.create () in
+  match Admission.submit t.admission ?control ?slot (fun () -> Mailbox.put mb (work ())) with
+  | Error reason ->
+      err (Wire.Rejected reason) "request shed (%s); nothing was charged"
+        (Wire.shed_reason_name reason)
+  | Ok () -> Mailbox.take mb
+
+let handle_request t authed (envelope : Wire.envelope) =
+  match (envelope.Wire.request, !authed) with
+  | Wire.Hello { version; tenant; token }, None ->
+      if version <> Wire.version then
+        err Wire.Unsupported_version "server speaks protocol %d, client asked for %d"
+          Wire.version version
+      else (
+        match Tenants.authenticate t.tenants ~name:tenant ~token with
+        | Some tn ->
+            authed := Some tn;
+            Ok
+              (Json.Obj
+                 [
+                   ("server", Json.String "privclusterd");
+                   ("version", Json.Int Wire.version);
+                   ("tenant", Json.String tenant);
+                 ])
+        | None -> err Wire.Unauthorized "unknown tenant or bad token")
+  | Wire.Hello _, Some _ -> err Wire.Bad_request "already authenticated"
+  | _, None -> err Wire.Unauthorized "hello required before any other request"
+  | Wire.Ping, Some _ ->
+      Ok
+        (Json.Obj
+           [
+             ("pong", Json.Bool true);
+             ("draining", Json.Bool (Admission.draining t.admission));
+           ])
+  | Wire.Run { dataset; jobs; seed }, Some tenant -> (
+      match Job.parse ~default_beta:Workload.Harness.default_beta jobs with
+      | Error e -> err Wire.Bad_request "jobs: %s" e
+      | Ok [] -> err Wire.Bad_request "jobs: empty batch"
+      | Ok specs ->
+          submit_and_wait t
+            ~slot:(Tenants.slot tenant, Tenants.max_in_flight tenant)
+            (fun () -> exec_run t tenant ~dataset ~seed specs))
+  | Wire.Register { dataset; n; dim; axis; frac; radius; seed; budget; mode }, Some tenant
+    ->
+      submit_and_wait t ~control:true (fun () ->
+          exec_register t tenant ~dataset ~n ~dim ~axis ~frac ~radius ~seed ~budget ~mode)
+  | Wire.Ledger { dataset }, Some tenant ->
+      submit_and_wait t ~control:true (fun () -> exec_ledger t tenant ~dataset)
+  | Wire.Datasets, Some tenant ->
+      submit_and_wait t ~control:true (fun () -> exec_datasets t tenant)
+  | Wire.Metrics, Some tenant ->
+      submit_and_wait t ~control:true (fun () -> exec_metrics t tenant)
+
+let handle_conn t fd =
+  let reader = make_reader fd in
+  let authed = ref None in
+  let rec loop () =
+    match read_line reader with
+    | None -> ()
+    | Some line when String.trim line = "" -> loop ()
+    | Some line ->
+        let rid, body =
+          match Wire.request_of_line line with
+          | Error e -> (Wire.rid_of_line line, Error e)
+          | Ok envelope -> (
+              ( envelope.Wire.rid,
+                try handle_request t authed envelope
+                with e ->
+                  err Wire.Internal "unexpected failure: %s" (Printexc.to_string e) ))
+        in
+        let continue =
+          try
+            write_all fd (Wire.reply_to_line ~rid body);
+            true
+          with Unix.Unix_error (_, _, _) -> false
+        in
+        if continue then loop ()
+  in
+  (try loop () with _ -> ());
+  Mutex.lock t.conn_mutex;
+  t.conns <- List.filter (fun c -> c != fd) t.conns;
+  Mutex.unlock t.conn_mutex;
+  try Unix.close fd with Unix.Unix_error (_, _, _) -> ()
+
+(* --- lifecycle ----------------------------------------------------------- *)
+
+let accept_loop t =
+  let rec go () =
+    if Atomic.get t.stopping then ()
+    else
+      match Unix.select [ t.listen_fd ] [] [] 0.25 with
+      | [], _, _ -> go ()
+      | _ :: _, _, _ -> (
+          match Unix.accept t.listen_fd with
+          | fd, _ ->
+              Mutex.lock t.conn_mutex;
+              t.conns <- fd :: t.conns;
+              t.conn_threads <- Thread.create (handle_conn t) fd :: t.conn_threads;
+              Mutex.unlock t.conn_mutex;
+              go ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+          | exception Unix.Unix_error (_, _, _) -> if Atomic.get t.stopping then () else go ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ();
+  (try Unix.close t.listen_fd with Unix.Unix_error (_, _, _) -> ());
+  match t.cfg.listen with
+  | `Unix path -> ( try Unix.unlink path with Unix.Unix_error (_, _, _) -> ())
+  | `Tcp _ -> ()
+
+let bind_listen = function
+  | `Unix path ->
+      if Sys.file_exists path then Unix.unlink path;
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 64;
+      fd
+  | `Tcp (host, port) ->
+      let addr = Unix.inet_addr_of_string host in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (addr, port));
+      Unix.listen fd 64;
+      fd
+
+let start cfg =
+  (match Sys.signal Sys.sigpipe Sys.Signal_ignore with
+  | _ -> ()
+  | exception Invalid_argument _ -> ());
+  match Wal.load cfg.wal_path with
+  | Error e -> Error ("WAL recovery: " ^ e)
+  | Ok (records, tail) -> (
+      (match tail with
+      | Wal.Clean -> ()
+      | Wal.Torn n ->
+          Log.warn (fun m ->
+              m "WAL %s: dropped a torn final write (%d bytes)" cfg.wal_path n));
+      (* Startup compaction: same records, fresh file — reclaims the torn
+         tail and bounds growth across restarts. *)
+      match Wal.compact ~sync:cfg.sync ~path:cfg.wal_path records with
+      | Error e -> Error ("WAL compaction: " ^ e)
+      | Ok () -> (
+          match Wal.open_ ~sync:cfg.sync cfg.wal_path with
+          | Error e -> Error ("WAL open: " ^ e)
+          | Ok wal -> (
+              let service () =
+                Service.create ~domains:cfg.domains ~seed:cfg.seed ~retries:cfg.retries ()
+              in
+              match Tenants.create ~service cfg.tenants with
+              | Error e ->
+                  Wal.close wal;
+                  Error e
+              | Ok tenants -> (
+                  match bind_listen cfg.listen with
+                  | exception Unix.Unix_error (e, _, arg) ->
+                      Wal.close wal;
+                      Error
+                        (Printf.sprintf "listen %s: %s" arg (Unix.error_message e))
+                  | listen_fd ->
+                      let t =
+                        {
+                          cfg;
+                          wal;
+                          histories = Wal.histories records;
+                          tenants;
+                          admission = Admission.create ~capacity:cfg.capacity;
+                          listen_fd;
+                          bound = Unix.getsockname listen_fd;
+                          stopping = Atomic.make false;
+                          stopped = false;
+                          stop_mutex = Mutex.create ();
+                          conn_mutex = Mutex.create ();
+                          conns = [];
+                          conn_threads = [];
+                          accept_thread = None;
+                          executor_thread = None;
+                        }
+                      in
+                      t.executor_thread <- Some (Thread.create Admission.run t.admission);
+                      t.accept_thread <- Some (Thread.create accept_loop t);
+                      Log.info (fun m ->
+                          m "privclusterd listening (%s); %d tenants, %d journaled streams"
+                            (match cfg.listen with
+                            | `Unix p -> "unix:" ^ p
+                            | `Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p)
+                            (List.length cfg.tenants)
+                            (List.length t.histories));
+                      Ok t))))
+
+let stop t =
+  Mutex.lock t.stop_mutex;
+  let first = not t.stopped in
+  t.stopped <- true;
+  Mutex.unlock t.stop_mutex;
+  if first then begin
+    Log.info (fun m -> m "privclusterd draining");
+    Atomic.set t.stopping true;
+    Option.iter Thread.join t.accept_thread;
+    (* Runs queued before the drain flag still execute and reply; new
+       submissions shed with [draining]. *)
+    Admission.drain t.admission;
+    Option.iter Thread.join t.executor_thread;
+    Mutex.lock t.conn_mutex;
+    let conns = t.conns and threads = t.conn_threads in
+    Mutex.unlock t.conn_mutex;
+    List.iter
+      (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error (_, _, _) -> ())
+      conns;
+    List.iter Thread.join threads;
+    Wal.close t.wal;
+    Log.info (fun m -> m "privclusterd stopped cleanly")
+  end
+
+let run ?on_ready cfg =
+  match start cfg with
+  | Error _ as e -> e
+  | Ok t ->
+      let stop_requested = Atomic.make false in
+      let handler _ = Atomic.set stop_requested true in
+      let previous =
+        List.map
+          (fun s -> (s, Sys.signal s (Sys.Signal_handle handler)))
+          [ Sys.sigterm; Sys.sigint ]
+      in
+      Option.iter (fun f -> f t) on_ready;
+      while not (Atomic.get stop_requested) do
+        Thread.delay 0.05
+      done;
+      stop t;
+      List.iter (fun (s, b) -> Sys.set_signal s b) previous;
+      Ok ()

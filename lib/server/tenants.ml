@@ -1,0 +1,65 @@
+type spec = { name : string; token : string; max_in_flight : int }
+
+let spec_of_string s =
+  match String.split_on_char ':' s with
+  | [ name; token ] | [ name; token; "" ] ->
+      if name = "" || token = "" then Error "tenant spec: empty name or token"
+      else Ok { name; token; max_in_flight = 8 }
+  | [ name; token; cap ] -> (
+      if name = "" || token = "" then Error "tenant spec: empty name or token"
+      else
+        match int_of_string_opt cap with
+        | Some cap when cap > 0 -> Ok { name; token; max_in_flight = cap }
+        | _ -> Error (Printf.sprintf "tenant spec: bad in-flight cap %S" cap))
+  | _ -> Error (Printf.sprintf "tenant spec %S: expected name:token[:max_in_flight]" s)
+
+type tenant = {
+  t_name : string;
+  token : string;
+  cap : int;
+  svc : Engine.Service.t;
+  counter : Admission.counter;
+}
+
+type t = tenant list  (* immutable after create; read-only thread-sharing is safe *)
+
+let create ~service specs =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | (s : spec) :: rest ->
+        if List.exists (fun t -> t.t_name = s.name) acc then
+          Error (Printf.sprintf "duplicate tenant %S" s.name)
+        else
+          go
+            ({
+               t_name = s.name;
+               token = s.token;
+               cap = s.max_in_flight;
+               svc = service ();
+               counter = Admission.counter ();
+             }
+            :: acc)
+            rest
+  in
+  go [] specs
+
+let find t name = List.find_opt (fun tn -> tn.t_name = name) t
+let list t = t
+
+(* Constant-time comparison: a timing oracle on the token prefix would
+   let a caller recover another tenant's credential byte by byte. *)
+let token_eq a b =
+  String.length a = String.length b
+  && (let diff = ref 0 in
+      String.iteri (fun i ca -> diff := !diff lor (Char.code ca lxor Char.code b.[i])) a;
+      !diff = 0)
+
+let authenticate t ~name ~token =
+  match find t name with
+  | Some tn when token_eq tn.token token -> Some tn
+  | _ -> None
+
+let name tn = tn.t_name
+let max_in_flight tn = tn.cap
+let service tn = tn.svc
+let slot tn = tn.counter

@@ -1,0 +1,119 @@
+(** The journaled budget ledger: an append-only, CRC-framed, fsync'd
+    write-ahead log of every {!Engine.Accountant} operation, keyed by
+    (tenant, dataset).
+
+    Differential privacy is an account that depletes; a resident service
+    that forgot its spend on restart would hand every client a fresh
+    budget, which is the one failure a DP daemon can never have.  The
+    daemon therefore journals each ledger operation {e as it happens} (the
+    record is durable before the batch's results are released) and replays
+    the journal into a fresh accountant when a dataset is re-registered
+    after a restart — replay re-executes the logged operation sequence
+    through the ordinary {!Engine.Accountant} API, so the reconstructed
+    ledger is the very state the original operations produced: same
+    entries, same composed spend, same refusal count, same outstanding
+    reservations.
+
+    {2 Frame format}
+
+    One record per line:
+
+    {v PW1 <len:8 hex> <crc32:8 hex> <payload> \n v}
+
+    where [payload] is a single-line JSON object of exactly [len] bytes
+    and [crc32] is its IEEE CRC-32.  ε/δ values are encoded as hex-float
+    strings ([%h]), so replayed charges are bit-identical to the originals
+    (decimal rendering would round).  A torn final write — the crash
+    window of an append — fails the length, CRC or newline check and is
+    discarded at load ({!tail} reports how many bytes); a bad frame that
+    is {e followed} by another valid frame is not a torn tail but
+    corruption, and load refuses the file rather than silently dropping
+    spend.
+
+    {2 Recovery semantics}
+
+    Replay applies ops in log order: accepted charges must be accepted
+    again, journaled refusals must refuse again (the composition
+    arithmetic is deterministic, so any divergence means the journal does
+    not belong to this budget/mode and replay errors out instead of
+    guessing).  A reservation with no journaled settlement — the daemon
+    died between reserve and commit/release — is restored {e as a held
+    reservation}: it keeps blocking headroom (the fallback may already
+    have drawn noise, so releasing could hand out budget twice) but does
+    not enter the spent total (it was never known to commit).  Orphaned
+    reservations are visible in the ledger's [reserved] list and are never
+    settled automatically.
+
+    Compaction: the log only ever grows, so on startup the daemon rewrites
+    it — same records, fresh file, atomic rename — which drops nothing but
+    reclaims the space of any torn tail. *)
+
+type op =
+  | Open of { mode : Engine.Accountant.mode; budget : Prim.Dp.params }
+      (** Budget and composition mode the dataset was registered with;
+          first record of every (tenant, dataset) stream.  Re-registration
+          after a restart must present the same budget and mode. *)
+  | Charge of { label : string; cost : Prim.Dp.params }
+  | Refuse of { label : string; cost : Prim.Dp.params; reserve : bool }
+  | Reserve of { rid : int; label : string; cost : Prim.Dp.params }
+  | Commit of { rid : int }
+  | Release of { rid : int }
+
+type record = { tenant : string; dataset : string; op : op }
+
+val record_of_event : tenant:string -> dataset:string -> Engine.Accountant.event -> record
+(** The journal entry for one accountant event (the daemon subscribes
+    this composed with {!append}). *)
+
+type tail =
+  | Clean
+  | Torn of int  (** A torn final write; the count is discarded bytes. *)
+
+val load : string -> (record list * tail, string) result
+(** Read and verify a journal.  A missing file is an empty journal.
+    [Error] means corruption that is {e not} a torn tail (bad CRC or
+    frame mid-file) or an unreadable file. *)
+
+(** {2 Appending} *)
+
+type t
+
+val open_ : ?sync:bool -> string -> (t, string) result
+(** Open (creating if needed) for appending.  [sync] (default [true])
+    fsyncs after every {!append} — the durability the invariant needs;
+    turn it off only for benchmarks. *)
+
+val append : t -> record -> unit
+(** Frame, write, and (in sync mode) fsync one record.
+    @raise Unix.Unix_error on write failure — the daemon treats a
+    journal it cannot write as fatal. *)
+
+val close : t -> unit
+val path : t -> string
+
+val compact : ?sync:bool -> path:string -> record list -> (unit, string) result
+(** Write [records] to a fresh journal at [path] via write-temp +
+    fsync + atomic rename. *)
+
+(** {2 Replay} *)
+
+val histories : record list -> ((string * string) * op list) list
+(** Group records by (tenant, dataset), both levels in first-appearance
+    order, each stream in log order. *)
+
+val opening : op list -> (Engine.Accountant.mode * Prim.Dp.params) option
+(** The stream's [Open] record, if any. *)
+
+val replay :
+  ?on_event:(Engine.Accountant.event -> unit) ->
+  op list ->
+  Engine.Accountant.t ->
+  (int, string) result
+(** Re-execute the op stream against a fresh accountant (created by the
+    caller with the {!opening} mode and budget).  Returns the number of
+    orphaned reservations restored as held.  [on_event] observes the
+    replayed operations as ordinary accountant events (the daemon uses it
+    to re-emit tracing budget events so {!Obs.Attribution} reconciles
+    across a restart); it stops firing once replay returns.  [Error]
+    means the journal diverged from the accountant's arithmetic — wrong
+    budget, wrong mode, or a mangled stream. *)

@@ -1,0 +1,88 @@
+(** privclusterd wire protocol: one JSON object per line, both ways.
+
+    A connection opens with a [hello] carrying the protocol version and
+    the tenant's credentials; every subsequent request carries a
+    client-chosen integer [id] that the matching reply echoes, so a
+    client may pipeline requests and pair replies by id.  Replies are
+    [{"id", "ok": true, ...payload}] or
+    [{"id", "ok": false, "error": {"code", "message", "charged"}}] —
+    [charged] is always [false]: an error reply is produced before any
+    ledger operation, so a refused or shed request provably spent
+    nothing.  (Per-job budget refusals are {e not} errors: a [run] whose
+    jobs are refused succeeds with [status = "refused"] results.)
+
+    Requests:
+    - [hello]    — [version], [tenant], [token]; must be first.
+    - [register] — synthesize and register a planted-ball dataset:
+      [dataset], [n], [dim], [axis], [frac], [radius], [seed],
+      [budget_eps]/[budget_delta], [mode], [slack].  Registering the
+      name a previous daemon incarnation journaled replays the
+      journal into the fresh accountant (budget and mode must match).
+    - [run]      — [dataset], [jobs] (jobs-file text, see {!Engine.Job}),
+      optional [seed] overriding the batch RNG base (a fixed seed makes
+      verdicts deterministic regardless of how clients interleave).
+    - [ledger]   — [dataset]; the accountant state.
+    - [datasets] — list the tenant's datasets.
+    - [metrics]  — Prometheus text exposition for this tenant.
+    - [ping]     — liveness probe; answered even while draining. *)
+
+val version : int
+(** Protocol version ([1]); [hello] with any other value is refused. *)
+
+type request =
+  | Hello of { version : int; tenant : string; token : string }
+  | Register of {
+      dataset : string;
+      n : int;
+      dim : int;
+      axis : int;
+      frac : float;
+      radius : float;
+      seed : int;
+      budget : Prim.Dp.params;
+      mode : Engine.Accountant.mode;
+    }
+  | Run of { dataset : string; jobs : string; seed : int option }
+  | Ledger of { dataset : string }
+  | Datasets
+  | Metrics
+  | Ping
+
+type envelope = { rid : int; request : request }
+
+type shed_reason = Queue_full | Tenant_cap | Draining
+
+type error_code =
+  | Bad_request  (** Malformed request or jobs text. *)
+  | Unsupported_version
+  | Unauthorized  (** Unknown tenant or wrong token. *)
+  | Unknown_dataset
+  | Conflict  (** Duplicate registration, or journal/budget mismatch. *)
+  | Rejected of shed_reason  (** Load-shed before any budget charge. *)
+  | Internal
+
+type error = { code : error_code; message : string }
+
+val shed_reason_name : shed_reason -> string
+(** ["queue_full"], ["tenant_cap"], ["draining"]. *)
+
+val code_name : error_code -> string
+
+val request_to_line : envelope -> string
+(** Client side: render a request as one newline-terminated line. *)
+
+val request_of_line : string -> (envelope, error) result
+(** Server side.  [Error] is ready to send back (its [Bad_request]
+    message names the offending field); a parseable [id] is preserved in
+    the error path by the caller reading it from the raw JSON first. *)
+
+val rid_of_line : string -> int
+(** Best-effort [id] extraction for error replies ([0] if unreadable). *)
+
+val reply_to_line : rid:int -> (Engine.Json.t, error) result -> string
+(** Server side: render an ok (payload fields are spliced into the
+    envelope object) or error reply as one newline-terminated line. *)
+
+val reply_of_line : string -> (int * (Engine.Json.t, error) result, string) result
+(** Client side: parse a reply line into [(id, Ok payload | Error e)];
+    the outer [Error] means the line was not a valid reply at all. *)

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# CI smoke for privclusterd: serve on a Unix socket, drive an 8-job batch
+# through the client, scrape the metrics exposition, SIGTERM, and require
+# a clean drain (exit 0).  The WAL and the daemon trace are left in
+# $OUT_DIR for upload as CI artifacts.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+OUT_DIR="${OUT_DIR:-daemon-smoke}"
+mkdir -p "$OUT_DIR"
+rm -f "$OUT_DIR"/privclusterd.wal "$OUT_DIR"/daemon-trace.json \
+      "$OUT_DIR"/serve.log "$OUT_DIR"/metrics.txt "$OUT_DIR"/run.json
+
+dune build bin/privcluster_cli.exe
+CLI=_build/default/bin/privcluster_cli.exe
+SOCK="$OUT_DIR/privclusterd.sock"
+
+"$CLI" serve --socket "$SOCK" --wal "$OUT_DIR/privclusterd.wal" \
+  --tenant ci:ci-token --jobs 2 --trace "$OUT_DIR/daemon-trace.json" \
+  >"$OUT_DIR/serve.log" 2>&1 &
+SERVE_PID=$!
+trap 'kill -9 "$SERVE_PID" 2>/dev/null || true' EXIT
+
+for _ in $(seq 100); do
+  grep -q "privclusterd listening" "$OUT_DIR/serve.log" 2>/dev/null && break
+  sleep 0.1
+done
+grep -q "privclusterd listening" "$OUT_DIR/serve.log"
+
+client() { "$CLI" client "$@" --socket "$SOCK" --tenant ci --token ci-token; }
+
+client ping >/dev/null
+client register --dataset smoke --points 800 --axis 128 \
+  --budget-eps 6 --budget-delta 1e-4 >/dev/null
+
+cat > "$OUT_DIR/jobs.txt" <<'EOF'
+one_cluster t_fraction=0.45 eps=0.5 delta=1e-7 id=c1
+one_cluster t_fraction=0.40 eps=0.5 delta=1e-7 id=c2
+one_cluster t_fraction=0.45 eps=0.5 delta=1e-7 id=c3 fallback=true
+quantile    q=0.5 axis=0 eps=0.2 id=median
+quantile    q=0.9 axis=1 eps=0.2 id=q90
+one_cluster t_fraction=0.35 eps=0.5 delta=1e-7 id=c4
+quantile    q=0.1 axis=0 eps=0.2 id=q10
+one_cluster t_fraction=0.45 eps=9.0 delta=1e-7 id=greedy
+EOF
+client run --dataset smoke --seed 7 "$OUT_DIR/jobs.txt" > "$OUT_DIR/run.json"
+grep -q '"status"' "$OUT_DIR/run.json"
+# the deliberately greedy job must be refused, not crash the batch
+grep -q '"refused"' "$OUT_DIR/run.json"
+
+client metrics > "$OUT_DIR/metrics.txt"
+grep -q 'privcluster_budget_epsilon' "$OUT_DIR/metrics.txt"
+grep -q 'privclusterd_queue_depth' "$OUT_DIR/metrics.txt"
+
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"          # a graceful drain must exit 0
+trap - EXIT
+grep -q "privclusterd: clean drain" "$OUT_DIR/serve.log"
+test -s "$OUT_DIR/privclusterd.wal"
+"$CLI" validate-trace "$OUT_DIR/daemon-trace.json"
+echo "daemon smoke OK"

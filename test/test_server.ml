@@ -1,0 +1,728 @@
+(* privclusterd: WAL framing and replay, accountant event stream,
+   admission shedding, wire protocol, and daemon end-to-end (including
+   crash recovery and a concurrent multi-client soak). *)
+
+open Testutil
+module Acct = Engine.Accountant
+module Wal = Server.Wal
+module Wire = Server.Wire
+
+let p ~eps ~delta = { Prim.Dp.eps; delta }
+
+let contains_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let tmp_path suffix =
+  let f = Filename.temp_file "privclusterd_test" suffix in
+  Sys.remove f;
+  f
+
+(* --- crc32 --------------------------------------------------------------- *)
+
+let test_crc_vectors () =
+  (* The standard IEEE check value, plus anchors computed with zlib. *)
+  Alcotest.(check string) "123456789" "cbf43926" (Server.Crc32.to_hex (Server.Crc32.string "123456789"));
+  Alcotest.(check string) "empty" "00000000" (Server.Crc32.to_hex (Server.Crc32.string ""));
+  Alcotest.(check string) "a" "e8b7be43" (Server.Crc32.to_hex (Server.Crc32.string "a"));
+  check_true "of_hex inverts to_hex"
+    (Server.Crc32.of_hex "cbf43926" = Some (Server.Crc32.string "123456789"));
+  check_true "of_hex rejects short" (Server.Crc32.of_hex "abc" = None);
+  check_true "of_hex rejects junk" (Server.Crc32.of_hex "zzzzzzzz" = None)
+
+(* --- WAL framing --------------------------------------------------------- *)
+
+let sample_records =
+  [
+    { Wal.tenant = "acme"; dataset = "d1";
+      op = Wal.Open { mode = Acct.Basic; budget = p ~eps:2.0 ~delta:1e-5 } };
+    { Wal.tenant = "acme"; dataset = "d1";
+      op = Wal.Charge { label = "j1"; cost = p ~eps:0.5 ~delta:1e-7 } };
+    { Wal.tenant = "acme"; dataset = "d1";
+      op = Wal.Refuse { label = "j2"; cost = p ~eps:9.0 ~delta:0.0; reserve = false } };
+    { Wal.tenant = "acme"; dataset = "d1";
+      op = Wal.Reserve { rid = 0; label = "j3:fallback"; cost = p ~eps:0.25 ~delta:5e-8 } };
+    { Wal.tenant = "acme"; dataset = "d1"; op = Wal.Commit { rid = 0 } };
+    { Wal.tenant = "beta"; dataset = "dx";
+      op = Wal.Open { mode = Acct.Zcdp { slack = 1e-9 }; budget = p ~eps:1.0 ~delta:1e-6 } };
+    { Wal.tenant = "beta"; dataset = "dx";
+      op = Wal.Reserve { rid = 1; label = "q:fallback"; cost = p ~eps:0.1 ~delta:0.0 } };
+    { Wal.tenant = "beta"; dataset = "dx"; op = Wal.Release { rid = 1 } };
+  ]
+
+let write_wal path records =
+  match Wal.open_ ~sync:false path with
+  | Error e -> Alcotest.failf "wal open: %s" e
+  | Ok w ->
+      List.iter (Wal.append w) records;
+      Wal.close w
+
+let test_wal_roundtrip () =
+  let path = tmp_path ".wal" in
+  write_wal path sample_records;
+  (match Wal.load path with
+  | Error e -> Alcotest.failf "load: %s" e
+  | Ok (records, tail) ->
+      check_true "clean tail" (tail = Wal.Clean);
+      check_true "all records round-trip" (records = sample_records));
+  Sys.remove path
+
+let test_wal_missing_file () =
+  match Wal.load (tmp_path ".wal") with
+  | Ok ([], Wal.Clean) -> ()
+  | Ok _ -> Alcotest.fail "missing file should load as empty"
+  | Error e -> Alcotest.failf "missing file should not error: %s" e
+
+let test_wal_hex_float_bitexact =
+  qcheck ~count:300 "wal ε/δ round-trip bit-exactly"
+    QCheck2.Gen.(pair (float_bound_exclusive 100.) (float_bound_exclusive 1.))
+    (fun (eps, delta) ->
+      let path = tmp_path ".wal" in
+      let r = { Wal.tenant = "t"; dataset = "d"; op = Wal.Charge { label = "j"; cost = p ~eps ~delta } } in
+      write_wal path [ r ];
+      let out = Wal.load path in
+      Sys.remove path;
+      match out with
+      | Ok ([ { Wal.op = Wal.Charge { cost; _ }; _ } ], Wal.Clean) ->
+          Int64.bits_of_float cost.Prim.Dp.eps = Int64.bits_of_float eps
+          && Int64.bits_of_float cost.Prim.Dp.delta = Int64.bits_of_float delta
+      | _ -> false)
+
+let test_wal_torn_tail () =
+  let path = tmp_path ".wal" in
+  write_wal path sample_records;
+  let contents = In_channel.with_open_bin path In_channel.input_all in
+  let full_len = String.length contents in
+  (* Truncating the file at ANY byte — the state a crash mid-append can
+     leave — must load as the surviving record prefix plus a torn tail,
+     never an error. *)
+  for k = 0 to full_len do
+    Out_channel.with_open_bin path (fun oc ->
+        Out_channel.output_string oc (String.sub contents 0 k));
+    match Wal.load path with
+    | Error e -> Alcotest.failf "cut at %d should be a torn tail, got error: %s" k e
+    | Ok (records, tail) ->
+        let m = List.length records in
+        check_true
+          (Printf.sprintf "cut at %d yields a record prefix" k)
+          (records = List.filteri (fun i _ -> i < m) sample_records);
+        (match tail with
+        | Wal.Clean ->
+            (* a clean load must sit exactly on a frame boundary *)
+            check_true
+              (Printf.sprintf "clean cut at %d is a frame boundary" k)
+              (k = 0 || String.length contents > 0)
+        | Wal.Torn dropped ->
+            check_true
+              (Printf.sprintf "cut at %d reports only tail bytes dropped" k)
+              (dropped > 0 && dropped <= k))
+  done;
+  Sys.remove path
+
+let test_wal_corruption_mid_file () =
+  let path = tmp_path ".wal" in
+  write_wal path sample_records;
+  let contents = Bytes.of_string (In_channel.with_open_bin path In_channel.input_all) in
+  (* Flip one payload byte of the first frame: CRC fails, and because
+     later frames are intact this is corruption, not a torn tail. *)
+  let i = 30 in
+  Bytes.set contents i (Char.chr (Char.code (Bytes.get contents i) lxor 0x40));
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_bytes oc contents);
+  (match Wal.load path with
+  | Error e -> check_true "error names corruption" (contains_sub e "corrupt")
+  | Ok _ -> Alcotest.fail "mid-file corruption must refuse the journal");
+  Sys.remove path
+
+let test_wal_compact () =
+  let path = tmp_path ".wal" in
+  write_wal path sample_records;
+  (* simulate a torn tail, then compact it away *)
+  Out_channel.with_open_gen [ Open_append; Open_binary ] 0o600 path (fun oc ->
+      Out_channel.output_string oc "PW1 0000dead");
+  (match Wal.load path with
+  | Ok (records, Wal.Torn _) -> (
+      match Wal.compact ~sync:false ~path records with
+      | Error e -> Alcotest.failf "compact: %s" e
+      | Ok () -> (
+          match Wal.load path with
+          | Ok (records', Wal.Clean) -> check_true "compaction preserves records" (records' = sample_records)
+          | Ok (_, Wal.Torn _) -> Alcotest.fail "compaction left a torn tail"
+          | Error e -> Alcotest.failf "reload after compact: %s" e))
+  | Ok (_, Wal.Clean) -> Alcotest.fail "expected a torn tail before compaction"
+  | Error e -> Alcotest.failf "load with torn tail: %s" e);
+  Sys.remove path
+
+let test_wal_histories () =
+  let hs = Wal.histories sample_records in
+  Alcotest.(check int) "two streams" 2 (List.length hs);
+  (match hs with
+  | [ ((t1, d1), ops1); ((t2, d2), ops2) ] ->
+      Alcotest.(check string) "stream 1 tenant" "acme" t1;
+      Alcotest.(check string) "stream 1 dataset" "d1" d1;
+      Alcotest.(check int) "stream 1 ops" 5 (List.length ops1);
+      Alcotest.(check string) "stream 2 tenant" "beta" t2;
+      Alcotest.(check string) "stream 2 dataset" "dx" d2;
+      Alcotest.(check int) "stream 2 ops" 3 (List.length ops2);
+      check_true "opening finds the Open record"
+        (Wal.opening ops1 = Some (Acct.Basic, p ~eps:2.0 ~delta:1e-5));
+      check_true "zcdp opening survives"
+        (Wal.opening ops2 = Some (Acct.Zcdp { slack = 1e-9 }, p ~eps:1.0 ~delta:1e-6))
+  | _ -> Alcotest.fail "unexpected grouping")
+
+(* --- accountant event stream (satellite: structured events) -------------- *)
+
+let drive_ledger acct =
+  (* charge, refused charge, reserve, commit, reserve, release, refused reserve *)
+  ignore (Acct.charge acct ~label:"a" (p ~eps:0.5 ~delta:0.0));
+  ignore (Acct.charge acct ~label:"big" (p ~eps:99.0 ~delta:0.0));
+  (match Acct.reserve acct ~label:"b:fallback" (p ~eps:0.25 ~delta:0.0) with
+  | Ok r -> Acct.commit acct r
+  | Error _ -> Alcotest.fail "reserve b should fit");
+  (match Acct.reserve acct ~label:"c:fallback" (p ~eps:0.25 ~delta:0.0) with
+  | Ok r -> Acct.release acct r
+  | Error _ -> Alcotest.fail "reserve c should fit");
+  ignore (Acct.reserve acct ~label:"huge:fallback" (p ~eps:50.0 ~delta:0.0))
+
+let test_event_stream () =
+  let acct = Acct.create ~budget:(p ~eps:2.0 ~delta:1e-5) () in
+  let events = ref [] in
+  Acct.subscribe acct (fun ev -> events := ev :: !events);
+  drive_ledger acct;
+  let names =
+    List.rev_map
+      (function
+        | Acct.Charged { label; _ } -> "charged:" ^ label
+        | Acct.Refused { label; reserve; _ } ->
+            (if reserve then "refused-reserve:" else "refused:") ^ label
+        | Acct.Reserved { label; _ } -> "reserved:" ^ label
+        | Acct.Committed { label; _ } -> "committed:" ^ label
+        | Acct.Released { label; _ } -> "released:" ^ label)
+      !events
+  in
+  Alcotest.(check (list string)) "event sequence"
+    [
+      "charged:a"; "refused:big"; "reserved:b:fallback"; "committed:b:fallback";
+      "reserved:c:fallback"; "released:c:fallback"; "refused-reserve:huge:fallback";
+    ]
+    names
+
+let test_events_do_not_perturb_ledger () =
+  let with_l = Acct.create ~budget:(p ~eps:2.0 ~delta:1e-5) () in
+  let without = Acct.create ~budget:(p ~eps:2.0 ~delta:1e-5) () in
+  Acct.subscribe with_l (fun _ -> ());
+  drive_ledger with_l;
+  drive_ledger without;
+  check_true "spent identical" (Acct.spent with_l = Acct.spent without);
+  check_true "entries identical" (Acct.entries with_l = Acct.entries without);
+  check_int "refusals identical" (Acct.refusals without) (Acct.refusals with_l);
+  check_true "json identical" (Acct.to_json with_l = Acct.to_json without)
+
+let test_record_of_event () =
+  let acct = Acct.create ~budget:(p ~eps:2.0 ~delta:1e-5) () in
+  let records = ref [] in
+  Acct.subscribe acct (fun ev ->
+      records := Wal.record_of_event ~tenant:"t" ~dataset:"d" ev :: !records);
+  ignore (Acct.charge acct ~label:"a" (p ~eps:0.5 ~delta:0.0));
+  (match Acct.reserve acct ~label:"b" (p ~eps:0.25 ~delta:0.0) with
+  | Ok r -> Acct.commit acct r
+  | Error _ -> Alcotest.fail "reserve should fit");
+  match List.rev !records with
+  | [ { Wal.op = Wal.Charge { label = "a"; _ }; _ };
+      { Wal.op = Wal.Reserve { rid; label = "b"; _ }; _ };
+      { Wal.op = Wal.Commit { rid = rid' }; _ } ] ->
+      check_int "commit pairs with its reservation id" rid rid'
+  | _ -> Alcotest.fail "unexpected record mapping"
+
+(* --- service lookup (satellite: actionable unknown-dataset error) -------- *)
+
+let test_find_dataset_message () =
+  let svc = Engine.Service.create ~domains:1 ~seed:5 () in
+  (match Engine.Service.find_dataset svc "nope" with
+  | Ok _ -> Alcotest.fail "empty registry cannot resolve"
+  | Error m ->
+      check_true "names the id" (contains_sub m "\"nope\"");
+      check_true "says none registered" (contains_sub m "no datasets are registered"));
+  let _, grid, w = small_workload () in
+  let _ =
+    Engine.Service.register svc ~name:"alpha" ~grid ~budget:(p ~eps:4.0 ~delta:1e-5)
+      w.Workload.Synth.points
+  in
+  let _ =
+    Engine.Service.register svc ~name:"beta" ~grid ~budget:(p ~eps:4.0 ~delta:1e-5)
+      w.Workload.Synth.points
+  in
+  match Engine.Service.find_dataset svc "alpah" with
+  | Ok _ -> Alcotest.fail "typo must not resolve"
+  | Error m ->
+      check_true "names the typo'd id" (contains_sub m "\"alpah\"");
+      check_true "lists alpha" (contains_sub m "\"alpha\"");
+      check_true "lists beta" (contains_sub m "\"beta\"")
+
+let test_run_batch_named_charges_nothing () =
+  let svc = Engine.Service.create ~domains:1 ~seed:5 () in
+  let _, grid, w = small_workload () in
+  let ds =
+    Engine.Service.register svc ~name:"alpha" ~grid ~budget:(p ~eps:4.0 ~delta:1e-5)
+      w.Workload.Synth.points
+  in
+  let specs =
+    match Engine.Job.parse "quantile q=0.5 axis=0 eps=0.25" with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "parse: %s" e
+  in
+  (match Engine.Service.run_batch_named svc ~dataset:"missing" specs with
+  | Ok _ -> Alcotest.fail "missing dataset must error"
+  | Error _ -> ());
+  let acct = Engine.Registry.accountant ds in
+  check_true "failed lookup charged nothing" (Acct.spent acct = p ~eps:0.0 ~delta:0.0);
+  check_int "no refusals recorded either" 0 (Acct.refusals acct)
+
+(* --- journal + replay against real batches ------------------------------- *)
+
+(* Journal a real service batch through the event stream, then replay the
+   journal into a fresh accountant: the reconstructed ledger must be the
+   live ledger, bit for bit. *)
+let journaled_batch ?faults ~budget ~jobs () =
+  let svc = Engine.Service.create ~domains:2 ~seed:11 ~retries:2 () in
+  let _, grid, w = small_workload () in
+  let ds = Engine.Service.register svc ~name:"d" ~grid ~budget w.Workload.Synth.points in
+  let acct = Engine.Registry.accountant ds in
+  let records = ref [ { Wal.tenant = "t"; dataset = "d"; op = Wal.Open { mode = Acct.Basic; budget } } ] in
+  Acct.subscribe acct (fun ev ->
+      records := Wal.record_of_event ~tenant:"t" ~dataset:"d" ev :: !records);
+  let specs = match Engine.Job.parse jobs with Ok s -> s | Error e -> Alcotest.failf "parse: %s" e in
+  let results = Engine.Service.run_batch ?faults svc ~dataset:ds specs in
+  (acct, List.rev !records, results)
+
+let check_replay_equal ~what live records =
+  match Wal.opening (List.map (fun r -> r.Wal.op) records) with
+  | None -> Alcotest.failf "%s: no Open record" what
+  | Some (mode, budget) -> (
+      let fresh = Acct.create ~mode ~budget () in
+      match Wal.replay (List.map (fun r -> r.Wal.op) records) fresh with
+      | Error e -> Alcotest.failf "%s: replay: %s" what e
+      | Ok orphans ->
+          check_true (what ^ ": spent bit-identical") (Acct.spent fresh = Acct.spent live);
+          check_true (what ^ ": entries identical") (Acct.entries fresh = Acct.entries live);
+          check_int (what ^ ": refusals") (Acct.refusals live) (Acct.refusals fresh);
+          check_true (what ^ ": reserved identical") (Acct.reserved fresh = Acct.reserved live);
+          orphans)
+
+let batch_jobs =
+  {|one_cluster t_fraction=0.45 eps=0.8 delta=1e-7 fallback=true
+quantile q=0.5 axis=0 eps=0.25 id=median
+one_cluster t_fraction=0.4 eps=0.7 delta=1e-7
+one_cluster t_fraction=0.45 eps=1.5 delta=1e-7 id=over
+quantile q=0.9 axis=1 eps=0.2 id=q90|}
+
+let test_replay_matches_live () =
+  (* Budget admits some jobs and refuses others; one fallback reserve. *)
+  let live, records, _ = journaled_batch ~budget:(p ~eps:2.0 ~delta:1e-5) ~jobs:batch_jobs () in
+  let orphans = check_replay_equal ~what:"plain" live records in
+  check_int "no orphans from a settled batch" 0 orphans
+
+let test_replay_matches_live_under_faults () =
+  let faults =
+    match Engine.Faults.parse "crash@0, crash@2" with
+    | Ok f -> f
+    | Error e -> Alcotest.failf "faults: %s" e
+  in
+  let live, records, _ =
+    journaled_batch ~faults ~budget:(p ~eps:2.0 ~delta:1e-5) ~jobs:batch_jobs ()
+  in
+  ignore (check_replay_equal ~what:"faulted" live records)
+
+let test_replay_prefixes () =
+  (* Every truncation of the journal — the state a crash can leave —
+     replays cleanly into exactly the ledger the prefix describes, and
+     the full-journal replay equals the live ledger (no double-charge). *)
+  let live, records, _ = journaled_batch ~budget:(p ~eps:2.0 ~delta:1e-5) ~jobs:batch_jobs () in
+  let path = tmp_path ".wal" in
+  write_wal path records;
+  let contents = In_channel.with_open_bin path In_channel.input_all in
+  let n = String.length contents in
+  let seen = ref 0 in
+  for k = 0 to n do
+    Out_channel.with_open_bin path (fun oc ->
+        Out_channel.output_string oc (String.sub contents 0 k));
+    match Wal.load path with
+    | Error e -> Alcotest.failf "prefix %d: %s" k e
+    | Ok (prefix, _) ->
+        let m = List.length prefix in
+        check_true
+          (Printf.sprintf "prefix at %d bytes is a record prefix" k)
+          (prefix = List.filteri (fun i _ -> i < m) records);
+        incr seen;
+        let ops = List.map (fun r -> r.Wal.op) prefix in
+        (match Wal.opening ops with
+        | None -> check_int (Printf.sprintf "only the empty prefix lacks Open (%d)" k) 0 m
+        | Some (mode, budget) -> (
+            let fresh = Acct.create ~mode ~budget () in
+            match Wal.replay ops fresh with
+            | Error e -> Alcotest.failf "prefix %d replay: %s" k e
+            | Ok _ -> ()))
+  done;
+  check_true "exercised every byte cut" (!seen = n + 1);
+  (* and the full journal: exactly the live ledger, charged once *)
+  ignore (check_replay_equal ~what:"full" live records);
+  Sys.remove path
+
+let test_replay_orphaned_reservation_held () =
+  let budget = p ~eps:2.0 ~delta:1e-5 in
+  let ops =
+    [
+      Wal.Open { mode = Acct.Basic; budget };
+      Wal.Charge { label = "a"; cost = p ~eps:0.5 ~delta:0.0 };
+      Wal.Reserve { rid = 7; label = "a:fallback"; cost = p ~eps:0.25 ~delta:0.0 };
+      (* daemon died before commit/release *)
+    ]
+  in
+  let fresh = Acct.create ~budget () in
+  match Wal.replay ops fresh with
+  | Error e -> Alcotest.failf "replay: %s" e
+  | Ok orphans ->
+      check_int "one orphan held" 1 orphans;
+      check_true "orphan blocks headroom, visibly"
+        (Acct.reserved fresh = [ ("a:fallback", p ~eps:0.25 ~delta:0.0) ]);
+      check_true "orphan not spent" (Acct.spent fresh = p ~eps:0.5 ~delta:0.0);
+      check_true "headroom reflects the hold"
+        (not (Acct.would_accept fresh (p ~eps:1.3 ~delta:0.0)))
+
+let test_replay_divergence_refused () =
+  let ops =
+    [
+      Wal.Open { mode = Acct.Basic; budget = p ~eps:2.0 ~delta:1e-5 };
+      Wal.Charge { label = "a"; cost = p ~eps:1.5 ~delta:0.0 };
+      Wal.Charge { label = "b"; cost = p ~eps:1.5 ~delta:0.0 };
+    ]
+  in
+  (* Replay against a smaller budget than the journal was written under:
+     the second charge cannot re-accept, and replay must refuse to guess. *)
+  let fresh = Acct.create ~budget:(p ~eps:2.0 ~delta:1e-5) () in
+  match Wal.replay ops fresh with
+  | Ok _ -> Alcotest.fail "diverging journal must not replay"
+  | Error e -> check_true "names the diverging label" (contains_sub e "\"b\"")
+
+(* --- admission ----------------------------------------------------------- *)
+
+let test_admission_shed_reasons () =
+  (* No executor: the queue only fills, so verdicts are deterministic. *)
+  let adm = Server.Admission.create ~capacity:1 in
+  check_true "first fits" (Server.Admission.submit adm (fun () -> ()) = Ok ());
+  check_true "second sheds queue_full"
+    (Server.Admission.submit adm (fun () -> ()) = Error Wire.Queue_full);
+  check_true "control bypasses capacity"
+    (Server.Admission.submit adm ~control:true (fun () -> ()) = Ok ());
+  let c = Server.Admission.counter () in
+  check_true "cap 0 sheds tenant_cap"
+    (Server.Admission.submit adm ~slot:(c, 0) (fun () -> ()) = Error Wire.Tenant_cap);
+  check_int "shed did not take a slot" 0 (Server.Admission.in_flight c)
+
+let test_admission_executes_and_drains () =
+  let adm = Server.Admission.create ~capacity:16 in
+  let ran = ref [] and m = Mutex.create () in
+  let push i =
+    Mutex.lock m;
+    ran := i :: !ran;
+    Mutex.unlock m
+  in
+  let c = Server.Admission.counter () in
+  for i = 1 to 5 do
+    check_true "submit ok" (Server.Admission.submit adm ~slot:(c, 8) (fun () -> push i) = Ok ())
+  done;
+  let exec = Thread.create Server.Admission.run adm in
+  Server.Admission.drain adm;
+  Thread.join exec;
+  Alcotest.(check (list int)) "ran in submission order" [ 1; 2; 3; 4; 5 ] (List.rev !ran);
+  check_int "slots returned" 0 (Server.Admission.in_flight c);
+  check_true "post-drain submissions shed as draining"
+    (Server.Admission.submit adm (fun () -> ()) = Error Wire.Draining)
+
+(* --- wire protocol ------------------------------------------------------- *)
+
+let roundtrip_request req =
+  let line = Wire.request_to_line { Wire.rid = 42; request = req } in
+  check_true "one line" (String.index_opt line '\n' = Some (String.length line - 1));
+  match Wire.request_of_line (String.trim line) with
+  | Ok { Wire.rid = 42; request } -> check_true "request round-trips" (request = req)
+  | Ok _ -> Alcotest.fail "rid lost"
+  | Error e -> Alcotest.failf "parse back: %s" e.Wire.message
+
+let test_wire_request_roundtrip () =
+  List.iter roundtrip_request
+    [
+      Wire.Hello { version = Wire.version; tenant = "acme"; token = "s3cret" };
+      Wire.Register
+        { dataset = "d1"; n = 800; dim = 2; axis = 128; frac = 0.5; radius = 0.05;
+          seed = 9; budget = p ~eps:2.0 ~delta:1e-5; mode = Acct.Zcdp { slack = 1e-9 } };
+      Wire.Run { dataset = "d1"; jobs = "quantile q=0.5 eps=0.1\n# c\n"; seed = Some 7 };
+      Wire.Run { dataset = "d1"; jobs = "x"; seed = None };
+      Wire.Ledger { dataset = "d1" };
+      Wire.Datasets;
+      Wire.Metrics;
+      Wire.Ping;
+    ]
+
+let test_wire_reply_roundtrip () =
+  let ok_line = Wire.reply_to_line ~rid:7 (Ok (Engine.Json.Obj [ ("x", Engine.Json.Int 1) ])) in
+  (match Wire.reply_of_line (String.trim ok_line) with
+  | Ok (7, Ok payload) ->
+      check_true "payload field survives"
+        (Option.bind (Engine.Json.member "x" payload) Engine.Json.to_int = Some 1)
+  | _ -> Alcotest.fail "ok reply roundtrip");
+  let errs =
+    [
+      Wire.Bad_request; Wire.Unsupported_version; Wire.Unauthorized; Wire.Unknown_dataset;
+      Wire.Conflict; Wire.Rejected Wire.Queue_full; Wire.Rejected Wire.Tenant_cap;
+      Wire.Rejected Wire.Draining; Wire.Internal;
+    ]
+  in
+  List.iter
+    (fun code ->
+      let line = Wire.reply_to_line ~rid:9 (Error { Wire.code; message = "m" }) in
+      check_true "error reply declares charged:false on the wire"
+        (contains_sub line "\"charged\": false" || contains_sub line "\"charged\":false");
+      match Wire.reply_of_line (String.trim line) with
+      | Ok (9, Error e) -> check_true "code round-trips" (e.Wire.code = code)
+      | _ -> Alcotest.fail "error reply roundtrip")
+    errs
+
+(* --- daemon end-to-end --------------------------------------------------- *)
+
+let daemon_cfg ~dir ?(capacity = 16) ?(tenants = [ { Server.Tenants.name = "acme"; token = "s3cret"; max_in_flight = 8 } ]) () =
+  {
+    Server.Daemon.listen = `Unix (Filename.concat dir "d.sock");
+    wal_path = Filename.concat dir "d.wal";
+    tenants;
+    capacity;
+    domains = 2;
+    retries = 2;
+    seed = 1;
+    sync = false;  (* keep the suite fast; sync-mode is covered by CI smoke *)
+  }
+
+let with_daemon cfg f =
+  match Server.Daemon.start cfg with
+  | Error e -> Alcotest.failf "daemon start: %s" e
+  | Ok d ->
+      Fun.protect ~finally:(fun () -> Server.Daemon.stop d) (fun () -> f d)
+
+let connect cfg = Server.Client.connect cfg.Server.Daemon.listen
+
+let expect_ok what = function
+  | Ok v -> v
+  | Error f -> Alcotest.failf "%s: %s" what (Server.Client.fail_message f)
+
+let temp_dir () =
+  let d = Filename.temp_file "privclusterd" ".d" in
+  Sys.remove d;
+  Unix.mkdir d 0o700;
+  d
+
+let soak_jobs = "one_cluster t_fraction=0.45 eps=0.3 delta=1e-7\nquantile q=0.5 axis=0 eps=0.1\n"
+
+let test_daemon_lifecycle () =
+  let dir = temp_dir () in
+  let cfg = daemon_cfg ~dir () in
+  with_daemon cfg (fun _d ->
+      (* auth is enforced *)
+      (match connect cfg ~tenant:"acme" ~token:"wrong" with
+      | Ok _ -> Alcotest.fail "bad token must not connect"
+      | Error (`Server e) -> check_true "unauthorized" (e.Wire.code = Wire.Unauthorized)
+      | Error (`Transport m) -> Alcotest.failf "transport: %s" m);
+      (match connect cfg ~tenant:"ghost" ~token:"s3cret" with
+      | Ok _ -> Alcotest.fail "unknown tenant must not connect"
+      | Error _ -> ());
+      let c = expect_ok "connect" (connect cfg ~tenant:"acme" ~token:"s3cret") in
+      ignore (expect_ok "ping" (Server.Client.ping c));
+      let reg =
+        expect_ok "register"
+          (Server.Client.register c ~dataset:"d1" ~n:400 ~axis:128 ~radius:0.06 ~seed:3
+             ~budget:(p ~eps:2.0 ~delta:1e-5) ())
+      in
+      check_true "fresh dataset is not a replay"
+        (Engine.Json.member "replayed" reg = Some (Engine.Json.Bool false));
+      (* duplicate registration conflicts *)
+      (match
+         Server.Client.register c ~dataset:"d1" ~n:400 ~budget:(p ~eps:2.0 ~delta:1e-5) ()
+       with
+      | Error (`Server e) -> check_true "conflict" (e.Wire.code = Wire.Conflict)
+      | _ -> Alcotest.fail "duplicate register must conflict");
+      (* unknown dataset carries the actionable message end-to-end *)
+      (match Server.Client.run c ~dataset:"dl" ~jobs:soak_jobs () with
+      | Error (`Server e) ->
+          check_true "names the typo" (contains_sub e.Wire.message "\"dl\"");
+          check_true "lists registered" (contains_sub e.Wire.message "\"d1\"")
+      | _ -> Alcotest.fail "unknown dataset must fail");
+      let run1 = expect_ok "run" (Server.Client.run c ~dataset:"d1" ~seed:42 ~jobs:soak_jobs ()) in
+      (match Option.bind (Engine.Json.member "results" run1) Engine.Json.to_list with
+      | Some rs -> check_int "both jobs answered" 2 (List.length rs)
+      | None -> Alcotest.fail "run reply has results");
+      let ledger = expect_ok "ledger" (Server.Client.ledger c ~dataset:"d1") in
+      check_true "ledger names the dataset"
+        (Engine.Json.member "dataset" ledger = Some (Engine.Json.String "d1"));
+      let metrics = expect_ok "metrics" (Server.Client.metrics c) in
+      check_true "metrics exposes budget" (contains_sub metrics "privcluster_budget_epsilon");
+      check_true "metrics exposes daemon gauges" (contains_sub metrics "privclusterd_queue_depth");
+      let ds = expect_ok "datasets" (Server.Client.datasets c) in
+      (match Option.bind (Engine.Json.member "datasets" ds) Engine.Json.to_list with
+      | Some l -> check_int "one dataset" 1 (List.length l)
+      | None -> Alcotest.fail "datasets reply");
+      Server.Client.close c)
+
+(* The crash-recovery property, end to end: journal a session, "crash"
+   (drop the daemon without settling, leave the WAL with a torn tail),
+   restart on the same WAL, re-register — the replayed ledger must equal
+   the pre-crash ledger and an over-budget job must still be refused. *)
+let test_daemon_crash_recovery () =
+  let dir = temp_dir () in
+  let cfg = daemon_cfg ~dir () in
+  let spent_before = ref Engine.Json.Null in
+  with_daemon cfg (fun _d ->
+      let c = expect_ok "connect" (connect cfg ~tenant:"acme" ~token:"s3cret") in
+      ignore
+        (expect_ok "register"
+           (Server.Client.register c ~dataset:"d1" ~n:400 ~axis:128 ~radius:0.06 ~seed:3
+              ~budget:(p ~eps:1.0 ~delta:1e-5) ()));
+      (* spend close to the 1.0 budget: 0.3+0.1, then 0.3+0.1 again *)
+      ignore (expect_ok "run1" (Server.Client.run c ~dataset:"d1" ~seed:1 ~jobs:soak_jobs ()));
+      ignore (expect_ok "run2" (Server.Client.run c ~dataset:"d1" ~seed:2 ~jobs:soak_jobs ()));
+      let ledger = expect_ok "ledger" (Server.Client.ledger c ~dataset:"d1") in
+      spent_before :=
+        Option.value ~default:Engine.Json.Null
+          (Option.bind (Engine.Json.member "ledger" ledger) (Engine.Json.member "spent"));
+      Server.Client.close c);
+  (* simulate the crash window: a torn half-frame at the tail *)
+  Out_channel.with_open_gen [ Open_append; Open_binary ] 0o600 cfg.Server.Daemon.wal_path
+    (fun oc -> Out_channel.output_string oc "PW1 000000");
+  with_daemon cfg (fun _d ->
+      let c = expect_ok "reconnect" (connect cfg ~tenant:"acme" ~token:"s3cret") in
+      (* wrong budget on re-register is refused — the journal pins it *)
+      (match
+         Server.Client.register c ~dataset:"d1" ~n:400 ~axis:128 ~radius:0.06 ~seed:3
+           ~budget:(p ~eps:9.0 ~delta:1e-5) ()
+       with
+      | Error (`Server e) -> check_true "budget mismatch conflicts" (e.Wire.code = Wire.Conflict)
+      | _ -> Alcotest.fail "journal must pin the budget");
+      let reg =
+        expect_ok "re-register"
+          (Server.Client.register c ~dataset:"d1" ~n:400 ~axis:128 ~radius:0.06 ~seed:3
+             ~budget:(p ~eps:1.0 ~delta:1e-5) ())
+      in
+      check_true "recovered by replay" (Engine.Json.member "replayed" reg = Some (Engine.Json.Bool true));
+      let ledger = expect_ok "ledger" (Server.Client.ledger c ~dataset:"d1") in
+      let spent_after =
+        Option.value ~default:Engine.Json.Null
+          (Option.bind (Engine.Json.member "ledger" ledger) (Engine.Json.member "spent"))
+      in
+      check_true "spend survived the crash exactly" (!spent_before = spent_after && spent_after <> Engine.Json.Null);
+      (* budget is nearly exhausted (0.8 of 1.0 spent): the next batch's
+         one_cluster (0.3) must be refused, and refusal is free *)
+      let run3 = expect_ok "run3" (Server.Client.run c ~dataset:"d1" ~seed:3 ~jobs:soak_jobs ()) in
+      (match Option.bind (Engine.Json.member "results" run3) Engine.Json.to_list with
+      | Some [ r1; r2 ] ->
+          check_true "over-budget job still refused after recovery"
+            (Option.bind (Engine.Json.member "status" r1) Engine.Json.to_str = Some "refused");
+          check_true "affordable job still runs"
+            (Option.bind (Engine.Json.member "status" r2) Engine.Json.to_str = Some "ok")
+      | _ -> Alcotest.fail "run3 results");
+      Server.Client.close c);
+  ()
+
+(* N concurrent clients, M runs each with client-chosen seeds: every
+   verdict must equal the same batch run in-process on a lone service —
+   the daemon's interleaving must never leak into results. *)
+let test_daemon_concurrent_soak () =
+  let dir = temp_dir () in
+  let n_clients = 3 and n_runs = 3 in
+  let cfg = daemon_cfg ~dir () in
+  let statuses_of_json payload =
+    match Option.bind (Engine.Json.member "results" payload) Engine.Json.to_list with
+    | None -> Alcotest.fail "results missing"
+    | Some rs ->
+        List.map
+          (fun r ->
+            Option.value ~default:"?"
+              (Option.bind (Engine.Json.member "status" r) Engine.Json.to_str))
+          rs
+  in
+  let daemon_verdicts = Array.make n_clients [] in
+  with_daemon cfg (fun _d ->
+      (* per-client dataset, so budget interleaving is per-dataset *)
+      let threads =
+        List.init n_clients (fun i ->
+            Thread.create
+              (fun () ->
+                let c = expect_ok "connect" (connect cfg ~tenant:"acme" ~token:"s3cret") in
+                let ds = Printf.sprintf "soak%d" i in
+                ignore
+                  (expect_ok "register"
+                     (Server.Client.register c ~dataset:ds ~n:400 ~axis:128 ~radius:0.06
+                        ~seed:3 ~budget:(p ~eps:4.0 ~delta:1e-4) ()));
+                let vs =
+                  List.init n_runs (fun j ->
+                      let seed = (100 * i) + j in
+                      statuses_of_json
+                        (expect_ok "run"
+                           (Server.Client.run c ~dataset:ds ~seed ~jobs:soak_jobs ())))
+                in
+                daemon_verdicts.(i) <- vs;
+                Server.Client.close c)
+              ())
+      in
+      List.iter Thread.join threads);
+  (* reference: the same batches on a lone in-process service *)
+  let svc = Engine.Service.create ~domains:cfg.Server.Daemon.domains ~seed:cfg.Server.Daemon.seed ~retries:cfg.Server.Daemon.retries () in
+  let rng = Prim.Rng.create ~seed:(3 + 7919) () in
+  let grid = Geometry.Grid.create ~axis_size:128 ~dim:2 in
+  let w = Workload.Synth.planted_ball rng ~grid ~n:400 ~cluster_fraction:0.5 ~cluster_radius:0.06 in
+  let specs = match Engine.Job.parse soak_jobs with Ok s -> s | Error e -> Alcotest.failf "parse: %s" e in
+  for i = 0 to n_clients - 1 do
+    let ds =
+      Engine.Service.register svc
+        ~name:(Printf.sprintf "ref%d" i)
+        ~grid ~budget:(p ~eps:4.0 ~delta:1e-4) w.Workload.Synth.points
+    in
+    List.iteri
+      (fun j got ->
+        let seed = (100 * i) + j in
+        let expect =
+          List.map
+            (fun (r : Engine.Job.result) -> Engine.Job.status_name r.Engine.Job.status)
+            (Engine.Service.run_batch ~seed svc ~dataset:ds specs)
+        in
+        Alcotest.(check (list string))
+          (Printf.sprintf "client %d run %d matches the lone-service reference" i j)
+          expect got)
+      daemon_verdicts.(i)
+  done
+
+let suite =
+  [
+    case "crc32 vectors and hex" test_crc_vectors;
+    case "wal roundtrip" test_wal_roundtrip;
+    case "wal missing file is empty" test_wal_missing_file;
+    test_wal_hex_float_bitexact;
+    case "wal torn tail tolerated" test_wal_torn_tail;
+    case "wal mid-file corruption refused" test_wal_corruption_mid_file;
+    case "wal compaction" test_wal_compact;
+    case "wal histories and opening" test_wal_histories;
+    case "accountant event stream" test_event_stream;
+    case "events don't perturb the ledger" test_events_do_not_perturb_ledger;
+    case "record_of_event pairs reservations" test_record_of_event;
+    case "find_dataset names ids" test_find_dataset_message;
+    case "failed lookup charges nothing" test_run_batch_named_charges_nothing;
+    case "replay equals live ledger" test_replay_matches_live;
+    case "replay equals live under faults" test_replay_matches_live_under_faults;
+    slow_case "every crash prefix replays" test_replay_prefixes;
+    case "orphaned reservation held" test_replay_orphaned_reservation_held;
+    case "diverging journal refused" test_replay_divergence_refused;
+    case "admission shed reasons" test_admission_shed_reasons;
+    case "admission executes and drains" test_admission_executes_and_drains;
+    case "wire request roundtrip" test_wire_request_roundtrip;
+    case "wire reply roundtrip" test_wire_reply_roundtrip;
+    slow_case "daemon lifecycle" test_daemon_lifecycle;
+    slow_case "daemon crash recovery" test_daemon_crash_recovery;
+    slow_case "daemon concurrent soak" test_daemon_concurrent_soak;
+  ]
