@@ -3,7 +3,9 @@
    timing benches (B1–B7, one per pipeline stage, plus B9 for the
    statistical-check estimators), the engine throughput bench (B8), the
    one-cluster allocation check, the disabled-tracing overhead gate
-   (B10), and the daemon round-trip overhead bench (B11).
+   (B10), the daemon round-trip overhead bench (B11), and the
+   mutate-then-requery epoch/result-cache bench (B12, gated: cache hits
+   must charge zero).
 
    Usage:
      dune exec bench/main.exe                 # full suite
@@ -384,6 +386,100 @@ let run_daemon_bench ~quick ~jobs =
   end;
   (n_jobs, iters, lm, dm, overhead_pct, identical)
 
+(* B12 — mutate-then-requery: the epoch / result-cache path.  A cold
+   1-cluster batch, the identical batch again (must be answered from the
+   result cache: zero execution attempts, zero additional charge,
+   bit-identical outputs — gated), then an append and the same batch once
+   more (must recompute against the new epoch and pay again — also
+   gated).  Prices what a cache hit saves and what an epoch transition
+   costs. *)
+let run_epoch_bench ~jobs =
+  Workload.Report.headline "B12 - mutate-then-requery (epochs and the result cache)";
+  let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("B12 FAILED: " ^ m); exit 1) fmt in
+  (* n is pinned: at this size every job completes on both epochs, so the
+     bit-identical-outputs gate is meaningful (solver failures are honest
+     DP outcomes, but they are not cached and would muddy the gate). *)
+  let n = 1500 in
+  let n_jobs = 4 in
+  let seed = 99 in
+  let grid = Geometry.Grid.create ~axis_size:256 ~dim:2 in
+  let w =
+    Workload.Synth.planted_ball
+      (Prim.Rng.create ~seed:(seed + 7919) ())
+      ~grid ~n ~cluster_fraction:0.5 ~cluster_radius:0.05
+  in
+  let svc = Engine.Service.create ~domains:jobs ~seed ~retries:0 ~faults:Engine.Faults.none () in
+  let budget = Prim.Dp.v ~eps:(2.0 *. float_of_int (2 * n_jobs) +. 1.) ~delta:1e-3 in
+  let ds = Engine.Service.register svc ~name:"bench" ~grid ~budget w.Workload.Synth.points in
+  let specs =
+    List.init n_jobs (fun i ->
+        {
+          Engine.Job.id = Printf.sprintf "j%d" (i + 1);
+          kind = Engine.Job.One_cluster { t_fraction = 0.4 };
+          eps = 2.0;
+          delta = 1e-7;
+          beta;
+          deadline_s = None;
+          fallback = false;
+        })
+  in
+  let acct = Engine.Registry.accountant ds in
+  let spent () = (Engine.Accountant.spent acct).Prim.Dp.eps in
+  let outputs phase results =
+    List.map
+      (fun (r : Engine.Job.result) ->
+        match r.Engine.Job.status with
+        | Engine.Job.Completed o -> Engine.Job.output_to_wire o
+        | st ->
+            fail "%s: job %s finished %s, not ok" phase r.Engine.Job.spec.Engine.Job.id
+              (Engine.Job.status_name st))
+      results
+  in
+  let run () = Workload.Harness.time (fun () -> Engine.Service.run_batch svc ~dataset:ds specs) in
+  let cold, cold_ms = run () in
+  let cold_spent = spent () in
+  let warm, warm_ms = run () in
+  let warm_spent = spent () in
+  let mutate_specs =
+    match Engine.Job.parse (Printf.sprintf "mutate op=append n=%d seed=5\n" (n / 5)) with
+    | Ok s -> s
+    | Error e -> fail "mutate parse: %s" e
+  in
+  let _, append_ms =
+    Workload.Harness.time (fun () -> Engine.Service.run_batch svc ~dataset:ds mutate_specs)
+  in
+  let requery, requery_ms = run () in
+  let requery_spent = spent () in
+  (* The gates: a hit is free and exact; a new epoch is neither. *)
+  let hits_free =
+    List.for_all (fun (r : Engine.Job.result) -> r.Engine.Job.attempts = 0) warm
+    && warm_spent = cold_spent
+    && outputs "warm" warm = outputs "cold" cold
+  in
+  let recomputed =
+    List.for_all (fun (r : Engine.Job.result) -> r.Engine.Job.attempts >= 1) requery
+    && requery_spent > warm_spent
+    && Engine.Registry.epoch ds = 1
+  in
+  ignore (outputs "requery" requery);
+  let speedup = cold_ms /. Float.max warm_ms 1e-6 in
+  Workload.Report.table ~csv:"b12_epoch_requery"
+    ~header:[ "phase"; "wall"; "spent eps after" ]
+    [
+      [ "cold batch"; Printf.sprintf "%.1f ms" cold_ms; Workload.Report.f2 cold_spent ];
+      [ "cached re-run"; Printf.sprintf "%.2f ms" warm_ms; Workload.Report.f2 warm_spent ];
+      [ "append (epoch 0 -> 1)"; Printf.sprintf "%.1f ms" append_ms; Workload.Report.f2 warm_spent ];
+      [ "re-query on epoch 1"; Printf.sprintf "%.1f ms" requery_ms; Workload.Report.f2 requery_spent ];
+    ];
+  Workload.Report.kv "cache-hit speedup" (Printf.sprintf "%.0fx" speedup);
+  Workload.Report.kv "cache hits charged zero"
+    (if hits_free then "yes" else "NO (cache charged the ledger)");
+  Workload.Report.kv "new epoch recomputed and paid"
+    (if recomputed then "yes" else "NO (stale answer served across a mutation)");
+  if not hits_free then fail "a cache hit executed or charged";
+  if not recomputed then fail "a post-mutation query was not recomputed";
+  (n_jobs, cold_ms, warm_ms, append_ms, requery_ms, speedup, hits_free && recomputed)
+
 (* Allocation regression check: with the flat layout, one end-to-end
    1-cluster call (prebuilt index) must allocate minor-heap words roughly
    linearly in n and sublinearly in d — the boxed layout allocated a
@@ -527,7 +623,7 @@ let run_meta ~jobs =
       ("word_size", Int Sys.word_size);
     ]
 
-let json_of_results ~meta ~fx_n ~fx_d ~timing ~engine ~alloc ~b10 ~b11 =
+let json_of_results ~meta ~fx_n ~fx_d ~timing ~engine ~alloc ~b10 ~b11 ~b12 =
   let open Engine.Json in
   let timing_json =
     List.map
@@ -602,9 +698,24 @@ let json_of_results ~meta ~fx_n ~fx_d ~timing ~engine ~alloc ~b10 ~b11 =
             ("verdicts_identical", Bool identical);
           ]
   in
+  let b12_json =
+    match b12 with
+    | None -> Null
+    | Some (n_jobs, cold_ms, warm_ms, append_ms, requery_ms, speedup, gates_pass) ->
+        Obj
+          [
+            ("jobs", Int n_jobs);
+            ("cold_ms", Float cold_ms);
+            ("cached_rerun_ms", Float warm_ms);
+            ("append_ms", Float append_ms);
+            ("requery_ms", Float requery_ms);
+            ("cache_hit_speedup", Float speedup);
+            ("cache_hits_charged_zero", Bool gates_pass);
+          ]
+  in
   Obj
     [
-      ("schema", String "privcluster-bench/2");
+      ("schema", String "privcluster-bench/3");
       ("meta", meta);
       ("fixture", Obj [ ("n", Int fx_n); ("dim", Int fx_d) ]);
       ("timing", List timing_json);
@@ -612,6 +723,7 @@ let json_of_results ~meta ~fx_n ~fx_d ~timing ~engine ~alloc ~b10 ~b11 =
       ("alloc_check", alloc_json);
       ("tracing_overhead", b10_json);
       ("daemon_roundtrip", b11_json);
+      ("epoch_requery", b12_json);
     ]
 
 let write_json path json =
@@ -635,12 +747,14 @@ let run_smoke ~jobs ~json_path =
   let alloc = run_alloc_check ~smoke:true in
   let b10 = run_tracing_overhead ~smoke:true fx in
   let b11 = run_daemon_bench ~quick:true ~jobs:2 in
+  let b12 = run_epoch_bench ~jobs:2 in
   (match json_path with
   | None -> ()
   | Some path ->
       write_json path
         (json_of_results ~meta:(run_meta ~jobs) ~fx_n:160 ~fx_d:2 ~timing:[]
-           ~engine:(Some engine) ~alloc:(Some alloc) ~b10:(Some b10) ~b11:(Some b11)));
+           ~engine:(Some engine) ~alloc:(Some alloc) ~b10:(Some b10) ~b11:(Some b11)
+           ~b12:(Some b12)));
   print_endline "smoke OK"
 
 let () =
@@ -693,12 +807,13 @@ let () =
       let alloc = run_alloc_check ~smoke:false in
       let b10 = run_tracing_overhead ~smoke:false fx in
       let b11 = run_daemon_bench ~quick:!quick ~jobs:(max !jobs 4) in
+      let b12 = run_epoch_bench ~jobs:(max !jobs 4) in
       match !json_path with
       | None -> ()
       | Some path ->
           write_json path
             (json_of_results ~meta:(run_meta ~jobs:!jobs) ~fx_n:!fix_n ~fx_d:!fix_d
                ~timing:timing_rows ~engine:(Some engine) ~alloc:(Some alloc) ~b10:(Some b10)
-               ~b11:(Some b11))
+               ~b11:(Some b11) ~b12:(Some b12))
     end
   end

@@ -974,6 +974,132 @@ let client_cmd =
             finish r)
         $ setup_logs $ listen_term "Connect" $ tenant_arg $ token_arg $ dataset_arg)
   in
+  let append_cmd =
+    let run () listen tenant token dataset n seed frac radius =
+      let c = connect listen tenant token in
+      let r = Server.Client.append c ~dataset ~n ~seed ~frac ~radius () in
+      Server.Client.close c;
+      finish r
+    in
+    let n = Arg.(value & opt int 500 & info [ "n"; "points" ] ~doc:"Points to append.") in
+    let frac = Arg.(value & opt float 0.5 & info [ "frac" ] ~doc:"Planted cluster fraction.") in
+    let radius = Arg.(value & opt float 0.05 & info [ "radius" ] ~doc:"Planted cluster radius.") in
+    Cmd.v
+      (Cmd.info "append"
+         ~doc:
+           "Append synthetic planted-ball points to a dataset, advancing its epoch (standing \
+            queries tick; cached answers for older epochs stay valid for replays)")
+      Term.(
+        const run $ setup_logs $ listen_term "Connect" $ tenant_arg $ token_arg $ dataset_arg
+        $ n $ seed $ frac $ radius)
+  in
+  let retire_cmd =
+    let run () listen tenant token dataset from_ count =
+      let c = connect listen tenant token in
+      let r = Server.Client.retire c ~dataset ~from_ ~count in
+      Server.Client.close c;
+      finish r
+    in
+    let from_ = Arg.(required & opt (some int) None & info [ "from" ] ~docv:"INDEX" ~doc:"First point index to retire (current-epoch numbering).") in
+    let count = Arg.(required & opt (some int) None & info [ "count" ] ~docv:"N" ~doc:"How many consecutive points to retire.") in
+    Cmd.v
+      (Cmd.info "retire"
+         ~doc:"Retire a contiguous range of points from a dataset, advancing its epoch")
+      Term.(
+        const run $ setup_logs $ listen_term "Connect" $ tenant_arg $ token_arg $ dataset_arg
+        $ from_ $ count)
+  in
+  let epoch_cmd =
+    Cmd.v
+      (Cmd.info "epoch"
+         ~doc:"Show a dataset's current epoch, size, index backend and cache statistics")
+      Term.(
+        const (fun () listen tenant token dataset ->
+            let c = connect listen tenant token in
+            let r = Server.Client.epoch c ~dataset in
+            Server.Client.close c;
+            finish r)
+        $ setup_logs $ listen_term "Connect" $ tenant_arg $ token_arg $ dataset_arg)
+  in
+  let standing_cmd =
+    let run () listen tenant token dataset id t_fraction eps delta periods seed_opt =
+      let c = connect listen tenant token in
+      let r =
+        Server.Client.standing c ~dataset ~id ~t_fraction ~eps ~delta ~periods ?seed:seed_opt ()
+      in
+      Server.Client.close c;
+      finish r
+    in
+    let id = Arg.(value & opt string "standing" & info [ "id" ] ~docv:"ID" ~doc:"Query id; tick k reports under ID#k.") in
+    let t_fraction = Arg.(value & opt float 0.4 & info [ "t-fraction" ] ~doc:"Target cluster size as a fraction of n.") in
+    let eps = Arg.(value & opt float 2.0 & info [ "eps" ] ~doc:"TOTAL ε over all periods (each tick charges eps/periods).") in
+    let delta = Arg.(value & opt float delta_default & info [ "delta" ] ~doc:"TOTAL δ over all periods.") in
+    let periods = Arg.(value & opt int 4 & info [ "periods" ] ~doc:"Number of answers: one now, then one per epoch transition.") in
+    let seed_opt = Arg.(value & opt (some int) None & info [ "seed" ] ~doc:"Batch RNG base for the registration tick.") in
+    Cmd.v
+      (Cmd.info "standing"
+         ~doc:
+           "Register a standing 1-cluster query: the total budget is reserved up front as equal \
+            per-period slices and one slice is committed per answer")
+      Term.(
+        const run $ setup_logs $ listen_term "Connect" $ tenant_arg $ token_arg $ dataset_arg
+        $ id $ t_fraction $ eps $ delta $ periods $ seed_opt)
+  in
+  let settle_cmd =
+    let run () listen tenant token dataset action_s label =
+      let action =
+        match Server.Wire.settle_action_of_string action_s with
+        | Some a -> a
+        | None -> die "--action: want commit or release, got %S" action_s
+      in
+      let c = connect listen tenant token in
+      let r = Server.Client.settle c ~dataset ~action ?label () in
+      Server.Client.close c;
+      match r with
+      | Ok reply ->
+          List.iter
+            (fun (s : Server.Wire.settled_reservation) ->
+              Printf.printf "%s %s (%g, %g)\n"
+                (Server.Wire.settle_action_name reply.Server.Wire.action)
+                s.Server.Wire.label s.Server.Wire.eps s.Server.Wire.delta)
+            reply.Server.Wire.settled;
+          Printf.printf "settled %d, %d orphan%s remaining\n"
+            (List.length reply.Server.Wire.settled)
+            reply.Server.Wire.remaining
+            (if reply.Server.Wire.remaining = 1 then "" else "s")
+      | Error (`Server e)
+        when (match e.Server.Wire.code with Server.Wire.Rejected _ -> true | _ -> false) ->
+          prerr_endline ("client: " ^ Server.Client.fail_message (`Server e));
+          Stdlib.exit 3
+      | Error f ->
+          prerr_endline ("client: " ^ Server.Client.fail_message f);
+          Stdlib.exit 1
+    in
+    let action =
+      Arg.(
+        required
+        & opt (some string) None
+        & info [ "action" ] ~docv:"commit|release"
+            ~doc:
+              "What to do with the orphans: $(b,commit) counts them as spent (safe — the \
+               fallback may have drawn noise before the crash); $(b,release) returns the \
+               headroom (only when the operator knows no noise was drawn).")
+    in
+    let label =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "label" ] ~docv:"LABEL" ~doc:"Settle only the reservation(s) with this label.")
+    in
+    Cmd.v
+      (Cmd.info "settle"
+         ~doc:
+           "Commit or release reservations orphaned by a crash (held after WAL replay); nothing \
+            settles them automatically")
+      Term.(
+        const run $ setup_logs $ listen_term "Connect" $ tenant_arg $ token_arg $ dataset_arg
+        $ action $ label)
+  in
   let metrics_cmd =
     Cmd.v
       (Cmd.info "metrics" ~doc:"Scrape this tenant's Prometheus text exposition")
@@ -994,6 +1120,11 @@ let client_cmd =
     [
       register_cmd;
       run_cmd;
+      append_cmd;
+      retire_cmd;
+      epoch_cmd;
+      standing_cmd;
+      settle_cmd;
       ledger_cmd;
       simple "datasets" "List this tenant's datasets" Server.Wire.Datasets;
       metrics_cmd;

@@ -152,6 +152,7 @@ let release t id =
   emit t (Released { id; label; cost = p })
 
 let reserved t = List.rev_map (fun (_, label, p) -> (label, p)) t.reservations
+let outstanding t = List.rev_map (fun (id, label, p) -> (id, label, p)) t.reservations
 
 let entries t = List.rev t.charges
 let refusals t = t.refusals

@@ -130,6 +130,11 @@ val release : t -> reservation -> unit
 val reserved : t -> (string * Prim.Dp.params) list
 (** Outstanding (unsettled) reservations, oldest first. *)
 
+val outstanding : t -> (reservation * string * Prim.Dp.params) list
+(** Like {!reserved} but with the handles, so an operator can {!commit}
+    or {!release} reservations it did not take itself — the [settle]
+    path for orphans restored by WAL replay. *)
+
 val would_accept : t -> Prim.Dp.params -> bool
 (** The decision {!charge} would make, without making it. *)
 

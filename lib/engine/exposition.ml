@@ -17,12 +17,16 @@ type acct_row = {
   spent_eps : float;
   spent_delta : float;
   refusals : int;
+  epoch : int;
+  bounds_lookups : int;
+  bounds_hits : int;
 }
 
 type source = {
   kinds : kind_row list;
   counters : (string * int) list;
   acct : acct_row list;  (* one row per dataset; the [dataset] label keys them *)
+  result_cache : (string * int * int) list;  (* (dataset, hits, misses) *)
 }
 
 let families_of_source src =
@@ -109,11 +113,48 @@ let families_of_source src =
               help = "Jobs refused at admission for lack of budget.";
               samples = samples (fun l a -> [ (l, float_of_int a.refusals) ]);
             };
+          Gauge
+            {
+              name = "privcluster_epoch";
+              help = "Current dataset epoch (bumped by every append/retire).";
+              samples = samples (fun l a -> [ (l, float_of_int a.epoch) ]);
+            };
+          Counter
+            {
+              name = "privcluster_bounds_cache_total";
+              help = "r_opt-bounds cache lookups and hits, across all epochs.";
+              samples =
+                samples (fun l a ->
+                    [
+                      (l @ [ ("event", "lookup") ], float_of_int a.bounds_lookups);
+                      (l @ [ ("event", "hit") ], float_of_int a.bounds_hits);
+                    ]);
+            };
         ]
   in
-  (jobs :: latency :: events :: acct)
+  let rcache =
+    match src.result_cache with
+    | [] -> []
+    | rows ->
+        [
+          Obs.Prom.Counter
+            {
+              name = "privcluster_result_cache_total";
+              help = "Result-cache lookups by outcome; hits charged nothing.";
+              samples =
+                List.concat_map
+                  (fun (ds, hits, misses) ->
+                    [
+                      ([ ("dataset", ds); ("event", "hit") ], float_of_int hits);
+                      ([ ("dataset", ds); ("event", "miss") ], float_of_int misses);
+                    ])
+                  rows;
+            };
+        ]
+  in
+  (jobs :: latency :: events :: acct) @ rcache
 
-let source_of_live ?dataset ?(datasets = []) telemetry =
+let source_of_live ?dataset ?(datasets = []) ?result_cache telemetry =
   let kinds =
     List.map
       (fun (e : Telemetry.export_stats) ->
@@ -131,6 +172,7 @@ let source_of_live ?dataset ?(datasets = []) telemetry =
       (fun d ->
         let a = Registry.accountant d in
         let budget = Accountant.budget a and spent = Accountant.spent a in
+        let bounds_lookups, bounds_hits = Registry.bounds_cache_stats d in
         {
           dataset = Registry.name d;
           budget_eps = budget.Prim.Dp.eps;
@@ -138,17 +180,23 @@ let source_of_live ?dataset ?(datasets = []) telemetry =
           spent_eps = spent.Prim.Dp.eps;
           spent_delta = spent.Prim.Dp.delta;
           refusals = Accountant.refusals a;
+          epoch = Registry.epoch d;
+          bounds_lookups;
+          bounds_hits;
         })
       (Option.to_list dataset @ datasets)
   in
-  { kinds; counters = Telemetry.counters telemetry; acct }
+  let result_cache =
+    match result_cache with None -> [] | Some c -> Result_cache.all_stats c
+  in
+  { kinds; counters = Telemetry.counters telemetry; acct; result_cache }
 
-let families ?(spans = []) ?dataset ?datasets ~telemetry () =
-  families_of_source (source_of_live ?dataset ?datasets telemetry)
+let families ?(spans = []) ?dataset ?datasets ?result_cache ~telemetry () =
+  families_of_source (source_of_live ?dataset ?datasets ?result_cache telemetry)
   @ (if spans = [] then [] else Obs.Prom.of_spans spans)
 
-let render ?spans ?dataset ?datasets ~telemetry () =
-  Obs.Prom.render (families ?spans ?dataset ?datasets ~telemetry ())
+let render ?spans ?dataset ?datasets ?result_cache ~telemetry () =
+  Obs.Prom.render (families ?spans ?dataset ?datasets ?result_cache ~telemetry ())
 
 (* --- post-hoc: rebuild from a report JSON -------------------------------- *)
 
@@ -202,7 +250,7 @@ let kind_of_json (kind, j) =
   in
   Ok { kind; statuses; buckets; observations = count; total_ms }
 
-let acct_of_json ~dataset j =
+let acct_of_json ~dataset ?(epoch = 0) ?(bounds = (0, 0)) j =
   let* budget = field "budget" j in
   let* spent = field "spent" j in
   let* budget_eps = num "budget.eps" (Option.value ~default:Obs.Json.Null (Obs.Json.member "eps" budget)) in
@@ -212,7 +260,19 @@ let acct_of_json ~dataset j =
   let refusals =
     Option.value ~default:0 (Option.bind (Obs.Json.member "refusals" j) Obs.Json.to_int)
   in
-  Ok { dataset; budget_eps; budget_delta; spent_eps; spent_delta; refusals }
+  let bounds_lookups, bounds_hits = bounds in
+  Ok
+    {
+      dataset;
+      budget_eps;
+      budget_delta;
+      spent_eps;
+      spent_delta;
+      refusals;
+      epoch;
+      bounds_lookups;
+      bounds_hits;
+    }
 
 let of_report_json json =
   let* telemetry = field "telemetry" json in
@@ -243,10 +303,22 @@ let of_report_json json =
           Option.value ~default:"dataset"
             (Option.bind (Obs.Json.member "name" d) Obs.Json.to_str)
         in
+        let epoch =
+          Option.value ~default:0 (Option.bind (Obs.Json.member "epoch" d) Obs.Json.to_int)
+        in
+        let bounds =
+          match Obs.Json.member "r_opt_bounds_cache" d with
+          | None -> (0, 0)
+          | Some b ->
+              let geti k =
+                Option.value ~default:0 (Option.bind (Obs.Json.member k b) Obs.Json.to_int)
+              in
+              (geti "lookups", geti "hits")
+        in
         match Obs.Json.member "accountant" d with
         | None -> Ok []
         | Some a ->
-            let* row = acct_of_json ~dataset:name a in
+            let* row = acct_of_json ~dataset:name ~epoch ~bounds a in
             Ok [ row ])
   in
-  Ok (families_of_source { kinds = List.rev kinds; counters; acct })
+  Ok (families_of_source { kinds = List.rev kinds; counters; acct; result_cache = [] })

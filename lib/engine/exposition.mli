@@ -12,6 +12,11 @@
     - [privcluster_budget_epsilon] / [..._delta]
       [{dataset,quantity="budget"|"spent"}] and
       [privcluster_budget_refusals_total{dataset}] — the ledger;
+    - [privcluster_epoch{dataset}] — the dataset's current epoch;
+    - [privcluster_bounds_cache_total{dataset,event="lookup"|"hit"}] —
+      the registry's r_opt-bounds cache;
+    - [privcluster_result_cache_total{dataset,event="hit"|"miss"}] —
+      the service's result cache (when a cache is passed);
     - the [privcluster_spans_*] families of {!Obs.Prom.of_spans}.
 
     {!of_report_json} rebuilds the same families from a batch report
@@ -22,18 +27,22 @@ val families :
   ?spans:Obs.Span.span list ->
   ?dataset:Registry.dataset ->
   ?datasets:Registry.dataset list ->
+  ?result_cache:Result_cache.t ->
   telemetry:Telemetry.t ->
   unit ->
   Obs.Prom.family list
 (** [dataset] and [datasets] both contribute ledger rows — the budget
     families carry one sample set per dataset, keyed by the [dataset]
     label, so a multi-dataset tenant (the daemon's metrics endpoint)
-    renders in single Prometheus families. *)
+    renders in single Prometheus families.  [result_cache] (the
+    service's, {!Service.result_cache}) adds the per-dataset hit/miss
+    family. *)
 
 val render :
   ?spans:Obs.Span.span list ->
   ?dataset:Registry.dataset ->
   ?datasets:Registry.dataset list ->
+  ?result_cache:Result_cache.t ->
   telemetry:Telemetry.t ->
   unit ->
   string

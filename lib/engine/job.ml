@@ -1,7 +1,13 @@
+type mutation_op =
+  | Append_synth of { n : int; seed : int; frac : float; radius : float }
+  | Retire_range of { from_ : int; count : int }
+
 type kind =
   | One_cluster of { t_fraction : float }
   | K_cluster of { k : int; t_fraction : float }
   | Quantile of { axis : int; q : float }
+  | Mutate of mutation_op
+  | Standing of { t_fraction : float; periods : int }
 
 type spec = {
   id : string;
@@ -17,6 +23,8 @@ let kind_name = function
   | One_cluster _ -> "one_cluster"
   | K_cluster _ -> "k_cluster"
   | Quantile _ -> "quantile"
+  | Mutate _ -> "mutate"
+  | Standing _ -> "standing"
 
 let cost spec = { Prim.Dp.eps = spec.eps; delta = spec.delta }
 
@@ -56,7 +64,10 @@ let parse_line ~default_beta ~lineno ~ordinal line =
       | None -> (
           let lookup k = List.assoc_opt k !kvs in
           let known_keys =
-            [ "eps"; "delta"; "beta"; "t_fraction"; "k"; "q"; "axis"; "deadline"; "id"; "fallback" ]
+            [
+              "eps"; "delta"; "beta"; "t_fraction"; "k"; "q"; "axis"; "deadline"; "id"; "fallback";
+              "op"; "n"; "seed"; "frac"; "radius"; "from"; "count"; "periods";
+            ]
           in
           match List.find_opt (fun (k, _) -> not (List.mem k known_keys)) !kvs with
           | Some (k, _) -> fail "unknown key %S" k
@@ -78,11 +89,22 @@ let parse_line ~default_beta ~lineno ~ordinal line =
                     | Some f -> Ok f
                     | None -> fail "key %s: not a number: %S" k v)
               in
-              let* kind, default_delta =
+              let require_int k =
+                match lookup k with
+                | None -> fail "%s requires %s=" kind_tok k
+                | Some v -> (
+                    match int_of_string_opt v with
+                    | Some i -> Ok i
+                    | None -> fail "key %s: not an integer: %S" k v)
+              in
+              (* [free_of_charge] kinds (mutations) touch no private data
+                 through a mechanism, so eps/delta default to 0 instead of
+                 being required. *)
+              let* kind, default_delta, free_of_charge =
                 match kind_tok with
                 | "one_cluster" ->
                     let* t_fraction = float_of "t_fraction" 0.5 in
-                    Ok (One_cluster { t_fraction }, None)
+                    Ok (One_cluster { t_fraction }, None, false)
                 | "k_cluster" -> (
                     match lookup "k" with
                     | None -> fail "k_cluster requires k="
@@ -92,15 +114,39 @@ let parse_line ~default_beta ~lineno ~ordinal line =
                         | Some k when k < 0 -> fail "key k: not a positive integer: %S" kv
                         | Some k ->
                             let* t_fraction = float_of "t_fraction" 0.5 in
-                            Ok (K_cluster { k; t_fraction }, None)))
+                            Ok (K_cluster { k; t_fraction }, None, false)))
                 | "quantile" ->
                     let* q = float_of "q" 0.5 in
                     let* axis = float_of "axis" 0. in
                     if q < 0. || q > 1. then fail "key q: must be in [0, 1]"
-                    else Ok (Quantile { axis = int_of_float axis; q }, Some 0.)
-                | k -> fail "unknown job kind %S (expected one_cluster|k_cluster|quantile)" k
+                    else Ok (Quantile { axis = int_of_float axis; q }, Some 0., false)
+                | "mutate" -> (
+                    match lookup "op" with
+                    | None -> fail "mutate requires op=append|retire"
+                    | Some "append" ->
+                        let* n = require_int "n" in
+                        let* seed = require_int "seed" in
+                        let* frac = float_of "frac" 0.5 in
+                        let* radius = float_of "radius" 0.05 in
+                        if n < 1 then fail "key n: must be >= 1"
+                        else Ok (Mutate (Append_synth { n; seed; frac; radius }), Some 0., true)
+                    | Some "retire" ->
+                        let* from_ = require_int "from" in
+                        let* count = require_int "count" in
+                        if from_ < 0 then fail "key from: must be >= 0"
+                        else if count < 1 then fail "key count: must be >= 1"
+                        else Ok (Mutate (Retire_range { from_; count }), Some 0., true)
+                    | Some op -> fail "key op: expected append|retire, got %S" op)
+                | "standing" ->
+                    let* t_fraction = float_of "t_fraction" 0.5 in
+                    let* periods = require_int "periods" in
+                    if periods < 1 then fail "key periods: must be >= 1"
+                    else Ok (Standing { t_fraction; periods }, None, false)
+                | k ->
+                    fail "unknown job kind %S (expected one_cluster|k_cluster|quantile|mutate|standing)"
+                      k
               in
-              let* eps = require_float "eps" in
+              let* eps = if free_of_charge then float_of "eps" 0. else require_float "eps" in
               let* delta =
                 match default_delta with Some d -> float_of "delta" d | None -> require_float "delta"
               in
@@ -113,7 +159,7 @@ let parse_line ~default_beta ~lineno ~ordinal line =
                 | Some ("false" | "0") -> Ok false
                 | Some v -> fail "key fallback: expected true|false, got %S" v
               in
-              if eps <= 0. then fail "key eps: must be > 0"
+              if (not free_of_charge) && eps <= 0. then fail "key eps: must be > 0"
               else if delta < 0. || delta >= 1. then fail "key delta: must be in [0, 1)"
               else if fallback && (match kind with One_cluster _ -> false | _ -> true) then
                 fail "key fallback: only one_cluster jobs have a degradation fallback"
@@ -155,7 +201,13 @@ let spec_to_line spec =
   | One_cluster { t_fraction } -> Buffer.add_string b (Printf.sprintf " t_fraction=%g" t_fraction)
   | K_cluster { k; t_fraction } ->
       Buffer.add_string b (Printf.sprintf " k=%d t_fraction=%g" k t_fraction)
-  | Quantile { axis; q } -> Buffer.add_string b (Printf.sprintf " q=%g axis=%d" q axis));
+  | Quantile { axis; q } -> Buffer.add_string b (Printf.sprintf " q=%g axis=%d" q axis)
+  | Mutate (Append_synth { n; seed; frac; radius }) ->
+      Buffer.add_string b (Printf.sprintf " op=append n=%d seed=%d frac=%g radius=%g" n seed frac radius)
+  | Mutate (Retire_range { from_; count }) ->
+      Buffer.add_string b (Printf.sprintf " op=retire from=%d count=%d" from_ count)
+  | Standing { t_fraction; periods } ->
+      Buffer.add_string b (Printf.sprintf " t_fraction=%g periods=%d" t_fraction periods));
   Buffer.add_string b (Printf.sprintf " eps=%g delta=%g beta=%g id=%s" spec.eps spec.delta spec.beta spec.id);
   (match spec.deadline_s with
   | Some d -> Buffer.add_string b (Printf.sprintf " deadline=%g" d)
@@ -172,6 +224,8 @@ type output =
   | Clusters of { balls : ball list; uncovered : int; failures : int }
   | Quantile_value of { value : float; target_rank : float }
   | Radius of { radius : float; t : int; delta_bound : float }
+  | Epoch_advanced of { epoch : int; n : int }
+  | Standing_accepted of { periods : int }
 
 type status =
   | Completed of output
@@ -222,6 +276,8 @@ let output_json = function
           ("t", Json.Int t);
           ("delta_bound", Json.Float delta_bound);
         ]
+  | Epoch_advanced { epoch; n } -> Json.Obj [ ("epoch", Json.Int epoch); ("n", Json.Int n) ]
+  | Standing_accepted { periods } -> Json.Obj [ ("periods", Json.Int periods) ]
 
 let result_to_json r =
   let base =
@@ -255,6 +311,8 @@ let output_detail = function
   | Quantile_value { value; target_rank } ->
       Printf.sprintf "value %.4f (target rank %.0f)" value target_rank
   | Radius { radius; t; _ } -> Printf.sprintf "radius %.4f for t=%d (no center)" radius t
+  | Epoch_advanced { epoch; n } -> Printf.sprintf "epoch %d (%d points)" epoch n
+  | Standing_accepted { periods } -> Printf.sprintf "standing query accepted for %d periods" periods
 
 let detail r =
   match r.status with
@@ -266,3 +324,165 @@ let detail r =
 let pp_result ppf r =
   Format.fprintf ppf "%-12s %-12s %-8s %6.1fms  %s" r.spec.id (kind_name r.spec.kind)
     (status_name r.status) r.latency_ms (detail r)
+
+(* --- result caching ----------------------------------------------------- *)
+
+(* The mechanism parameters of a spec, excluding identity and scheduling
+   knobs (id, deadline, fallback): two specs with equal signatures drive
+   the pipeline identically, so given the same dataset epoch and derived
+   RNG stream they produce bit-identical outputs.  Floats are rendered
+   with %h (exact hex) — no two distinct parameterizations collide. *)
+let signature spec =
+  let b = Buffer.create 64 in
+  Buffer.add_string b (kind_name spec.kind);
+  (match spec.kind with
+  | One_cluster { t_fraction } -> Buffer.add_string b (Printf.sprintf " t_fraction=%h" t_fraction)
+  | K_cluster { k; t_fraction } ->
+      Buffer.add_string b (Printf.sprintf " k=%d t_fraction=%h" k t_fraction)
+  | Quantile { axis; q } -> Buffer.add_string b (Printf.sprintf " axis=%d q=%h" axis q)
+  | Mutate (Append_synth { n; seed; frac; radius }) ->
+      Buffer.add_string b (Printf.sprintf " op=append n=%d seed=%d frac=%h radius=%h" n seed frac radius)
+  | Mutate (Retire_range { from_; count }) ->
+      Buffer.add_string b (Printf.sprintf " op=retire from=%d count=%d" from_ count)
+  | Standing { t_fraction; periods } ->
+      Buffer.add_string b (Printf.sprintf " t_fraction=%h periods=%d" t_fraction periods));
+  Buffer.add_string b (Printf.sprintf " eps=%h delta=%h beta=%h" spec.eps spec.delta spec.beta);
+  Buffer.contents b
+
+(* Exact (hex-float) codec for outputs, used by the result cache's WAL
+   journaling: a replayed cache entry must reproduce the recorded answer
+   bit-for-bit, which the human-readable %.17g-free [output_json] cannot
+   promise. *)
+
+let hex x = Json.String (Printf.sprintf "%h" x)
+
+let dehex = function
+  | Json.String s -> ( match float_of_string_opt s with Some f -> Ok f | None -> Error "bad float")
+  | Json.Float f -> Ok f
+  | Json.Int i -> Ok (float_of_int i)
+  | _ -> Error "expected float"
+
+let ball_to_wire { center; radius; covered } =
+  Json.Obj
+    [
+      ("center", Json.List (Array.to_list (Array.map hex center)));
+      ("radius", hex radius);
+      ("covered", Json.Int covered);
+    ]
+
+let output_to_wire = function
+  | Cluster { ball; t; ratio_vs_hi; delta_bound } ->
+      Json.Obj
+        [
+          ("kind", Json.String "cluster");
+          ("ball", ball_to_wire ball);
+          ("t", Json.Int t);
+          ("ratio_vs_hi", hex ratio_vs_hi);
+          ("delta_bound", hex delta_bound);
+        ]
+  | Clusters { balls; uncovered; failures } ->
+      Json.Obj
+        [
+          ("kind", Json.String "clusters");
+          ("balls", Json.List (List.map ball_to_wire balls));
+          ("uncovered", Json.Int uncovered);
+          ("failures", Json.Int failures);
+        ]
+  | Quantile_value { value; target_rank } ->
+      Json.Obj
+        [ ("kind", Json.String "quantile"); ("value", hex value); ("target_rank", hex target_rank) ]
+  | Radius { radius; t; delta_bound } ->
+      Json.Obj
+        [
+          ("kind", Json.String "radius");
+          ("radius", hex radius);
+          ("t", Json.Int t);
+          ("delta_bound", hex delta_bound);
+        ]
+  | Epoch_advanced { epoch; n } ->
+      Json.Obj [ ("kind", Json.String "epoch"); ("epoch", Json.Int epoch); ("n", Json.Int n) ]
+  | Standing_accepted { periods } ->
+      Json.Obj [ ("kind", Json.String "standing"); ("periods", Json.Int periods) ]
+
+let output_of_wire json =
+  let ( let* ) = Result.bind in
+  let field k =
+    match Json.member k json with Some v -> Ok v | None -> Error ("missing field " ^ k)
+  in
+  let int_field k =
+    let* v = field k in
+    match Json.to_int v with Some i -> Ok i | None -> Error ("field " ^ k ^ ": expected int")
+  in
+  let float_field k =
+    let* v = field k in
+    dehex v
+  in
+  let ball_of = function
+    | Json.Obj _ as b -> (
+        let bfield k =
+          match Json.member k b with Some v -> Ok v | None -> Error ("ball: missing " ^ k)
+        in
+        let* center = bfield "center" in
+        let* radius = Result.bind (bfield "radius") dehex in
+        let* covered =
+          Result.bind (bfield "covered") (fun v ->
+              match Json.to_int v with Some i -> Ok i | None -> Error "ball: covered not an int")
+        in
+        match center with
+        | Json.List cs ->
+            let* coords =
+              List.fold_left
+                (fun acc c ->
+                  let* acc = acc in
+                  let* f = dehex c in
+                  Ok (f :: acc))
+                (Ok []) cs
+            in
+            Ok { center = Array.of_list (List.rev coords); radius; covered }
+        | _ -> Error "ball: center not a list")
+    | _ -> Error "expected ball object"
+  in
+  let* kind = Result.bind (field "kind") (fun v ->
+      match Json.to_str v with Some s -> Ok s | None -> Error "field kind: expected string")
+  in
+  match kind with
+  | "cluster" ->
+      let* ball = Result.bind (field "ball") ball_of in
+      let* t = int_field "t" in
+      let* ratio_vs_hi = float_field "ratio_vs_hi" in
+      let* delta_bound = float_field "delta_bound" in
+      Ok (Cluster { ball; t; ratio_vs_hi; delta_bound })
+  | "clusters" ->
+      let* balls_json = field "balls" in
+      let* balls =
+        match balls_json with
+        | Json.List bs ->
+            List.fold_left
+              (fun acc b ->
+                let* acc = acc in
+                let* ball = ball_of b in
+                Ok (ball :: acc))
+              (Ok []) bs
+            |> Result.map List.rev
+        | _ -> Error "field balls: expected list"
+      in
+      let* uncovered = int_field "uncovered" in
+      let* failures = int_field "failures" in
+      Ok (Clusters { balls; uncovered; failures })
+  | "quantile" ->
+      let* value = float_field "value" in
+      let* target_rank = float_field "target_rank" in
+      Ok (Quantile_value { value; target_rank })
+  | "radius" ->
+      let* radius = float_field "radius" in
+      let* t = int_field "t" in
+      let* delta_bound = float_field "delta_bound" in
+      Ok (Radius { radius; t; delta_bound })
+  | "epoch" ->
+      let* epoch = int_field "epoch" in
+      let* n = int_field "n" in
+      Ok (Epoch_advanced { epoch; n })
+  | "standing" ->
+      let* periods = int_field "periods" in
+      Ok (Standing_accepted { periods })
+  | k -> Error ("unknown output kind " ^ k)

@@ -10,7 +10,13 @@
       [t = ⌈t_fraction · n⌉];
     - [k_cluster] — {!Privcluster.K_cluster.run} (Observation 3.5);
     - [quantile] — {!Privcluster.Quantile.quantile} on one coordinate axis
-      of the dataset (an [(ε, 0)]-DP query; [delta] defaults to 0).
+      of the dataset (an [(ε, 0)]-DP query; [delta] defaults to 0);
+    - [mutate] — an epoch transition ({!Registry.append} of synthetic
+      points, or {!Registry.retire} of an index range); free of charge
+      and executed by the batch coordinator, not a worker;
+    - [standing] — a standing 1-cluster query: [(eps, delta)] declares a
+      {e total} budget, reserved up front in [periods] equal slices; one
+      slice is committed per epoch the query is re-answered on.
 
     {2 Jobs-file format}
 
@@ -21,19 +27,35 @@
     one_cluster   t_fraction=0.45 eps=0.5 delta=1e-7
     k_cluster     k=3 t_fraction=0.2 eps=1.0 delta=1e-7 deadline=30
     quantile      q=0.5 axis=0 eps=0.25 id=median-x
+    mutate        op=append n=500 seed=11 frac=0.5 radius=0.05
+    mutate        op=retire from=0 count=100
+    standing      t_fraction=0.45 periods=4 eps=0.8 delta=4e-7 id=watch
     v}
 
-    Recognized keys: [eps] (required), [delta] (required for [one_cluster]
-    and [k_cluster], default [0] otherwise), [beta] (default 0.1),
-    [t_fraction] (default 0.5), [k] (required for [k_cluster]), [q]
-    (default 0.5), [axis] (default 0), [deadline] (seconds, default none),
-    [fallback] (true/false, default false; [one_cluster] only),
-    [id] (default ["j<line-position>"]). *)
+    Recognized keys: [eps] (required except for [mutate], default 0 there),
+    [delta] (required for [one_cluster], [k_cluster] and [standing],
+    default [0] otherwise), [beta] (default 0.1), [t_fraction] (default
+    0.5), [k] (required for [k_cluster]), [q] (default 0.5), [axis]
+    (default 0), [deadline] (seconds, default none), [fallback]
+    (true/false, default false; [one_cluster] only), [id] (default
+    ["j<line-position>"]); for [mutate]: [op] (required, [append] or
+    [retire]), [n]/[seed] (required for append), [frac] (default 0.5),
+    [radius] (default 0.05), [from]/[count] (required for retire); for
+    [standing]: [periods] (required, ≥ 1). *)
+
+type mutation_op =
+  | Append_synth of { n : int; seed : int; frac : float; radius : float }
+      (** Append [n] points drawn by {!Workload.Synth.planted_ball} from
+          a dedicated RNG seeded with [seed] — deterministic, so a WAL
+          replay reproduces the exact rows. *)
+  | Retire_range of { from_ : int; count : int }
 
 type kind =
   | One_cluster of { t_fraction : float }
   | K_cluster of { k : int; t_fraction : float }
   | Quantile of { axis : int; q : float }
+  | Mutate of mutation_op
+  | Standing of { t_fraction : float; periods : int }
 
 type spec = {
   id : string;
@@ -50,7 +72,8 @@ type spec = {
 }
 
 val kind_name : kind -> string
-(** ["one_cluster"], ["k_cluster"], ["quantile"]. *)
+(** ["one_cluster"], ["k_cluster"], ["quantile"], ["mutate"],
+    ["standing"]. *)
 
 val cost : spec -> Prim.Dp.params
 (** What the accountant is charged: the job's [(ε, δ)]. *)
@@ -81,6 +104,12 @@ type output =
   | Radius of { radius : float; t : int; delta_bound : float }
       (** The degraded fallback's output: a GoodRadius-only answer — a
           certified radius for target size [t], but no center. *)
+  | Epoch_advanced of { epoch : int; n : int }
+      (** A [mutate] job's acknowledgement: the dataset's new epoch and
+          point count. *)
+  | Standing_accepted of { periods : int }
+      (** A [standing] job's acknowledgement; subsequent ticks report as
+          ordinary {!Cluster} results under ids ["<id>#<k>"]. *)
 
 type status =
   | Completed of output
@@ -111,3 +140,19 @@ val detail : result -> string
 
 val pp_result : Format.formatter -> result -> unit
 (** One line: id, kind, status, latency, {!detail}. *)
+
+(** {1 Result caching} *)
+
+val signature : spec -> string
+(** The spec's mechanism parameters — kind, kind arguments, [(ε, δ)], β —
+    rendered exactly (hex floats), excluding identity and scheduling
+    knobs ([id], [deadline], [fallback]).  Two specs with equal
+    signatures, run against the same dataset epoch with the same derived
+    RNG stream, produce bit-identical outputs; the signature is therefore
+    the job-parameter component of {!Result_cache} keys. *)
+
+val output_to_wire : output -> Json.t
+(** Exact JSON encoding (hex floats) for WAL journaling; round-trips
+    bit-for-bit through {!output_of_wire}. *)
+
+val output_of_wire : Json.t -> (output, string) Stdlib.result

@@ -1,13 +1,51 @@
+(* Epoch-versioned datasets.
+
+   A dataset owns an append-only arena (one flat row-major [float array]);
+   every epoch is an immutable view over it: a [Pointset.view] selecting
+   the live rows plus the index built on them.  [append] writes new rows
+   past the high-water mark (invisible to live views) and publishes a new
+   epoch; [retire] drops a contiguous range of point indices.  Old epochs
+   keep working through structural sharing — their views and trees hold a
+   reference to whatever array backed them.
+
+   Index maintenance is incremental on the k-d-tree backend: appended rows
+   are routed into existing leaves ([Kdtree.insert_bulk]) and retired rows
+   masked out ([Kdtree.remove_bulk]); once accumulated drift exceeds half
+   the size the tree was last built at, the next mutation rebuilds from
+   scratch.  Count-based queries — the only kind the pipeline issues — are
+   bit-identical either way.  The dense backend is recomputed per epoch
+   (it is only chosen for small n, where the O(n²) rebuild is the same
+   cost a fresh registration would pay).
+
+   The r_opt-bounds cache lives inside the epoch state, so a mutation
+   invalidates it wholesale: a new epoch starts with an empty table. *)
+
+type epoch_state = {
+  epoch : int;
+  pointset : Geometry.Pointset.t;
+  index : Geometry.Pointset.index;
+  bounds : (int, float * float) Hashtbl.t;
+  tree_base : int;  (** size at the last full (re)build of a tree index *)
+  drift : int;  (** rows inserted/removed incrementally since then *)
+}
+
+type mutation =
+  | Appended of { epoch : int; dim : int; points : float array }
+  | Retired of { epoch : int; from_ : int; count : int }
+
 type dataset = {
   name : string;
   grid : Geometry.Grid.t;
-  pointset : Geometry.Pointset.t;
-  index : Geometry.Pointset.index;
   accountant : Accountant.t;
-  bounds : (int, float * float) Hashtbl.t;
-  bounds_mutex : Mutex.t;
+  dense_threshold : int option;
+  index_domains : int option;
+  mutable arena : float array;
+  mutable used : int;  (** elements of [arena] below the high-water mark *)
+  mutable current : epoch_state;
+  mu : Mutex.t;  (** serializes mutations and guards the bounds table *)
   mutable bounds_lookups : int;
   mutable bounds_hits : int;
+  mutable mutation_listeners : (mutation -> unit) list;
 }
 
 type t = { mutable datasets : dataset list (* reverse registration order *) }
@@ -16,6 +54,16 @@ let create () = { datasets = [] }
 
 let find t name = List.find_opt (fun d -> d.name = name) t.datasets
 let names t = List.rev_map (fun d -> d.name) t.datasets
+
+let fresh_epoch ~epoch ps index =
+  {
+    epoch;
+    pointset = ps;
+    index;
+    bounds = Hashtbl.create 8;
+    tree_base = Geometry.Pointset.n ps;
+    drift = 0;
+  }
 
 let register t ~name ~grid ?mode ~budget ?dense_threshold ?index_domains points =
   if find t name <> None then
@@ -26,13 +74,16 @@ let register t ~name ~grid ?mode ~budget ?dense_threshold ?index_domains points 
     {
       name;
       grid;
-      pointset;
-      index;
       accountant = Accountant.create ?mode ~budget ();
-      bounds = Hashtbl.create 8;
-      bounds_mutex = Mutex.create ();
+      dense_threshold;
+      index_domains;
+      arena = Geometry.Pointset.storage pointset;
+      used = Geometry.Pointset.n pointset * Geometry.Pointset.dim pointset;
+      current = fresh_epoch ~epoch:0 pointset index;
+      mu = Mutex.create ();
       bounds_lookups = 0;
       bounds_hits = 0;
+      mutation_listeners = [];
     }
   in
   t.datasets <- dataset :: t.datasets;
@@ -40,38 +91,157 @@ let register t ~name ~grid ?mode ~budget ?dense_threshold ?index_domains points 
 
 let name d = d.name
 let grid d = d.grid
-let pointset d = d.pointset
-let index d = d.index
+let pointset d = d.current.pointset
+let index d = d.current.index
 let accountant d = d.accountant
-let n d = Geometry.Pointset.n d.pointset
-let dim d = Geometry.Pointset.dim d.pointset
+let epoch d = d.current.epoch
+let n d = Geometry.Pointset.n d.current.pointset
+let dim d = Geometry.Pointset.dim d.current.pointset
+
+let subscribe_mutations d f = d.mutation_listeners <- f :: d.mutation_listeners
+
+let notify d mutation = List.iter (fun f -> f mutation) (List.rev d.mutation_listeners)
+
+let reindex d ps =
+  Geometry.Pointset.auto_index ?dense_threshold:d.dense_threshold ?domains:d.index_domains ps
+
+let rebuild_threshold base = max 64 (base / 2)
+
+(* Grow the arena so [extra] more elements fit past the high-water mark.
+   Live epochs keep referencing the array that backed them; only the new
+   epoch reads through the grown copy. *)
+let ensure_capacity d ~extra =
+  let needed = d.used + extra in
+  let len = Array.length d.arena in
+  if needed > len then begin
+    let cap = max needed (2 * len) in
+    let arena = Array.make cap 0. in
+    Array.blit d.arena 0 arena 0 d.used;
+    d.arena <- arena
+  end
+
+let append d points =
+  let k = Array.length points in
+  if k = 0 then invalid_arg "Registry.append: empty";
+  let ps_dim = dim d in
+  Array.iter
+    (fun p ->
+      if Geometry.Vec.dim p <> ps_dim then invalid_arg "Registry.append: dimension mismatch")
+    points;
+  Mutex.lock d.mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock d.mu)
+    (fun () ->
+      let cur = d.current in
+      ensure_capacity d ~extra:(k * ps_dim);
+      let new_offs = Array.init k (fun i -> d.used + (i * ps_dim)) in
+      Array.iteri (fun i p -> Geometry.Vec.set_row d.arena ~off:new_offs.(i) p) points;
+      let flat = Array.sub d.arena d.used (k * ps_dim) in
+      d.used <- d.used + (k * ps_dim);
+      let offs' = Array.append (Geometry.Pointset.row_offsets cur.pointset) new_offs in
+      let ps' = Geometry.Pointset.view ~storage:d.arena ~offs:offs' ~dim:ps_dim in
+      let epoch' = cur.epoch + 1 in
+      let state =
+        match Geometry.Pointset.index_tree cur.index with
+        | None -> fresh_epoch ~epoch:epoch' ps' (reindex d ps')
+        | Some tree ->
+            let drift = cur.drift + k in
+            if drift > rebuild_threshold cur.tree_base then
+              fresh_epoch ~epoch:epoch' ps' (reindex d ps')
+            else begin
+              let tree =
+                Geometry.Kdtree.insert_bulk
+                  (Geometry.Kdtree.with_storage tree ~storage:d.arena)
+                  ~offs:new_offs
+              in
+              {
+                epoch = epoch';
+                pointset = ps';
+                index = Geometry.Pointset.index_of_tree ps' tree;
+                bounds = Hashtbl.create 8;
+                tree_base = cur.tree_base;
+                drift;
+              }
+            end
+      in
+      d.current <- state;
+      notify d (Appended { epoch = epoch'; dim = ps_dim; points = flat });
+      epoch')
+
+let retire d ~from_ ~count =
+  Mutex.lock d.mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock d.mu)
+    (fun () ->
+      let cur = d.current in
+      let total = Geometry.Pointset.n cur.pointset in
+      if from_ < 0 || count < 1 || from_ + count > total then
+        invalid_arg "Registry.retire: range out of bounds";
+      if count >= total then invalid_arg "Registry.retire: cannot retire every point";
+      let offs = Geometry.Pointset.row_offsets cur.pointset in
+      let offs' = Array.make (total - count) 0 in
+      Array.blit offs 0 offs' 0 from_;
+      Array.blit offs (from_ + count) offs' from_ (total - from_ - count);
+      let ps' =
+        Geometry.Pointset.view ~storage:d.arena ~offs:offs'
+          ~dim:(Geometry.Pointset.dim cur.pointset)
+      in
+      let epoch' = cur.epoch + 1 in
+      let state =
+        match Geometry.Pointset.index_tree cur.index with
+        | None -> fresh_epoch ~epoch:epoch' ps' (reindex d ps')
+        | Some tree ->
+            let drift = cur.drift + count in
+            if drift > rebuild_threshold cur.tree_base then
+              fresh_epoch ~epoch:epoch' ps' (reindex d ps')
+            else begin
+              let dead = Hashtbl.create count in
+              for i = from_ to from_ + count - 1 do
+                Hashtbl.replace dead offs.(i) ()
+              done;
+              let tree =
+                Geometry.Kdtree.remove_bulk
+                  (Geometry.Kdtree.with_storage tree ~storage:d.arena)
+                  ~dead:(Hashtbl.mem dead)
+              in
+              {
+                epoch = epoch';
+                pointset = ps';
+                index = Geometry.Pointset.index_of_tree ps' tree;
+                bounds = Hashtbl.create 8;
+                tree_base = cur.tree_base;
+                drift;
+              }
+            end
+      in
+      d.current <- state;
+      notify d (Retired { epoch = epoch'; from_; count });
+      epoch')
 
 let r_opt_bounds d ~t =
-  Mutex.lock d.bounds_mutex;
+  Mutex.lock d.mu;
+  let cur = d.current in
   d.bounds_lookups <- d.bounds_lookups + 1;
-  match Hashtbl.find_opt d.bounds t with
+  match Hashtbl.find_opt cur.bounds t with
   | Some b ->
       d.bounds_hits <- d.bounds_hits + 1;
-      Mutex.unlock d.bounds_mutex;
+      Mutex.unlock d.mu;
       b
   | None ->
       (* Computed under the lock: concurrent first requests for the same [t]
          would otherwise both pay the O(n) scan, and the dense index's
          kth-neighbor lookup is cheap relative to lock hold-time concerns. *)
-      let b =
-        Fun.protect
-          ~finally:(fun () -> Mutex.unlock d.bounds_mutex)
-          (fun () ->
-            let b = Workload.Metrics.r_opt_bounds_indexed d.index ~t in
-            Hashtbl.replace d.bounds t b;
-            b)
-      in
-      b
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock d.mu)
+        (fun () ->
+          let b = Workload.Metrics.r_opt_bounds_indexed cur.index ~t in
+          Hashtbl.replace cur.bounds t b;
+          b)
 
 let bounds_cache_stats d =
-  Mutex.lock d.bounds_mutex;
+  Mutex.lock d.mu;
   let s = (d.bounds_lookups, d.bounds_hits) in
-  Mutex.unlock d.bounds_mutex;
+  Mutex.unlock d.mu;
   s
 
 let to_json d =
@@ -79,11 +249,12 @@ let to_json d =
   Json.Obj
     [
       ("name", Json.String d.name);
+      ("epoch", Json.Int (epoch d));
       ("n", Json.Int (n d));
       ("dim", Json.Int (dim d));
       ("axis_size", Json.Int (Geometry.Grid.axis_size d.grid));
       ( "index_backend",
-        Json.String (if Geometry.Pointset.index_is_dense d.index then "dense" else "kdtree") );
+        Json.String (if Geometry.Pointset.index_is_dense (index d) then "dense" else "kdtree") );
       ("r_opt_bounds_cache", Json.Obj [ ("lookups", Json.Int lookups); ("hits", Json.Int hits) ]);
       ("accountant", Accountant.to_json d.accountant);
     ]

@@ -1,22 +1,40 @@
 (** Registered datasets: the per-dataset state the engine amortizes across
-    queries.
+    queries — now epoch-versioned.
 
     Registering a dataset builds its {!Geometry.Pointset.index} once (the
     O(n²) — or k-d-tree — construction that dominates a cold 1-cluster
     query) and attaches a budgeted {!Accountant}; every subsequent job
-    against the dataset reuses both.  The [(r_lo, r_hi)] sandwich of
-    {!Workload.Metrics.r_opt_bounds_indexed} is also cached, keyed by the
-    target [t], because repeated queries overwhelmingly share their target
-    size.
+    against the dataset reuses both.
 
-    Worker domains read the pointset and index concurrently; both are
-    immutable after construction.  The r_opt-bounds cache is the one
-    mutable structure jobs touch and is mutex-protected. *)
+    {b Epochs.}  A dataset is no longer frozen at registration: {!append}
+    and {!retire} each publish a new {e epoch} — an immutable snapshot
+    (pointset view + index + r_opt-bounds cache) over the dataset's
+    append-only arena.  Readers holding the previous epoch keep computing
+    against it unchanged (structural sharing); new work sees the new
+    epoch.  On the k-d-tree backend the index is maintained incrementally
+    ({!Geometry.Kdtree.insert_bulk} / [remove_bulk]) with a full rebuild
+    once accumulated drift exceeds half the last-built size; count-based
+    query results are bit-identical to a fresh build either way.  The
+    [(r_lo, r_hi)] sandwich of {!Workload.Metrics.r_opt_bounds_indexed}
+    is cached per epoch, keyed by the target [t] — a mutation invalidates
+    it wholesale.
+
+    Worker domains read the current epoch's pointset and index
+    concurrently; mutations are serialized by an internal mutex and
+    publish the new epoch with a single field write. *)
 
 type dataset
 
 type t
 (** A named collection of datasets (the engine's directory). *)
+
+type mutation =
+  | Appended of { epoch : int; dim : int; points : float array }
+      (** The appended rows, flattened row-major ([epoch] is the new
+          epoch the append produced). *)
+  | Retired of { epoch : int; from_ : int; count : int }
+      (** Point indices [from_ .. from_+count-1] of the {e previous}
+          epoch were dropped. *)
 
 val create : unit -> t
 
@@ -31,10 +49,11 @@ val register :
   Geometry.Vec.t array ->
   dataset
 (** Build the index ({!Geometry.Pointset.auto_index} with the given dense
-    threshold) and the accountant, and file the dataset under [name].  The
-    points are packed once into flat storage; every job then reads that
-    storage through zero-copy views.  [index_domains > 1] parallelizes the
-    dense-index construction (the result is identical for any value).
+    threshold) and the accountant, and file the dataset under [name] at
+    epoch 0.  The points are packed once into flat storage, which becomes
+    the dataset's arena; every job then reads that storage through
+    zero-copy views.  [index_domains > 1] parallelizes the dense-index
+    construction (the result is identical for any value).
     @raise Invalid_argument on a duplicate name, an empty point array, or
     points of mixed dimension. *)
 
@@ -42,24 +61,51 @@ val find : t -> string -> dataset option
 val names : t -> string list
 (** In registration order. *)
 
-(** {1 Per-dataset accessors} *)
+(** {1 Mutation} *)
+
+val append : dataset -> Geometry.Vec.t array -> int
+(** Append the points after the existing ones and publish a new epoch;
+    returns the new epoch number.  The arena grows by doubling when full;
+    live epochs keep referencing the array that backed them.
+    @raise Invalid_argument on an empty array or a dimension mismatch. *)
+
+val retire : dataset -> from_:int -> count:int -> int
+(** Drop the contiguous point-index range [from_ .. from_+count-1] of the
+    current epoch (indices as reported by queries against it) and publish
+    a new epoch; returns the new epoch number.  Remaining points keep
+    their relative order.  At least one point must survive.
+    @raise Invalid_argument on an out-of-range slice or one that would
+    empty the dataset. *)
+
+val subscribe_mutations : dataset -> (mutation -> unit) -> unit
+(** [f] runs synchronously after each mutation publishes its epoch, in
+    subscription order — the server journals epoch transitions through
+    this hook. *)
+
+(** {1 Per-dataset accessors}
+
+    [pointset] and [index] return the {e current} epoch's view; a caller
+    that needs a coherent pair should read them once and keep the
+    results (each epoch is immutable). *)
 
 val name : dataset -> string
 val grid : dataset -> Geometry.Grid.t
 val pointset : dataset -> Geometry.Pointset.t
 val index : dataset -> Geometry.Pointset.index
 val accountant : dataset -> Accountant.t
+val epoch : dataset -> int
 val n : dataset -> int
 val dim : dataset -> int
 
 val r_opt_bounds : dataset -> t:int -> float * float
-(** The cached [(r_lo, r_hi)] sandwich for target size [t]; computed on
-    first request, then served from the cache.  Safe to call from worker
-    domains. *)
+(** The cached [(r_lo, r_hi)] sandwich for target size [t] on the current
+    epoch; computed on first request, then served from the epoch's cache.
+    Safe to call from worker domains. *)
 
 val bounds_cache_stats : dataset -> int * int
-(** [(lookups, hits)] of the r_opt-bounds cache — the reuse the registry
-    exists to provide, surfaced for telemetry and tests. *)
+(** [(lookups, hits)] of the r_opt-bounds cache, accumulated across all
+    epochs — the reuse the registry exists to provide, surfaced for
+    telemetry and tests. *)
 
 val to_json : dataset -> Json.t
-(** Shape, index backend, budget state, cache stats. *)
+(** Shape, epoch, index backend, budget state, cache stats. *)

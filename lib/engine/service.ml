@@ -1,5 +1,24 @@
 module Log = (val Logs.src_log Telemetry.log_src : Logs.LOG)
 
+(* A standing 1-cluster query: its whole budget was reserved at
+   registration as [periods] slices labelled ["<id>#<k>"]; each epoch the
+   dataset advances (while ticks remain) commits the next slice and
+   re-answers the query.  [seed]/[stream] pin the registration-time
+   randomness so a WAL replay re-derives identical tick RNGs. *)
+type standing = {
+  dataset_name : string;
+  base_id : string;
+  st_t_fraction : float;
+  st_beta : float;
+  per_cost : Prim.Dp.params;
+  periods : int;
+  st_seed : int;  (* the batch seed at registration *)
+  st_stream : int;  (* submission index at registration *)
+  mutable ticks : int;  (* ticks already answered *)
+  mutable last_epoch : int;  (* epoch of the last answered tick *)
+  mutable resvs : (int * Accountant.reservation) list;  (* tick -> pending slice *)
+}
+
 type t = {
   profile : Privcluster.Profile.t;
   domains : int;
@@ -10,6 +29,10 @@ type t = {
   base_rng : Prim.Rng.t;  (* never drawn from; only [Rng.derive]d per job *)
   registry : Registry.t;
   telemetry : Telemetry.t;
+  result_cache : Result_cache.t;
+  mutable standing : standing list;  (* reverse registration order *)
+  mutable standing_listeners :
+    (dataset:string -> line:string -> seed:int -> stream:int -> unit) list;
 }
 
 let create ?(profile = Privcluster.Profile.practical) ?domains ?(seed = 1) ?(retries = 2)
@@ -28,6 +51,9 @@ let create ?(profile = Privcluster.Profile.practical) ?domains ?(seed = 1) ?(ret
     base_rng = Prim.Rng.create ~seed ();
     registry = Registry.create ();
     telemetry = Telemetry.create ();
+    result_cache = Result_cache.create ();
+    standing = [];
+    standing_listeners = [];
   }
 
 let registry t = t.registry
@@ -36,6 +62,12 @@ let domains t = t.domains
 let seed t = t.seed
 let retries t = t.retries
 let faults t = t.faults
+let result_cache t = t.result_cache
+
+let subscribe_standing t f = t.standing_listeners <- f :: t.standing_listeners
+
+let standing_queries t =
+  List.rev_map (fun st -> (st.dataset_name, st.base_id, st.ticks, st.periods)) t.standing
 
 let register t ~name ~grid ?mode ~budget ?dense_threshold points =
   (* The dense-index rows are independent, so building them on the
@@ -45,9 +77,11 @@ let register t ~name ~grid ?mode ~budget ?dense_threshold points =
 
 let target_of spec dataset =
   match spec.Job.kind with
-  | Job.One_cluster { t_fraction } | Job.K_cluster { t_fraction; _ } ->
+  | Job.One_cluster { t_fraction }
+  | Job.K_cluster { t_fraction; _ }
+  | Job.Standing { t_fraction; _ } ->
       max 1 (int_of_float (ceil (t_fraction *. float_of_int (Registry.n dataset))))
-  | Job.Quantile _ -> 1
+  | Job.Quantile _ | Job.Mutate _ -> 1
 
 (* One admitted job, on a worker domain.  Everything read from [dataset] is
    immutable after registration except the r_opt-bounds cache, which locks
@@ -122,6 +156,9 @@ let execute t dataset rng (spec : Job.spec) : Job.status =
                value = res.Privcluster.Quantile.value;
                target_rank = res.Privcluster.Quantile.target_rank;
              })
+  | Job.Mutate _ | Job.Standing _ ->
+      (* Run on the batch coordinator, never on a worker domain. *)
+      Job.Solver_failed "internal: coordinator-only job kind reached a worker"
 
 (* Why a failed-then-degraded job names its original failure: the reason
    string is derived from the job's public status, never from drawn noise. *)
@@ -153,7 +190,13 @@ let run_fallback t dataset ~base_rng ~stream (spec : Job.spec) cost =
 
 type admission =
   | Refused_at_admission of string
+  | Cache_hit of Job.output  (* recorded answer returned; nothing charged *)
   | Admitted of Accountant.reservation option  (* the fallback reservation, if held *)
+
+let cacheable (spec : Job.spec) =
+  match spec.Job.kind with
+  | Job.One_cluster _ | Job.K_cluster _ | Job.Quantile _ -> true
+  | Job.Mutate _ | Job.Standing _ -> false
 
 let charge_of (p : Prim.Dp.params) =
   Obs.Span.charge ~eps:p.Prim.Dp.eps ~delta:p.Prim.Dp.delta ()
@@ -191,97 +234,298 @@ let run_batch ?domains ?retries ?faults ?seed t ~dataset specs =
       "service.batch"
   in
   let batch_id = Obs.Span.h_id batch in
-  (* Phase 1 — admission, in submission order, before anything runs.  A job
-     with a fallback also reserves the fallback's charge now, so degradation
-     can never be refused mid-batch; if the reservation alone does not fit,
-     the job still runs — it just has no fallback (logged below). *)
-  let admitted =
-    Obs.Span.with_span ~cat:"phase" ?parent:batch_id "service.admission" @@ fun () ->
-    List.map
-      (fun (spec : Job.spec) ->
-        match Accountant.charge accountant ~label:spec.Job.id (Job.cost spec) with
-        | Error refusal ->
-            budget_event "refuse" ~label:spec.Job.id (Job.cost spec);
-            Refused_at_admission (Accountant.refusal_message refusal)
-        | Ok () -> (
-            budget_event "charge" ~label:spec.Job.id (Job.cost spec);
-            match Job.fallback_cost spec with
-            | None -> Admitted None
-            | Some c -> (
-                match
-                  Accountant.reserve accountant ~label:(spec.Job.id ^ ":fallback") c
-                with
-                | Ok resv ->
-                    budget_event "reserve" ~label:(spec.Job.id ^ ":fallback") c;
-                    Admitted (Some resv)
-                | Error _ ->
-                    budget_event "refuse" ~label:(spec.Job.id ^ ":fallback") c;
-                    Log.warn (fun m ->
-                        m "job %s: no budget headroom for its fallback — degradation disabled"
-                          spec.Job.id);
-                    Admitted None)))
-      specs
-  in
-  let n_admitted =
-    List.length (List.filter (function Admitted _ -> true | _ -> false) admitted)
-  in
+  let dataset_name = Registry.name dataset in
+  let results_rev = ref [] in
+  let push r = results_rev := r :: !results_rev in
   Log.info (fun m ->
-      m "batch start: dataset=%s jobs=%d admitted=%d domains=%d seed=%d retries=%d faults=%s"
-        (Registry.name dataset) (List.length specs) n_admitted domains seed retries
-        (Faults.to_string faults));
-  (* Phase 2 — execution.  Stream index = submission index (refusals
-     included), so admitting a different prefix never reshuffles the
-     randomness of later jobs; and every retry attempt re-derives the same
-     stream, so a crash-before-output replay is bit-identical and free. *)
-  let tasks =
-    List.mapi (fun i a -> (i, a)) admitted
-    |> List.filter_map (fun (i, a) ->
-           match a with
-           | Admitted _ ->
-               let spec = List.nth specs i in
-               Some (Pool.task ?deadline_s:spec.Job.deadline_s (i, spec))
-           | Refused_at_admission _ -> None)
-    |> Array.of_list
+      m "batch start: dataset=%s jobs=%d domains=%d seed=%d retries=%d faults=%s" dataset_name
+        (List.length specs) domains seed retries (Faults.to_string faults));
+  (* --- standing queries (coordinator-side) ------------------------------ *)
+  (* Answer the next tick of a standing query if the dataset has moved to a
+     new epoch since its last answer and budget slices remain.  The tick's
+     RNG derives from the *registration-time* (seed, stream) through a
+     dedicated sub-stream (2, then the tick number) — disjoint from the
+     main attempts (stream) and fallbacks (stream, 1), and reproducible
+     across a WAL replay. *)
+  let tick_standing st =
+    let e = Registry.epoch dataset in
+    if st.ticks < st.periods && e > st.last_epoch then
+      let k = st.ticks + 1 in
+      match List.assoc_opt k st.resvs with
+      | None -> () (* slice settled externally (operator settle) — stop ticking *)
+      | Some resv ->
+          let tick_id = Printf.sprintf "%s#%d" st.base_id k in
+          let tick_spec =
+            {
+              Job.id = tick_id;
+              kind = Job.One_cluster { t_fraction = st.st_t_fraction };
+              eps = st.per_cost.Prim.Dp.eps;
+              delta = st.per_cost.Prim.Dp.delta;
+              beta = st.st_beta;
+              deadline_s = None;
+              fallback = false;
+            }
+          in
+          st.resvs <- List.remove_assoc k st.resvs;
+          Accountant.commit accountant resv;
+          budget_event "commit" ~label:tick_id st.per_cost;
+          let t0 = Unix.gettimeofday () in
+          let status =
+            Obs.Span.with_span ~cat:"job" ?parent:batch_id
+              ~attrs:(fun () ->
+                [
+                  ("id", Obs.Span.S tick_id);
+                  ("stream", Obs.Span.I st.st_stream);
+                  ("tick", Obs.Span.I k);
+                  ("epoch", Obs.Span.I e);
+                  ("attempt", Obs.Span.I 1);
+                ])
+              (Job.kind_name tick_spec.Job.kind)
+            @@ fun () ->
+            Obs.Span.set_label tick_id;
+            let rng =
+              Prim.Rng.derive
+                (Prim.Rng.derive
+                   (Prim.Rng.derive (Prim.Rng.create ~seed:st.st_seed ()) ~stream:st.st_stream)
+                   ~stream:2)
+                ~stream:k
+            in
+            execute t dataset rng tick_spec
+          in
+          let latency_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+          (match status with
+          | Job.Completed output ->
+              Result_cache.store t.result_cache
+                {
+                  Result_cache.dataset = st.dataset_name;
+                  epoch = e;
+                  signature = Job.signature tick_spec;
+                  seed = st.st_seed;
+                  stream = st.st_stream;
+                }
+                output
+          | _ -> ());
+          st.ticks <- k;
+          st.last_epoch <- e;
+          push { Job.spec = tick_spec; status; latency_ms; attempts = 1 }
   in
-  let on_event = function
-    | Pool.Task_retry _ -> Telemetry.incr t.telemetry "retries"
-    | Pool.Worker_restart -> Telemetry.incr t.telemetry "worker_restarts"
+  let tick_all () =
+    List.iter (fun st -> if st.dataset_name = dataset_name then tick_standing st)
+      (List.rev t.standing)
   in
-  let outcomes =
-    Pool.run ~retries ~backoff_s:t.backoff_s ~on_event ?trace_parent:batch_id ~domains
-      ~f:(fun ~index:_ ~attempt (stream, spec) ->
-        (* Per-job root span, parented to the batch span across the domain
-           boundary.  The label keys budget attribution; stream and attempt
-           let the reconciler collapse bit-identical retry replays. *)
-        Obs.Span.with_span ~cat:"job" ?parent:batch_id
-          ~attrs:(fun () ->
-            [
-              ("id", Obs.Span.S spec.Job.id);
-              ("stream", Obs.Span.I stream);
-              ("attempt", Obs.Span.I (attempt + 1));
-            ])
-          (Job.kind_name spec.Job.kind)
-        @@ fun () ->
-        Obs.Span.set_label spec.Job.id;
-        let rng = Prim.Rng.derive base_rng ~stream in
-        (* Faults are armed before any randomness is drawn, so an injected
-           crash or kill is always a crash *before output*. *)
-        Faults.arm faults ~index:stream ~attempt;
-        let t0 = Unix.gettimeofday () in
-        let status = execute t dataset rng spec in
-        (status, (Unix.gettimeofday () -. t0) *. 1000., attempt + 1))
-      tasks
+  let register_standing i (spec : Job.spec) ~periods =
+    let per_cost =
+      {
+        Prim.Dp.eps = spec.Job.eps /. float_of_int periods;
+        delta = spec.Job.delta /. float_of_int periods;
+      }
+    in
+    let label k = Printf.sprintf "%s#%d" spec.Job.id k in
+    let rec take k acc =
+      if k > periods then Ok (List.rev acc)
+      else
+        match Accountant.reserve accountant ~label:(label k) per_cost with
+        | Ok resv ->
+            budget_event "reserve" ~label:(label k) per_cost;
+            take (k + 1) ((k, resv) :: acc)
+        | Error refusal ->
+            List.iter
+              (fun (j, r) ->
+                Accountant.release accountant r;
+                Obs.Span.event ~cat:"budget" ~label:(label j) "release")
+              (List.rev acc);
+            Error (Accountant.refusal_message refusal)
+    in
+    match take 1 [] with
+    | Error msg ->
+        budget_event "refuse" ~label:spec.Job.id (Job.cost spec);
+        push { Job.spec; status = Job.Refused msg; latency_ms = 0.; attempts = 0 }
+    | Ok resvs ->
+        let st =
+          {
+            dataset_name;
+            base_id = spec.Job.id;
+            st_t_fraction =
+              (match spec.Job.kind with Job.Standing { t_fraction; _ } -> t_fraction | _ -> 0.5);
+            st_beta = spec.Job.beta;
+            per_cost;
+            periods;
+            st_seed = seed;
+            st_stream = i;
+            ticks = 0;
+            last_epoch = -1;
+            resvs;
+          }
+        in
+        t.standing <- st :: t.standing;
+        let line = Job.spec_to_line spec in
+        List.iter
+          (fun f -> f ~dataset:dataset_name ~line ~seed ~stream:i)
+          (List.rev t.standing_listeners);
+        push
+          {
+            Job.spec;
+            status = Job.Completed (Job.Standing_accepted { periods });
+            latency_ms = 0.;
+            attempts = 0;
+          };
+        (* First answer now, on the current epoch. *)
+        tick_standing st
   in
-  let by_index = Hashtbl.create (Array.length tasks) in
-  Array.iteri
-    (fun j outcome ->
-      let i, _ = tasks.(j).Pool.payload in
-      Hashtbl.replace by_index i outcome)
-    outcomes;
-  (* Phase 3 — settlement, sequential, in submission order: map outcomes to
-     results, run fallbacks for jobs that could not complete, and settle
-     every reservation (commit on degrade, release otherwise). *)
-  let release_resv (spec : Job.spec) resv =
+  (* --- mutations (coordinator-side, free of charge) --------------------- *)
+  let run_mutation i (spec : Job.spec) op =
+    let t0 = Unix.gettimeofday () in
+    let status =
+      Obs.Span.with_span ~cat:"job" ?parent:batch_id
+        ~attrs:(fun () ->
+          [
+            ("id", Obs.Span.S spec.Job.id);
+            ("stream", Obs.Span.I i);
+            ("attempt", Obs.Span.I 1);
+          ])
+        (Job.kind_name spec.Job.kind)
+      @@ fun () ->
+      Obs.Span.set_label spec.Job.id;
+      match op with
+      | Job.Append_synth { n; seed = mseed; frac; radius } -> (
+          (* A dedicated RNG seeded by the op itself: the same mutate line
+             replayed from the WAL appends the exact same rows. *)
+          match
+            Workload.Synth.planted_ball
+              (Prim.Rng.create ~seed:mseed ())
+              ~grid:(Registry.grid dataset) ~n ~cluster_fraction:frac ~cluster_radius:radius
+          with
+          | planted -> (
+              match Registry.append dataset planted.Workload.Synth.points with
+              | epoch -> Job.Completed (Job.Epoch_advanced { epoch; n = Registry.n dataset })
+              | exception Invalid_argument msg -> Job.Solver_failed msg)
+          | exception Invalid_argument msg -> Job.Solver_failed msg)
+      | Job.Retire_range { from_; count } -> (
+          match Registry.retire dataset ~from_ ~count with
+          | epoch -> Job.Completed (Job.Epoch_advanced { epoch; n = Registry.n dataset })
+          | exception Invalid_argument msg -> Job.Solver_failed msg)
+    in
+    push { Job.spec; status; latency_ms = (Unix.gettimeofday () -. t0) *. 1000.; attempts = 1 };
+    match status with Job.Completed _ -> tick_all () | _ -> ()
+  in
+  (* --- one segment of worker jobs: the original three phases ------------ *)
+  let run_segment pairs =
+    (* Epoch is stable for the whole segment: mutations only run between
+       segments, on this same coordinator thread. *)
+    let epoch = Registry.epoch dataset in
+    let cache_key i (spec : Job.spec) =
+      {
+        Result_cache.dataset = dataset_name;
+        epoch;
+        signature = Job.signature spec;
+        seed;
+        stream = i;
+      }
+    in
+    (* Phase 1 — admission, in submission order, before anything runs.  The
+       result cache is consulted first: a hit returns the recorded answer
+       and never touches the accountant (see DESIGN.md §10).  A job with a
+       fallback also reserves the fallback's charge now, so degradation
+       can never be refused mid-batch; if the reservation alone does not
+       fit, the job still runs — it just has no fallback (logged below). *)
+    let admitted =
+      Obs.Span.with_span ~cat:"phase" ?parent:batch_id "service.admission" @@ fun () ->
+      List.map
+        (fun (i, (spec : Job.spec)) ->
+          match Result_cache.find t.result_cache (cache_key i spec) with
+          | Some output ->
+              Telemetry.incr t.telemetry "cache_hits";
+              (* Trace the hit as a zero-cost job span; the [cached] attr
+                 exempts it from attribution's retry-consistency grouping
+                 (it is a replay, not an attempt). *)
+              (Obs.Span.with_span ~cat:"job" ?parent:batch_id
+                 ~attrs:(fun () ->
+                   [
+                     ("id", Obs.Span.S spec.Job.id);
+                     ("stream", Obs.Span.I i);
+                     ("epoch", Obs.Span.I epoch);
+                     ("cached", Obs.Span.B true);
+                   ])
+                 (Job.kind_name spec.Job.kind)
+               @@ fun () -> Obs.Span.set_label spec.Job.id);
+              Cache_hit output
+          | None -> (
+              match Accountant.charge accountant ~label:spec.Job.id (Job.cost spec) with
+              | Error refusal ->
+                  budget_event "refuse" ~label:spec.Job.id (Job.cost spec);
+                  Refused_at_admission (Accountant.refusal_message refusal)
+              | Ok () -> (
+                  budget_event "charge" ~label:spec.Job.id (Job.cost spec);
+                  match Job.fallback_cost spec with
+                  | None -> Admitted None
+                  | Some c -> (
+                      match
+                        Accountant.reserve accountant ~label:(spec.Job.id ^ ":fallback") c
+                      with
+                      | Ok resv ->
+                          budget_event "reserve" ~label:(spec.Job.id ^ ":fallback") c;
+                          Admitted (Some resv)
+                      | Error _ ->
+                          budget_event "refuse" ~label:(spec.Job.id ^ ":fallback") c;
+                          Log.warn (fun m ->
+                              m
+                                "job %s: no budget headroom for its fallback — degradation disabled"
+                                spec.Job.id);
+                          Admitted None))))
+        pairs
+    in
+    (* Phase 2 — execution.  Stream index = submission index (refusals
+       included), so admitting a different prefix never reshuffles the
+       randomness of later jobs; and every retry attempt re-derives the same
+       stream, so a crash-before-output replay is bit-identical and free. *)
+    let tasks =
+      List.map2 (fun (i, spec) a -> (i, spec, a)) pairs admitted
+      |> List.filter_map (fun (i, (spec : Job.spec), a) ->
+             match a with
+             | Admitted _ -> Some (Pool.task ?deadline_s:spec.Job.deadline_s (i, spec))
+             | Refused_at_admission _ | Cache_hit _ -> None)
+      |> Array.of_list
+    in
+    let on_event = function
+      | Pool.Task_retry _ -> Telemetry.incr t.telemetry "retries"
+      | Pool.Worker_restart -> Telemetry.incr t.telemetry "worker_restarts"
+    in
+    let outcomes =
+      Pool.run ~retries ~backoff_s:t.backoff_s ~on_event ?trace_parent:batch_id ~domains
+        ~f:(fun ~index:_ ~attempt (stream, spec) ->
+          (* Per-job root span, parented to the batch span across the domain
+             boundary.  The label keys budget attribution; stream and attempt
+             let the reconciler collapse bit-identical retry replays. *)
+          Obs.Span.with_span ~cat:"job" ?parent:batch_id
+            ~attrs:(fun () ->
+              [
+                ("id", Obs.Span.S spec.Job.id);
+                ("stream", Obs.Span.I stream);
+                ("epoch", Obs.Span.I epoch);
+                ("attempt", Obs.Span.I (attempt + 1));
+              ])
+            (Job.kind_name spec.Job.kind)
+          @@ fun () ->
+          Obs.Span.set_label spec.Job.id;
+          let rng = Prim.Rng.derive base_rng ~stream in
+          (* Faults are armed before any randomness is drawn, so an injected
+             crash or kill is always a crash *before output*. *)
+          Faults.arm faults ~index:stream ~attempt;
+          let t0 = Unix.gettimeofday () in
+          let status = execute t dataset rng spec in
+          (status, (Unix.gettimeofday () -. t0) *. 1000., attempt + 1))
+        tasks
+    in
+    let by_index = Hashtbl.create (max 1 (Array.length tasks)) in
+    Array.iteri
+      (fun j outcome ->
+        let i, _ = tasks.(j).Pool.payload in
+        Hashtbl.replace by_index i outcome)
+      outcomes;
+    (* Phase 3 — settlement, sequential, in submission order: map outcomes to
+       results, run fallbacks for jobs that could not complete, and settle
+       every reservation (commit on degrade, release otherwise). *)
+    let release_resv (spec : Job.spec) resv =
     Option.iter
       (fun r ->
         Accountant.release accountant r;
@@ -342,21 +586,52 @@ let run_batch ?domains ?retries ?faults ?seed t ~dataset specs =
         release_resv spec resv;
         { Job.spec; status; latency_ms; attempts }
   in
-  let results =
     Obs.Span.with_span ~cat:"phase" ?parent:batch_id "service.settlement" @@ fun () ->
-    List.mapi
-      (fun i (spec : Job.spec) ->
-        match List.nth admitted i with
+    List.iter2
+      (fun (i, (spec : Job.spec)) a ->
+        match a with
         | Refused_at_admission msg ->
-            { Job.spec; status = Job.Refused msg; latency_ms = 0.; attempts = 0 }
-        | Admitted resv -> (
-            match Hashtbl.find by_index i with
-            | Pool.Done (status, ms, attempts) -> settle i spec resv (status, ms, attempts)
-            | Pool.Timed_out { elapsed_ms } ->
-                settle i spec resv (Job.Timed_out { elapsed_ms }, elapsed_ms, 0)
-            | Pool.Failed msg -> settle i spec resv (Job.Solver_failed msg, 0., retries + 1)))
-      specs
+            push { Job.spec; status = Job.Refused msg; latency_ms = 0.; attempts = 0 }
+        | Cache_hit output ->
+            push { Job.spec; status = Job.Completed output; latency_ms = 0.; attempts = 0 }
+        | Admitted resv ->
+            let r =
+              match Hashtbl.find by_index i with
+              | Pool.Done (status, ms, attempts) -> settle i spec resv (status, ms, attempts)
+              | Pool.Timed_out { elapsed_ms } ->
+                  settle i spec resv (Job.Timed_out { elapsed_ms }, elapsed_ms, 0)
+              | Pool.Failed msg -> settle i spec resv (Job.Solver_failed msg, 0., retries + 1)
+            in
+            (match r.Job.status with
+            | Job.Completed output when cacheable spec ->
+                Result_cache.store t.result_cache (cache_key i spec) output
+            | _ -> ());
+            push r)
+      pairs admitted
   in
+  (* Split the batch at coordinator jobs (mutations, standing-query
+     registrations): worker segments run the three phases unchanged;
+     coordinator jobs run between them, so a query after a [mutate] line
+     sees — and is cache-keyed on — the new epoch. *)
+  let rec segments acc cur = function
+    | [] -> List.rev (if cur = [] then acc else `Seg (List.rev cur) :: acc)
+    | ((i, (spec : Job.spec)) as item) :: rest -> (
+        match spec.Job.kind with
+        | Job.Mutate _ | Job.Standing _ ->
+            let acc = if cur = [] then acc else `Seg (List.rev cur) :: acc in
+            segments (`Coord (i, spec) :: acc) [] rest
+        | _ -> segments acc (item :: cur) rest)
+  in
+  List.iter
+    (function
+      | `Seg pairs -> run_segment pairs
+      | `Coord (i, (spec : Job.spec)) -> (
+          match spec.Job.kind with
+          | Job.Mutate op -> run_mutation i spec op
+          | Job.Standing { periods; _ } -> register_standing i spec ~periods
+          | _ -> assert false))
+    (segments [] [] (List.mapi (fun i s -> (i, s)) specs));
+  let results = List.rev !results_rev in
   List.iter
     (fun (r : Job.result) ->
       Telemetry.record t.telemetry ~kind:(Job.kind_name r.Job.spec.Job.kind)
@@ -389,6 +664,62 @@ let run_batch_named ?domains ?retries ?faults ?seed t ~dataset specs =
   match find_dataset t dataset with
   | Error _ as e -> e
   | Ok dataset -> Ok (run_batch ?domains ?retries ?faults ?seed t ~dataset specs)
+
+(* Rebuild a standing query from its journaled registration line after a WAL
+   replay.  The replayed ledger already holds the committed slices (the
+   ticks that were answered) and the outstanding reservations (the ticks
+   still to come); we adopt both by label.  [last_epoch] is set to the
+   dataset's replayed epoch — conservative: the first post-restart tick
+   waits for the next mutation rather than re-answering the current epoch
+   (whose answer, if any, was restored into the result cache). *)
+let restore_standing t ~dataset ~line ~seed ~stream =
+  match Job.parse line with
+  | Error e -> Error (Printf.sprintf "standing restore: %s" e)
+  | Ok [ ({ Job.kind = Job.Standing { t_fraction; periods }; _ } as spec) ] ->
+      let dataset_name = Registry.name dataset in
+      let accountant = Registry.accountant dataset in
+      let per_cost =
+        {
+          Prim.Dp.eps = spec.Job.eps /. float_of_int periods;
+          delta = spec.Job.delta /. float_of_int periods;
+        }
+      in
+      let prefix = spec.Job.id ^ "#" in
+      let tick_of label =
+        if String.length label > String.length prefix
+           && String.sub label 0 (String.length prefix) = prefix
+        then
+          int_of_string_opt
+            (String.sub label (String.length prefix) (String.length label - String.length prefix))
+        else None
+      in
+      let resvs =
+        List.filter_map
+          (fun (resv, label, _) -> Option.map (fun k -> (k, resv)) (tick_of label))
+          (Accountant.outstanding accountant)
+      in
+      let ticks =
+        List.length
+          (List.filter (fun (label, _) -> tick_of label <> None) (Accountant.entries accountant))
+      in
+      let st =
+        {
+          dataset_name;
+          base_id = spec.Job.id;
+          st_t_fraction = t_fraction;
+          st_beta = spec.Job.beta;
+          per_cost;
+          periods;
+          st_seed = seed;
+          st_stream = stream;
+          ticks;
+          last_epoch = Registry.epoch dataset;
+          resvs;
+        }
+      in
+      t.standing <- st :: t.standing;
+      Ok ()
+  | Ok _ -> Error "standing restore: expected exactly one standing job line"
 
 let ledger ~dataset =
   List.map

@@ -72,6 +72,13 @@ val seed : t -> int
 val retries : t -> int
 val faults : t -> Faults.t
 
+val result_cache : t -> Result_cache.t
+(** The service-wide result cache ({!Result_cache}): consulted at
+    admission for every worker job, written at settlement for every
+    completed one.  A hit bypasses the accountant entirely — the
+    ["cache_hits"] telemetry counter and the cache's own per-dataset
+    stats record the reuse. *)
+
 val register :
   t ->
   name:string ->
@@ -140,3 +147,33 @@ val ledger : dataset:Registry.dataset -> (string * Obs.Span.charge) list
 val attribution : dataset:Registry.dataset -> unit -> Obs.Attribution.report
 (** Reconcile all collected spans against the dataset's ledger; see
     {!Obs.Attribution} for what is checked. *)
+
+(** {2 Standing queries}
+
+    A [standing] job (see {!Job.kind}) declares a total [(ε, δ)] budget
+    and a period count; registration reserves the budget as [periods]
+    equal slices labelled ["<id>#<k>"], answers the query once
+    immediately, and re-answers it after every subsequent epoch
+    transition of its dataset (committing one slice per answer) until the
+    slices are exhausted.  Tick results ride along in whatever batch
+    triggered the epoch transition, as ordinary one-cluster results under
+    the tick ids. *)
+
+val standing_queries : t -> (string * string * int * int) list
+(** [(dataset, id, ticks_answered, periods)] for every registered
+    standing query, in registration order. *)
+
+val subscribe_standing : t -> (dataset:string -> line:string -> seed:int -> stream:int -> unit) -> unit
+(** [f] runs synchronously when a standing query is accepted at
+    registration; [line] is the {!Job.spec_to_line} rendering and
+    [seed]/[stream] the registration-time randomness coordinates —
+    everything {!restore_standing} needs, which is how the server
+    journals standing queries to its WAL. *)
+
+val restore_standing :
+  t -> dataset:Registry.dataset -> line:string -> seed:int -> stream:int -> (unit, string) result
+(** Re-arm a standing query from its journaled registration after a WAL
+    replay.  Answered ticks are recovered from the replayed ledger
+    (committed ["<id>#<k>"] entries) and pending slices adopted from the
+    replayed outstanding reservations; the next tick fires on the first
+    epoch transition after the restart. *)

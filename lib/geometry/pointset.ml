@@ -27,6 +27,16 @@ let of_storage ~dim st =
   if len mod dim <> 0 then invalid_arg "Pointset.of_storage: length not a multiple of dim";
   { st; offs = Array.init (len / dim) (fun i -> i * dim); dim }
 
+let view ~storage ~offs ~dim =
+  if dim < 1 then invalid_arg "Pointset.view: dim must be >= 1";
+  if Array.length offs = 0 then invalid_arg "Pointset.view: empty";
+  let len = Array.length storage in
+  Array.iter
+    (fun off ->
+      if off < 0 || off + dim > len then invalid_arg "Pointset.view: offset out of storage")
+    offs;
+  { st = storage; offs = Array.copy offs; dim }
+
 let n t = Array.length t.offs
 let dim t = t.dim
 let storage t = t.st
@@ -144,6 +154,12 @@ let auto_index ?(dense_threshold = 4096) ?domains ps =
 
 let index_is_dense idx = match idx.backend with Dense _ -> true | Tree _ -> false
 let index_pointset idx = idx.ps
+let index_tree idx = match idx.backend with Tree t -> Some t | Dense _ -> None
+
+let index_of_tree ps tree =
+  if Kdtree.size tree <> n ps then
+    invalid_arg "Pointset.index_of_tree: tree size does not match the pointset";
+  { ps; backend = Tree tree }
 
 (* Number of entries in the sorted row that are <= radius. *)
 let count_row row radius =

@@ -37,6 +37,17 @@ val of_storage : dim:int -> float array -> t
     caller must not mutate it afterwards).
     @raise Invalid_argument if empty or not a multiple of [dim]. *)
 
+val view : storage:float array -> offs:int array -> dim:int -> t
+(** A view selecting the rows at [offs] (element offsets, in point order)
+    of an existing store.  [offs] is copied, [storage] shared; rows need
+    not be contiguous, in order, or cover the store — this is how the
+    epoch-versioned registry presents a slice of its append-only arena.
+    Referenced rows are read-only by contract; elements of [storage] {e
+    outside} every referenced row may be written freely (an arena append
+    is invisible to live views).
+    @raise Invalid_argument if [offs] is empty or any row falls outside
+    the store. *)
+
 val n : t -> int
 val dim : t -> int
 
@@ -113,6 +124,17 @@ val auto_index : ?dense_threshold:int -> ?domains:int -> t -> index
 val index_is_dense : index -> bool
 
 val index_pointset : index -> t
+
+val index_tree : index -> Kdtree.t option
+(** The k-d tree behind a tree-backed index ([None] on the dense backend)
+    — the registry reads it to maintain the tree incrementally across
+    epochs. *)
+
+val index_of_tree : t -> Kdtree.t -> index
+(** Wrap an externally maintained tree (see {!Kdtree.insert_bulk} /
+    {!Kdtree.remove_bulk}) as the index of [ps].  The tree must hold
+    exactly [ps]'s points (same storage, same rows).
+    @raise Invalid_argument if the sizes disagree. *)
 
 val counts_within : index -> radius:float -> int array
 (** For every input point, the number of input points within [radius]

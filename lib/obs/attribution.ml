@@ -59,7 +59,13 @@ let reconcile ~ledger spans =
   in
   List.iter
     (fun (sp : Span.span) ->
-      if sp.cat = "job" then
+      (* [cached=true] spans trace result-cache hits: the recorded answer
+         is replayed without re-running the mechanism, so they are not
+         execution attempts — including them would make a label's charges
+         look inconsistent across "attempts" (a real run charging ε next
+         to a free replay).  A hit charges nothing, so skipping it cannot
+         hide an overspend. *)
+      if sp.cat = "job" && Span.attr_bool sp "cached" <> Some true then
         match sp.label with
         | None -> ()
         | Some label ->

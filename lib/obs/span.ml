@@ -208,3 +208,4 @@ let attributed all sp =
 let attr sp key = List.assoc_opt key sp.attrs
 let attr_int sp key = match attr sp key with Some (I i) -> Some i | _ -> None
 let attr_string sp key = match attr sp key with Some (S s) -> Some s | _ -> None
+let attr_bool sp key = match attr sp key with Some (B b) -> Some b | _ -> None

@@ -154,3 +154,4 @@ val find : span list -> id -> span option
 val attr : span -> string -> attr option
 val attr_int : span -> string -> int option
 val attr_string : span -> string -> string option
+val attr_bool : span -> string -> bool option

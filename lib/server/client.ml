@@ -85,6 +85,22 @@ let register t ~dataset ?(n = 3000) ?(dim = 2) ?(axis = 256) ?(frac = 0.5) ?(rad
   request t (Wire.Register { dataset; n; dim; axis; frac; radius; seed; budget; mode })
 
 let run t ~dataset ?seed ~jobs () = request t (Wire.Run { dataset; jobs; seed })
+
+let append t ~dataset ~n ~seed ?(frac = 0.5) ?(radius = 0.05) () =
+  request t (Wire.Append { dataset; n; seed; frac; radius })
+
+let retire t ~dataset ~from_ ~count = request t (Wire.Retire { dataset; from_; count })
+let epoch t ~dataset = request t (Wire.Epoch { dataset })
+
+let standing t ~dataset ~id ~t_fraction ~eps ~delta ~periods ?seed () =
+  request t (Wire.Standing { dataset; id; t_fraction; eps; delta; periods; seed })
+
+let settle t ~dataset ~action ?label () =
+  let* payload = request t (Wire.Settle { dataset; action; label }) in
+  match Wire.settle_reply_of_json payload with
+  | Ok r -> Ok r
+  | Error m -> Error (`Transport m)
+
 let ledger t ~dataset = request t (Wire.Ledger { dataset })
 let datasets t = request t Wire.Datasets
 

@@ -41,6 +41,49 @@ val register :
     [mode = Basic]. *)
 
 val run : t -> dataset:string -> ?seed:int -> jobs:string -> unit -> (Engine.Json.t, fail) result
+
+val append :
+  t ->
+  dataset:string ->
+  n:int ->
+  seed:int ->
+  ?frac:float ->
+  ?radius:float ->
+  unit ->
+  (Engine.Json.t, fail) result
+(** Append [n] synthetic planted-ball points ([frac = 0.5],
+    [radius = 0.05] by default), advancing the dataset's epoch. *)
+
+val retire : t -> dataset:string -> from_:int -> count:int -> (Engine.Json.t, fail) result
+(** Retire rows [[from_, from_ + count)], advancing the epoch. *)
+
+val epoch : t -> dataset:string -> (Engine.Json.t, fail) result
+(** Current epoch, size, index backend, and cache statistics. *)
+
+val standing :
+  t ->
+  dataset:string ->
+  id:string ->
+  t_fraction:float ->
+  eps:float ->
+  delta:float ->
+  periods:int ->
+  ?seed:int ->
+  unit ->
+  (Engine.Json.t, fail) result
+(** Register a standing 1-cluster query: [eps]/[delta] is the {e total}
+    budget, reserved up front as [periods] equal slices. *)
+
+val settle :
+  t ->
+  dataset:string ->
+  action:Wire.settle_action ->
+  ?label:string ->
+  unit ->
+  (Wire.settle_reply, fail) result
+(** Commit or release reservations orphaned by a crash; [label] narrows
+    the settlement to one reservation label. *)
+
 val ledger : t -> dataset:string -> (Engine.Json.t, fail) result
 val datasets : t -> (Engine.Json.t, fail) result
 

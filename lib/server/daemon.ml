@@ -3,6 +3,7 @@ module Accountant = Engine.Accountant
 module Registry = Engine.Registry
 module Service = Engine.Service
 module Job = Engine.Job
+module Result_cache = Engine.Result_cache
 
 let src = Logs.Src.create "privcluster.server" ~doc:"privclusterd daemon"
 
@@ -67,6 +68,9 @@ type t = {
   wal : Wal.t;
   mutable histories : ((string * string) * Wal.op list) list;
       (* journal streams awaiting re-registration; executor thread only *)
+  mutable svc_hooked : string list;
+      (* tenants whose service-level journaling hooks (result cache,
+         standing registrations) are subscribed; executor thread only *)
   tenants : Tenants.t;
   admission : Admission.t;
   listen_fd : Unix.file_descr;
@@ -154,6 +158,40 @@ let exec_register t tenant ~dataset ~n ~dim ~axis ~frac ~radius ~seed ~budget ~m
             | exception Invalid_argument m -> err Wire.Bad_request "register: %s" m
             | ds ->
                 let acct = Registry.accountant ds in
+                (* Engine-state ops replay in journal order: mutations
+                   re-advance the registry to the pre-crash epoch (the
+                   journaled coordinates are hex floats, so the replayed
+                   pointset is bit-identical) and cache records restore
+                   the recorded answers.  Standing registrations are
+                   collected and re-armed only after the full budget
+                   replay — their tick count and pending slices come from
+                   the replayed ledger, which must be complete first. *)
+                let standing_ops = ref [] in
+                let on_apply = function
+                  | Wal.Append { epoch = _; dim = d; points } ->
+                      let rows =
+                        Array.init
+                          (Array.length points / d)
+                          (fun i -> Geometry.Vec.of_row points ~off:(i * d) ~dim:d)
+                      in
+                      ignore (Registry.append ds rows)
+                  | Wal.Retire { epoch = _; from_; count } ->
+                      ignore (Registry.retire ds ~from_ ~count)
+                  | Wal.Cached { epoch; signature; seed; stream; output } -> (
+                      match Job.output_of_wire output with
+                      | Ok out ->
+                          Result_cache.restore
+                            (Service.result_cache svc)
+                            { Result_cache.dataset; epoch; signature; seed; stream }
+                            out
+                      | Error e ->
+                          Log.warn (fun m ->
+                              m "tenant %s: journaled cache entry for %s dropped: %s"
+                                tname dataset e))
+                  | Wal.Standing { line; seed; stream } ->
+                      standing_ops := (line, seed, stream) :: !standing_ops
+                  | _ -> ()
+                in
                 let orphans =
                   if ops = [] then begin
                     Wal.append t.wal
@@ -162,15 +200,57 @@ let exec_register t tenant ~dataset ~n ~dim ~axis ~frac ~radius ~seed ~budget ~m
                   end
                   else begin
                     t.histories <- List.remove_assoc key t.histories;
-                    match Wal.replay ~on_event:emit_budget_event ops acct with
+                    match Wal.replay ~on_event:emit_budget_event ~on_apply ops acct with
                     | Ok orphans -> orphans
                     | Error _ -> assert false (* the dry run above validated *)
                   end
                 in
+                List.iter
+                  (fun (line, seed, stream) ->
+                    match Service.restore_standing svc ~dataset:ds ~line ~seed ~stream with
+                    | Ok () -> ()
+                    | Error e ->
+                        Log.warn (fun m ->
+                            m "tenant %s: standing query on %s not re-armed: %s" tname
+                              dataset e))
+                  (List.rev !standing_ops);
                 (* Journal from here on; subscribing after replay keeps the
                    replayed ops from being re-appended. *)
                 Accountant.subscribe acct (fun ev ->
                     Wal.append t.wal (Wal.record_of_event ~tenant:tname ~dataset ev));
+                Registry.subscribe_mutations ds (fun mut ->
+                    let op =
+                      match mut with
+                      | Registry.Appended { epoch; dim; points } ->
+                          Wal.Append { epoch; dim; points }
+                      | Registry.Retired { epoch; from_; count } ->
+                          Wal.Retire { epoch; from_; count }
+                    in
+                    Wal.append t.wal { Wal.tenant = tname; dataset; op });
+                if not (List.mem tname t.svc_hooked) then begin
+                  (* Once per tenant: these hooks live on the service, not
+                     the dataset — subscribing them again on the tenant's
+                     next registration would journal every entry twice. *)
+                  t.svc_hooked <- tname :: t.svc_hooked;
+                  Result_cache.subscribe (Service.result_cache svc) (fun ck out ->
+                      Wal.append t.wal
+                        {
+                          Wal.tenant = tname;
+                          dataset = ck.Result_cache.dataset;
+                          op =
+                            Wal.Cached
+                              {
+                                epoch = ck.Result_cache.epoch;
+                                signature = ck.Result_cache.signature;
+                                seed = ck.Result_cache.seed;
+                                stream = ck.Result_cache.stream;
+                                output = Job.output_to_wire out;
+                              };
+                        });
+                  Service.subscribe_standing svc (fun ~dataset ~line ~seed ~stream ->
+                      Wal.append t.wal
+                        { Wal.tenant = tname; dataset; op = Wal.Standing { line; seed; stream } })
+                end;
                 if ops <> [] then
                   Log.info (fun m ->
                       m "tenant %s: dataset %s recovered from journal (%d ops, %d orphaned \
@@ -215,6 +295,125 @@ let exec_run t tenant ~dataset ~seed specs =
              ("ledger", Accountant.to_json (Registry.accountant ds));
            ])
 
+(* Mutations and standing registrations run through [run_batch_named] like
+   any other batch, so the engine's own machinery — epoch publication,
+   standing-query ticks, journaling subscriptions — fires exactly as it
+   would for a jobs-file submission. *)
+
+let mutation_reply svc ~dataset results =
+  let ds = Result.get_ok (Service.find_dataset svc dataset) in
+  Ok
+    (Json.Obj
+       [
+         ("dataset", Json.String dataset);
+         ("epoch", Json.Int (Registry.epoch ds));
+         ("n", Json.Int (Registry.n ds));
+         ("results", Json.List (List.map Job.result_to_json results));
+         ("ledger", Accountant.to_json (Registry.accountant ds));
+       ])
+
+let mutate_spec id op =
+  {
+    Job.id;
+    kind = Job.Mutate op;
+    eps = 0.;
+    delta = 0.;
+    beta = Workload.Harness.default_beta;
+    deadline_s = None;
+    fallback = false;
+  }
+
+let exec_append t tenant ~dataset ~n ~seed ~frac ~radius =
+  let svc = Tenants.service tenant in
+  let spec = mutate_spec "append" (Job.Append_synth { n; seed; frac; radius }) in
+  match Service.run_batch_named ~domains:t.cfg.domains svc ~dataset [ spec ] with
+  | Error msg -> err Wire.Unknown_dataset "%s" msg
+  | Ok results -> mutation_reply svc ~dataset results
+
+let exec_retire t tenant ~dataset ~from_ ~count =
+  let svc = Tenants.service tenant in
+  let spec = mutate_spec "retire" (Job.Retire_range { from_; count }) in
+  match Service.run_batch_named ~domains:t.cfg.domains svc ~dataset [ spec ] with
+  | Error msg -> err Wire.Unknown_dataset "%s" msg
+  | Ok results -> mutation_reply svc ~dataset results
+
+let exec_standing t tenant ~dataset ~id ~t_fraction ~eps ~delta ~periods ~seed =
+  let svc = Tenants.service tenant in
+  let spec =
+    {
+      Job.id;
+      kind = Job.Standing { t_fraction; periods };
+      eps;
+      delta;
+      beta = Workload.Harness.default_beta;
+      deadline_s = None;
+      fallback = false;
+    }
+  in
+  match Service.run_batch_named ?seed ~domains:t.cfg.domains svc ~dataset [ spec ] with
+  | Error msg -> err Wire.Unknown_dataset "%s" msg
+  | Ok results -> mutation_reply svc ~dataset results
+
+let exec_epoch _t tenant ~dataset =
+  let svc = Tenants.service tenant in
+  match Service.find_dataset svc dataset with
+  | Error msg -> err Wire.Unknown_dataset "%s" msg
+  | Ok ds ->
+      let lookups, hits = Registry.bounds_cache_stats ds in
+      let chits, cmisses = Result_cache.stats (Service.result_cache svc) ~dataset in
+      Ok
+        (Json.Obj
+           [
+             ("dataset", Json.String dataset);
+             ("epoch", Json.Int (Registry.epoch ds));
+             ("n", Json.Int (Registry.n ds));
+             ("dim", Json.Int (Registry.dim ds));
+             ( "index_backend",
+               Json.String
+                 (if Geometry.Pointset.index_is_dense (Registry.index ds) then "dense"
+                  else "kdtree") );
+             ( "bounds_cache",
+               Json.Obj [ ("lookups", Json.Int lookups); ("hits", Json.Int hits) ] );
+             ( "result_cache",
+               Json.Obj [ ("hits", Json.Int chits); ("misses", Json.Int cmisses) ] );
+           ])
+
+let exec_settle _t tenant ~dataset ~action ~label =
+  let svc = Tenants.service tenant in
+  match Service.find_dataset svc dataset with
+  | Error msg -> err Wire.Unknown_dataset "%s" msg
+  | Ok ds ->
+      let acct = Registry.accountant ds in
+      let all = Accountant.outstanding acct in
+      let chosen =
+        match label with
+        | None -> all
+        | Some l -> List.filter (fun (_, lbl, _) -> lbl = l) all
+      in
+      (* Settlement reuses the ordinary commit/release path, so the WAL
+         subscription journals each operation and a later replay holds no
+         orphan twice.  The tracing events mirror what a live settlement
+         inside [run_batch] would have emitted. *)
+      let settled =
+        List.map
+          (fun (r, lbl, (cost : Prim.Dp.params)) ->
+            (match action with
+            | Wire.Commit_orphans ->
+                Accountant.commit acct r;
+                Obs.Span.event ~cat:"budget" ~label:lbl ~charge:(charge_of cost) "commit"
+            | Wire.Release_orphans ->
+                Accountant.release acct r;
+                Obs.Span.event ~cat:"budget" ~label:lbl "release");
+            { Wire.label = lbl; eps = cost.Prim.Dp.eps; delta = cost.Prim.Dp.delta })
+          chosen
+      in
+      let remaining = List.length (Accountant.outstanding acct) in
+      let reply = Wire.settle_reply_to_json { Wire.action; settled; remaining } in
+      Ok
+        (match reply with
+        | Json.Obj fields -> Json.Obj (("dataset", Json.String dataset) :: fields)
+        | other -> other)
+
 let exec_ledger _t tenant ~dataset =
   match Service.find_dataset (Tenants.service tenant) dataset with
   | Error msg -> err Wire.Unknown_dataset "%s" msg
@@ -254,7 +453,8 @@ let exec_metrics t tenant =
     ]
   in
   let text =
-    Engine.Exposition.render ~datasets ~telemetry:(Service.telemetry svc) ()
+    Engine.Exposition.render ~datasets ~result_cache:(Service.result_cache svc)
+      ~telemetry:(Service.telemetry svc) ()
     ^ Obs.Prom.render daemon_families
   in
   Ok (Json.Obj [ ("metrics", Json.String text) ])
@@ -333,6 +533,22 @@ let handle_request t authed (envelope : Wire.envelope) =
     ->
       submit_and_wait t ~control:true (fun () ->
           exec_register t tenant ~dataset ~n ~dim ~axis ~frac ~radius ~seed ~budget ~mode)
+  | Wire.Append { dataset; n; seed; frac; radius }, Some tenant ->
+      submit_and_wait t
+        ~slot:(Tenants.slot tenant, Tenants.max_in_flight tenant)
+        (fun () -> exec_append t tenant ~dataset ~n ~seed ~frac ~radius)
+  | Wire.Retire { dataset; from_; count }, Some tenant ->
+      submit_and_wait t
+        ~slot:(Tenants.slot tenant, Tenants.max_in_flight tenant)
+        (fun () -> exec_retire t tenant ~dataset ~from_ ~count)
+  | Wire.Standing { dataset; id; t_fraction; eps; delta; periods; seed }, Some tenant ->
+      submit_and_wait t
+        ~slot:(Tenants.slot tenant, Tenants.max_in_flight tenant)
+        (fun () -> exec_standing t tenant ~dataset ~id ~t_fraction ~eps ~delta ~periods ~seed)
+  | Wire.Epoch { dataset }, Some tenant ->
+      submit_and_wait t ~control:true (fun () -> exec_epoch t tenant ~dataset)
+  | Wire.Settle { dataset; action; label }, Some tenant ->
+      submit_and_wait t ~control:true (fun () -> exec_settle t tenant ~dataset ~action ~label)
   | Wire.Ledger { dataset }, Some tenant ->
       submit_and_wait t ~control:true (fun () -> exec_ledger t tenant ~dataset)
   | Wire.Datasets, Some tenant ->
@@ -451,6 +667,7 @@ let start cfg =
                           cfg;
                           wal;
                           histories = Wal.histories records;
+                          svc_hooked = [];
                           tenants;
                           admission = Admission.create ~capacity:cfg.capacity;
                           listen_fd;

@@ -8,6 +8,19 @@ type op =
   | Reserve of { rid : int; label : string; cost : Prim.Dp.params }
   | Commit of { rid : int }
   | Release of { rid : int }
+  | Append of { epoch : int; dim : int; points : float array }
+      (** Epoch transition: the appended rows, flattened row-major and
+          hex-exact — replay re-appends the same coordinates bit-for-bit. *)
+  | Retire of { epoch : int; from_ : int; count : int }
+  | Cached of { epoch : int; signature : string; seed : int; stream : int; output : Json.t }
+      (** A result-cache entry ([output] is {!Engine.Job.output_to_wire});
+          replay restores it so a restarted daemon serves the same
+          recorded answers without re-running anything. *)
+  | Standing of { line : string; seed : int; stream : int }
+      (** A standing-query registration (its jobs-file line plus the
+          registration-time randomness coordinates); replayed {e after}
+          the budget ops so {!Engine.Service.restore_standing} can adopt
+          the already-replayed reservations. *)
 
 type record = { tenant : string; dataset : string; op : op }
 
@@ -57,6 +70,38 @@ let payload_of_record r =
         :: ("label", Json.String label) :: cost_fields cost
     | Commit { rid } -> [ ("op", Json.String "commit"); ("rid", Json.Int rid) ]
     | Release { rid } -> [ ("op", Json.String "release"); ("rid", Json.Int rid) ]
+    | Append { epoch; dim; points } ->
+        [
+          ("op", Json.String "append");
+          ("epoch", Json.Int epoch);
+          ("dim", Json.Int dim);
+          ( "points",
+            Json.String
+              (String.concat " " (Array.to_list (Array.map (Printf.sprintf "%h") points))) );
+        ]
+    | Retire { epoch; from_; count } ->
+        [
+          ("op", Json.String "retire");
+          ("epoch", Json.Int epoch);
+          ("from", Json.Int from_);
+          ("count", Json.Int count);
+        ]
+    | Cached { epoch; signature; seed; stream; output } ->
+        [
+          ("op", Json.String "cached");
+          ("epoch", Json.Int epoch);
+          ("sig", Json.String signature);
+          ("seed", Json.Int seed);
+          ("stream", Json.Int stream);
+          ("output", output);
+        ]
+    | Standing { line; seed; stream } ->
+        [
+          ("op", Json.String "standing");
+          ("line", Json.String line);
+          ("seed", Json.Int seed);
+          ("stream", Json.Int stream);
+        ]
   in
   Json.to_string ~indent:false (Json.Obj (base @ rest))
 
@@ -126,6 +171,45 @@ let record_of_payload payload =
     | "release" ->
         let* rid = get opname "rid" json Json.to_int in
         Ok (Release { rid })
+    | "append" ->
+        let* epoch = get opname "epoch" json Json.to_int in
+        let* dim = get opname "dim" json Json.to_int in
+        let* pts = get opname "points" json Json.to_str in
+        let toks = String.split_on_char ' ' pts |> List.filter (fun s -> s <> "") in
+        let* points =
+          List.fold_left
+            (fun acc tok ->
+              let* acc = acc in
+              match float_of_string_opt tok with
+              | Some f -> Ok (f :: acc)
+              | None -> Error (Printf.sprintf "record append: %S is not a hex float" tok))
+            (Ok []) toks
+          |> Result.map (fun l -> Array.of_list (List.rev l))
+        in
+        if dim < 1 || Array.length points = 0 || Array.length points mod dim <> 0 then
+          Error "record append: points not a multiple of dim"
+        else Ok (Append { epoch; dim; points })
+    | "retire" ->
+        let* epoch = get opname "epoch" json Json.to_int in
+        let* from_ = get opname "from" json Json.to_int in
+        let* count = get opname "count" json Json.to_int in
+        Ok (Retire { epoch; from_; count })
+    | "cached" ->
+        let* epoch = get opname "epoch" json Json.to_int in
+        let* signature = get opname "sig" json Json.to_str in
+        let* seed = get opname "seed" json Json.to_int in
+        let* stream = get opname "stream" json Json.to_int in
+        let* output =
+          match Json.member "output" json with
+          | Some o -> Ok o
+          | None -> Error "record cached: missing \"output\""
+        in
+        Ok (Cached { epoch; signature; seed; stream; output })
+    | "standing" ->
+        let* line = get opname "line" json Json.to_str in
+        let* seed = get opname "seed" json Json.to_int in
+        let* stream = get opname "stream" json Json.to_int in
+        Ok (Standing { line; seed; stream })
     | other -> Error (Printf.sprintf "record: unknown op %S" other)
   in
   Ok { tenant; dataset; op }
@@ -274,7 +358,7 @@ let histories records =
 let opening ops =
   List.find_map (function Open { mode; budget } -> Some (mode, budget) | _ -> None) ops
 
-let replay ?on_event ops acc =
+let replay ?on_event ?(on_apply = fun (_ : op) -> ()) ops acc =
   let active = ref true in
   (match on_event with
   | Some f -> Accountant.subscribe acc (fun ev -> if !active then f ev)
@@ -287,6 +371,12 @@ let replay ?on_event ops acc =
         let* () = acc_r in
         match op with
         | Open _ -> Ok ()  (* validated by the caller before replay *)
+        | Append _ | Retire _ | Cached _ | Standing _ ->
+            (* Engine-state ops: no accountant interaction.  The caller
+               applies them (mutating the registry / restoring the cache)
+               in journal order, interleaved with the budget replay. *)
+            on_apply op;
+            Ok ()
         | Charge { label; cost } -> (
             match Accountant.charge acc ~label cost with
             | Ok () -> Ok ()

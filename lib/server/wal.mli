@@ -58,6 +58,25 @@ type op =
   | Reserve of { rid : int; label : string; cost : Prim.Dp.params }
   | Commit of { rid : int }
   | Release of { rid : int }
+  | Append of { epoch : int; dim : int; points : float array }
+      (** Epoch transition: [points] ([dim]-major, one row per point)
+          appended to the dataset, producing epoch [epoch].  Coordinates
+          are journaled as hex floats, so the replayed pointset — and
+          therefore every index built over it — is bit-identical. *)
+  | Retire of { epoch : int; from_ : int; count : int }
+      (** Epoch transition: rows [[from_, from_ + count)] of the previous
+          epoch's pointset retired, producing epoch [epoch]. *)
+  | Cached of { epoch : int; signature : string; seed : int; stream : int; output : Engine.Json.t }
+      (** A result-cache entry: the recorded answer ([output], the
+          {!Engine.Job.output_to_wire} encoding) for the job whose
+          {!Engine.Job.signature} is [signature], run against [epoch]
+          with randomness [(seed, stream)].  Replay restores the entry so
+          post-restart hits return the identical answer free of charge. *)
+  | Standing of { line : string; seed : int; stream : int }
+      (** A standing-query registration: [line] is the
+          {!Engine.Job.spec_to_line} rendering and [seed]/[stream] the
+          registration-time randomness coordinates —
+          {!Engine.Service.restore_standing}'s exact inputs. *)
 
 type record = { tenant : string; dataset : string; op : op }
 
@@ -106,6 +125,7 @@ val opening : op list -> (Engine.Accountant.mode * Prim.Dp.params) option
 
 val replay :
   ?on_event:(Engine.Accountant.event -> unit) ->
+  ?on_apply:(op -> unit) ->
   op list ->
   Engine.Accountant.t ->
   (int, string) result
@@ -114,6 +134,10 @@ val replay :
     orphaned reservations restored as held.  [on_event] observes the
     replayed operations as ordinary accountant events (the daemon uses it
     to re-emit tracing budget events so {!Obs.Attribution} reconciles
-    across a restart); it stops firing once replay returns.  [Error]
+    across a restart); it stops firing once replay returns.  [on_apply]
+    receives the engine-state ops ({!Append}, {!Retire}, {!Cached},
+    {!Standing}) in journal order, interleaved with the budget replay —
+    the daemon uses it to re-apply mutations and restore cache entries so
+    the post-restart epoch and cache match the pre-crash state.  [Error]
     means the journal diverged from the accountant's arithmetic — wrong
     budget, wrong mode, or a mangled stream. *)

@@ -17,12 +17,36 @@ type request =
       mode : Accountant.mode;
     }
   | Run of { dataset : string; jobs : string; seed : int option }
+  | Append of { dataset : string; n : int; seed : int; frac : float; radius : float }
+  | Retire of { dataset : string; from_ : int; count : int }
+  | Epoch of { dataset : string }
+  | Standing of {
+      dataset : string;
+      id : string;
+      t_fraction : float;
+      eps : float;
+      delta : float;
+      periods : int;
+      seed : int option;
+    }
+  | Settle of { dataset : string; action : settle_action; label : string option }
   | Ledger of { dataset : string }
   | Datasets
   | Metrics
   | Ping
 
+and settle_action = Commit_orphans | Release_orphans
+
 type envelope = { rid : int; request : request }
+
+let settle_action_name = function
+  | Commit_orphans -> "commit"
+  | Release_orphans -> "release"
+
+let settle_action_of_string = function
+  | "commit" -> Some Commit_orphans
+  | "release" -> Some Release_orphans
+  | _ -> None
 
 type shed_reason = Queue_full | Tenant_cap | Draining
 
@@ -82,6 +106,29 @@ let request_to_line { rid; request } =
           ("jobs", Json.String jobs);
         ]
         @ (match seed with None -> [] | Some s -> [ ("seed", Json.Int s) ])
+    | Append { dataset; n; seed; frac; radius } ->
+        [ ("req", Json.String "append"); ("dataset", Json.String dataset);
+          ("n", Json.Int n); ("seed", Json.Int seed); ("frac", Json.Float frac);
+          ("radius", Json.Float radius);
+        ]
+    | Retire { dataset; from_; count } ->
+        [ ("req", Json.String "retire"); ("dataset", Json.String dataset);
+          ("from", Json.Int from_); ("count", Json.Int count);
+        ]
+    | Epoch { dataset } ->
+        [ ("req", Json.String "epoch"); ("dataset", Json.String dataset) ]
+    | Standing { dataset; id; t_fraction; eps; delta; periods; seed } ->
+        [ ("req", Json.String "standing"); ("dataset", Json.String dataset);
+          ("job", Json.String id); ("t_fraction", Json.Float t_fraction);
+          ("eps", Json.Float eps); ("delta", Json.Float delta);
+          ("periods", Json.Int periods);
+        ]
+        @ (match seed with None -> [] | Some s -> [ ("seed", Json.Int s) ])
+    | Settle { dataset; action; label } ->
+        [ ("req", Json.String "settle"); ("dataset", Json.String dataset);
+          ("action", Json.String (settle_action_name action));
+        ]
+        @ (match label with None -> [] | Some l -> [ ("label", Json.String l) ])
     | Ledger { dataset } ->
         [ ("req", Json.String "ledger"); ("dataset", Json.String dataset) ]
     | Datasets -> [ ("req", Json.String "datasets") ]
@@ -141,6 +188,48 @@ let request_of_json json =
         | Some _ -> Result.map Option.some (field Json.to_int "seed" json)
       in
       Ok (Run { dataset; jobs; seed })
+  | "append" ->
+      let* dataset = field Json.to_str "dataset" json in
+      let* n = field Json.to_int "n" json in
+      let* seed = field Json.to_int "seed" json in
+      let* frac = field_or 0.5 Json.to_float "frac" json in
+      let* radius = field_or 0.05 Json.to_float "radius" json in
+      Ok (Append { dataset; n; seed; frac; radius })
+  | "retire" ->
+      let* dataset = field Json.to_str "dataset" json in
+      let* from_ = field Json.to_int "from" json in
+      let* count = field Json.to_int "count" json in
+      Ok (Retire { dataset; from_; count })
+  | "epoch" ->
+      let* dataset = field Json.to_str "dataset" json in
+      Ok (Epoch { dataset })
+  | "standing" ->
+      let* dataset = field Json.to_str "dataset" json in
+      let* id = field Json.to_str "job" json in
+      let* t_fraction = field Json.to_float "t_fraction" json in
+      let* eps = field Json.to_float "eps" json in
+      let* delta = field Json.to_float "delta" json in
+      let* periods = field Json.to_int "periods" json in
+      let* seed =
+        match Json.member "seed" json with
+        | None -> Ok None
+        | Some _ -> Result.map Option.some (field Json.to_int "seed" json)
+      in
+      Ok (Standing { dataset; id; t_fraction; eps; delta; periods; seed })
+  | "settle" ->
+      let* dataset = field Json.to_str "dataset" json in
+      let* action_s = field Json.to_str "action" json in
+      let* action =
+        match settle_action_of_string action_s with
+        | Some a -> Ok a
+        | None -> bad "unknown settle action %S (want \"commit\" or \"release\")" action_s
+      in
+      let* label =
+        match Json.member "label" json with
+        | None -> Ok None
+        | Some _ -> Result.map Option.some (field Json.to_str "label" json)
+      in
+      Ok (Settle { dataset; action; label })
   | "ledger" ->
       let* dataset = field Json.to_str "dataset" json in
       Ok (Ledger { dataset })
@@ -225,3 +314,58 @@ let reply_of_line line =
               | None -> Error "reply error object has an unknown code")
           | None -> Error "reply has ok=false but no error object")
       | _ -> Error "reply is missing id or ok")
+
+(* --- settle reply -------------------------------------------------------- *)
+
+type settled_reservation = { label : string; eps : float; delta : float }
+
+type settle_reply = {
+  action : settle_action;
+  settled : settled_reservation list;
+  remaining : int;
+}
+
+let settle_reply_to_json r =
+  Json.Obj
+    [
+      ("action", Json.String (settle_action_name r.action));
+      ( "settled",
+        Json.List
+          (List.map
+             (fun s ->
+               Json.Obj
+                 [
+                   ("label", Json.String s.label);
+                   ("eps", Json.Float s.eps);
+                   ("delta", Json.Float s.delta);
+                 ])
+             r.settled) );
+      ("remaining", Json.Int r.remaining);
+    ]
+
+let settle_reply_of_json json =
+  let get j conv name =
+    match Option.bind (Json.member name j) conv with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "settle reply: missing or malformed %S" name)
+  in
+  let* action_s = get json Json.to_str "action" in
+  let* action =
+    match settle_action_of_string action_s with
+    | Some a -> Ok a
+    | None -> Error (Printf.sprintf "settle reply: unknown action %S" action_s)
+  in
+  let* entries = get json Json.to_list "settled" in
+  let* settled =
+    List.fold_left
+      (fun acc j ->
+        let* acc = acc in
+        let* label = get j Json.to_str "label" in
+        let* eps = get j Json.to_float "eps" in
+        let* delta = get j Json.to_float "delta" in
+        Ok ({ label; eps; delta } :: acc))
+      (Ok []) entries
+    |> Result.map List.rev
+  in
+  let* remaining = get json Json.to_int "remaining" in
+  Ok { action; settled; remaining }

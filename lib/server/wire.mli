@@ -21,6 +21,20 @@
     - [run]      — [dataset], [jobs] (jobs-file text, see {!Engine.Job}),
       optional [seed] overriding the batch RNG base (a fixed seed makes
       verdicts deterministic regardless of how clients interleave).
+    - [append]   — [dataset], [n], [seed], [frac], [radius]; append [n]
+      synthetic planted-ball points, advancing the dataset's epoch.
+    - [retire]   — [dataset], [from], [count]; retire a contiguous row
+      range, advancing the epoch.
+    - [epoch]    — [dataset]; current epoch, size, index backend and
+      cache statistics.
+    - [standing] — [dataset], [job] (the query id), [t_fraction], [eps],
+      [delta] (the {e total} budget), [periods], optional [seed];
+      register a standing 1-cluster query re-answered on every epoch
+      transition until [periods] slices are spent.
+    - [settle]   — [dataset], [action] (["commit"] or ["release"]),
+      optional [label]; settle reservations orphaned by a crash (held
+      after WAL replay).  Operator-only by intent: nothing settles
+      orphans automatically.
     - [ledger]   — [dataset]; the accountant state.
     - [datasets] — list the tenant's datasets.
     - [metrics]  — Prometheus text exposition for this tenant.
@@ -43,12 +57,32 @@ type request =
       mode : Engine.Accountant.mode;
     }
   | Run of { dataset : string; jobs : string; seed : int option }
+  | Append of { dataset : string; n : int; seed : int; frac : float; radius : float }
+  | Retire of { dataset : string; from_ : int; count : int }
+  | Epoch of { dataset : string }
+  | Standing of {
+      dataset : string;
+      id : string;
+      t_fraction : float;
+      eps : float;
+      delta : float;
+      periods : int;
+      seed : int option;
+    }
+  | Settle of { dataset : string; action : settle_action; label : string option }
   | Ledger of { dataset : string }
   | Datasets
   | Metrics
   | Ping
 
+and settle_action = Commit_orphans | Release_orphans
+
 type envelope = { rid : int; request : request }
+
+val settle_action_name : settle_action -> string
+(** ["commit"], ["release"]. *)
+
+val settle_action_of_string : string -> settle_action option
 
 type shed_reason = Queue_full | Tenant_cap | Draining
 
@@ -86,3 +120,20 @@ val reply_to_line : rid:int -> (Engine.Json.t, error) result -> string
 val reply_of_line : string -> (int * (Engine.Json.t, error) result, string) result
 (** Client side: parse a reply line into [(id, Ok payload | Error e)];
     the outer [Error] means the line was not a valid reply at all. *)
+
+(** {2 Settle reply}
+
+    The [settle] verb has a typed reply so operator tooling can act on
+    it without scraping: each settled reservation with its reserved
+    price, and how many orphans remain held. *)
+
+type settled_reservation = { label : string; eps : float; delta : float }
+
+type settle_reply = {
+  action : settle_action;
+  settled : settled_reservation list;
+  remaining : int;  (** Orphans still held after this settle. *)
+}
+
+val settle_reply_to_json : settle_reply -> Engine.Json.t
+val settle_reply_of_json : Engine.Json.t -> (settle_reply, string) result

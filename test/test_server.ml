@@ -49,6 +49,18 @@ let sample_records =
     { Wal.tenant = "beta"; dataset = "dx";
       op = Wal.Reserve { rid = 1; label = "q:fallback"; cost = p ~eps:0.1 ~delta:0.0 } };
     { Wal.tenant = "beta"; dataset = "dx"; op = Wal.Release { rid = 1 } };
+    (* engine-state ops: epoch transitions, cache entries, standing queries *)
+    { Wal.tenant = "acme"; dataset = "d1";
+      op = Wal.Append { epoch = 1; dim = 2; points = [| 0.125; 0.25; 0.1 +. 0.2; 1e-9 |] } };
+    { Wal.tenant = "acme"; dataset = "d1"; op = Wal.Retire { epoch = 2; from_ = 7; count = 3 } };
+    { Wal.tenant = "acme"; dataset = "d1";
+      op = Wal.Cached
+          { epoch = 2; signature = "quantile q=0x1p-1 axis=0 eps=0x1.999999999999ap-4";
+            seed = 5; stream = 1;
+            output = Engine.Job.output_to_wire
+                (Engine.Job.Quantile_value { value = 0.1 +. 0.2; target_rank = 200.5 }) } };
+    { Wal.tenant = "acme"; dataset = "d1";
+      op = Wal.Standing { line = "standing t_fraction=0x1p-1 periods=3 eps=0x1.8p+0 delta=0x1p-21 id=sq"; seed = 5; stream = 0 } };
   ]
 
 let write_wal path records =
@@ -160,7 +172,7 @@ let test_wal_histories () =
   | [ ((t1, d1), ops1); ((t2, d2), ops2) ] ->
       Alcotest.(check string) "stream 1 tenant" "acme" t1;
       Alcotest.(check string) "stream 1 dataset" "d1" d1;
-      Alcotest.(check int) "stream 1 ops" 5 (List.length ops1);
+      Alcotest.(check int) "stream 1 ops" 9 (List.length ops1);
       Alcotest.(check string) "stream 2 tenant" "beta" t2;
       Alcotest.(check string) "stream 2 dataset" "dx" d2;
       Alcotest.(check int) "stream 2 ops" 3 (List.length ops2);
@@ -404,6 +416,40 @@ let test_replay_divergence_refused () =
   | Ok _ -> Alcotest.fail "diverging journal must not replay"
   | Error e -> check_true "names the diverging label" (contains_sub e "\"b\"")
 
+let test_replay_applies_engine_ops_in_order () =
+  let engine_ops =
+    [
+      Wal.Append { epoch = 1; dim = 2; points = [| 0.5; 0.5 |] };
+      Wal.Cached
+        { epoch = 1; signature = "sig"; seed = 5; stream = 0;
+          output = Engine.Json.Obj [ ("kind", Engine.Json.String "radius") ] };
+      Wal.Standing { line = "standing periods=2 eps=0.5 delta=1e-7"; seed = 5; stream = 0 };
+      Wal.Retire { epoch = 2; from_ = 0; count = 1 };
+    ]
+  in
+  let ops =
+    match engine_ops with
+    | [ a; b; c; d ] ->
+        [
+          Wal.Open { mode = Acct.Basic; budget = p ~eps:2.0 ~delta:1e-5 };
+          a;
+          Wal.Charge { label = "j1"; cost = p ~eps:0.5 ~delta:0.0 };
+          b; c;
+          Wal.Charge { label = "j2"; cost = p ~eps:0.25 ~delta:0.0 };
+          d;
+        ]
+    | _ -> assert false
+  in
+  let fresh = Acct.create ~budget:(p ~eps:2.0 ~delta:1e-5) () in
+  let seen = ref [] in
+  match Wal.replay ~on_apply:(fun op -> seen := op :: !seen) ops fresh with
+  | Error e -> Alcotest.failf "replay: %s" e
+  | Ok orphans ->
+      check_int "no orphans" 0 orphans;
+      check_true "engine ops surfaced in journal order" (List.rev !seen = engine_ops);
+      check_true "engine ops did not perturb the ledger"
+        (Acct.spent fresh = p ~eps:0.75 ~delta:0.0)
+
 (* --- admission ----------------------------------------------------------- *)
 
 let test_admission_shed_reasons () =
@@ -459,10 +505,43 @@ let test_wire_request_roundtrip () =
       Wire.Run { dataset = "d1"; jobs = "quantile q=0.5 eps=0.1\n# c\n"; seed = Some 7 };
       Wire.Run { dataset = "d1"; jobs = "x"; seed = None };
       Wire.Ledger { dataset = "d1" };
+      Wire.Append { dataset = "d1"; n = 120; seed = 4; frac = 0.4; radius = 0.07 };
+      Wire.Retire { dataset = "d1"; from_ = 10; count = 25 };
+      Wire.Epoch { dataset = "d1" };
+      Wire.Standing
+        { dataset = "d1"; id = "sq"; t_fraction = 0.45; eps = 1.5; delta = 3e-7;
+          periods = 3; seed = Some 9 };
+      Wire.Standing
+        { dataset = "d1"; id = "watch"; t_fraction = 0.5; eps = 0.9; delta = 0.;
+          periods = 1; seed = None };
+      Wire.Settle { dataset = "d1"; action = Wire.Commit_orphans; label = Some "sq#2" };
+      Wire.Settle { dataset = "d1"; action = Wire.Release_orphans; label = None };
       Wire.Datasets;
       Wire.Metrics;
       Wire.Ping;
     ]
+
+let test_settle_reply_roundtrip () =
+  let reply =
+    {
+      Wire.action = Wire.Release_orphans;
+      settled =
+        [
+          { Wire.label = "sq#2"; eps = 0.5; delta = 1e-7 };
+          { Wire.label = "sq#3"; eps = 0.5; delta = 1e-7 };
+        ];
+      remaining = 1;
+    }
+  in
+  (match Wire.settle_reply_of_json (Wire.settle_reply_to_json reply) with
+  | Ok r -> check_true "settle reply round-trips" (r = reply)
+  | Error e -> Alcotest.failf "settle reply: %s" e);
+  check_true "action names round-trip"
+    (Wire.settle_action_of_string (Wire.settle_action_name Wire.Commit_orphans)
+     = Some Wire.Commit_orphans
+    && Wire.settle_action_of_string (Wire.settle_action_name Wire.Release_orphans)
+       = Some Wire.Release_orphans
+    && Wire.settle_action_of_string "shrug" = None)
 
 let test_wire_reply_roundtrip () =
   let ok_line = Wire.reply_to_line ~rid:7 (Ok (Engine.Json.Obj [ ("x", Engine.Json.Int 1) ])) in
@@ -630,6 +709,131 @@ let test_daemon_crash_recovery () =
       Server.Client.close c);
   ()
 
+let get_int k j = Option.bind (Engine.Json.member k j) Engine.Json.to_int
+
+let attempts_of payload =
+  match Option.bind (Engine.Json.member "results" payload) Engine.Json.to_list with
+  | None -> Alcotest.fail "results missing"
+  | Some rs -> List.map (fun r -> Option.value ~default:(-1) (get_int "attempts" r)) rs
+
+let spent_eps_of ledger =
+  match
+    Option.bind (Engine.Json.member "ledger" ledger) (fun l ->
+        Option.bind (Engine.Json.member "spent" l) (fun s ->
+            Option.bind (Engine.Json.member "eps" s) Engine.Json.to_float))
+  with
+  | Some e -> e
+  | None -> Alcotest.fail "ledger.spent.eps missing"
+
+(* Epochs and the result cache across a crash: the WAL must replay the
+   dataset to the same epoch, the same cached answers (a warm re-run is
+   still attempts=0 and charges nothing), and the same spend. *)
+let cache_jobs = "one_cluster t_fraction=0.45 eps=2.0 delta=1e-7\nquantile q=0.5 axis=0 eps=0.1\n"
+
+let test_daemon_epoch_crash_recovery () =
+  let dir = temp_dir () in
+  let cfg = daemon_cfg ~dir () in
+  let spent_before = ref nan in
+  with_daemon cfg (fun _d ->
+      let c = expect_ok "connect" (connect cfg ~tenant:"acme" ~token:"s3cret") in
+      ignore
+        (expect_ok "register"
+           (Server.Client.register c ~dataset:"d1" ~n:400 ~axis:128 ~radius:0.06 ~seed:3
+              ~budget:(p ~eps:6.0 ~delta:1e-4) ()));
+      ignore (expect_ok "cold" (Server.Client.run c ~dataset:"d1" ~seed:2 ~jobs:cache_jobs ()));
+      let spent1 = spent_eps_of (expect_ok "ledger" (Server.Client.ledger c ~dataset:"d1")) in
+      let warm = expect_ok "warm" (Server.Client.run c ~dataset:"d1" ~seed:2 ~jobs:cache_jobs ()) in
+      check_true "identical re-run is all cache hits" (attempts_of warm = [ 0; 0 ]);
+      check_float ~tol:0. "cache hits charged nothing" spent1
+        (spent_eps_of (expect_ok "ledger" (Server.Client.ledger c ~dataset:"d1")));
+      let app = expect_ok "append" (Server.Client.append c ~dataset:"d1" ~n:100 ~seed:7 ()) in
+      check_true "append advances the epoch" (get_int "epoch" app = Some 1);
+      check_true "append grows n" (get_int "n" app = Some 500);
+      let re = expect_ok "requery" (Server.Client.run c ~dataset:"d1" ~seed:2 ~jobs:cache_jobs ()) in
+      check_true "new epoch recomputes" (List.for_all (fun a -> a >= 1) (attempts_of re));
+      let ep = expect_ok "epoch" (Server.Client.epoch c ~dataset:"d1") in
+      check_true "epoch verb reports the transition"
+        (get_int "epoch" ep = Some 1 && get_int "n" ep = Some 500);
+      (match Engine.Json.member "result_cache" ep with
+      | Some rc -> check_true "epoch verb reports the cache hits" (get_int "hits" rc = Some 2)
+      | None -> Alcotest.fail "epoch reply lacks result_cache");
+      spent_before :=
+        spent_eps_of (expect_ok "ledger" (Server.Client.ledger c ~dataset:"d1"));
+      Server.Client.close c);
+  (* crash window: a torn half-frame at the WAL tail *)
+  Out_channel.with_open_gen [ Open_append; Open_binary ] 0o600 cfg.Server.Daemon.wal_path
+    (fun oc -> Out_channel.output_string oc "PW1 000000");
+  with_daemon cfg (fun _d ->
+      let c = expect_ok "reconnect" (connect cfg ~tenant:"acme" ~token:"s3cret") in
+      let reg =
+        expect_ok "re-register"
+          (Server.Client.register c ~dataset:"d1" ~n:400 ~axis:128 ~radius:0.06 ~seed:3
+             ~budget:(p ~eps:6.0 ~delta:1e-4) ())
+      in
+      check_true "recovered by replay" (Engine.Json.member "replayed" reg = Some (Engine.Json.Bool true));
+      let ep = expect_ok "epoch" (Server.Client.epoch c ~dataset:"d1") in
+      check_true "replayed to the same epoch"
+        (get_int "epoch" ep = Some 1 && get_int "n" ep = Some 500);
+      check_float ~tol:0. "spend survived exactly" !spent_before
+        (spent_eps_of (expect_ok "ledger" (Server.Client.ledger c ~dataset:"d1")));
+      (* The replayed cache serves the post-append answers: still free. *)
+      let warm = expect_ok "warm" (Server.Client.run c ~dataset:"d1" ~seed:2 ~jobs:cache_jobs ()) in
+      check_true "cached answers survived the crash" (attempts_of warm = [ 0; 0 ]);
+      check_float ~tol:0. "and still charge nothing" !spent_before
+        (spent_eps_of (expect_ok "ledger" (Server.Client.ledger c ~dataset:"d1")));
+      Server.Client.close c);
+  ()
+
+(* Operator settlement of outstanding reservations, end to end: a standing
+   query's pending slices are visible, committable one by one (by label)
+   and releasable in bulk, with the ledger moving only on commit. *)
+let test_daemon_settle () =
+  let dir = temp_dir () in
+  let cfg = daemon_cfg ~dir () in
+  with_daemon cfg (fun _d ->
+      let c = expect_ok "connect" (connect cfg ~tenant:"acme" ~token:"s3cret") in
+      ignore
+        (expect_ok "register"
+           (Server.Client.register c ~dataset:"d1" ~n:400 ~axis:128 ~radius:0.06 ~seed:3
+              ~budget:(p ~eps:4.0 ~delta:1e-4) ()));
+      let st =
+        expect_ok "standing"
+          (Server.Client.standing c ~dataset:"d1" ~id:"sq" ~t_fraction:0.45 ~eps:1.5
+             ~delta:3e-7 ~periods:3 ~seed:9 ())
+      in
+      (match Option.bind (Engine.Json.member "results" st) Engine.Json.to_list with
+      | Some rs -> check_int "acceptance plus first tick" 2 (List.length rs)
+      | None -> Alcotest.fail "standing reply has results");
+      check_float ~tol:1e-12 "tick 1 committed one slice" 0.5
+        (spent_eps_of (expect_ok "ledger" (Server.Client.ledger c ~dataset:"d1")));
+      let commit =
+        expect_ok "settle commit"
+          (Server.Client.settle c ~dataset:"d1" ~action:Wire.Commit_orphans ~label:"sq#2" ())
+      in
+      check_true "commit settles exactly the labelled slice"
+        (List.map (fun (s : Wire.settled_reservation) -> s.Wire.label) commit.Wire.settled
+        = [ "sq#2" ]);
+      check_int "one orphan remains" 1 commit.Wire.remaining;
+      check_float ~tol:1e-12 "commit moved the ledger" 1.0
+        (spent_eps_of (expect_ok "ledger" (Server.Client.ledger c ~dataset:"d1")));
+      let release =
+        expect_ok "settle release"
+          (Server.Client.settle c ~dataset:"d1" ~action:Wire.Release_orphans ())
+      in
+      check_true "release settles the rest"
+        (List.map (fun (s : Wire.settled_reservation) -> s.Wire.label) release.Wire.settled
+        = [ "sq#3" ]);
+      check_int "nothing remains" 0 release.Wire.remaining;
+      check_float ~tol:1e-12 "release moved nothing" 1.0
+        (spent_eps_of (expect_ok "ledger" (Server.Client.ledger c ~dataset:"d1")));
+      let again =
+        expect_ok "settle idempotent"
+          (Server.Client.settle c ~dataset:"d1" ~action:Wire.Release_orphans ())
+      in
+      check_true "nothing left to settle" (again.Wire.settled = [] && again.Wire.remaining = 0);
+      Server.Client.close c);
+  ()
+
 (* N concurrent clients, M runs each with client-chosen seeds: every
    verdict must equal the same batch run in-process on a lone service —
    the daemon's interleaving must never leak into results. *)
@@ -718,11 +922,15 @@ let suite =
     slow_case "every crash prefix replays" test_replay_prefixes;
     case "orphaned reservation held" test_replay_orphaned_reservation_held;
     case "diverging journal refused" test_replay_divergence_refused;
+    case "replay applies engine ops in order" test_replay_applies_engine_ops_in_order;
     case "admission shed reasons" test_admission_shed_reasons;
     case "admission executes and drains" test_admission_executes_and_drains;
     case "wire request roundtrip" test_wire_request_roundtrip;
     case "wire reply roundtrip" test_wire_reply_roundtrip;
+    case "settle reply roundtrip" test_settle_reply_roundtrip;
     slow_case "daemon lifecycle" test_daemon_lifecycle;
     slow_case "daemon crash recovery" test_daemon_crash_recovery;
+    slow_case "daemon epoch and cache crash recovery" test_daemon_epoch_crash_recovery;
+    slow_case "daemon settle" test_daemon_settle;
     slow_case "daemon concurrent soak" test_daemon_concurrent_soak;
   ]
