@@ -3,9 +3,11 @@
    timing benches (B1–B7, one per pipeline stage, plus B9 for the
    statistical-check estimators), the engine throughput bench (B8), the
    one-cluster allocation check, the disabled-tracing overhead gate
-   (B10), the daemon round-trip overhead bench (B11), and the
+   (B10), the daemon round-trip overhead bench (B11), the
    mutate-then-requery epoch/result-cache bench (B12, gated: cache hits
-   must charge zero).
+   must charge zero), and the native-kernel gates (B13: C fast paths
+   bit-identical to the pure-OCaml references, parallel k-d build equal
+   to serial, and a kernel speedup floor).
 
    Usage:
      dune exec bench/main.exe                 # full suite
@@ -480,6 +482,136 @@ let run_epoch_bench ~jobs =
   if not recomputed then fail "a post-mutation query was not recomputed";
   (n_jobs, cold_ms, warm_ms, append_ms, requery_ms, speedup, hits_free && recomputed)
 
+(* B13 — the kernel layer (lib/kernel).  Three gates: (a) the C fast
+   paths must agree bit-for-bit with the pure-OCaml references they
+   shadow, on the same workload GoodRadius runs (the full candidate
+   sweep) and on the JL projection; (b) the parallel k-d tree build must
+   produce exactly the serial tree; (c) the native kernels must actually
+   be faster than the references by at least [floor] — guarding against
+   a build where the stubs silently compiled to a slow path.  The
+   speedup measurement uses its own fixed-size fixture so the gate does
+   not loosen when --smoke shrinks the shared one. *)
+let run_kernel_gates fx =
+  Workload.Report.headline "B13 - native kernels: identity, parallel build, speedup floor";
+  let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("B13 FAILED: " ^ m); exit 1) fmt in
+  let entry_native = Kernel.native_active () in
+  let with_native b f =
+    Kernel.set_native b;
+    Fun.protect ~finally:(fun () -> Kernel.set_native entry_native) f
+  in
+  let bits = Array.map Int64.bits_of_float in
+  (* (a) bitwise identity on the fixture. *)
+  let radii =
+    Array.init
+      (Geometry.Grid.geometric_candidates fx.grid)
+      (Geometry.Grid.geometric_radius_of_index fx.grid)
+  in
+  let sweep b =
+    with_native b (fun () -> Geometry.Pointset.score_l_many fx.idx ~cap:fx.t ~radii)
+  in
+  let identity_sweep = bits (sweep true) = bits (sweep false) in
+  let jl = Geometry.Jl.make fx.rng ~input_dim:32 ~output_dim:8 in
+  let high =
+    Geometry.Pointset.of_storage ~dim:32
+      (Prim.Rng.gaussian_vector fx.rng ~dim:(Geometry.Pointset.n fx.ps * 32) ~sigma:1.0)
+  in
+  let project b =
+    with_native b (fun () -> Geometry.Pointset.storage (Geometry.Jl.project jl high))
+  in
+  let identity_jl = bits (project true) = bits (project false) in
+  let identity_ok = identity_sweep && identity_jl in
+  Workload.Report.kv "good-radius sweep bit-identical (native vs reference)"
+    (if identity_sweep then "yes" else "NO");
+  Workload.Report.kv "jl projection bit-identical (native vs reference)"
+    (if identity_jl then "yes" else "NO");
+  (* (b) parallel build == serial build (same idx permutation ⇒ same tree:
+     structure is a deterministic function of the row order). *)
+  let st = Geometry.Pointset.storage fx.ps and offs = Geometry.Pointset.row_offsets fx.ps in
+  let d = Geometry.Pointset.dim fx.ps in
+  let serial_order =
+    Geometry.Kdtree.row_order (Geometry.Kdtree.build_flat ~storage:st ~offs ~dim:d ())
+  in
+  let parallel_ok =
+    List.for_all
+      (fun domains ->
+        serial_order
+        = Geometry.Kdtree.row_order
+            (Geometry.Kdtree.build_flat ~domains ~storage:st ~offs ~dim:d ()))
+      [ 2; 4 ]
+  in
+  Workload.Report.kv "parallel k-d build identical to serial (2 and 4 domains)"
+    (if parallel_ok then "yes" else "NO");
+  (* (c) speedup floor, native vs reference, best-of-3 per path. *)
+  let mrng = Prim.Rng.create ~seed:424242 () in
+  let mn = 600 in
+  let m8 = Geometry.Pointset.of_storage ~dim:8 (Prim.Rng.gaussian_vector mrng ~dim:(mn * 8) ~sigma:1.0) in
+  let m8_idx = Geometry.Pointset.build_index m8 in
+  let m32 =
+    Geometry.Pointset.of_storage ~dim:32 (Prim.Rng.gaussian_vector mrng ~dim:(mn * 32) ~sigma:1.0)
+  in
+  let mjl = Geometry.Jl.make mrng ~input_dim:32 ~output_dim:8 in
+  let mradii = Array.init 32 (fun j -> 0.2 *. float_of_int (j + 1)) in
+  let wide_n = 2000 and wide_d = 64 in
+  let wide = Prim.Rng.gaussian_vector mrng ~dim:(wide_n * wide_d) ~sigma:1.0 in
+  let wide_sel = Array.init wide_n (fun i -> i) in
+  let wide_acc = Array.make wide_d 0. in
+  let measure (name, iters, thunk) =
+    let best_of b =
+      with_native b (fun () ->
+          thunk ();
+          let best = ref infinity in
+          for _ = 1 to 3 do
+            let _, ms = Workload.Harness.time (fun () -> for _ = 1 to iters do thunk () done) in
+            if ms < !best then best := ms
+          done;
+          !best)
+    in
+    let off_ms = best_of false in
+    let on_ms = best_of true in
+    (name, off_ms, on_ms, off_ms /. Float.max on_ms 1e-9)
+  in
+  let rows =
+    List.map measure
+      [
+        ( "good-radius sweep (B1 core)",
+          20,
+          fun () -> ignore (Geometry.Pointset.score_l_many m8_idx ~cap:(2 * mn / 5) ~radii:mradii) );
+        ("jl-project (B4 core)", 50, fun () -> ignore (Geometry.Jl.project mjl m32));
+        ( "row accumulation (B6 core)",
+          100,
+          fun () ->
+            Array.fill wide_acc 0 wide_d 0.;
+            Kernel.sum_rows ~st:wide ~sel:wide_sel ~m:wide_n ~dim:wide_d ~acc:wide_acc );
+      ]
+  in
+  let floor = 1.2 in
+  (* The floor only binds when the C stubs are present and enabled; under
+     PRIVCLUSTER_NO_NATIVE=1 both paths are the reference and the ratio
+     is ~1 by construction. *)
+  let enforced = Kernel.compiled && entry_native in
+  Workload.Report.table ~csv:"b13_kernel_speedup"
+    ~header:[ "kernel"; "reference"; "native"; "speedup" ]
+    (List.map
+       (fun (name, off_ms, on_ms, s) ->
+         [
+           name;
+           Printf.sprintf "%.1f ms" off_ms;
+           Printf.sprintf "%.1f ms" on_ms;
+           Workload.Report.f2 s;
+         ])
+       rows);
+  let min_speedup = List.fold_left (fun a (_, _, _, s) -> Float.min a s) infinity rows in
+  Workload.Report.kv "speedup floor"
+    (if enforced then
+       Printf.sprintf "%.1fx (min observed %.2fx): %s" floor min_speedup
+         (if min_speedup >= floor then "ok" else "FAIL")
+     else "not enforced (native kernels disabled)");
+  if not identity_ok then fail "a native kernel diverged from its pure-OCaml reference";
+  if not parallel_ok then fail "parallel k-d build differs from the serial build";
+  if enforced && min_speedup < floor then
+    fail "kernel speedup %.2fx below the %.1fx floor" min_speedup floor;
+  (identity_ok, parallel_ok, rows, floor, enforced)
+
 (* Allocation regression check: with the flat layout, one end-to-end
    1-cluster call (prebuilt index) must allocate minor-heap words roughly
    linearly in n and sublinearly in d — the boxed layout allocated a
@@ -613,7 +745,41 @@ let run_meta ~jobs =
     Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
       tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
   in
+  (* CPU model and the vector-ISA subset of its feature flags, so archived
+     numbers say what silicon produced them (absent off Linux). *)
+  let cpu_model, cpu_isa =
+    try
+      let ic = open_in "/proc/cpuinfo" in
+      let model = ref None and flags = ref None in
+      (try
+         while true do
+           let line = input_line ic in
+           match String.index_opt line ':' with
+           | None -> ()
+           | Some i ->
+               let key = String.trim (String.sub line 0 i) in
+               let v = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+               if !model = None && (key = "model name" || key = "Processor" || key = "cpu model")
+               then model := Some v;
+               if !flags = None && (key = "flags" || key = "Features") then flags := Some v
+         done
+       with End_of_file -> ());
+      close_in ic;
+      let isa =
+        Option.map
+          (fun f ->
+            let have = String.split_on_char ' ' f in
+            String.concat ","
+              (List.filter
+                 (fun x -> List.mem x have)
+                 [ "sse2"; "avx"; "avx2"; "fma"; "avx512f"; "asimd"; "sve" ]))
+          !flags
+      in
+      (!model, isa)
+    with Sys_error _ -> (None, None)
+  in
   let open Engine.Json in
+  let opt = function Some s -> String s | None -> Null in
   Obj
     [
       ("git_commit", (match git_commit with Some c -> String c | None -> Null));
@@ -621,9 +787,13 @@ let run_meta ~jobs =
       ("ocaml_version", String Sys.ocaml_version);
       ("jobs", Int jobs);
       ("word_size", Int Sys.word_size);
+      ("kernels_compiled", Bool Kernel.compiled);
+      ("kernels_active", Bool (Kernel.native_active ()));
+      ("cpu_model", opt cpu_model);
+      ("cpu_isa", opt cpu_isa);
     ]
 
-let json_of_results ~meta ~fx_n ~fx_d ~timing ~engine ~alloc ~b10 ~b11 ~b12 =
+let json_of_results ~meta ~fx_n ~fx_d ~timing ~engine ~alloc ~b10 ~b11 ~b12 ~b13 =
   let open Engine.Json in
   let timing_json =
     List.map
@@ -713,9 +883,33 @@ let json_of_results ~meta ~fx_n ~fx_d ~timing ~engine ~alloc ~b10 ~b11 ~b12 =
             ("cache_hits_charged_zero", Bool gates_pass);
           ]
   in
+  let b13_json =
+    match b13 with
+    | None -> Null
+    | Some (identity_ok, parallel_ok, rows, floor, enforced) ->
+        Obj
+          [
+            ("identity_bitwise", Bool identity_ok);
+            ("parallel_build_identical", Bool parallel_ok);
+            ("speedup_floor", Float floor);
+            ("floor_enforced", Bool enforced);
+            ( "speedups",
+              List
+                (List.map
+                   (fun (name, off_ms, on_ms, s) ->
+                     Obj
+                       [
+                         ("name", String name);
+                         ("reference_ms", Float off_ms);
+                         ("native_ms", Float on_ms);
+                         ("speedup", Float s);
+                       ])
+                   rows) );
+          ]
+  in
   Obj
     [
-      ("schema", String "privcluster-bench/3");
+      ("schema", String "privcluster-bench/4");
       ("meta", meta);
       ("fixture", Obj [ ("n", Int fx_n); ("dim", Int fx_d) ]);
       ("timing", List timing_json);
@@ -724,6 +918,7 @@ let json_of_results ~meta ~fx_n ~fx_d ~timing ~engine ~alloc ~b10 ~b11 ~b12 =
       ("tracing_overhead", b10_json);
       ("daemon_roundtrip", b11_json);
       ("epoch_requery", b12_json);
+      ("kernel_gates", b13_json);
     ]
 
 let write_json path json =
@@ -748,13 +943,14 @@ let run_smoke ~jobs ~json_path =
   let b10 = run_tracing_overhead ~smoke:true fx in
   let b11 = run_daemon_bench ~quick:true ~jobs:2 in
   let b12 = run_epoch_bench ~jobs:2 in
+  let b13 = run_kernel_gates fx in
   (match json_path with
   | None -> ()
   | Some path ->
       write_json path
         (json_of_results ~meta:(run_meta ~jobs) ~fx_n:160 ~fx_d:2 ~timing:[]
            ~engine:(Some engine) ~alloc:(Some alloc) ~b10:(Some b10) ~b11:(Some b11)
-           ~b12:(Some b12)));
+           ~b12:(Some b12) ~b13:(Some b13)));
   print_endline "smoke OK"
 
 let () =
@@ -808,12 +1004,13 @@ let () =
       let b10 = run_tracing_overhead ~smoke:false fx in
       let b11 = run_daemon_bench ~quick:!quick ~jobs:(max !jobs 4) in
       let b12 = run_epoch_bench ~jobs:(max !jobs 4) in
+      let b13 = run_kernel_gates fx in
       match !json_path with
       | None -> ()
       | Some path ->
           write_json path
             (json_of_results ~meta:(run_meta ~jobs:!jobs) ~fx_n:!fix_n ~fx_d:!fix_d
                ~timing:timing_rows ~engine:(Some engine) ~alloc:(Some alloc) ~b10:(Some b10)
-               ~b11:(Some b11) ~b12:(Some b12))
+               ~b11:(Some b11) ~b12:(Some b12) ~b13:(Some b13))
     end
   end

@@ -37,7 +37,7 @@ let run rng ~grid ~eps ~t ps =
      range query — the difference between minutes and seconds at d = 2. *)
   let tree =
     Geometry.Kdtree.build_flat ~storage:(Geometry.Pointset.storage ps)
-      ~offs:(Geometry.Pointset.row_offsets ps) ~dim:(Geometry.Pointset.dim ps)
+      ~offs:(Geometry.Pointset.row_offsets ps) ~dim:(Geometry.Pointset.dim ps) ()
   in
   let count_at r c = min t (Geometry.Kdtree.count_within tree ~center:c ~radius:r) in
   (* Radius search: max_c B̄_r(c) is a sensitivity-1, monotone score. *)

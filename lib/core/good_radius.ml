@@ -62,8 +62,21 @@ let run rng (profile : Profile.t) ~grid ~eps ~delta ~beta ~t ?(zero_floor = 0.) 
   let g = gamma profile ~grid ~eps ~delta ~beta in
   let tf = float_of_int t in
   let score =
-    Recconcave.Quality.create ~size:cand.size ~f:(fun i ->
-        Geometry.Pointset.score_l index ~cap:t ~radius:(cand.radius_of i))
+    match profile.Profile.backend with
+    | Profile.Rec_concave ->
+        (* RecConcave's covering cells evaluate L at every candidate index
+           (twice over, memoized), so the eager batched sweep does exactly
+           the work the lazy path would — with the per-point cost shared
+           across all radii ([Pointset.score_l_many]).  Values are
+           bit-identical to per-radius [score_l]; [Quality]'s memo/evals
+           bookkeeping is unchanged. *)
+        let radii = Array.init cand.size cand.radius_of in
+        let l_all = Geometry.Pointset.score_l_many index ~cap:t ~radii in
+        Recconcave.Quality.create ~size:cand.size ~f:(Array.get l_all)
+    | Profile.Binary_search ->
+        (* The monotone search touches O(log size) radii; stay lazy. *)
+        Recconcave.Quality.create ~size:cand.size ~f:(fun i ->
+            Geometry.Pointset.score_l index ~cap:t ~radius:(cand.radius_of i))
   in
   let l i = Recconcave.Quality.eval score i in
   (* Step 2: radius-zero shortcut.  L has sensitivity 2, budget ε/2.  The

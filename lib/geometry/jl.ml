@@ -30,13 +30,8 @@ let project t ps =
   let n = Pointset.n ps in
   let st = Pointset.storage ps and offs = Pointset.row_offsets ps in
   let out = Array.make (n * t.output_dim) 0. in
-  for i = 0 to n - 1 do
-    let oi = offs.(i) and ob = i * t.output_dim in
-    for r = 0 to t.output_dim - 1 do
-      out.(ob + r) <-
-        t.scale *. Vec.dot_rows t.mat (r * t.input_dim) st oi ~dim:t.input_dim
-    done
-  done;
+  Kernel.jl_project ~mat:t.mat ~st ~offs ~n ~in_dim:t.input_dim ~out_dim:t.output_dim
+    ~scale:t.scale ~out;
   Pointset.of_storage ~dim:t.output_dim out
 
 let target_dim ~n ~eta ~beta =

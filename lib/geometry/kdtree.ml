@@ -90,11 +90,106 @@ let rec build_node st dim idx lo hi =
     end
   end
 
-let build_flat ~storage ~offs ~dim =
+(* Parallel build.  A serial "skeleton" pass performs the top split
+   decisions exactly as [build_node] would (same bbox scan, same axis
+   choice, same quickselect partition on the shared [idx] array), but stops
+   descending after [depth] levels and records the remaining subtrees as
+   jobs.  Each job owns a disjoint [idx] range fully determined by its
+   ancestors' partitions, so worker domains can run [build_node] on their
+   jobs concurrently: they touch disjoint slices of [idx] and the final
+   permutation and node structure are bit-identical to the serial build
+   for any number of domains. *)
+type skel =
+  | S_done of node  (** subtree fully built during the skeleton pass *)
+  | S_job of int  (** deferred: results.(jid) built by a worker *)
+  | S_split of {
+      axis : int;
+      threshold : float;
+      bbox_lo : Vec.t;
+      bbox_hi : Vec.t;
+      size : int;
+      left : skel;
+      right : skel;
+    }
+
+let rec build_skeleton st dim idx lo hi depth jobs next_jid =
+  let n = hi - lo + 1 in
+  if n <= leaf_capacity then S_done (Leaf { lo; hi })
+  else if depth = 0 then begin
+    let jid = !next_jid in
+    incr next_jid;
+    jobs := (jid, lo, hi) :: !jobs;
+    S_job jid
+  end
+  else begin
+    let blo, bhi = bbox st dim idx lo hi in
+    let axis = widest_axis blo bhi in
+    if bhi.(axis) -. blo.(axis) <= 0. then S_done (Leaf { lo; hi })
+    else begin
+      let mid = lo + (n / 2) in
+      select st idx axis lo hi mid;
+      let threshold = st.(idx.(mid) + axis) in
+      let left = build_skeleton st dim idx lo mid (depth - 1) jobs next_jid in
+      let right = build_skeleton st dim idx (mid + 1) hi (depth - 1) jobs next_jid in
+      S_split { axis; threshold; bbox_lo = blo; bbox_hi = bhi; size = n; left; right }
+    end
+  end
+
+let rec node_of_skel results = function
+  | S_done nd -> nd
+  | S_job jid -> results.(jid)
+  | S_split { axis; threshold; bbox_lo; bbox_hi; size; left; right } ->
+      Split
+        {
+          axis;
+          threshold;
+          left = node_of_skel results left;
+          right = node_of_skel results right;
+          bbox_lo;
+          bbox_hi;
+          size;
+        }
+
+let build_root ?(domains = 1) storage dim idx n =
+  if domains <= 1 then build_node storage dim idx 0 (n - 1)
+  else begin
+    (* Enough skeleton levels to hand every domain several jobs. *)
+    let depth =
+      let d = ref 0 in
+      while 1 lsl !d < 4 * domains do incr d done;
+      !d
+    in
+    let jobs = ref [] and next_jid = ref 0 in
+    let skel = build_skeleton storage dim idx 0 (n - 1) depth jobs next_jid in
+    let jobs = Array.of_list (List.rev !jobs) in
+    let results = Array.make (Array.length jobs) (Leaf { lo = 0; hi = -1 }) in
+    let njobs = Array.length jobs in
+    if njobs > 0 then begin
+      let cursor = Atomic.make 0 in
+      let worker () =
+        let rec loop () =
+          let j = Atomic.fetch_and_add cursor 1 in
+          if j < njobs then begin
+            let jid, lo, hi = jobs.(j) in
+            results.(jid) <- build_node storage dim idx lo hi;
+            loop ()
+          end
+        in
+        loop ()
+      in
+      let spawned = min (domains - 1) (max 0 (njobs - 1)) in
+      let handles = List.init spawned (fun _ -> Domain.spawn worker) in
+      worker ();
+      List.iter Domain.join handles
+    end;
+    node_of_skel results skel
+  end
+
+let build_flat ?domains ~storage ~offs ~dim () =
   let n = Array.length offs in
   if n = 0 then invalid_arg "Kdtree.build: empty";
   let idx = Array.copy offs in
-  { st = storage; idx; root = build_node storage dim idx 0 (n - 1); size = n; dim }
+  { st = storage; idx; root = build_root ?domains storage dim idx n; size = n; dim }
 
 let build points =
   let n = Array.length points in
@@ -105,7 +200,7 @@ let build points =
     points;
   let storage = Array.make (n * d) 0. in
   Array.iteri (fun i p -> Vec.set_row storage ~off:(i * d) p) points;
-  build_flat ~storage ~offs:(Array.init n (fun i -> i * d)) ~dim:d
+  build_flat ~storage ~offs:(Array.init n (fun i -> i * d)) ~dim:d ()
 
 let size t = t.size
 let dim t = t.dim
@@ -262,11 +357,9 @@ let node_size = function Leaf { lo; hi } -> hi - lo + 1 | Split { size; _ } -> s
 let rec count_node t node center r2 =
   match node with
   | Leaf { lo; hi } ->
-      let acc = ref 0 in
-      for i = lo to hi do
-        if Vec.dist_sq_to_row t.st ~off:t.idx.(i) ~dim:t.dim center <= r2 then incr acc
-      done;
-      !acc
+      if lo > hi then 0
+      else
+        Kernel.count_within ~st:t.st ~offs:t.idx ~lo ~hi ~q:center ~qoff:0 ~dim:t.dim ~r2
   | Split { left; right; bbox_lo; bbox_hi; _ } ->
       if box_dist_sq bbox_lo bbox_hi center > r2 then 0
       else if box_far_dist_sq bbox_lo bbox_hi center <= r2 then node_size node
@@ -279,11 +372,8 @@ let count_within t ~center ~radius =
 let rec count_node_row t node cst coff r2 =
   match node with
   | Leaf { lo; hi } ->
-      let acc = ref 0 in
-      for i = lo to hi do
-        if Vec.dist_sq_rows t.st t.idx.(i) cst coff ~dim:t.dim <= r2 then incr acc
-      done;
-      !acc
+      if lo > hi then 0
+      else Kernel.count_within ~st:t.st ~offs:t.idx ~lo ~hi ~q:cst ~qoff:coff ~dim:t.dim ~r2
   | Split { left; right; bbox_lo; bbox_hi; _ } ->
       if box_dist_sq_row bbox_lo bbox_hi cst coff > r2 then 0
       else if box_far_dist_sq_row bbox_lo bbox_hi cst coff <= r2 then node_size node
@@ -348,3 +438,58 @@ let counts_within_all t centers ~radius =
 
 let counts_within_rows t cst ~offs ~radius =
   Array.map (fun off -> count_within_row t cst ~off ~radius) offs
+
+let row_order t = Array.copy t.idx
+
+(* One query, many radii in a single traversal.  [radii] must be ascending
+   and non-negative; [r2s] is then ascending too, so at every node the
+   radii still "in play" form a window [jlo, jhi): below it the subtree is
+   pruned (near-distance > r²), at/above [jfull] the subtree is fully
+   contained (far-distance <= r²) and contributes its size to every such
+   radius at once.  Memberships are recorded in a difference array and
+   prefix-summed, producing exactly the integer counts of [nr] independent
+   [count_within_row] calls — integer sums of the same per-point
+   ball-membership indicators, in a different order. *)
+let count_within_row_many t cst ~off:coff ~radii ~out ~stride ~col =
+  let nr = Array.length radii in
+  if nr > 0 then begin
+    let r2s = Array.map (fun r -> r *. r) radii in
+    let acc = Array.make (nr + 1) 0 in
+    (* First index in [jlo, jhi) whose r² clears [bound]. *)
+    let first_ge jlo jhi bound =
+      let a = ref jlo and b = ref jhi in
+      while !a < !b do
+        let mid = (!a + !b) / 2 in
+        if r2s.(mid) >= bound then b := mid else a := mid + 1
+      done;
+      !a
+    in
+    let rec go node jlo jhi =
+      if jlo < jhi then
+        match node with
+        | Leaf { lo; hi } ->
+            if lo <= hi then
+              Kernel.leaf_multi_count ~st:t.st ~idx:t.idx ~lo ~hi ~q:cst ~qoff:coff
+                ~dim:t.dim ~r2s ~jlo ~jhi ~acc
+        | Split { left; right; bbox_lo; bbox_hi; _ } as nd ->
+            let jlo = first_ge jlo jhi (box_dist_sq_row bbox_lo bbox_hi cst coff) in
+            if jlo < jhi then begin
+              let jfull = first_ge jlo jhi (box_far_dist_sq_row bbox_lo bbox_hi cst coff) in
+              if jfull < jhi then begin
+                let s = node_size nd in
+                acc.(jfull) <- acc.(jfull) + s;
+                acc.(jhi) <- acc.(jhi) - s
+              end;
+              if jlo < jfull then begin
+                go left jlo jfull;
+                go right jlo jfull
+              end
+            end
+    in
+    go t.root 0 nr;
+    let running = ref 0 in
+    for j = 0 to nr - 1 do
+      running := !running + acc.(j);
+      out.((j * stride) + col) <- !running
+    done
+  end

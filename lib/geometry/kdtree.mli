@@ -20,10 +20,22 @@ val build : Vec.t array -> t
     the boxed input into fresh flat storage first.
     @raise Invalid_argument on an empty array or mixed dimensions. *)
 
-val build_flat : storage:float array -> offs:int array -> dim:int -> t
+val build_flat :
+  ?domains:int -> storage:float array -> offs:int array -> dim:int -> unit -> t
 (** Zero-copy construction over existing flat storage: [offs.(i)] is the
     element offset of point [i]'s row.  [offs] is copied (the build permutes
-    it); [storage] is shared.  @raise Invalid_argument on empty [offs]. *)
+    it); [storage] is shared.  [domains > 1] parallelizes construction: a
+    serial skeleton pass performs the top median splits (each partition is
+    confined to the range its ancestors produced), then worker domains
+    build the pending subtrees on disjoint index ranges — the resulting
+    tree (structure and {!row_order} permutation) is bit-identical to the
+    serial build for any [domains].
+    @raise Invalid_argument on empty [offs]. *)
+
+val row_order : t -> int array
+(** A copy of the tree's row-offset permutation, in left-to-right leaf
+    order.  Exposed so tests and bench gates can assert that parallel and
+    serial builds produce identical trees. *)
 
 val size : t -> int
 val dim : t -> int
@@ -87,3 +99,14 @@ val counts_within_all : t -> Vec.t array -> radius:float -> int array
 
 val counts_within_rows : t -> float array -> offs:int array -> radius:float -> int array
 (** Batch {!count_within_row}: one count per row offset in [offs]. *)
+
+val count_within_row_many :
+  t -> float array -> off:int -> radii:float array -> out:int array -> stride:int ->
+  col:int -> unit
+(** One query, many radii in a single traversal:
+    [out.((j * stride) + col) <- count_within_row t cst ~off ~radius:radii.(j)]
+    for every [j].  [radii] must be ascending and non-negative.  Counts are
+    exact integers, identical to the per-radius calls (same per-point
+    membership indicators, summed in a different order); the batched
+    traversal shares pruning work across all radii.  This is the kernel
+    behind [Pointset.score_l_many] / GoodRadius's candidate sweep. *)

@@ -40,7 +40,8 @@ let seed_plus_plus_rows rng ~k st n d =
   let cst = Array.make (k * d) 0. in
   let blit_row i j = Array.blit st (i * d) cst (j * d) d in
   blit_row (Prim.Rng.int rng n) 0;
-  let dist2 = Array.init n (fun i -> Vec.dist_sq_rows st (i * d) cst 0 ~dim:d) in
+  let dist2 = Array.make n infinity in
+  Kernel.min_dist2_update ~st ~n ~dim:d ~centers:cst ~coff:0 ~dist2;
   for j = 1 to k - 1 do
     let total = Array.fold_left ( +. ) 0. dist2 in
     let next =
@@ -62,22 +63,14 @@ let seed_plus_plus_rows rng ~k st n d =
       end
     in
     blit_row next j;
-    for i = 0 to n - 1 do
-      dist2.(i) <- Float.min dist2.(i) (Vec.dist_sq_rows st (i * d) cst (j * d) ~dim:d)
-    done
+    (* min-update: distances are never NaN or -0, so "replace when strictly
+       smaller" is bit-identical to the historical [Float.min] fold. *)
+    Kernel.min_dist2_update ~st ~n ~dim:d ~centers:cst ~coff:(j * d) ~dist2
   done;
   cst
 
 let assign_rows cst k st p_off d =
-  let best = ref 0 and best_d = ref infinity in
-  for j = 0 to k - 1 do
-    let dist = Vec.dist_sq_rows st p_off cst (j * d) ~dim:d in
-    if dist < !best_d then begin
-      best_d := dist;
-      best := j
-    end
-  done;
-  !best
+  Kernel.argmin_center ~st ~off:p_off ~centers:cst ~k ~dim:d
 
 let lloyd rng ~k ?(max_iterations = 64) ?(tolerance = 1e-9) points =
   let n = Array.length points in

@@ -67,12 +67,10 @@ let filter_rows pred t =
 let filter pred t = filter_rows (fun st off -> pred (Vec.of_row st ~off ~dim:t.dim)) t
 
 let ball_count t ~center ~radius =
+  if Vec.dim center <> t.dim then invalid_arg "Pointset.ball_count: dimension mismatch";
   let r2 = radius *. radius in
-  let acc = ref 0 in
-  for i = 0 to n t - 1 do
-    if Vec.dist_sq_to_row t.st ~off:t.offs.(i) ~dim:t.dim center <= r2 then incr acc
-  done;
-  !acc
+  Kernel.count_within ~st:t.st ~offs:t.offs ~lo:0 ~hi:(n t - 1) ~q:center ~qoff:0
+    ~dim:t.dim ~r2
 
 let ball_points t ~center ~radius =
   let r2 = radius *. radius in
@@ -98,14 +96,10 @@ let score_l_direct t ~cap ~radius =
     let count = n t in
     let counts =
       Array.init count (fun i ->
-          let oi = t.offs.(i) in
-          let c = ref 0 in
-          for j = 0 to count - 1 do
-            if Vec.dist_sq_rows t.st t.offs.(j) t.st oi ~dim:t.dim <= r2 then incr c
-          done;
-          float_of_int (min cap !c))
+          Kernel.count_within ~st:t.st ~offs:t.offs ~lo:0 ~hi:(count - 1) ~q:t.st
+            ~qoff:t.offs.(i) ~dim:t.dim ~r2)
     in
-    top_average counts ~k:(min cap count)
+    Kernel.top_avg_capped ~counts ~off:0 ~len:count ~cap ~k:(min cap count)
   end
 
 type backend =
@@ -118,11 +112,11 @@ type index = { ps : t; backend : backend }
    the flat storage once per row; identical float sequence to the boxed
    per-point [Vec.dist] map it replaces. *)
 let dense_row ps i =
-  let oi = ps.offs.(i) in
-  let row =
-    Array.init (n ps) (fun j -> Vec.dist_rows ps.st oi ps.st ps.offs.(j) ~dim:ps.dim)
-  in
-  Array.sort Float.compare row;
+  let count = n ps in
+  let row = Array.make count 0. in
+  Kernel.dists_to_rows ~st:ps.st ~offs:ps.offs ~n:count ~q:ps.st ~qoff:ps.offs.(i)
+    ~dim:ps.dim ~out:row;
+  Kernel.sort_floats row;
   row
 
 let build_index ?(domains = 1) ps =
@@ -146,11 +140,11 @@ let build_index ?(domains = 1) ps =
   end;
   { ps; backend = Dense rows }
 
-let build_tree_index ps =
-  { ps; backend = Tree (Kdtree.build_flat ~storage:ps.st ~offs:ps.offs ~dim:ps.dim) }
+let build_tree_index ?domains ps =
+  { ps; backend = Tree (Kdtree.build_flat ?domains ~storage:ps.st ~offs:ps.offs ~dim:ps.dim ()) }
 
 let auto_index ?(dense_threshold = 4096) ?domains ps =
-  if n ps <= dense_threshold then build_index ?domains ps else build_tree_index ps
+  if n ps <= dense_threshold then build_index ?domains ps else build_tree_index ?domains ps
 
 let index_is_dense idx = match idx.backend with Dense _ -> true | Tree _ -> false
 let index_pointset idx = idx.ps
@@ -186,9 +180,64 @@ let score_l idx ~cap ~radius =
   if radius < 0. then 0.
   else begin
     let counts = counts_within idx ~radius in
-    let capped = Array.map (fun c -> float_of_int (min c cap)) counts in
-    top_average capped ~k:(min cap (n idx.ps))
+    Kernel.top_avg_capped ~counts ~off:0 ~len:(Array.length counts) ~cap
+      ~k:(min cap (n idx.ps))
   end
+
+(* Batched L: one score per candidate radius, equal to mapping [score_l]
+   over [radii] but sharing the per-point work across all radii — binary
+   searches over each sorted dense row, or a single multi-radius k-d
+   traversal per point.  Counts are exact integers and the capped top-k
+   average sums integers below 2^53, so every output is bit-identical to
+   the per-radius path.  Radii blocks are bounded so the transient count
+   matrix stays under ~32 MB regardless of |radii|·n. *)
+let score_l_many idx ~cap ~radii =
+  let nr = Array.length radii in
+  let count = n idx.ps in
+  let out = Array.make nr 0. in
+  let ascending =
+    let ok = ref true in
+    for j = 1 to nr - 1 do
+      if radii.(j) < radii.(j - 1) then ok := false
+    done;
+    !ok
+  in
+  if not ascending then
+    (* Out-of-order radii: no batching contract; score one by one. *)
+    Array.iteri (fun j r -> out.(j) <- score_l idx ~cap ~radius:r) radii
+  else begin
+    (* Negative radii score 0 (same guard as [score_l]). *)
+    let first_nn = ref 0 in
+    while !first_nn < nr && radii.(!first_nn) < 0. do
+      out.(!first_nn) <- 0.;
+      incr first_nn
+    done;
+    let k = min cap count in
+    let block = max 1 (4_000_000 / count) in
+    let j0 = ref !first_nn in
+    while !j0 < nr do
+      let bnr = min block (nr - !j0) in
+      let rblock = Array.sub radii !j0 bnr in
+      let counts = Array.make (bnr * count) 0 in
+      (match idx.backend with
+      | Dense rows ->
+          for i = 0 to count - 1 do
+            let row = rows.(i) in
+            Kernel.counts_le_sorted ~row ~len:(Array.length row) ~radii:rblock ~nr:bnr
+              ~out:counts ~stride:count ~col:i
+          done
+      | Tree tree ->
+          for i = 0 to count - 1 do
+            Kdtree.count_within_row_many tree idx.ps.st ~off:idx.ps.offs.(i)
+              ~radii:rblock ~out:counts ~stride:count ~col:i
+          done);
+      for j = 0 to bnr - 1 do
+        out.(!j0 + j) <- Kernel.top_avg_capped ~counts ~off:(j * count) ~len:count ~cap ~k
+      done;
+      j0 := !j0 + bnr
+    done
+  end;
+  out
 
 let kth_neighbor_distance idx ~k i =
   if k <= 0 || k > n idx.ps then invalid_arg "Pointset.kth_neighbor_distance: bad k";

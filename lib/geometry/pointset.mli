@@ -112,11 +112,13 @@ val build_index : ?domains:int -> t -> index
     that many OCaml domains; rows are independent, so the result is
     identical for any value. *)
 
-val build_tree_index : t -> index
+val build_tree_index : ?domains:int -> t -> index
 (** k-d-tree backend ({!Kdtree}): O(n log n) memory-light construction
     sharing the pointset's storage (zero copy); each radius probe costs n
     tree queries.  The scalable choice for large [n] (and the only
-    reasonable one beyond ~10⁴ points). *)
+    reasonable one beyond ~10⁴ points).  [domains > 1] parallelizes the
+    build (see {!Kdtree.build_flat}); the tree is bit-identical to the
+    serial one. *)
 
 val auto_index : ?dense_threshold:int -> ?domains:int -> t -> index
 (** Dense when [n <= dense_threshold] (default 4096), tree otherwise. *)
@@ -143,6 +145,16 @@ val counts_within : index -> radius:float -> int array
 val score_l : index -> cap:int -> radius:float -> float
 (** [L(radius, S)] via the index: per-point counts, cap at [cap], average the
     [cap] largest. *)
+
+val score_l_many : index -> cap:int -> radii:float array -> float array
+(** [Array.map (fun r -> score_l idx ~cap ~radius:r) radii], computed in
+    one batched pass when [radii] is ascending (the candidate grids are):
+    each dense row answers all radii with shared binary searches, each
+    tree point answers all radii in one multi-radius traversal
+    ({!Kdtree.count_within_row_many}), and the capped top-[cap] average
+    runs on a counting histogram.  Results are bit-identical to the
+    per-radius path (exact integer counts; top-k sums below 2^53).  This
+    is GoodRadius's candidate sweep on the RecConcave backend. *)
 
 val kth_neighbor_distance : index -> k:int -> int -> float
 (** [kth_neighbor_distance idx ~k i] — distance from point [i] to its

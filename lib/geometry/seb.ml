@@ -20,11 +20,6 @@ let exact_1d coords ~t =
   done;
   { center = [| 0.5 *. (sorted.(!best_i) +. sorted.(!best_i + t - 1)) |]; radius = 0.5 *. !best }
 
-let kth_smallest arr k =
-  let a = Array.copy arr in
-  Array.sort Float.compare a;
-  a.(k - 1)
-
 let two_approx ps ~t =
   let n = Pointset.n ps in
   if t < 1 || t > n then invalid_arg "Seb.two_approx: t must be in [1, n]";
@@ -33,11 +28,10 @@ let two_approx ps ~t =
   let best = ref infinity and best_i = ref 0 in
   let dists = Array.make n 0. in
   for i = 0 to n - 1 do
-    let oi = offs.(i) in
-    for j = 0 to n - 1 do
-      dists.(j) <- Vec.dist_rows st offs.(j) st oi ~dim:d
-    done;
-    let r = kth_smallest dists t in
+    Kernel.dists_to_rows ~st ~offs ~n ~q:st ~qoff:offs.(i) ~dim:d ~out:dists;
+    (* [dists] is refilled next iteration, so the destructive quickselect
+       scratch is free; the k-th order statistic equals the sorted read. *)
+    let r = Kernel.kth_smallest dists ~len:n ~k:t in
     if r < !best then begin
       best := r;
       best_i := i
@@ -88,15 +82,7 @@ let min_enclosing_ball ?(iterations = 100) points =
 (* Flat Bădoiu–Clarkson over the rows listed in [offs]; same iteration as
    [min_enclosing_ball] without materializing any point. *)
 let farthest_row st offs count d c =
-  let best = ref 0 and best_d = ref neg_infinity in
-  for i = 0 to count - 1 do
-    let dist = Vec.dist_sq_to_row st ~off:offs.(i) ~dim:d c in
-    if dist > !best_d then begin
-      best_d := dist;
-      best := i
-    end
-  done;
-  !best
+  Kernel.argmax_dist ~st ~offs ~n:count ~q:c ~qoff:0 ~dim:d
 
 let meb_rows ?(iterations = 100) st offs count d =
   let c = Vec.of_row st ~off:offs.(0) ~dim:d in

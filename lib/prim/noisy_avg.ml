@@ -63,12 +63,7 @@ let run_rows rng ~eps ~delta ~diameter ~pred ~dim ~offs st =
       if m = 0 then Array.make dim 0.
       else begin
         let acc = Array.make dim 0. in
-        for s = 0 to m - 1 do
-          let off = sel.(s) in
-          for i = 0 to dim - 1 do
-            acc.(i) <- acc.(i) +. st.(off + i)
-          done
-        done;
+        Kernel.sum_rows ~st ~sel ~m ~dim ~acc;
         Array.map (fun s -> s /. float_of_int m) acc
       end
     in

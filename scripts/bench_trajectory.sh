@@ -1,0 +1,90 @@
+#!/bin/sh
+# Regenerates the perf-trajectory table in PERFORMANCE.md from the committed
+# BENCH_*.json captures (one per perf-relevant PR; see PERFORMANCE.md for
+# the catalog).  The table lives between the bench-trajectory:begin/end
+# markers and is never edited by hand.
+#
+#   ./scripts/bench_trajectory.sh          # rewrite the table in place
+#   ./scripts/bench_trajectory.sh --check  # exit non-zero if the committed
+#                                          # table is stale (CI runs this)
+set -u
+
+cd "$(dirname "$0")/.."
+
+mode=${1:-write}
+doc=PERFORMANCE.md
+
+files=$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n)
+if [ -z "$files" ]; then
+  echo "bench_trajectory: no BENCH_*.json captures found" >&2
+  exit 1
+fi
+if ! grep -q 'bench-trajectory:begin' "$doc"; then
+  echo "bench_trajectory: $doc has no bench-trajectory markers" >&2
+  exit 1
+fi
+
+# One column per capture, one row per Bechamel stage bench.  A smoke-only
+# capture (empty timing array, e.g. BENCH_7) shows as "—"; the trend column
+# is earliest-with-data over latest-with-data, so smoke captures never skew
+# it.  ns_per_call is parsed line-by-line: the committed JSON is
+# pretty-printed with "name" and "ns_per_call" on adjacent lines.
+table=$(awk '
+  FNR == 1 { nf++; label = FILENAME; sub(/\.json$/, "", label); labels[nf] = label }
+  /"name": "privcluster\// {
+    name = $0
+    sub(/^.*"name": "privcluster\//, "", name); sub(/".*$/, "", name)
+    pending = name
+    if (!(name in seen)) { seen[name] = ++nb; benches[nb] = name }
+    next
+  }
+  pending != "" && /"ns_per_call":/ {
+    v = $0; sub(/^.*"ns_per_call": */, "", v); sub(/,.*$/, "", v)
+    ns[pending "," nf] = v + 0
+    pending = ""
+  }
+  END {
+    header = "| bench (time/call) |"; rule = "|---|"
+    for (f = 1; f <= nf; f++) { header = header " " labels[f] " |"; rule = rule "---|" }
+    print header " trend |"; print rule "---|"
+    for (b = 1; b <= nb; b++) {
+      name = benches[b]
+      row = "| " name " |"
+      first = 0; last = 0
+      for (f = 1; f <= nf; f++) {
+        key = name "," f
+        if (key in ns) {
+          v = ns[key]
+          row = row sprintf(" %.2f ms |", v / 1e6)
+          if (first == 0) first = v
+          last = v
+        } else row = row " — |"
+      }
+      if (first > 0 && last > 0) row = row sprintf(" %.1fx |", first / last)
+      else row = row " — |"
+      print row
+    }
+  }
+' $files)
+
+new=$(awk -v table="$table" '
+  /bench-trajectory:begin/ { print; print ""; print table; print ""; skip = 1 }
+  /bench-trajectory:end/ { skip = 0 }
+  !skip { print }
+' "$doc")
+
+case "$mode" in
+  --check)
+    if [ "$new" = "$(cat "$doc")" ]; then
+      echo "bench_trajectory: $doc table is current."
+    else
+      echo "bench_trajectory: $doc table is STALE; run ./scripts/bench_trajectory.sh" >&2
+      printf '%s\n' "$new" | diff -u "$doc" - >&2 || true
+      exit 1
+    fi
+    ;;
+  write | *)
+    printf '%s\n' "$new" >"$doc.tmp" && mv "$doc.tmp" "$doc"
+    echo "bench_trajectory: $doc table regenerated from: $(echo $files | tr '\n' ' ')"
+    ;;
+esac

@@ -7,7 +7,7 @@ set -u
 
 cd "$(dirname "$0")/.."
 
-docs="README.md OPERATIONS.md DESIGN.md HACKING.md ROADMAP.md EXPERIMENTS.md PAPER_MAP.md TESTING.md"
+docs="README.md OPERATIONS.md DESIGN.md HACKING.md ROADMAP.md EXPERIMENTS.md PAPER_MAP.md TESTING.md PERFORMANCE.md"
 status=0
 
 for doc in $docs; do

@@ -82,7 +82,10 @@ grep -q '"refused"' "$OUT_DIR/run3.json"   # 0.8 + 0.3 > 1.0: cluster job refuse
 grep -q '"ok"' "$OUT_DIR/run3.json"        # 0.1 median still fits
 
 echo "== shed request charges nothing (in-flight cap 1) =="
-client register --dataset d2 --points 3000 \
+# The batch must still be in flight when the concurrent request lands;
+# n is sized so 12 jobs outlast client startup even with the native
+# kernels active (n = 3000 stopped being slow enough in PR 8).
+client register --dataset d2 --points 20000 \
   --budget-eps 50 --budget-delta 1e-3 >/dev/null
 {
   for i in $(seq 12); do

@@ -92,7 +92,7 @@ let test_kdtree_matches_brute_force () =
     Geometry.Kdtree.build_flat
       ~storage:(Geometry.Pointset.storage ps)
       ~offs:(Geometry.Pointset.row_offsets ps)
-      ~dim:(Geometry.Pointset.dim ps)
+      ~dim:(Geometry.Pointset.dim ps) ()
   in
   let center = points.(9) in
   List.iter
