@@ -122,15 +122,24 @@ let exec_register t tenant ~dataset ~n ~dim ~axis ~frac ~radius ~seed ~budget ~m
   else
     let key = (tname, dataset) in
     let ops = Option.value ~default:[] (List.assoc_opt key t.histories) in
+    let synth = { Wal.n; dim; axis; frac; radius; seed } in
     let check =
       match Wal.opening ops with
-      | Some (jmode, jbudget) when jmode = mode && jbudget = budget -> Ok ()
-      | Some (jmode, jbudget) ->
+      | Some (jmode, jbudget, _) when not (jmode = mode && jbudget = budget) ->
           err Wire.Conflict
             "journal for %S was opened with budget (%g, %g) under %s composition — \
              re-register with the same budget and mode to recover its ledger"
             dataset jbudget.Prim.Dp.eps jbudget.Prim.Dp.delta (Accountant.mode_name jmode)
-      | None -> Ok ()
+      | Some (_, _, Some js) when js <> synth ->
+          (* The journaled mutations and cached results only make sense
+             against the pointset these parameters generate; replaying
+             them onto a different base dataset would diverge silently. *)
+          err Wire.Conflict
+            "journal for %S describes a dataset synthesized with n=%d dim=%d axis=%d \
+             frac=%g radius=%g seed=%d — re-register with the same parameters to \
+             recover its ledger"
+            dataset js.Wal.n js.Wal.dim js.Wal.axis js.Wal.frac js.Wal.radius js.Wal.seed
+      | Some _ | None -> Ok ()
     in
     match check with
     | Error _ as e -> e
@@ -168,43 +177,76 @@ let exec_register t tenant ~dataset ~n ~dim ~axis ~frac ~radius ~seed ~budget ~m
                    the replayed ledger, which must be complete first. *)
                 let standing_ops = ref [] in
                 let on_apply = function
-                  | Wal.Append { epoch = _; dim = d; points } ->
-                      let rows =
-                        Array.init
-                          (Array.length points / d)
-                          (fun i -> Geometry.Vec.of_row points ~off:(i * d) ~dim:d)
-                      in
-                      ignore (Registry.append ds rows)
-                  | Wal.Retire { epoch = _; from_; count } ->
-                      ignore (Registry.retire ds ~from_ ~count)
+                  | Wal.Append { epoch; dim = d; points } -> (
+                      if d <> Registry.dim ds then
+                        Error
+                          (Printf.sprintf "journaled append has dim %d, dataset has dim %d"
+                             d (Registry.dim ds))
+                      else
+                        let rows =
+                          Array.init
+                            (Array.length points / d)
+                            (fun i -> Geometry.Vec.of_row points ~off:(i * d) ~dim:d)
+                        in
+                        match Registry.append ds rows with
+                        | e when e = epoch -> Ok ()
+                        | e ->
+                            Error
+                              (Printf.sprintf
+                                 "journaled append produced epoch %d, journal says %d" e
+                                 epoch)
+                        | exception Invalid_argument m ->
+                            Error ("journaled append rejected: " ^ m))
+                  | Wal.Retire { epoch; from_; count } -> (
+                      match Registry.retire ds ~from_ ~count with
+                      | e when e = epoch -> Ok ()
+                      | e ->
+                          Error
+                            (Printf.sprintf
+                               "journaled retire produced epoch %d, journal says %d" e
+                               epoch)
+                      | exception Invalid_argument m ->
+                          Error ("journaled retire rejected: " ^ m))
                   | Wal.Cached { epoch; signature; seed; stream; output } -> (
                       match Job.output_of_wire output with
                       | Ok out ->
                           Result_cache.restore
                             (Service.result_cache svc)
                             { Result_cache.dataset; epoch; signature; seed; stream }
-                            out
+                            out;
+                          Ok ()
                       | Error e ->
                           Log.warn (fun m ->
                               m "tenant %s: journaled cache entry for %s dropped: %s"
-                                tname dataset e))
+                                tname dataset e);
+                          Ok ())
                   | Wal.Standing { line; seed; stream } ->
-                      standing_ops := (line, seed, stream) :: !standing_ops
-                  | _ -> ()
+                      standing_ops := (line, seed, stream) :: !standing_ops;
+                      Ok ()
+                  | _ -> Ok ()
                 in
-                let orphans =
+                let replayed =
                   if ops = [] then begin
                     Wal.append t.wal
-                      { Wal.tenant = tname; dataset; op = Wal.Open { mode; budget } };
-                    0
+                      { Wal.tenant = tname; dataset;
+                        op = Wal.Open { mode; budget; synth = Some synth } };
+                    Ok 0
                   end
                   else begin
                     t.histories <- List.remove_assoc key t.histories;
-                    match Wal.replay ~on_event:emit_budget_event ~on_apply ops acct with
-                    | Ok orphans -> orphans
-                    | Error _ -> assert false (* the dry run above validated *)
+                    Wal.replay ~on_event:emit_budget_event ~on_apply ops acct
                   end
                 in
+                match replayed with
+                | Error e ->
+                    (* The dry run validated every budget op, so only an
+                       engine-state op can land here: a journaled mutation
+                       that no longer reproduces its journaled epoch. *)
+                    err Wire.Internal
+                      "%s — dataset %S is only partially recovered; inspect %s before \
+                       retrying"
+                      e dataset (Wal.path t.wal)
+                | Ok orphans ->
                 List.iter
                   (fun (line, seed, stream) ->
                     match Service.restore_standing svc ~dataset:ds ~line ~seed ~stream with
@@ -461,25 +503,52 @@ let exec_metrics t tenant =
 
 (* --- connection handling ------------------------------------------------- *)
 
-type reader = { rfd : Unix.file_descr; rbuf : Buffer.t; chunk : bytes }
+type reader = {
+  rfd : Unix.file_descr;
+  chunk : bytes;
+  line : Buffer.t;  (* the current partial line; bounded by [max_request_bytes] *)
+  mutable queued : string list;  (* complete lines, oldest first *)
+}
 
-let make_reader fd = { rfd = fd; rbuf = Buffer.create 4096; chunk = Bytes.create 4096 }
+(* Longest accepted request line.  Legitimate requests are small (a jobs
+   file of thousands of lines stays well under 1 MiB); the cap exists so a
+   client — including one that never authenticates — cannot grow the read
+   buffer without bound by streaming bytes with no newline. *)
+let max_request_bytes = 8 * 1024 * 1024
+
+type read_outcome = Line of string | Eof | Overflow
+
+let make_reader fd =
+  { rfd = fd; chunk = Bytes.create 4096; line = Buffer.create 4096; queued = [] }
 
 let rec read_line r =
-  let s = Buffer.contents r.rbuf in
-  match String.index_opt s '\n' with
-  | Some i ->
-      Buffer.clear r.rbuf;
-      Buffer.add_string r.rbuf (String.sub s (i + 1) (String.length s - i - 1));
-      Some (String.sub s 0 i)
-  | None -> (
-      match Unix.read r.rfd r.chunk 0 (Bytes.length r.chunk) with
-      | 0 -> None
-      | n ->
-          Buffer.add_subbytes r.rbuf r.chunk 0 n;
-          read_line r
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_line r
-      | exception Unix.Unix_error (_, _, _) -> None)
+  match r.queued with
+  | l :: rest ->
+      r.queued <- rest;
+      if String.length l > max_request_bytes then Overflow else Line l
+  | [] -> (
+      if Buffer.length r.line > max_request_bytes then Overflow
+      else
+        match Unix.read r.rfd r.chunk 0 (Bytes.length r.chunk) with
+        | 0 -> Eof
+        | n ->
+            (* Scan the fresh chunk only: completed lines move out of the
+               buffer and the trailing fragment is appended once, so no
+               already-buffered prefix is ever recopied or rescanned. *)
+            let start = ref 0 in
+            for i = 0 to n - 1 do
+              if Bytes.get r.chunk i = '\n' then begin
+                Buffer.add_subbytes r.line r.chunk !start (i - !start);
+                r.queued <- Buffer.contents r.line :: r.queued;
+                Buffer.clear r.line;
+                start := i + 1
+              end
+            done;
+            Buffer.add_subbytes r.line r.chunk !start (n - !start);
+            r.queued <- List.rev r.queued;
+            read_line r
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_line r
+        | exception Unix.Unix_error (_, _, _) -> Eof)
 
 let write_all fd s =
   let n = String.length s in
@@ -488,11 +557,33 @@ let write_all fd s =
 
 let submit_and_wait t ?control ?slot work =
   let mb = Mailbox.create () in
-  match Admission.submit t.admission ?control ?slot (fun () -> Mailbox.put mb (work ())) with
+  (* The mailbox must be filled on every path: an exception escaping the
+     executor would otherwise strand this connection thread in [take]
+     forever (and [stop] with it, on the join). *)
+  let guarded () =
+    Mailbox.put mb
+      (try work ()
+       with e -> err Wire.Internal "unexpected failure: %s" (Printexc.to_string e))
+  in
+  match Admission.submit t.admission ?control ?slot guarded with
   | Error reason ->
       err (Wire.Rejected reason) "request shed (%s); nothing was charged"
         (Wire.shed_reason_name reason)
   | Ok () -> Mailbox.take mb
+
+(* Client-controlled synthesis parameters are checked before the request
+   reaches the executor: [Grid.create], [Synth.planted_ball] and
+   [Array.init] raise on these, and a raise on the executor thread must
+   never be how a bad request is discovered. *)
+let validate_register ~n ~dim ~axis ~frac ~radius =
+  let bad fmt = Printf.ksprintf (fun m -> Some m) fmt in
+  if n < 1 then bad "n must be >= 1 (got %d)" n
+  else if dim < 1 then bad "dim must be >= 1 (got %d)" dim
+  else if axis < 2 then bad "axis must be >= 2 (got %d)" axis
+  else if not (frac > 0. && frac <= 1.) then bad "frac must be in (0, 1] (got %g)" frac
+  else if not (Float.is_finite radius && radius >= 0.) then
+    bad "radius must be finite and >= 0 (got %g)" radius
+  else None
 
 let handle_request t authed (envelope : Wire.envelope) =
   match (envelope.Wire.request, !authed) with
@@ -530,9 +621,13 @@ let handle_request t authed (envelope : Wire.envelope) =
             ~slot:(Tenants.slot tenant, Tenants.max_in_flight tenant)
             (fun () -> exec_run t tenant ~dataset ~seed specs))
   | Wire.Register { dataset; n; dim; axis; frac; radius; seed; budget; mode }, Some tenant
-    ->
-      submit_and_wait t ~control:true (fun () ->
-          exec_register t tenant ~dataset ~n ~dim ~axis ~frac ~radius ~seed ~budget ~mode)
+    -> (
+      match validate_register ~n ~dim ~axis ~frac ~radius with
+      | Some msg -> err Wire.Bad_request "register: %s" msg
+      | None ->
+          submit_and_wait t ~control:true (fun () ->
+              exec_register t tenant ~dataset ~n ~dim ~axis ~frac ~radius ~seed ~budget
+                ~mode))
   | Wire.Append { dataset; n; seed; frac; radius }, Some tenant ->
       submit_and_wait t
         ~slot:(Tenants.slot tenant, Tenants.max_in_flight tenant)
@@ -561,9 +656,17 @@ let handle_conn t fd =
   let authed = ref None in
   let rec loop () =
     match read_line reader with
-    | None -> ()
-    | Some line when String.trim line = "" -> loop ()
-    | Some line ->
+    | Eof -> ()
+    | Overflow ->
+        (* The stream cannot be resynchronised past an oversized line:
+           reply once, then drop the connection. *)
+        (try
+           write_all fd
+             (Wire.reply_to_line ~rid:0
+                (err Wire.Bad_request "request line exceeds %d bytes" max_request_bytes))
+         with Unix.Unix_error (_, _, _) -> ())
+    | Line line when String.trim line = "" -> loop ()
+    | Line line ->
         let rid, body =
           match Wire.request_of_line line with
           | Error e -> (Wire.rid_of_line line, Error e)
@@ -582,8 +685,15 @@ let handle_conn t fd =
         if continue then loop ()
   in
   (try loop () with _ -> ());
+  let self = Thread.self () in
   Mutex.lock t.conn_mutex;
   t.conns <- List.filter (fun c -> c != fd) t.conns;
+  (* A finished connection has nothing left to join: prune our own handle
+     so [conn_threads] does not grow by one per connection ever accepted.
+     [stop] snapshots the list under the same mutex — a handle it read
+     before we pruned just makes its join a no-op. *)
+  t.conn_threads <-
+    List.filter (fun th -> Thread.id th <> Thread.id self) t.conn_threads;
   Mutex.unlock t.conn_mutex;
   try Unix.close fd with Unix.Unix_error (_, _, _) -> ()
 

@@ -37,6 +37,11 @@ val default_config : config
 (** Unix socket ["privclusterd.sock"], WAL ["privclusterd.wal"], no
     tenants, capacity 64, 2 domains, 2 retries, seed 1, sync on. *)
 
+val max_request_bytes : int
+(** Longest accepted request line (8 MiB).  A connection that sends a
+    longer line — or streams that many bytes with no newline at all,
+    authenticated or not — gets one [bad_request] reply and is closed. *)
+
 type t
 
 val start : config -> (t, string) result

@@ -1,8 +1,17 @@
 module Json = Engine.Json
 module Accountant = Engine.Accountant
 
+type synth = {
+  n : int;
+  dim : int;
+  axis : int;
+  frac : float;
+  radius : float;
+  seed : int;
+}
+
 type op =
-  | Open of { mode : Accountant.mode; budget : Prim.Dp.params }
+  | Open of { mode : Accountant.mode; budget : Prim.Dp.params; synth : synth option }
   | Charge of { label : string; cost : Prim.Dp.params }
   | Refuse of { label : string; cost : Prim.Dp.params; reserve : bool }
   | Reserve of { rid : int; label : string; cost : Prim.Dp.params }
@@ -51,7 +60,7 @@ let payload_of_record r =
   let base = [ ("t", Json.String r.tenant); ("d", Json.String r.dataset) ] in
   let rest =
     match r.op with
-    | Open { mode; budget } ->
+    | Open { mode; budget; synth } ->
         [ ("op", Json.String "open"); ("mode", Json.String (Accountant.mode_name mode)) ]
         @ (match mode with
           | Accountant.Basic -> []
@@ -60,6 +69,13 @@ let payload_of_record r =
         @ [ ("budget_eps", float_str budget.Prim.Dp.eps);
             ("budget_delta", float_str budget.Prim.Dp.delta);
           ]
+        @ (match synth with
+          | None -> []
+          | Some s ->
+              [ ("n", Json.Int s.n); ("dim", Json.Int s.dim); ("axis", Json.Int s.axis);
+                ("frac", float_str s.frac); ("radius", float_str s.radius);
+                ("seed", Json.Int s.seed);
+              ])
     | Charge { label; cost } ->
         (("op", Json.String "charge") :: ("label", Json.String label) :: cost_fields cost)
     | Refuse { label; cost; reserve } ->
@@ -146,7 +162,21 @@ let record_of_payload payload =
         in
         let* eps = get_float opname "budget_eps" json in
         let* delta = get_float opname "budget_delta" json in
-        Ok (Open { mode; budget = { Prim.Dp.eps; delta } })
+        let* synth =
+          (* Pre-synth journals lack these fields; [None] marks a legacy
+             record whose registration parameters were not pinned. *)
+          match Json.member "n" json with
+          | None -> Ok None
+          | Some _ ->
+              let* n = get opname "n" json Json.to_int in
+              let* dim = get opname "dim" json Json.to_int in
+              let* axis = get opname "axis" json Json.to_int in
+              let* frac = get_float opname "frac" json in
+              let* radius = get_float opname "radius" json in
+              let* seed = get opname "seed" json Json.to_int in
+              Ok (Some { n; dim; axis; frac; radius; seed })
+        in
+        Ok (Open { mode; budget = { Prim.Dp.eps; delta }; synth })
     | "charge" ->
         let* label = get opname "label" json Json.to_str in
         let* cost = cost () in
@@ -356,9 +386,11 @@ let histories records =
   List.rev_map (fun key -> (key, List.rev !(Hashtbl.find tbl key))) !order
 
 let opening ops =
-  List.find_map (function Open { mode; budget } -> Some (mode, budget) | _ -> None) ops
+  List.find_map
+    (function Open { mode; budget; synth } -> Some (mode, budget, synth) | _ -> None)
+    ops
 
-let replay ?on_event ?(on_apply = fun (_ : op) -> ()) ops acc =
+let replay ?on_event ?(on_apply = fun (_ : op) -> Ok ()) ops acc =
   let active = ref true in
   (match on_event with
   | Some f -> Accountant.subscribe acc (fun ev -> if !active then f ev)
@@ -371,12 +403,15 @@ let replay ?on_event ?(on_apply = fun (_ : op) -> ()) ops acc =
         let* () = acc_r in
         match op with
         | Open _ -> Ok ()  (* validated by the caller before replay *)
-        | Append _ | Retire _ | Cached _ | Standing _ ->
+        | Append _ | Retire _ | Cached _ | Standing _ -> (
             (* Engine-state ops: no accountant interaction.  The caller
                applies them (mutating the registry / restoring the cache)
-               in journal order, interleaved with the budget replay. *)
-            on_apply op;
-            Ok ()
+               in journal order, interleaved with the budget replay, and
+               reports divergence — a journaled mutation that does not
+               reproduce the journaled epoch — as an error. *)
+            match on_apply op with
+            | Ok () -> Ok ()
+            | Error e -> fail "%s" e)
         | Charge { label; cost } -> (
             match Accountant.charge acc ~label cost with
             | Ok () -> Ok ()

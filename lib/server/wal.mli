@@ -48,11 +48,27 @@
     it — same records, fresh file, atomic rename — which drops nothing but
     reclaims the space of any torn tail. *)
 
+type synth = {
+  n : int;
+  dim : int;
+  axis : int;
+  frac : float;
+  radius : float;
+  seed : int;
+}
+(** The synthesis parameters a dataset was registered with.  They pin the
+    base pointset: replaying Append/Retire mutations and cached results
+    against a dataset generated from {e different} parameters would
+    silently diverge, so re-registration must present the same ones. *)
+
 type op =
-  | Open of { mode : Engine.Accountant.mode; budget : Prim.Dp.params }
-      (** Budget and composition mode the dataset was registered with;
-          first record of every (tenant, dataset) stream.  Re-registration
-          after a restart must present the same budget and mode. *)
+  | Open of { mode : Engine.Accountant.mode; budget : Prim.Dp.params; synth : synth option }
+      (** Budget, composition mode, and synthesis parameters the dataset
+          was registered with; first record of every (tenant, dataset)
+          stream.  Re-registration after a restart must present the same
+          budget, mode, and parameters.  [synth = None] only on records
+          journaled before parameters were pinned (a legacy journal);
+          such streams skip the parameter check. *)
   | Charge of { label : string; cost : Prim.Dp.params }
   | Refuse of { label : string; cost : Prim.Dp.params; reserve : bool }
   | Reserve of { rid : int; label : string; cost : Prim.Dp.params }
@@ -120,12 +136,12 @@ val histories : record list -> ((string * string) * op list) list
 (** Group records by (tenant, dataset), both levels in first-appearance
     order, each stream in log order. *)
 
-val opening : op list -> (Engine.Accountant.mode * Prim.Dp.params) option
+val opening : op list -> (Engine.Accountant.mode * Prim.Dp.params * synth option) option
 (** The stream's [Open] record, if any. *)
 
 val replay :
   ?on_event:(Engine.Accountant.event -> unit) ->
-  ?on_apply:(op -> unit) ->
+  ?on_apply:(op -> (unit, string) result) ->
   op list ->
   Engine.Accountant.t ->
   (int, string) result
@@ -138,6 +154,8 @@ val replay :
     receives the engine-state ops ({!Append}, {!Retire}, {!Cached},
     {!Standing}) in journal order, interleaved with the budget replay —
     the daemon uses it to re-apply mutations and restore cache entries so
-    the post-restart epoch and cache match the pre-crash state.  [Error]
-    means the journal diverged from the accountant's arithmetic — wrong
-    budget, wrong mode, or a mangled stream. *)
+    the post-restart epoch and cache match the pre-crash state; an
+    [Error] it returns (a mutation that does not reproduce its journaled
+    epoch) aborts the replay with that message.  [Error] means the
+    journal diverged — wrong budget, wrong mode, a mutation that no
+    longer reproduces its journaled result, or a mangled stream. *)

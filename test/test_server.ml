@@ -36,7 +36,10 @@ let test_crc_vectors () =
 let sample_records =
   [
     { Wal.tenant = "acme"; dataset = "d1";
-      op = Wal.Open { mode = Acct.Basic; budget = p ~eps:2.0 ~delta:1e-5 } };
+      op = Wal.Open
+          { mode = Acct.Basic; budget = p ~eps:2.0 ~delta:1e-5;
+            synth = Some { Wal.n = 400; dim = 2; axis = 128; frac = 0.5;
+                           radius = 0.1 +. 0.2; seed = 3 } } };
     { Wal.tenant = "acme"; dataset = "d1";
       op = Wal.Charge { label = "j1"; cost = p ~eps:0.5 ~delta:1e-7 } };
     { Wal.tenant = "acme"; dataset = "d1";
@@ -44,8 +47,11 @@ let sample_records =
     { Wal.tenant = "acme"; dataset = "d1";
       op = Wal.Reserve { rid = 0; label = "j3:fallback"; cost = p ~eps:0.25 ~delta:5e-8 } };
     { Wal.tenant = "acme"; dataset = "d1"; op = Wal.Commit { rid = 0 } };
+    (* synth = None: a legacy record journaled before parameters were pinned *)
     { Wal.tenant = "beta"; dataset = "dx";
-      op = Wal.Open { mode = Acct.Zcdp { slack = 1e-9 }; budget = p ~eps:1.0 ~delta:1e-6 } };
+      op = Wal.Open
+          { mode = Acct.Zcdp { slack = 1e-9 }; budget = p ~eps:1.0 ~delta:1e-6;
+            synth = None } };
     { Wal.tenant = "beta"; dataset = "dx";
       op = Wal.Reserve { rid = 1; label = "q:fallback"; cost = p ~eps:0.1 ~delta:0.0 } };
     { Wal.tenant = "beta"; dataset = "dx"; op = Wal.Release { rid = 1 } };
@@ -176,10 +182,14 @@ let test_wal_histories () =
       Alcotest.(check string) "stream 2 tenant" "beta" t2;
       Alcotest.(check string) "stream 2 dataset" "dx" d2;
       Alcotest.(check int) "stream 2 ops" 3 (List.length ops2);
-      check_true "opening finds the Open record"
-        (Wal.opening ops1 = Some (Acct.Basic, p ~eps:2.0 ~delta:1e-5));
-      check_true "zcdp opening survives"
-        (Wal.opening ops2 = Some (Acct.Zcdp { slack = 1e-9 }, p ~eps:1.0 ~delta:1e-6))
+      check_true "opening finds the Open record with its synth params"
+        (Wal.opening ops1
+        = Some
+            ( Acct.Basic, p ~eps:2.0 ~delta:1e-5,
+              Some { Wal.n = 400; dim = 2; axis = 128; frac = 0.5;
+                     radius = 0.1 +. 0.2; seed = 3 } ));
+      check_true "legacy zcdp opening survives without synth params"
+        (Wal.opening ops2 = Some (Acct.Zcdp { slack = 1e-9 }, p ~eps:1.0 ~delta:1e-6, None))
   | _ -> Alcotest.fail "unexpected grouping")
 
 (* --- accountant event stream (satellite: structured events) -------------- *)
@@ -300,7 +310,10 @@ let journaled_batch ?faults ~budget ~jobs () =
   let _, grid, w = small_workload () in
   let ds = Engine.Service.register svc ~name:"d" ~grid ~budget w.Workload.Synth.points in
   let acct = Engine.Registry.accountant ds in
-  let records = ref [ { Wal.tenant = "t"; dataset = "d"; op = Wal.Open { mode = Acct.Basic; budget } } ] in
+  let records =
+    ref [ { Wal.tenant = "t"; dataset = "d";
+            op = Wal.Open { mode = Acct.Basic; budget; synth = None } } ]
+  in
   Acct.subscribe acct (fun ev ->
       records := Wal.record_of_event ~tenant:"t" ~dataset:"d" ev :: !records);
   let specs = match Engine.Job.parse jobs with Ok s -> s | Error e -> Alcotest.failf "parse: %s" e in
@@ -310,7 +323,7 @@ let journaled_batch ?faults ~budget ~jobs () =
 let check_replay_equal ~what live records =
   match Wal.opening (List.map (fun r -> r.Wal.op) records) with
   | None -> Alcotest.failf "%s: no Open record" what
-  | Some (mode, budget) -> (
+  | Some (mode, budget, _) -> (
       let fresh = Acct.create ~mode ~budget () in
       match Wal.replay (List.map (fun r -> r.Wal.op) records) fresh with
       | Error e -> Alcotest.failf "%s: replay: %s" what e
@@ -369,7 +382,7 @@ let test_replay_prefixes () =
         let ops = List.map (fun r -> r.Wal.op) prefix in
         (match Wal.opening ops with
         | None -> check_int (Printf.sprintf "only the empty prefix lacks Open (%d)" k) 0 m
-        | Some (mode, budget) -> (
+        | Some (mode, budget, _) -> (
             let fresh = Acct.create ~mode ~budget () in
             match Wal.replay ops fresh with
             | Error e -> Alcotest.failf "prefix %d replay: %s" k e
@@ -384,7 +397,7 @@ let test_replay_orphaned_reservation_held () =
   let budget = p ~eps:2.0 ~delta:1e-5 in
   let ops =
     [
-      Wal.Open { mode = Acct.Basic; budget };
+      Wal.Open { mode = Acct.Basic; budget; synth = None };
       Wal.Charge { label = "a"; cost = p ~eps:0.5 ~delta:0.0 };
       Wal.Reserve { rid = 7; label = "a:fallback"; cost = p ~eps:0.25 ~delta:0.0 };
       (* daemon died before commit/release *)
@@ -404,7 +417,7 @@ let test_replay_orphaned_reservation_held () =
 let test_replay_divergence_refused () =
   let ops =
     [
-      Wal.Open { mode = Acct.Basic; budget = p ~eps:2.0 ~delta:1e-5 };
+      Wal.Open { mode = Acct.Basic; budget = p ~eps:2.0 ~delta:1e-5; synth = None };
       Wal.Charge { label = "a"; cost = p ~eps:1.5 ~delta:0.0 };
       Wal.Charge { label = "b"; cost = p ~eps:1.5 ~delta:0.0 };
     ]
@@ -431,7 +444,7 @@ let test_replay_applies_engine_ops_in_order () =
     match engine_ops with
     | [ a; b; c; d ] ->
         [
-          Wal.Open { mode = Acct.Basic; budget = p ~eps:2.0 ~delta:1e-5 };
+          Wal.Open { mode = Acct.Basic; budget = p ~eps:2.0 ~delta:1e-5; synth = None };
           a;
           Wal.Charge { label = "j1"; cost = p ~eps:0.5 ~delta:0.0 };
           b; c;
@@ -442,13 +455,36 @@ let test_replay_applies_engine_ops_in_order () =
   in
   let fresh = Acct.create ~budget:(p ~eps:2.0 ~delta:1e-5) () in
   let seen = ref [] in
-  match Wal.replay ~on_apply:(fun op -> seen := op :: !seen) ops fresh with
+  match Wal.replay ~on_apply:(fun op -> seen := op :: !seen; Ok ()) ops fresh with
   | Error e -> Alcotest.failf "replay: %s" e
   | Ok orphans ->
       check_int "no orphans" 0 orphans;
       check_true "engine ops surfaced in journal order" (List.rev !seen = engine_ops);
       check_true "engine ops did not perturb the ledger"
         (Acct.spent fresh = p ~eps:0.75 ~delta:0.0)
+
+(* An on_apply that cannot reproduce the journaled engine state — e.g. an
+   append whose replay lands on a different epoch — must abort the replay
+   with its message, not be ignored. *)
+let test_replay_on_apply_divergence () =
+  let ops =
+    [
+      Wal.Open { mode = Acct.Basic; budget = p ~eps:2.0 ~delta:1e-5; synth = None };
+      Wal.Charge { label = "a"; cost = p ~eps:0.5 ~delta:0.0 };
+      Wal.Append { epoch = 7; dim = 2; points = [| 0.5; 0.5 |] };
+    ]
+  in
+  let fresh = Acct.create ~budget:(p ~eps:2.0 ~delta:1e-5) () in
+  let on_apply = function
+    | Wal.Append { epoch; _ } ->
+        Error (Printf.sprintf "journaled append produced epoch 1, journal says %d" epoch)
+    | _ -> Ok ()
+  in
+  match Wal.replay ~on_apply ops fresh with
+  | Ok _ -> Alcotest.fail "diverging engine-state op must abort the replay"
+  | Error e ->
+      check_true "marked as divergence" (contains_sub e "diverged");
+      check_true "carries the on_apply message" (contains_sub e "journal says 7")
 
 (* --- admission ----------------------------------------------------------- *)
 
@@ -684,6 +720,18 @@ let test_daemon_crash_recovery () =
        with
       | Error (`Server e) -> check_true "budget mismatch conflicts" (e.Wire.code = Wire.Conflict)
       | _ -> Alcotest.fail "journal must pin the budget");
+      (* so are different synthesis parameters — replaying this ledger's
+         mutations and cached results against a different base dataset
+         would diverge silently *)
+      (match
+         Server.Client.register c ~dataset:"d1" ~n:400 ~axis:128 ~radius:0.06 ~seed:4
+           ~budget:(p ~eps:1.0 ~delta:1e-5) ()
+       with
+      | Error (`Server e) ->
+          check_true "synth mismatch conflicts" (e.Wire.code = Wire.Conflict);
+          check_true "conflict names the journaled parameters"
+            (contains_sub e.Wire.message "seed=3")
+      | _ -> Alcotest.fail "journal must pin the synthesis parameters");
       let reg =
         expect_ok "re-register"
           (Server.Client.register c ~dataset:"d1" ~n:400 ~axis:128 ~radius:0.06 ~seed:3
@@ -834,6 +882,84 @@ let test_daemon_settle () =
       Server.Client.close c);
   ()
 
+(* Malformed registration parameters must come back as bad_request — not
+   raise on the executor thread, which would strand the connection in its
+   reply wait and deadlock [stop] on the join (the daemon stopping cleanly
+   inside [with_daemon] is part of the property). *)
+let test_daemon_register_validation () =
+  let dir = temp_dir () in
+  let cfg = daemon_cfg ~dir () in
+  with_daemon cfg (fun _d ->
+      let c = expect_ok "connect" (connect cfg ~tenant:"acme" ~token:"s3cret") in
+      let expect_bad what attempt =
+        match attempt with
+        | Error (`Server e) ->
+            check_true (what ^ " is bad_request") (e.Wire.code = Wire.Bad_request)
+        | Ok _ -> Alcotest.failf "%s must be rejected" what
+        | Error (`Transport m) -> Alcotest.failf "%s: transport: %s" what m
+      in
+      let budget = p ~eps:2.0 ~delta:1e-5 in
+      expect_bad "dim 0" (Server.Client.register c ~dataset:"v" ~dim:0 ~budget ());
+      expect_bad "negative n" (Server.Client.register c ~dataset:"v" ~n:(-1) ~budget ());
+      expect_bad "axis 1" (Server.Client.register c ~dataset:"v" ~axis:1 ~budget ());
+      expect_bad "frac 0" (Server.Client.register c ~dataset:"v" ~frac:0.0 ~budget ());
+      expect_bad "frac nan" (Server.Client.register c ~dataset:"v" ~frac:nan ~budget ());
+      expect_bad "radius nan" (Server.Client.register c ~dataset:"v" ~radius:nan ~budget ());
+      (* the daemon is still serving: same connection, and a clean register *)
+      ignore (expect_ok "ping after rejects" (Server.Client.ping c));
+      ignore
+        (expect_ok "valid register still works"
+           (Server.Client.register c ~dataset:"v" ~n:200 ~axis:128 ~radius:0.06 ~seed:3
+              ~budget ()));
+      Server.Client.close c);
+  ()
+
+(* A request line longer than the cap — here, bytes with no newline at
+   all, sent without authenticating — must get one bad_request reply and
+   a closed connection, never an unbounded buffer; the daemon keeps
+   serving other clients. *)
+let test_daemon_request_line_cap () =
+  let dir = temp_dir () in
+  let cfg = daemon_cfg ~dir () in
+  with_daemon cfg (fun _d ->
+      let path =
+        match cfg.Server.Daemon.listen with `Unix p -> p | `Tcp _ -> assert false
+      in
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      let junk = Bytes.make 65536 'x' in
+      let to_send = Server.Daemon.max_request_bytes + 8192 in
+      (try
+         let sent = ref 0 in
+         while !sent < to_send do
+           let k = min (Bytes.length junk) (to_send - !sent) in
+           sent := !sent + Unix.write fd junk 0 k
+         done
+       with Unix.Unix_error (_, _, _) -> ());
+      let reply = Buffer.create 256 in
+      let buf = Bytes.create 4096 in
+      (try
+         let rec drain () =
+           match Unix.read fd buf 0 (Bytes.length buf) with
+           | 0 -> ()
+           | n ->
+               Buffer.add_subbytes reply buf 0 n;
+               drain ()
+         in
+         drain ()
+       with Unix.Unix_error (_, _, _) -> ());
+      (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+      check_true "oversized line answered with bad_request"
+        (contains_sub (Buffer.contents reply) "bad_request");
+      check_true "reply names the cap"
+        (contains_sub (Buffer.contents reply)
+           (string_of_int Server.Daemon.max_request_bytes));
+      (* the daemon survived: a well-behaved client still gets service *)
+      let c = expect_ok "connect after abuse" (connect cfg ~tenant:"acme" ~token:"s3cret") in
+      ignore (expect_ok "ping after abuse" (Server.Client.ping c));
+      Server.Client.close c);
+  ()
+
 (* N concurrent clients, M runs each with client-chosen seeds: every
    verdict must equal the same batch run in-process on a lone service —
    the daemon's interleaving must never leak into results. *)
@@ -923,6 +1049,7 @@ let suite =
     case "orphaned reservation held" test_replay_orphaned_reservation_held;
     case "diverging journal refused" test_replay_divergence_refused;
     case "replay applies engine ops in order" test_replay_applies_engine_ops_in_order;
+    case "replay aborts on engine-state divergence" test_replay_on_apply_divergence;
     case "admission shed reasons" test_admission_shed_reasons;
     case "admission executes and drains" test_admission_executes_and_drains;
     case "wire request roundtrip" test_wire_request_roundtrip;
@@ -932,5 +1059,7 @@ let suite =
     slow_case "daemon crash recovery" test_daemon_crash_recovery;
     slow_case "daemon epoch and cache crash recovery" test_daemon_epoch_crash_recovery;
     slow_case "daemon settle" test_daemon_settle;
+    slow_case "daemon register validation" test_daemon_register_validation;
+    slow_case "daemon request line cap" test_daemon_request_line_cap;
     slow_case "daemon concurrent soak" test_daemon_concurrent_soak;
   ]
