@@ -5,9 +5,12 @@
    one-cluster allocation check, the disabled-tracing overhead gate
    (B10), the daemon round-trip overhead bench (B11), the
    mutate-then-requery epoch/result-cache bench (B12, gated: cache hits
-   must charge zero), and the native-kernel gates (B13: C fast paths
+   must charge zero), the native-kernel gates (B13: C fast paths
    bit-identical to the pure-OCaml references, parallel k-d build equal
-   to serial, and a kernel speedup floor).
+   to serial, and a kernel speedup floor), and the competitor e2e bench
+   (B14: centralized one-cluster vs the LDP protocol vs the private MEB
+   fPTAS, gated: the LDP path stays within its documented overhead
+   envelope of the centralized call).
 
    Usage:
      dune exec bench/main.exe                 # full suite
@@ -105,6 +108,12 @@ let stage_thunks fx : (string * (unit -> unit)) list =
         ignore
           (Privcluster.One_cluster.run_indexed fx.rng profile ~grid:fx.grid ~eps:2.0 ~delta
              ~beta ~t:fx.t fx.idx) );
+    ( "B14 local-cluster e2e",
+      fun () ->
+        ignore (Privcluster.Local_cluster.run fx.rng ~grid:fx.grid ~eps:2.0 ~beta ~t:fx.t fx.ps) );
+    ( "B14 meb-fptas e2e",
+      fun () ->
+        ignore (Baselines.Meb_fptas.run fx.rng ~grid:fx.grid ~eps:2.0 ~delta ~t:fx.t fx.ps) );
     ( "B9 check-estimators",
       let cdf x = Prim.Laplace.cdf ~eps:0.7 ~sensitivity:1.0 x in
       let samples =
@@ -612,6 +621,61 @@ let run_kernel_gates fx =
     fail "kernel speedup %.2fx below the %.1fx floor" min_speedup floor;
   (identity_ok, parallel_ok, rows, floor, enforced)
 
+(* B14 — the five-way E1 competitors, end to end on the shared fixture:
+   the paper's centralized pipeline vs the local-model (LDP) protocol vs
+   the private MEB fPTAS, one call each, best-of-[reps].  The gate: the
+   LDP path is n randomized responses plus histogram arithmetic over at
+   most max_cells buckets per scale — asymptotically lighter than the
+   centralized candidate sweep — so its wall clock must stay within
+   [envelope]x of the one-cluster call on the same fixture (the envelope
+   is documented in PERFORMANCE.md; a regression here means the ladder
+   or the debias loop grew a hidden quadratic). *)
+let run_competitor_bench ~smoke fx =
+  Workload.Report.headline "B14 - competitor e2e (one-cluster vs local-model vs MEB fPTAS)";
+  let profile = Privcluster.Profile.practical in
+  let reps = if smoke then 1 else 3 in
+  let best thunk =
+    thunk ();
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let _, ms = Workload.Harness.time thunk in
+      if ms < !best then best := ms
+    done;
+    !best
+  in
+  let central_ms =
+    best (fun () ->
+        ignore
+          (Privcluster.One_cluster.run_indexed fx.rng profile ~grid:fx.grid ~eps:2.0 ~delta
+             ~beta ~t:fx.t fx.idx))
+  in
+  let local_ms =
+    best (fun () ->
+        ignore (Privcluster.Local_cluster.run fx.rng ~grid:fx.grid ~eps:2.0 ~beta ~t:fx.t fx.ps))
+  in
+  let meb_ms =
+    best (fun () ->
+        ignore (Baselines.Meb_fptas.run fx.rng ~grid:fx.grid ~eps:2.0 ~delta ~t:fx.t fx.ps))
+  in
+  let envelope = 3.0 in
+  let ratio = local_ms /. Float.max central_ms 1e-9 in
+  let pass = ratio <= envelope in
+  Workload.Report.table ~csv:"b14_competitors"
+    ~header:[ "pipeline"; "wall/call" ]
+    [
+      [ "one-cluster (centralized)"; Printf.sprintf "%.2f ms" central_ms ];
+      [ "local-cluster (LDP)"; Printf.sprintf "%.2f ms" local_ms ];
+      [ "meb-fptas"; Printf.sprintf "%.2f ms" meb_ms ];
+    ];
+  Workload.Report.kv "ldp/centralized ratio"
+    (Printf.sprintf "%.2f (envelope %.1fx): %s" ratio envelope (if pass then "ok" else "FAIL"));
+  if not pass then begin
+    Printf.eprintf "B14 FAILED: LDP e2e %.2fx the centralized call, envelope is %.1fx\n" ratio
+      envelope;
+    exit 1
+  end;
+  (central_ms, local_ms, meb_ms, envelope, ratio)
+
 (* Allocation regression check: with the flat layout, one end-to-end
    1-cluster call (prebuilt index) must allocate minor-heap words roughly
    linearly in n and sublinearly in d — the boxed layout allocated a
@@ -793,7 +857,7 @@ let run_meta ~jobs =
       ("cpu_isa", opt cpu_isa);
     ]
 
-let json_of_results ~meta ~fx_n ~fx_d ~timing ~engine ~alloc ~b10 ~b11 ~b12 ~b13 =
+let json_of_results ~meta ~fx_n ~fx_d ~timing ~engine ~alloc ~b10 ~b11 ~b12 ~b13 ~b14 =
   let open Engine.Json in
   let timing_json =
     List.map
@@ -907,9 +971,22 @@ let json_of_results ~meta ~fx_n ~fx_d ~timing ~engine ~alloc ~b10 ~b11 ~b12 ~b13
                    rows) );
           ]
   in
+  let b14_json =
+    match b14 with
+    | None -> Null
+    | Some (central_ms, local_ms, meb_ms, envelope, ratio) ->
+        Obj
+          [
+            ("one_cluster_ms", Float central_ms);
+            ("local_cluster_ms", Float local_ms);
+            ("meb_fptas_ms", Float meb_ms);
+            ("ldp_envelope", Float envelope);
+            ("ldp_ratio", Float ratio);
+          ]
+  in
   Obj
     [
-      ("schema", String "privcluster-bench/4");
+      ("schema", String "privcluster-bench/5");
       ("meta", meta);
       ("fixture", Obj [ ("n", Int fx_n); ("dim", Int fx_d) ]);
       ("timing", List timing_json);
@@ -919,6 +996,7 @@ let json_of_results ~meta ~fx_n ~fx_d ~timing ~engine ~alloc ~b10 ~b11 ~b12 ~b13
       ("daemon_roundtrip", b11_json);
       ("epoch_requery", b12_json);
       ("kernel_gates", b13_json);
+      ("competitors", b14_json);
     ]
 
 let write_json path json =
@@ -944,13 +1022,14 @@ let run_smoke ~jobs ~json_path =
   let b11 = run_daemon_bench ~quick:true ~jobs:2 in
   let b12 = run_epoch_bench ~jobs:2 in
   let b13 = run_kernel_gates fx in
+  let b14 = run_competitor_bench ~smoke:true fx in
   (match json_path with
   | None -> ()
   | Some path ->
       write_json path
         (json_of_results ~meta:(run_meta ~jobs) ~fx_n:160 ~fx_d:2 ~timing:[]
            ~engine:(Some engine) ~alloc:(Some alloc) ~b10:(Some b10) ~b11:(Some b11)
-           ~b12:(Some b12) ~b13:(Some b13)));
+           ~b12:(Some b12) ~b13:(Some b13) ~b14:(Some b14)));
   print_endline "smoke OK"
 
 let () =
@@ -1005,12 +1084,13 @@ let () =
       let b11 = run_daemon_bench ~quick:!quick ~jobs:(max !jobs 4) in
       let b12 = run_epoch_bench ~jobs:(max !jobs 4) in
       let b13 = run_kernel_gates fx in
+      let b14 = run_competitor_bench ~smoke:false fx in
       match !json_path with
       | None -> ()
       | Some path ->
           write_json path
             (json_of_results ~meta:(run_meta ~jobs:!jobs) ~fx_n:!fix_n ~fx_d:!fix_d
                ~timing:timing_rows ~engine:(Some engine) ~alloc:(Some alloc) ~b10:(Some b10)
-               ~b11:(Some b11) ~b12:(Some b12) ~b13:(Some b13))
+               ~b11:(Some b11) ~b12:(Some b12) ~b13:(Some b13) ~b14:(Some b14))
     end
   end

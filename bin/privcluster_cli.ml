@@ -546,7 +546,12 @@ let domain_cmd =
 
 let check_cmd =
   let run () seed trials deep significance alpha slack jobs only list_names json_out trace =
-    if list_names then List.iter print_endline (Check.Suite.names ())
+    if list_names then
+      List.iter
+        (fun (group, members) ->
+          Printf.printf "%s\n" group;
+          List.iter (fun name -> Printf.printf "  %s\n" name) members)
+        (Check.Suite.grouped_names ())
     else begin
       enable_trace trace;
       let cfg =
@@ -568,7 +573,7 @@ let check_cmd =
         (Printf.sprintf "%s / %s" (Workload.Report.g alpha) (Workload.Report.g slack));
       Workload.Report.kv "domains" (string_of_int jobs);
       let results = Check.Suite.run ?only cfg in
-      if results = [] then begin
+      if Check.Suite.exit_status ~matched:(results <> []) ~violations:0 = 2 then begin
         prerr_endline "check: no checks matched --only (see --list)";
         exit 2
       end;
@@ -605,7 +610,9 @@ let check_cmd =
             Workload.Report.kv "json report" dest
           end);
       write_trace trace;
-      if violations > 0 then exit 1
+      match Check.Suite.exit_status ~matched:true ~violations with
+      | 0 -> ()
+      | code -> exit code
     end
   in
   let trials =

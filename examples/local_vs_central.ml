@@ -1,0 +1,53 @@
+(* Local vs central: the price of the local model for 1-cluster.
+
+   Run with:  dune exec examples/local_vs_central.exe
+
+   The scenario: the same planted 35% cluster at three database sizes,
+   located twice under the same eps = 2 —
+
+   - centrally, by the paper's GoodRadius/GoodCenter pipeline (the curator
+     sees the raw points and pays O(1/eps) count noise), and
+   - locally, by k-ary randomized response over a ladder of dyadic grids
+     (each user sends one eps-LDP report; the server pays Omega(sqrt n/eps)
+     count noise per cell).
+
+   At n = 2000 the local protocol refuses: every scale's certified loss
+   reaches t, so no released ball could promise any coverage.  At n = 8000
+   only the whole-domain scale qualifies.  At n = 32000 the sqrt n has
+   caught up and a block a few planted radii wide clears its threshold —
+   the crossover that EXPERIMENTS.md (E1) tabulates. *)
+
+let () =
+  let grid = Geometry.Grid.create ~axis_size:256 ~dim:2 in
+  let eps = 2.0 in
+  List.iter
+    (fun n ->
+      let rng = Prim.Rng.create ~seed:(2017 + n) () in
+      let w =
+        Workload.Synth.planted_ball rng ~grid ~n ~cluster_fraction:0.35 ~cluster_radius:0.05
+      in
+      let t = int_of_float (0.8 *. float_of_int w.Workload.Synth.cluster_size) in
+      let ps = Geometry.Pointset.create w.Workload.Synth.points in
+      Format.printf "@.n = %d, t = %d, planted radius %.4f@." n t
+        w.Workload.Synth.cluster_radius;
+      (match
+         Privcluster.One_cluster.run rng Privcluster.Profile.practical ~grid ~eps ~delta:1e-6
+           ~beta:0.1 ~t w.Workload.Synth.points
+       with
+      | Error f -> Format.printf "  central: %a@." Privcluster.One_cluster.pp_failure f
+      | Ok r ->
+          let center = r.Privcluster.One_cluster.center in
+          let radius = r.Privcluster.One_cluster.radius in
+          Format.printf "  central: radius %.4f, covers %d@." radius
+            (Geometry.Pointset.ball_count ps ~center ~radius));
+      match Privcluster.Local_cluster.run rng ~grid ~eps ~beta:0.1 ~t ps with
+      | Error f -> Format.printf "  local:   %a@." Privcluster.Local_cluster.pp_failure f
+      | Ok r ->
+          let center = r.Privcluster.Local_cluster.center in
+          let radius = r.Privcluster.Local_cluster.radius in
+          let s = r.Privcluster.Local_cluster.scales.(r.Privcluster.Local_cluster.scale_index) in
+          Format.printf "  local:   radius %.4f (scale 1/%d), covers %d, delta <= %.0f@." radius
+            s.Privcluster.Local_cluster.cells_per_axis
+            (Geometry.Pointset.ball_count ps ~center ~radius)
+            r.Privcluster.Local_cluster.delta_bound)
+    [ 2_000; 8_000; 32_000 ]

@@ -56,3 +56,29 @@ val one_cluster :
     from the given generator, fanned out over an {!Engine.Pool} of
     [domains] worker domains — results independent of [domains]) and
     certify the contract at confidence [1 − alpha] (default 0.05). *)
+
+val local_default_spec : spec
+(** The local-model contract workload: [n = 20 000] (the LDP √n/ε count
+    noise needs that much data before a 60% cluster at [t_fraction = 0.8]
+    is in-regime — see the E1 crossover experiment), other fields as
+    {!default_spec}.  [w_max] stays 40: the released block radius at the
+    planted-radius scale is [≤ 4·√d·radius]. *)
+
+val local_cluster : Prim.Rng.t -> ?alpha:float -> ?domains:int -> spec -> outcome
+(** {!Privcluster.Local_cluster}'s contract over planted workloads: ball
+    covers at least [t − delta_bound] points and radius stays within
+    [w_max] of the planted radius (itself a valid [r_opt] upper bound, so
+    the check is conservative).  Same verdict semantics as
+    {!one_cluster}. *)
+
+val meb_default_spec : spec
+(** The MEB contract workload: {!default_spec} with a 90% majority
+    cluster, [t_fraction = 0.85] and [w_max = 20] (the noisy coreset
+    average plus six refinement rounds land the center within a few
+    planted radii; the radius search then pays one grid-granularity
+    step). *)
+
+val meb_fptas : Prim.Rng.t -> ?alpha:float -> ?domains:int -> spec -> outcome
+(** {!Baselines.Meb_fptas}'s contract: ball covers at least [t] minus
+    twice the radius stage's certified monotone-search slack, and radius
+    stays within [w_max] of the planted radius. *)

@@ -42,3 +42,5 @@ let stability_hist_law ~eps ~delta cells =
   let probs = Array.init k p_select in
   let released = Array.fold_left ( +. ) 0. probs in
   Array.append probs [| Float.max 0. (1. -. released) |]
+
+let local_randomizer_law = Privcluster.Local_cluster.law

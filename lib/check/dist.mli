@@ -28,3 +28,10 @@ val stability_hist_law :
     nothing clears the threshold.  Computed by numerically integrating
     [P(noisy_i = max ∧ noisy_i ≥ threshold)]; accurate to ~1e-6, far below
     any sampling error the harness can resolve. *)
+
+val local_randomizer_law : eps:float -> k:int -> cell:int -> float array
+(** [Privcluster.Local_cluster.law] re-exported: the exact output law of
+    one [k]-ary randomized-response report whose true bucket is [cell]
+    ([e^ε/(e^ε+k−1)] there, [1/(e^ε+k−1)] elsewhere; sums to 1 exactly).
+    The local-model pipeline's only data-dependent message, hence the law
+    its chi-square and distinguisher checks are judged against. *)

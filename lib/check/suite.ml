@@ -513,25 +513,81 @@ let engine_fallback_dp ~stream cfg =
        ~slack:cfg.slack ~alpha:cfg.alpha ~events:(List.map fst events)
        ~left:(n, sum fst) ~right:(n, sum snd) ())
 
-let one_cluster_utility ~stream cfg =
-  let spec =
-    { Certifier.default_spec with Certifier.runs = (if cfg.deep then 400 else 150) }
+(* one_cluster/utility is defined with the other certifier checks below
+   (shared rendering via [certifier_result]). *)
+
+(* ------------------------------------------------------------------ *)
+(* The local-model competitor.  Its only data-dependent message is the
+   k-ary randomized-response report, so the randomizer IS the privacy
+   barrier: the chi-square check pins its exact law, the dp check its ε,
+   and the negative control proves the harness would catch a
+   mis-calibrated one (a randomizer leaking 2ε while claiming ε — the
+   local-model mirror of the mis-scaled-Laplace canary). *)
+
+let local_rr_eps = 1.2
+
+let local_rr_k = 12
+
+let local_cluster_chi2 ~stream cfg =
+  let cell = 5 in
+  let observed, n =
+    count_categories cfg ~stream ~total:cfg.trials ~k:local_rr_k (fun r ->
+        Privcluster.Local_cluster.randomize r ~eps:local_rr_eps ~k:local_rr_k cell)
   in
-  let o =
-    Certifier.one_cluster (base_rng cfg ~stream) ~alpha:cfg.alpha ~domains:cfg.domains
-      Privcluster.Profile.practical spec
+  chi2_result cfg ~name:"local_cluster/chi2"
+    ~expected:(Dist.local_randomizer_law ~eps:local_rr_eps ~k:local_rr_k ~cell)
+    ~observed ~n
+
+(* Neighbouring local views are just two different true cells. *)
+let local_cluster_dp ~stream cfg =
+  dp_check ~name:"local_cluster/dp" ~claimed:(Prim.Dp.pure ~eps:local_rr_eps)
+    ~events:(Distinguisher.categories ~k:local_rr_k)
+    ~left:(fun r -> Privcluster.Local_cluster.randomize r ~eps:local_rr_eps ~k:local_rr_k 2)
+    ~right:(fun r -> Privcluster.Local_cluster.randomize r ~eps:local_rr_eps ~k:local_rr_k 9)
+    ~cost:1 ~stream cfg
+
+let local_cluster_negative ~stream cfg =
+  let actual = 2. *. local_rr_eps in
+  let events = Distinguisher.categories ~k:local_rr_k in
+  let names = List.map fst events in
+  let preds = Array.of_list (List.map snd events) in
+  let left, right =
+    dp_counts cfg ~stream ~events:preds
+      ~left:(fun r -> Privcluster.Local_cluster.randomize r ~eps:actual ~k:local_rr_k 2)
+      ~right:(fun r -> Privcluster.Local_cluster.randomize r ~eps:actual ~k:local_rr_k 9)
+      (scaled cfg ~cost:1)
   in
+  let v =
+    Distinguisher.verdict ~claimed:(Prim.Dp.pure ~eps:local_rr_eps) ~slack:cfg.slack
+      ~alpha:cfg.alpha ~events:names ~left ~right ()
+  in
+  (* Negative control: this check PASSES exactly when the distinguisher
+     flags the planted violation. *)
+  {
+    name = "local_cluster/negative";
+    kind = "distinguisher";
+    status = (if v.Distinguisher.violation then Pass else Violation);
+    detail =
+      Format.asprintf "negative control (leaks 2ε, claims ε) — %s: %a"
+        (if v.Distinguisher.violation then "caught" else "MISSED")
+        Distinguisher.pp_verdict v;
+    json =
+      Engine.Json.Obj
+        [ ("negative_control", Engine.Json.Bool true); ("verdict", verdict_json v) ];
+  }
+
+let certifier_result ~name (spec : Certifier.spec) (o : Certifier.outcome) =
   let ci = o.Certifier.failure_ci in
   {
-    name = "one_cluster/utility";
+    name;
     kind = "utility";
     status = (if o.Certifier.violation then Violation else Pass);
     detail =
       Printf.sprintf
         "failures %d/%d (CI [%.3f, %.3f]) vs beta %g; solver %d, coverage %d, radius %d; median w %.2f"
-        o.Certifier.failures spec.Certifier.runs ci.Stats.lo ci.Stats.hi
-        spec.Certifier.beta o.Certifier.solver_failures o.Certifier.coverage_failures
-        o.Certifier.radius_failures o.Certifier.median_w;
+        o.Certifier.failures spec.Certifier.runs ci.Stats.lo ci.Stats.hi spec.Certifier.beta
+        o.Certifier.solver_failures o.Certifier.coverage_failures o.Certifier.radius_failures
+        o.Certifier.median_w;
     json =
       Engine.Json.Obj
         [
@@ -549,6 +605,51 @@ let one_cluster_utility ~stream cfg =
           ("violation", Engine.Json.Bool o.Certifier.violation);
         ];
   }
+
+let one_cluster_utility ~stream cfg =
+  let spec =
+    { Certifier.default_spec with Certifier.runs = (if cfg.deep then 400 else 150) }
+  in
+  certifier_result ~name:"one_cluster/utility" spec
+    (Certifier.one_cluster (base_rng cfg ~stream) ~alpha:cfg.alpha ~domains:cfg.domains
+       Privcluster.Profile.practical spec)
+
+let local_cluster_utility ~stream cfg =
+  let spec =
+    {
+      Certifier.local_default_spec with
+      Certifier.runs = (if cfg.deep then 200 else 80);
+    }
+  in
+  certifier_result ~name:"local_cluster/utility" spec
+    (Certifier.local_cluster (base_rng cfg ~stream) ~alpha:cfg.alpha ~domains:cfg.domains spec)
+
+(* The coreset MEB pipeline end to end on neighbouring small datasets:
+   the observable is the released radius (NaN on ⊥). *)
+let meb_fptas_dp ~stream cfg =
+  let eps = 1.0 and delta = 1e-6 and t = 60 in
+  let grid, left, right = neighbour_workload cfg ~axis:64 ~n:150 ~radius:0.08 in
+  let obs points r =
+    match
+      Baselines.Meb_fptas.run r ~grid ~eps ~delta ~coreset:40
+        ~t (Geometry.Pointset.create points)
+    with
+    | Ok res -> res.Baselines.Meb_fptas.radius
+    | Error _ -> Float.nan
+  in
+  dp_check ~name:"meb_fptas/dp"
+    ~claimed:(Prim.Dp.v ~eps ~delta)
+    ~events:
+      (("failed", fun x -> Float.is_nan x)
+      :: Distinguisher.thresholds ~lo:0.02 ~hi:0.6 ~count:11)
+    ~left:(obs left) ~right:(obs right) ~cost:10 ~stream cfg
+
+let meb_fptas_utility ~stream cfg =
+  let spec =
+    { Certifier.meb_default_spec with Certifier.runs = (if cfg.deep then 400 else 150) }
+  in
+  certifier_result ~name:"meb_fptas/utility" spec
+    (Certifier.meb_fptas (base_rng cfg ~stream) ~alpha:cfg.alpha ~domains:cfg.domains spec)
 
 (* ------------------------------------------------------------------ *)
 (* Registry.  Stream ids come from registry position (spaced out so a
@@ -573,9 +674,35 @@ let registry : (string * (stream:int -> config -> result)) list =
     ("one_cluster/dp", one_cluster_dp);
     ("engine_fallback/dp", engine_fallback_dp);
     ("one_cluster/utility", one_cluster_utility);
+    ("local_cluster/chi2", local_cluster_chi2);
+    ("local_cluster/dp", local_cluster_dp);
+    ("local_cluster/negative", local_cluster_negative);
+    ("local_cluster/utility", local_cluster_utility);
+    ("meb_fptas/dp", meb_fptas_dp);
+    ("meb_fptas/utility", meb_fptas_utility);
   ]
 
 let names () = List.map fst registry
+
+let group_of name =
+  match String.index_opt name '/' with Some i -> String.sub name 0 i | None -> name
+
+let grouped_names () =
+  let seen = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun name ->
+      let g = group_of name in
+      match Hashtbl.find_opt seen g with
+      | Some members -> members := name :: !members
+      | None ->
+          Hashtbl.add seen g (ref [ name ]);
+          order := g :: !order)
+    (names ());
+  List.rev_map (fun g -> (g, List.rev !(Hashtbl.find seen g))) !order
+
+let exit_status ~matched ~violations =
+  if not matched then 2 else if violations > 0 then 1 else 0
 
 let selected only name =
   match only with

@@ -46,6 +46,16 @@ type result = {
 val names : unit -> string list
 (** Every registered check name, in run order. *)
 
+val grouped_names : unit -> (string * string list) list
+(** The names grouped by subsystem (the prefix before ['/']), groups in
+    first-appearance order, members in run order — the structure behind
+    [check --list]. *)
+
+val exit_status : matched:bool -> violations:int -> int
+(** The CLI's exit-code policy, kept here so it is unit-testable: 2 when
+    a [--only] filter matched nothing, 1 when any check reported a
+    violation, 0 otherwise. *)
+
 val run : ?only:string list -> config -> result list
 (** Run the registered checks ([only] filters by exact name or by
     [prefix/] group name, e.g. ["laplace"]). *)

@@ -8,6 +8,8 @@ type kind =
   | Quantile of { axis : int; q : float }
   | Mutate of mutation_op
   | Standing of { t_fraction : float; periods : int }
+  | Local_cluster of { t_fraction : float }
+  | Meb of { t_fraction : float; coreset : int }
 
 type spec = {
   id : string;
@@ -25,6 +27,8 @@ let kind_name = function
   | Quantile _ -> "quantile"
   | Mutate _ -> "mutate"
   | Standing _ -> "standing"
+  | Local_cluster _ -> "local_cluster"
+  | Meb _ -> "meb_fptas"
 
 let cost spec = { Prim.Dp.eps = spec.eps; delta = spec.delta }
 
@@ -66,7 +70,7 @@ let parse_line ~default_beta ~lineno ~ordinal line =
           let known_keys =
             [
               "eps"; "delta"; "beta"; "t_fraction"; "k"; "q"; "axis"; "deadline"; "id"; "fallback";
-              "op"; "n"; "seed"; "frac"; "radius"; "from"; "count"; "periods";
+              "op"; "n"; "seed"; "frac"; "radius"; "from"; "count"; "periods"; "coreset";
             ]
           in
           match List.find_opt (fun (k, _) -> not (List.mem k known_keys)) !kvs with
@@ -142,8 +146,23 @@ let parse_line ~default_beta ~lineno ~ordinal line =
                     let* periods = require_int "periods" in
                     if periods < 1 then fail "key periods: must be >= 1"
                     else Ok (Standing { t_fraction; periods }, None, false)
+                | "local_cluster" ->
+                    (* The LDP pipeline is pure ε, so delta defaults to 0. *)
+                    let* t_fraction = float_of "t_fraction" 0.5 in
+                    Ok (Local_cluster { t_fraction }, Some 0., false)
+                | "meb_fptas" -> (
+                    let* t_fraction = float_of "t_fraction" 0.5 in
+                    match lookup "coreset" with
+                    | None -> Ok (Meb { t_fraction; coreset = 400 }, None, false)
+                    | Some cv -> (
+                        match int_of_string_opt cv with
+                        | None | Some 0 -> fail "key coreset: not a positive integer: %S" cv
+                        | Some c when c < 0 -> fail "key coreset: not a positive integer: %S" cv
+                        | Some coreset -> Ok (Meb { t_fraction; coreset }, None, false)))
                 | k ->
-                    fail "unknown job kind %S (expected one_cluster|k_cluster|quantile|mutate|standing)"
+                    fail
+                      "unknown job kind %S (expected \
+                       one_cluster|k_cluster|quantile|mutate|standing|local_cluster|meb_fptas)"
                       k
               in
               let* eps = if free_of_charge then float_of "eps" 0. else require_float "eps" in
@@ -207,7 +226,11 @@ let spec_to_line spec =
   | Mutate (Retire_range { from_; count }) ->
       Buffer.add_string b (Printf.sprintf " op=retire from=%d count=%d" from_ count)
   | Standing { t_fraction; periods } ->
-      Buffer.add_string b (Printf.sprintf " t_fraction=%g periods=%d" t_fraction periods));
+      Buffer.add_string b (Printf.sprintf " t_fraction=%g periods=%d" t_fraction periods)
+  | Local_cluster { t_fraction } ->
+      Buffer.add_string b (Printf.sprintf " t_fraction=%g" t_fraction)
+  | Meb { t_fraction; coreset } ->
+      Buffer.add_string b (Printf.sprintf " t_fraction=%g coreset=%d" t_fraction coreset));
   Buffer.add_string b (Printf.sprintf " eps=%g delta=%g beta=%g id=%s" spec.eps spec.delta spec.beta spec.id);
   (match spec.deadline_s with
   | Some d -> Buffer.add_string b (Printf.sprintf " deadline=%g" d)
@@ -345,7 +368,11 @@ let signature spec =
   | Mutate (Retire_range { from_; count }) ->
       Buffer.add_string b (Printf.sprintf " op=retire from=%d count=%d" from_ count)
   | Standing { t_fraction; periods } ->
-      Buffer.add_string b (Printf.sprintf " t_fraction=%h periods=%d" t_fraction periods));
+      Buffer.add_string b (Printf.sprintf " t_fraction=%h periods=%d" t_fraction periods)
+  | Local_cluster { t_fraction } ->
+      Buffer.add_string b (Printf.sprintf " t_fraction=%h" t_fraction)
+  | Meb { t_fraction; coreset } ->
+      Buffer.add_string b (Printf.sprintf " t_fraction=%h coreset=%d" t_fraction coreset));
   Buffer.add_string b (Printf.sprintf " eps=%h delta=%h beta=%h" spec.eps spec.delta spec.beta);
   Buffer.contents b
 

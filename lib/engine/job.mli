@@ -16,7 +16,13 @@
       and executed by the batch coordinator, not a worker;
     - [standing] — a standing 1-cluster query: [(eps, delta)] declares a
       {e total} budget, reserved up front in [periods] equal slices; one
-      slice is committed per epoch the query is re-answered on.
+      slice is committed per epoch the query is re-answered on;
+    - [local_cluster] — {!Privcluster.Local_cluster.run}, the local-model
+      (LDP) competitor, at [t = ⌈t_fraction · n⌉]; pure ε, so [delta]
+      defaults to 0;
+    - [meb_fptas] — {!Baselines.Meb_fptas.run}, the coreset minimum
+      enclosing ball competitor, with an optional [coreset] sample size
+      (default 400).
 
     {2 Jobs-file format}
 
@@ -30,18 +36,21 @@
     mutate        op=append n=500 seed=11 frac=0.5 radius=0.05
     mutate        op=retire from=0 count=100
     standing      t_fraction=0.45 periods=4 eps=0.8 delta=4e-7 id=watch
+    local_cluster t_fraction=0.6 eps=2.0
+    meb_fptas     t_fraction=0.8 coreset=200 eps=1.0 delta=1e-7
     v}
 
     Recognized keys: [eps] (required except for [mutate], default 0 there),
-    [delta] (required for [one_cluster], [k_cluster] and [standing],
-    default [0] otherwise), [beta] (default 0.1), [t_fraction] (default
+    [delta] (required for [one_cluster], [k_cluster], [standing] and
+    [meb_fptas], default [0] otherwise), [beta] (default 0.1), [t_fraction] (default
     0.5), [k] (required for [k_cluster]), [q] (default 0.5), [axis]
     (default 0), [deadline] (seconds, default none), [fallback]
     (true/false, default false; [one_cluster] only), [id] (default
     ["j<line-position>"]); for [mutate]: [op] (required, [append] or
     [retire]), [n]/[seed] (required for append), [frac] (default 0.5),
     [radius] (default 0.05), [from]/[count] (required for retire); for
-    [standing]: [periods] (required, ≥ 1). *)
+    [standing]: [periods] (required, ≥ 1); for [meb_fptas]: [coreset]
+    (default 400). *)
 
 type mutation_op =
   | Append_synth of { n : int; seed : int; frac : float; radius : float }
@@ -56,6 +65,8 @@ type kind =
   | Quantile of { axis : int; q : float }
   | Mutate of mutation_op
   | Standing of { t_fraction : float; periods : int }
+  | Local_cluster of { t_fraction : float }
+  | Meb of { t_fraction : float; coreset : int }
 
 type spec = {
   id : string;
@@ -73,7 +84,7 @@ type spec = {
 
 val kind_name : kind -> string
 (** ["one_cluster"], ["k_cluster"], ["quantile"], ["mutate"],
-    ["standing"]. *)
+    ["standing"], ["local_cluster"], ["meb_fptas"]. *)
 
 val cost : spec -> Prim.Dp.params
 (** What the accountant is charged: the job's [(ε, δ)]. *)

@@ -79,7 +79,9 @@ let target_of spec dataset =
   match spec.Job.kind with
   | Job.One_cluster { t_fraction }
   | Job.K_cluster { t_fraction; _ }
-  | Job.Standing { t_fraction; _ } ->
+  | Job.Standing { t_fraction; _ }
+  | Job.Local_cluster { t_fraction }
+  | Job.Meb { t_fraction; _ } ->
       max 1 (int_of_float (ceil (t_fraction *. float_of_int (Registry.n dataset))))
   | Job.Quantile _ | Job.Mutate _ -> 1
 
@@ -156,6 +158,50 @@ let execute t dataset rng (spec : Job.spec) : Job.status =
                value = res.Privcluster.Quantile.value;
                target_rank = res.Privcluster.Quantile.target_rank;
              })
+  | Job.Local_cluster _ -> (
+      let target = target_of spec dataset in
+      match
+        Privcluster.Local_cluster.run rng ~grid ~eps:spec.Job.eps ~beta:spec.Job.beta ~t:target
+          ps
+      with
+      | Ok r ->
+          let center = r.Privcluster.Local_cluster.center in
+          let radius = r.Privcluster.Local_cluster.radius in
+          let covered = Geometry.Pointset.ball_count ps ~center ~radius in
+          let _, r_hi = Registry.r_opt_bounds dataset ~t:target in
+          Job.Completed
+            (Job.Cluster
+               {
+                 ball = { Job.center; radius; covered };
+                 t = target;
+                 ratio_vs_hi = (if r_hi > 0. then radius /. r_hi else Float.infinity);
+                 delta_bound = r.Privcluster.Local_cluster.delta_bound;
+               })
+      | Error f ->
+          Job.Solver_failed (Format.asprintf "%a" Privcluster.Local_cluster.pp_failure f))
+  | Job.Meb { coreset; _ } -> (
+      let target = target_of spec dataset in
+      match
+        Baselines.Meb_fptas.run rng ~grid ~eps:spec.Job.eps ~delta:spec.Job.delta ~coreset
+          ~t:target ps
+      with
+      | Ok r ->
+          let center = r.Baselines.Meb_fptas.center in
+          let radius = r.Baselines.Meb_fptas.radius in
+          let covered = Geometry.Pointset.ball_count ps ~center ~radius in
+          let _, r_hi = Registry.r_opt_bounds dataset ~t:target in
+          Job.Completed
+            (Job.Cluster
+               {
+                 ball = { Job.center; radius; covered };
+                 t = target;
+                 ratio_vs_hi = (if r_hi > 0. then radius /. r_hi else Float.infinity);
+                 (* MEB certifies no coverage slack of its own; the radius
+                    stage's accuracy is reported by the check suite. *)
+                 delta_bound = 0.;
+               })
+      | Error f ->
+          Job.Solver_failed (Format.asprintf "%a" Baselines.Meb_fptas.pp_failure f))
   | Job.Mutate _ | Job.Standing _ ->
       (* Run on the batch coordinator, never on a worker domain. *)
       Job.Solver_failed "internal: coordinator-only job kind reached a worker"
@@ -195,7 +241,8 @@ type admission =
 
 let cacheable (spec : Job.spec) =
   match spec.Job.kind with
-  | Job.One_cluster _ | Job.K_cluster _ | Job.Quantile _ -> true
+  | Job.One_cluster _ | Job.K_cluster _ | Job.Quantile _ | Job.Local_cluster _ | Job.Meb _ ->
+      true
   | Job.Mutate _ | Job.Standing _ -> false
 
 let charge_of (p : Prim.Dp.params) =

@@ -98,6 +98,36 @@ let e1_table1 cfg =
               in
               Harness.score_center ~idx ~t ~r_hi ~time_ms:ms
                 ~center:r.Baselines.Private_agg.center ~radius:r.Baselines.Private_agg.radius);
+          (* Local model (LDP): its Ω(√n/ε) count noise is out of regime at
+             this n — by design; the crossover subsection below shows where
+             it comes back in. *)
+          collect "local-model" (fun (_, t, ps, idx, r_hi) ->
+              let r, ms =
+                Harness.time (fun () ->
+                    Privcluster.Local_cluster.run rng ~grid ~eps ~beta ~t ps)
+              in
+              match r with
+              | Error f ->
+                  Harness.failed ~time_ms:ms
+                    (Format.asprintf "%a" Privcluster.Local_cluster.pp_failure f)
+              | Ok r ->
+                  Harness.score_center ~idx ~t ~r_hi ~time_ms:ms
+                    ~center:r.Privcluster.Local_cluster.center
+                    ~radius:r.Privcluster.Local_cluster.radius);
+          (* Coreset MEB: centers well on majority clusters, drifts on
+             minorities (the noisy average sees every point). *)
+          collect "meb-fptas" (fun (_, t, ps, idx, r_hi) ->
+              let r, ms =
+                Harness.time (fun () ->
+                    Baselines.Meb_fptas.run rng ~grid ~eps ~delta ~t ps)
+              in
+              match r with
+              | Error f ->
+                  Harness.failed ~time_ms:ms
+                    (Format.asprintf "%a" Baselines.Meb_fptas.pp_failure f)
+              | Ok r ->
+                  Harness.score_center ~idx ~t ~r_hi ~time_ms:ms
+                    ~center:r.Baselines.Meb_fptas.center ~radius:r.Baselines.Meb_fptas.radius);
           (* Non-private reference. *)
           collect "non-private" (fun (_, t, ps, idx, r_hi) ->
               let a, ms = Harness.time (fun () -> Baselines.Nonprivate.solve ps ~t) in
@@ -109,8 +139,68 @@ let e1_table1 cfg =
     ~header:[ "d"; "frac"; "method"; "ms"; "dMeas"; "wPriv"; "wTight"; "status" ]
     (List.rev !rows);
   Report.kv "read as"
-    "thresholds/exp-mech: w~1 but d<=2 only; private-agg: fails below 55%; this-work: all d, \
-     minority ok, w pays the capture-ball constant (wTight shows the center quality)"
+    "thresholds/exp-mech: w~1 but d<=2 only; private-agg/meb-fptas: fail below 55%; \
+     local-model: needs n in the tens of thousands (see crossover); this-work: all d, \
+     minority ok, w pays the capture-ball constant (wTight shows the center quality)";
+  (* The centralized-vs-local crossover: the LDP pipeline pays Ω(√n/ε)
+     count noise where the centralized one pays O(1/ε).  A 35% planted
+     cluster that the centralized solver finds at n = 2000 takes the
+     local protocol an order of magnitude more users before any scale's
+     certificate is non-vacuous — and more again before a scale finer
+     than the whole domain qualifies. *)
+  Report.subhead "centralized vs local (d=2, 35% cluster, eps=2): the sqrt(n) crossover";
+  let grid = Geometry.Grid.create ~axis_size:axis ~dim:2 in
+  let ns_x = if cfg.quick then [ 2_000; 32_000 ] else [ 2_000; 8_000; 32_000 ] in
+  let xrows =
+    List.concat_map
+      (fun n ->
+        let rng = fresh_rng cfg ("e1x", n) in
+        let w = Synth.planted_ball rng ~grid ~n ~cluster_fraction:0.35 ~cluster_radius:0.05 in
+        let t = int_of_float (0.8 *. float_of_int w.Synth.cluster_size) in
+        let ps = Geometry.Pointset.create w.Synth.points in
+        let idx = Geometry.Pointset.auto_index ps in
+        (* The planted radius is a valid r_opt upper bound for
+           t ≤ cluster size — no O(n·t) sandwich at the larger n. *)
+        let r_hi = w.Synth.cluster_radius in
+        let row method_ (s : Harness.scored) =
+          [
+            string_of_int n;
+            method_;
+            Printf.sprintf "%.0f" s.Harness.time_ms;
+            (if s.Harness.delta_measured = max_int then "-"
+             else string_of_int s.Harness.delta_measured);
+            Report.f2 s.Harness.w_private;
+            status s;
+          ]
+        in
+        let central =
+          fst
+            (Harness.run_one_cluster rng Privcluster.Profile.practical ~grid ~eps ~delta ~beta
+               ~t ~r_hi idx)
+        in
+        let local =
+          let r, ms =
+            Harness.time (fun () -> Privcluster.Local_cluster.run rng ~grid ~eps ~beta ~t ps)
+          in
+          match r with
+          | Error f ->
+              Harness.failed ~time_ms:ms
+                (Format.asprintf "%a" Privcluster.Local_cluster.pp_failure f)
+          | Ok r ->
+              Harness.score_center ~idx ~t ~r_hi ~time_ms:ms
+                ~center:r.Privcluster.Local_cluster.center
+                ~radius:r.Privcluster.Local_cluster.radius
+        in
+        [ row "this-work" central; row "local-model" local ])
+      ns_x
+  in
+  Report.table ~csv:"e1_crossover" ~header:[ "n"; "method"; "ms"; "dMeas"; "wPriv"; "status" ]
+    xrows;
+  Report.kv "read as"
+    "local-model fails outright at n=2000 (every certificate vacuous), returns the \
+     whole-domain ball mid-range, and only at the largest n lands a block a few planted \
+     radii wide — while the centralized solver is already in-regime at n=2000; the \
+     sqrt(n)/eps vs 1/eps separation made concrete"
 
 (* ------------------------------------------------------------------ *)
 (* E2: radius approximation vs n                                       *)

@@ -183,8 +183,80 @@ let test_suite_names_registered () =
       "laplace/ks"; "laplace/ad"; "gaussian/ks"; "gaussian/ad"; "exp_mech/chi2";
       "stability_hist/chi2"; "laplace/dp"; "gaussian/dp"; "exp_mech/dp"; "noisy_max/dp";
       "sparse_vector/dp"; "stability_hist/dp"; "noisy_avg/dp"; "good_radius/dp";
-      "one_cluster/dp"; "engine_fallback/dp"; "one_cluster/utility";
+      "one_cluster/dp"; "engine_fallback/dp"; "one_cluster/utility"; "local_cluster/chi2";
+      "local_cluster/dp"; "local_cluster/negative"; "local_cluster/utility"; "meb_fptas/dp";
+      "meb_fptas/utility";
     ]
+
+let test_grouped_names () =
+  let groups = Check.Suite.grouped_names () in
+  (* Every registered name appears exactly once, under its prefix group,
+     and the flat registry order is preserved within each group. *)
+  let flattened = List.concat_map snd groups in
+  check_int "grouping is a partition" (List.length (Check.Suite.names ())) (List.length flattened);
+  List.iter (fun n -> check_true (n ^ " grouped") (List.mem n flattened)) (Check.Suite.names ());
+  List.iter
+    (fun (group, members) ->
+      check_true (group ^ " non-empty") (members <> []);
+      List.iter
+        (fun m ->
+          check_true
+            (Printf.sprintf "%s belongs under %s" m group)
+            (contains m (group ^ "/") || m = group))
+        members)
+    groups;
+  let local = List.assoc_opt "local_cluster" groups in
+  check_true "local_cluster group has all four checks"
+    (local = Some [ "local_cluster/chi2"; "local_cluster/dp"; "local_cluster/negative";
+                    "local_cluster/utility" ])
+
+let test_exit_status () =
+  (* No match means no results ran, so violations is necessarily 0 there;
+     the no-match code wins by construction. *)
+  check_int "no match is 2" 2 (Check.Suite.exit_status ~matched:false ~violations:0);
+  check_int "violations are 1" 1 (Check.Suite.exit_status ~matched:true ~violations:1);
+  check_int "many violations still 1" 1 (Check.Suite.exit_status ~matched:true ~violations:7);
+  check_int "clean run is 0" 0 (Check.Suite.exit_status ~matched:true ~violations:0)
+
+let test_only_filtering () =
+  (* Group prefix, exact name, and a name matching nothing. *)
+  let by_group = Check.Suite.run ~only:[ "laplace" ] fast_cfg in
+  check_int "group prefix matches the whole group" 3 (List.length by_group);
+  (match Check.Suite.run ~only:[ "laplace/ks" ] fast_cfg with
+  | [ r ] -> check_true "exact name matches itself" (r.Check.Suite.name = "laplace/ks")
+  | rs -> Alcotest.failf "exact name matched %d checks" (List.length rs));
+  check_int "unknown name matches nothing" 0
+    (List.length (Check.Suite.run ~only:[ "no_such_check" ] fast_cfg))
+
+(* ---- exact laws as QCheck properties -------------------------------- *)
+
+(* Both selection laws are probability vectors by construction; these pin
+   that they are so numerically, at ulp-scale tolerance, across the whole
+   parameter range — and that exp-mech's law only sees quality gaps. *)
+
+let test_exp_mech_probabilities_qcheck =
+  qcheck "exp-mech probabilities sum to 1 and ignore translation"
+    QCheck2.Gen.(
+      triple (float_range 0.05 5.0)
+        (array_size (int_range 2 30) (float_range (-50.) 50.))
+        (float_range (-100.) 100.))
+    (fun (eps, qualities, shift) ->
+      let p = Prim.Exp_mech.probabilities ~eps ~sensitivity:1.0 ~qualities in
+      let shifted =
+        Prim.Exp_mech.probabilities ~eps ~sensitivity:1.0
+          ~qualities:(Array.map (fun q -> q +. shift) qualities)
+      in
+      let n = Array.length qualities in
+      let tol = 16. *. float_of_int n *. epsilon_float in
+      Float.abs (Array.fold_left ( +. ) 0. p -. 1.) <= tol
+      && Array.for_all2 (fun a b -> Float.abs (a -. b) <= 1e-9) p shifted)
+
+let test_local_randomizer_law_qcheck =
+  qcheck "local-randomizer law sums to 1 at ulp scale"
+    QCheck2.Gen.(triple (float_range 0.05 5.0) (int_range 2 64) (int_range 0 1000))
+    (fun (eps, k, cell_raw) ->
+      let law = Check.Dist.local_randomizer_law ~eps ~k ~cell:(cell_raw mod k) in
+      Float.abs (Array.fold_left ( +. ) 0. law -. 1.) <= 16. *. float_of_int k *. epsilon_float)
 
 (* Determinism: the fan-out shards trials over a fixed chunk count, so the
    verdict is bit-identical for any worker-domain count. *)
@@ -220,6 +292,30 @@ let test_deep_utility () =
         Alcotest.failf "utility certification: %s" r.Check.Suite.detail
   | _ -> Alcotest.fail "expected exactly one utility result"
 
+(* The competitor checks: both distinguishers and the negative control
+   (which passes exactly when the mis-calibrated randomizer IS flagged). *)
+let test_deep_competitors () =
+  let results =
+    Check.Suite.run
+      ~only:[ "local_cluster/chi2"; "local_cluster/dp"; "local_cluster/negative"; "meb_fptas/dp" ]
+      deep_cfg
+  in
+  check_int "four competitor checks" 4 (List.length results);
+  List.iter
+    (fun (r : Check.Suite.result) ->
+      if r.Check.Suite.status <> Check.Suite.Pass then
+        Alcotest.failf "%s: %s" r.Check.Suite.name r.Check.Suite.detail)
+    results
+
+let test_deep_competitor_utility () =
+  let results = Check.Suite.run ~only:[ "local_cluster/utility"; "meb_fptas/utility" ] deep_cfg in
+  check_int "two utility contracts" 2 (List.length results);
+  List.iter
+    (fun (r : Check.Suite.result) ->
+      if r.Check.Suite.status <> Check.Suite.Pass then
+        Alcotest.failf "%s: %s" r.Check.Suite.name r.Check.Suite.detail)
+    results
+
 let suite =
   [
     case "special functions vs closed forms" test_special_functions;
@@ -233,7 +329,15 @@ let suite =
     case "distinguisher checks both directions" test_verdict_symmetry;
     slow_case "suite fast checks pass" test_suite_fast_checks;
     case "suite registry complete" test_suite_names_registered;
+    case "grouped names partition the registry" test_grouped_names;
+    case "exit-status contract" test_exit_status;
+    slow_case "--only filtering: group, exact, none" test_only_filtering;
+    test_exp_mech_probabilities_qcheck;
+    test_local_randomizer_law_qcheck;
     slow_case "suite verdicts domain-independent" test_suite_domain_independence;
   ]
   @ deep_case "deep: composite distinguishers" (fun _ -> test_deep_composites ())
   @ deep_case "deep: utility certification" (fun _ -> test_deep_utility ())
+  @ deep_case "deep: competitor distinguishers and negative control" (fun _ ->
+        test_deep_competitors ())
+  @ deep_case "deep: competitor utility contracts" (fun _ -> test_deep_competitor_utility ())

@@ -220,10 +220,47 @@ let test_sparse_vector_dp r =
        ~events:(Check.Distinguisher.categories ~k:(Array.length queries_a + 1))
        ~left:(fire queries_a) ~right:(fire queries_b) ())
 
+(* The local randomizer is the whole privacy barrier of the LDP pipeline:
+   neighbouring databases differ in one user, i.e. one true cell.  The
+   report law is exactly known, so the distinguisher should certify most
+   of the claimed loss — and a mis-calibrated variant (reports at 2ε
+   while claiming ε) must be flagged, the LDP mirror of the mis-scaled
+   Laplace canary above. *)
+let test_local_randomizer_dp r =
+  let eps = 1.2 and k = 6 in
+  let v =
+    Check.Distinguisher.run r ~claimed:(Prim.Dp.pure ~eps) ~trials
+      ~events:(Check.Distinguisher.categories ~k)
+      ~left:(fun r -> Privcluster.Local_cluster.randomize r ~eps ~k 0)
+      ~right:(fun r -> Privcluster.Local_cluster.randomize r ~eps ~k 1)
+      ()
+  in
+  assert_private "local randomizer" v;
+  check_true
+    (Printf.sprintf "local randomizer eps_lb %.3f should certify most of %.3f"
+       v.Check.Distinguisher.eps_lb eps)
+    (v.Check.Distinguisher.eps_lb > 0.7 *. eps)
+
+let test_misscaled_local_randomizer_flagged r =
+  let eps = 1.2 and k = 6 in
+  let broken cell rng = Privcluster.Local_cluster.randomize rng ~eps:(2. *. eps) ~k cell in
+  let v =
+    Check.Distinguisher.run r ~claimed:(Prim.Dp.pure ~eps) ~trials
+      ~events:(Check.Distinguisher.categories ~k)
+      ~left:(broken 0) ~right:(broken 1) ()
+  in
+  assert_flagged "2-eps local randomizer claiming eps must be caught" v;
+  check_true
+    (Printf.sprintf "certified loss %.3f should exceed claimed %.3f"
+       v.Check.Distinguisher.eps_lb eps)
+    (v.Check.Distinguisher.eps_lb > eps)
+
 let suite =
   [
     stat_slow_case "laplace neighbouring counts" test_laplace_count;
     stat_slow_case "mis-scaled laplace is flagged" test_misscaled_laplace_flagged;
+    stat_slow_case "local randomizer neighbouring cells" test_local_randomizer_dp;
+    stat_slow_case "mis-scaled local randomizer is flagged" test_misscaled_local_randomizer_flagged;
     stat_slow_case "gaussian neighbouring counts" test_gaussian;
     stat_slow_case "exp-mech neighbouring scores" test_exp_mech;
     stat_slow_case "noisy-max neighbouring scores" test_noisy_max;
