@@ -333,7 +333,8 @@ let run_daemon_bench ~quick ~jobs =
   Unix.mkdir dir 0o700;
   let cfg =
     {
-      Server.Daemon.listen = `Unix (Filename.concat dir "b.sock");
+      Server.Daemon.default_config with
+      listen = `Unix (Filename.concat dir "b.sock");
       wal_path = Filename.concat dir "b.wal";
       tenants = [ { Server.Tenants.name = "bench"; token = "bench"; max_in_flight = 8 } ];
       capacity = 64;
@@ -396,6 +397,222 @@ let run_daemon_bench ~quick ~jobs =
     exit 1
   end;
   (n_jobs, iters, lm, dm, overhead_pct, identical)
+
+(* B15 — serving-telemetry overhead: the B11 fixture against three
+   resident daemons — [serving_stats = false]; the always-on telemetry
+   (latency histograms, burn windows, shed counters); and telemetry plus
+   [trace_sample = 1], head-sampling {e every} request's span tree into
+   the exemplar ring.  The gate: always-on telemetry may cost at most 2%
+   of the batch round-trip.  Exhaustive sampling is a diagnostic
+   setting, not a default — its cost (one trace serialisation + file
+   write per request) is measured and reported but not gated.  All arms
+   run [sync = false] so WAL fsync jitter does not drown the
+   microsecond-scale signal, the arms are interleaved batch-for-batch to
+   cancel machine drift, and each arm's time is its best iteration.
+
+   The gate itself follows the B10 convention (deterministic in CI, not
+   a coin flip): the telemetry record path is timed directly in a tight
+   loop — one submit + queue-wait + request-latency + burn-window record
+   cycle, everything a request adds — and the implied per-batch overhead
+   is that cost over the measured batch round-trip.  The wall-clock A/B
+   is reported alongside but not gated: at millisecond batch times its
+   run-to-run noise is an order of magnitude above the sub-µs signal. *)
+let run_serving_bench ~quick ~jobs =
+  Workload.Report.headline "B15 - serving-telemetry overhead on the daemon round-trip";
+  let n_jobs = if quick then 6 else 12 in
+  let iters = if quick then 3 else 7 in
+  let n = if quick then 300 else 1000 in
+  let seed = 99 in
+  let max_pct = 2.0 in
+  let specs =
+    List.init n_jobs (fun i ->
+        {
+          Engine.Job.id = Printf.sprintf "j%d" (i + 1);
+          kind = Engine.Job.One_cluster { t_fraction = 0.4 };
+          eps = 0.5;
+          delta = 1e-7;
+          beta;
+          deadline_s = None;
+          fallback = false;
+        })
+  in
+  let batches = iters + 1 in
+  let budget =
+    Prim.Dp.v ~eps:(0.5 *. float_of_int (n_jobs * batches) +. 1.) ~delta:1e-3
+  in
+  let jobs_text = String.concat "\n" (List.map Engine.Job.spec_to_line specs) ^ "\n" in
+  let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("B15: " ^ m); exit 1) fmt in
+  let rpc what = function
+    | Ok v -> v
+    | Error f -> fail "%s: %s" what (Server.Client.fail_message f)
+  in
+  let arm ~telemetry ~sample =
+    let dir = Filename.temp_file "privcluster_b15" ".d" in
+    Sys.remove dir;
+    Unix.mkdir dir 0o700;
+    let slow = Filename.concat dir "slow" in
+    let cfg =
+      {
+        Server.Daemon.default_config with
+        listen = `Unix (Filename.concat dir "b.sock");
+        wal_path = Filename.concat dir "b.wal";
+        tenants = [ { Server.Tenants.name = "bench"; token = "bench"; max_in_flight = 8 } ];
+        capacity = 64;
+        domains = jobs;
+        retries = 0;
+        seed;
+        sync = false;
+        serving_stats = telemetry;
+        trace_sample = (if sample then 1 else 0);
+        slow_log = (if sample then Some slow else None);
+        slow_keep = 8;
+      }
+    in
+    let d = match Server.Daemon.start cfg with Ok d -> d | Error e -> fail "start: %s" e in
+    let c =
+      match Server.Client.connect cfg.Server.Daemon.listen ~tenant:"bench" ~token:"bench" with
+      | Ok c -> c
+      | Error f -> fail "connect: %s" (Server.Client.fail_message f)
+    in
+    ignore
+      (rpc "register"
+         (Server.Client.register c ~dataset:"bench" ~n ~dim:2 ~axis:256 ~frac:0.5 ~radius:0.05
+            ~seed ~budget ()));
+    (dir, d, c)
+  in
+  let statuses payload =
+    match Option.bind (Engine.Json.member "results" payload) Engine.Json.to_list with
+    | None -> fail "run reply has no results"
+    | Some rs ->
+        List.map
+          (fun r ->
+            Option.value ~default:"?"
+              (Option.bind (Engine.Json.member "status" r) Engine.Json.to_str))
+          rs
+  in
+  let dir_off, d_off, c_off = arm ~telemetry:false ~sample:false in
+  let dir_on, d_on, c_on = arm ~telemetry:true ~sample:false in
+  let dir_s, d_s, c_s = arm ~telemetry:true ~sample:true in
+  let run c = rpc "run" (Server.Client.run c ~dataset:"bench" ~jobs:jobs_text ()) in
+  let off_statuses = statuses (run c_off) and on_statuses = statuses (run c_on) in
+  let sampled_statuses = statuses (run c_s) in
+  let off_ms = ref infinity and on_ms = ref infinity and sampled_ms = ref infinity in
+  for _ = 1 to iters do
+    let _, ms = Workload.Harness.time (fun () -> run c_off) in
+    off_ms := Float.min !off_ms ms;
+    let _, ms = Workload.Harness.time (fun () -> run c_on) in
+    on_ms := Float.min !on_ms ms;
+    let _, ms = Workload.Harness.time (fun () -> run c_s) in
+    sampled_ms := Float.min !sampled_ms ms
+  done;
+  (* prove the sampling arm really collected: the ring has exemplars *)
+  let stats = rpc "stats" (Server.Client.stats c_s) in
+  let exemplars =
+    match Option.bind (Engine.Json.member "exemplars" stats) Engine.Json.to_int with
+    | Some e -> e
+    | None -> fail "sampling arm reports no stats"
+  in
+  if exemplars = 0 then fail "trace_sample=1 wrote no exemplars";
+  let cleanup dir d c =
+    Server.Client.close c;
+    Server.Daemon.stop d;
+    let rec rm path =
+      if Sys.is_directory path then begin
+        Array.iter (fun f -> rm (Filename.concat path f)) (Sys.readdir path);
+        try Unix.rmdir path with Unix.Unix_error (_, _, _) -> ()
+      end
+      else try Sys.remove path with Sys_error _ -> ()
+    in
+    rm dir
+  in
+  cleanup dir_off d_off c_off;
+  cleanup dir_on d_on c_on;
+  cleanup dir_s d_s c_s;
+  (* The gated number: one full record cycle — everything the daemon adds
+     per wire request when [serving_stats] is on (clock reads included),
+     timed in a tight loop, best of 3.  The advancing [now_ns] walks the
+     burn window across its 1 s coalescing interval so both the coalesce
+     and the prune-and-append branches are priced. *)
+  let record_ns =
+    let sv = Server.Serving.create () in
+    let reps = 100_000 in
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let _, ms =
+        Workload.Harness.time (fun () ->
+            for i = 0 to reps - 1 do
+              Server.Serving.record_submit sv;
+              Server.Serving.record_queue_wait sv ~verb:"run"
+                ~ns:(Int64.to_int (Int64.logand (Obs.Clock.now_ns ()) 0xFFFFFL));
+              Server.Serving.record_request sv ~verb:"run" ~tenant:"bench"
+                ~ns:(Int64.to_int (Int64.logand (Obs.Clock.now_ns ()) 0xFFFFFL));
+              Server.Serving.record_burn sv ~tenant:"bench" ~dataset:"bench"
+                ~budget_eps:10.
+                ~spent_eps:(float_of_int i *. 1e-4)
+                ~now_ns:(Int64.mul (Int64.of_int i) 1_000_000L)
+            done)
+      in
+      best := Float.min !best (ms *. 1e6 /. float_of_int reps)
+    done;
+    !best
+  in
+  (* One record cycle per wire request; a batch is one request. *)
+  let implied_pct = record_ns /. (!off_ms *. 1e6) *. 100. in
+  let overhead_pct = (!on_ms -. !off_ms) /. !off_ms *. 100. in
+  let sampled_pct = (!sampled_ms -. !off_ms) /. !off_ms *. 100. in
+  let identical =
+    off_statuses = on_statuses && on_statuses = sampled_statuses && off_statuses <> []
+  in
+  Workload.Report.table ~csv:"b15_serving_overhead"
+    ~header:[ "daemon"; "wall/batch"; "jobs/s" ]
+    [
+      [
+        "telemetry off";
+        Printf.sprintf "%.1f ms" !off_ms;
+        Workload.Report.f2 (1000. *. float_of_int n_jobs /. !off_ms);
+      ];
+      [
+        "telemetry on";
+        Printf.sprintf "%.1f ms" !on_ms;
+        Workload.Report.f2 (1000. *. float_of_int n_jobs /. !on_ms);
+      ];
+      [
+        "telemetry + sample every request";
+        Printf.sprintf "%.1f ms" !sampled_ms;
+        Workload.Report.f2 (1000. *. float_of_int n_jobs /. !sampled_ms);
+      ];
+    ];
+  Workload.Report.kv "record path, one full cycle"
+    (Printf.sprintf "%.0f ns" record_ns);
+  Workload.Report.kv "implied overhead per batch (gated)"
+    (Printf.sprintf "%.4f%% (max %.1f%%)" implied_pct max_pct);
+  Workload.Report.kv "wall-clock A/B delta (noise-dominated, not gated)"
+    (Printf.sprintf "%.2f ms (%.2f%%)" (!on_ms -. !off_ms) overhead_pct);
+  Workload.Report.kv "exhaustive sampling overhead (not gated)"
+    (Printf.sprintf "%.2f ms (%.2f%%)" (!sampled_ms -. !off_ms) sampled_pct);
+  Workload.Report.kv "exemplars written" (string_of_int exemplars);
+  Workload.Report.kv "verdicts identical across arms"
+    (if identical then "yes" else "NO (telemetry changed answers)");
+  if not identical then begin
+    prerr_endline "B15 FAILED: telemetry arms returned different verdicts";
+    exit 1
+  end;
+  if implied_pct > max_pct then begin
+    Printf.eprintf "B15 FAILED: serving-telemetry overhead %.4f%% exceeds %.1f%%\n" implied_pct
+      max_pct;
+    exit 1
+  end;
+  ( n_jobs,
+    iters,
+    !off_ms,
+    !on_ms,
+    overhead_pct,
+    !sampled_ms,
+    sampled_pct,
+    exemplars,
+    identical,
+    record_ns,
+    implied_pct )
 
 (* B12 — mutate-then-requery: the epoch / result-cache path.  A cold
    1-cluster batch, the identical batch again (must be answered from the
@@ -857,7 +1074,7 @@ let run_meta ~jobs =
       ("cpu_isa", opt cpu_isa);
     ]
 
-let json_of_results ~meta ~fx_n ~fx_d ~timing ~engine ~alloc ~b10 ~b11 ~b12 ~b13 ~b14 =
+let json_of_results ~meta ~fx_n ~fx_d ~timing ~engine ~alloc ~b10 ~b11 ~b12 ~b13 ~b14 ~b15 =
   let open Engine.Json in
   let timing_json =
     List.map
@@ -984,9 +1201,40 @@ let json_of_results ~meta ~fx_n ~fx_d ~timing ~engine ~alloc ~b10 ~b11 ~b12 ~b13
             ("ldp_ratio", Float ratio);
           ]
   in
+  let b15_json =
+    match b15 with
+    | None -> Null
+    | Some
+        ( n_jobs,
+          iters,
+          off_ms,
+          on_ms,
+          overhead_pct,
+          sampled_ms,
+          sampled_pct,
+          exemplars,
+          identical,
+          record_ns,
+          implied_pct ) ->
+        Obj
+          [
+            ("jobs", Int n_jobs);
+            ("iters", Int iters);
+            ("plain_ms", Float off_ms);
+            ("telemetry_ms", Float on_ms);
+            ("wall_delta_pct", Float overhead_pct);
+            ("record_ns_per_request", Float record_ns);
+            ("implied_overhead_pct", Float implied_pct);
+            ("gate_pct", Float 2.0);
+            ("sampled_ms", Float sampled_ms);
+            ("sampled_overhead_pct", Float sampled_pct);
+            ("exemplars_written", Int exemplars);
+            ("verdicts_identical", Bool identical);
+          ]
+  in
   Obj
     [
-      ("schema", String "privcluster-bench/5");
+      ("schema", String "privcluster-bench/6");
       ("meta", meta);
       ("fixture", Obj [ ("n", Int fx_n); ("dim", Int fx_d) ]);
       ("timing", List timing_json);
@@ -997,6 +1245,7 @@ let json_of_results ~meta ~fx_n ~fx_d ~timing ~engine ~alloc ~b10 ~b11 ~b12 ~b13
       ("epoch_requery", b12_json);
       ("kernel_gates", b13_json);
       ("competitors", b14_json);
+      ("serving_overhead", b15_json);
     ]
 
 let write_json path json =
@@ -1023,13 +1272,14 @@ let run_smoke ~jobs ~json_path =
   let b12 = run_epoch_bench ~jobs:2 in
   let b13 = run_kernel_gates fx in
   let b14 = run_competitor_bench ~smoke:true fx in
+  let b15 = run_serving_bench ~quick:true ~jobs:2 in
   (match json_path with
   | None -> ()
   | Some path ->
       write_json path
         (json_of_results ~meta:(run_meta ~jobs) ~fx_n:160 ~fx_d:2 ~timing:[]
            ~engine:(Some engine) ~alloc:(Some alloc) ~b10:(Some b10) ~b11:(Some b11)
-           ~b12:(Some b12) ~b13:(Some b13) ~b14:(Some b14)));
+           ~b12:(Some b12) ~b13:(Some b13) ~b14:(Some b14) ~b15:(Some b15)));
   print_endline "smoke OK"
 
 let () =
@@ -1085,12 +1335,14 @@ let () =
       let b12 = run_epoch_bench ~jobs:(max !jobs 4) in
       let b13 = run_kernel_gates fx in
       let b14 = run_competitor_bench ~smoke:false fx in
+      let b15 = run_serving_bench ~quick:!quick ~jobs:(max !jobs 4) in
       match !json_path with
       | None -> ()
       | Some path ->
           write_json path
             (json_of_results ~meta:(run_meta ~jobs:!jobs) ~fx_n:!fix_n ~fx_d:!fix_d
                ~timing:timing_rows ~engine:(Some engine) ~alloc:(Some alloc) ~b10:(Some b10)
-               ~b11:(Some b11) ~b12:(Some b12) ~b13:(Some b13) ~b14:(Some b14))
+               ~b11:(Some b11) ~b12:(Some b12) ~b13:(Some b13) ~b14:(Some b14)
+               ~b15:(Some b15))
     end
   end

@@ -773,7 +773,8 @@ let listen_term flags =
   Term.(const combine $ socket $ tcp)
 
 let serve_cmd =
-  let run () listen wal tenant_specs capacity jobs retries seed no_sync trace =
+  let run () listen wal tenant_specs capacity jobs retries seed no_sync trace no_serving_stats
+      trace_sample slow_threshold_ms slow_log slow_keep slo_specs =
     enable_trace trace;
     let die fmt = Printf.ksprintf (fun m -> prerr_endline ("serve: " ^ m); exit 2) fmt in
     let tenants =
@@ -783,6 +784,17 @@ let serve_cmd =
         tenant_specs
     in
     if tenants = [] then die "at least one --tenant NAME:TOKEN[:CAP] is required";
+    if trace_sample < 0 then die "--trace-sample: want a non-negative period, got %d" trace_sample;
+    if slow_keep < 1 then die "--slow-keep: want at least 1, got %d" slow_keep;
+    let slo_rules =
+      match slo_specs with
+      | [] -> Obs.Slo.default_rules
+      | specs ->
+          List.map
+            (fun s ->
+              match Obs.Slo.rule_of_line s with Ok r -> r | Error e -> die "--slo: %s" e)
+            specs
+    in
     let cfg =
       {
         Server.Daemon.listen;
@@ -793,6 +805,12 @@ let serve_cmd =
         retries;
         seed;
         sync = not no_sync;
+        serving_stats = not no_serving_stats;
+        trace_sample;
+        slow_threshold_ms;
+        slow_log;
+        slow_keep;
+        slo_rules;
       }
     in
     let on_ready t =
@@ -846,12 +864,61 @@ let serve_cmd =
             "Skip the per-record WAL fsync. Only for benchmarks: a crash may then lose the \
              tail of the journal.")
   in
+  let no_serving_stats =
+    Arg.(
+      value & flag
+      & info [ "no-serving-stats" ]
+          ~doc:
+            "Disable serving telemetry (latency histograms, burn windows, shed counters). \
+             $(b,health)/$(b,stats) then answer with empty bodies; exists chiefly for \
+             overhead baselines.")
+  in
+  let trace_sample =
+    Arg.(
+      value & opt int 0
+      & info [ "trace-sample" ] ~docv:"N"
+          ~doc:
+            "Head-sample one request in $(docv) (0 = off), keeping its full span tree in the \
+             slow-log ring. Deterministic — a hash of the request id decides, no RNG — so \
+             outputs are bit-identical with sampling on or off.")
+  in
+  let slow_threshold_ms =
+    Arg.(
+      value & opt float 250.
+      & info [ "slow-threshold" ] ~docv:"MS"
+          ~doc:"Requests at or above $(docv) milliseconds are kept as slow exemplars.")
+  in
+  let slow_log =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "slow-log" ] ~docv:"DIR"
+          ~doc:
+            "Bounded on-disk exemplar ring: span trees of sampled and slow requests, newest-N \
+             ($(b,--slow-keep)), each openable with $(b,validate-trace).")
+  in
+  let slow_keep =
+    Arg.(
+      value & opt int 64
+      & info [ "slow-keep" ] ~docv:"N" ~doc:"Exemplars retained in the $(b,--slow-log) ring.")
+  in
+  let slo =
+    Arg.(
+      value & opt_all string []
+      & info [ "slo" ] ~docv:"RULE"
+          ~doc:
+            "SLO rule evaluated by the $(b,health) verb (repeatable; replaces the defaults). \
+             Syntax: $(b,latency q=0.99 verb=* warn_ms=500 fire_ms=2000), \
+             $(b,burn tenant=* dataset=* warn=0.5 fire=1.0), or \
+             $(b,shed warn=0.01 fire=0.10).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run privclusterd: the resident multi-tenant private-query daemon")
     Term.(
       const run $ setup_logs $ listen_term "Listen" $ wal $ tenant $ capacity $ jobs $ retries
-      $ seed $ no_sync $ trace_arg)
+      $ seed $ no_sync $ trace_arg $ no_serving_stats $ trace_sample $ slow_threshold_ms
+      $ slow_log $ slow_keep $ slo)
 
 let client_cmd =
   let die fmt = Printf.ksprintf (fun m -> prerr_endline ("client: " ^ m); exit 2) fmt in
@@ -1107,20 +1174,102 @@ let client_cmd =
         const run $ setup_logs $ listen_term "Connect" $ tenant_arg $ token_arg $ dataset_arg
         $ action $ label)
   in
+  let print_table rows =
+    (* Pad every column but the last to the widest cell in that column. *)
+    let widths =
+      List.fold_left
+        (fun acc row ->
+          List.mapi
+            (fun i cell ->
+              let prev = try List.nth acc i with _ -> 0 in
+              max prev (String.length cell))
+            row)
+        [] rows
+    in
+    List.iter
+      (fun row ->
+        let n = List.length row in
+        List.iteri
+          (fun i cell ->
+            if i = n - 1 then print_string cell
+            else Printf.printf "%-*s  " (List.nth widths i) cell)
+          row;
+        print_newline ())
+      rows
+  in
   let metrics_cmd =
+    let run () listen tenant token table =
+      let c = connect listen tenant token in
+      let r = Server.Client.metrics c in
+      Server.Client.close c;
+      match r with
+      | Ok text when not table -> print_string text
+      | Ok text ->
+          (* Sample lines are "name{labels} value"; comments start with '#'. *)
+          let rows =
+            String.split_on_char '\n' text
+            |> List.filter_map (fun line ->
+                   if line = "" || line.[0] = '#' then None
+                   else
+                     match String.rindex_opt line ' ' with
+                     | Some i ->
+                         Some
+                           [
+                             String.sub line 0 i;
+                             String.sub line (i + 1) (String.length line - i - 1);
+                           ]
+                     | None -> Some [ line ])
+          in
+          print_table ([ "METRIC"; "VALUE" ] :: rows)
+      | Error f ->
+          prerr_endline ("client: " ^ Server.Client.fail_message f);
+          Stdlib.exit 1
+    in
+    let table =
+      Arg.(
+        value & flag
+        & info [ "table" ]
+            ~doc:"Render the samples as an aligned table instead of raw exposition text.")
+    in
     Cmd.v
       (Cmd.info "metrics" ~doc:"Scrape this tenant's Prometheus text exposition")
-      Term.(
-        const (fun () listen tenant token ->
-            let c = connect listen tenant token in
-            let r = Server.Client.metrics c in
-            Server.Client.close c;
-            match r with
-            | Ok text -> print_string text
-            | Error f ->
-                prerr_endline ("client: " ^ Server.Client.fail_message f);
-                Stdlib.exit 1)
-        $ setup_logs $ listen_term "Connect" $ tenant_arg $ token_arg)
+      Term.(const run $ setup_logs $ listen_term "Connect" $ tenant_arg $ token_arg $ table)
+  in
+  let health_cmd =
+    let run () listen tenant token =
+      let c = connect listen tenant token in
+      let r = Server.Client.health c in
+      Server.Client.close c;
+      match r with
+      | Error f ->
+          prerr_endline ("client: " ^ Server.Client.fail_message f);
+          Stdlib.exit 1
+      | Ok (status, verdicts, payload) ->
+          let draining =
+            match Engine.Json.member "draining" payload with
+            | Some (Engine.Json.Bool b) -> b
+            | _ -> false
+          in
+          Printf.printf "status: %s%s\n"
+            (Obs.Slo.status_to_string status)
+            (if draining then " (draining)" else "");
+          (match verdicts with
+          | [] -> ()
+          | _ ->
+              print_table
+                ([ "STATUS"; "SUBJECT"; "REASON"; "RULE" ]
+                :: List.map
+                     (fun (v : Obs.Slo.verdict) ->
+                       [ Obs.Slo.status_to_string v.status; v.subject; v.reason; v.rule ])
+                     verdicts));
+          if status = Obs.Slo.Firing then Stdlib.exit 4
+    in
+    Cmd.v
+      (Cmd.info "health"
+         ~doc:
+           "Evaluate the daemon's SLO rules: one verdict per rule and subject (exit 4 when any \
+            rule is firing; answers while draining)")
+      Term.(const run $ setup_logs $ listen_term "Connect" $ tenant_arg $ token_arg)
   in
   Cmd.group
     (Cmd.info "client" ~doc:"Talk to a running privclusterd")
@@ -1135,6 +1284,10 @@ let client_cmd =
       ledger_cmd;
       simple "datasets" "List this tenant's datasets" Server.Wire.Datasets;
       metrics_cmd;
+      health_cmd;
+      simple "stats"
+        "Dump the daemon's serving-telemetry snapshot (histograms, burn rates, sheds) as JSON"
+        Server.Wire.Stats;
       simple "ping" "Liveness probe (also answers while draining)" Server.Wire.Ping;
     ]
 

@@ -61,6 +61,32 @@ let families_of_source src =
             src.kinds;
       }
   in
+  let latency_quantiles =
+    Summary
+      {
+        name = "privcluster_job_latency_quantile_ms";
+        help = "Estimated job latency quantiles (milliseconds) by kind.";
+        samples =
+          List.filter_map
+            (fun r ->
+              if r.observations = 0 then None
+              else
+                Some
+                  ( [ ("kind", r.kind) ],
+                    {
+                      quantiles =
+                        List.map
+                          (fun q ->
+                            ( q,
+                              Telemetry.quantile_of_buckets ~buckets:r.buckets
+                                ~observations:r.observations ~q () ))
+                          [ 0.5; 0.9; 0.99 ];
+                      sum = r.total_ms;
+                      count = r.observations;
+                    } ))
+            src.kinds;
+      }
+  in
   let events =
     Counter
       {
@@ -152,7 +178,69 @@ let families_of_source src =
             };
         ]
   in
-  (jobs :: latency :: events :: acct) @ rcache
+  (jobs :: latency :: latency_quantiles :: events :: acct) @ rcache
+
+(* --- serving telemetry (the daemon's request-level families) -------------- *)
+
+type serving_rows = {
+  requests : (string * string * Obs.Hist.snapshot) list;  (* (verb, tenant, hist) *)
+  queue_wait : (string * Obs.Hist.snapshot) list;  (* (verb, hist) *)
+  burn : (string * string * float) list;  (* (tenant, dataset, per hour) *)
+  sheds : (string * int) list;  (* (reason, count) *)
+}
+
+let serving_quantiles = [ 0.5; 0.9; 0.99 ]
+
+let serving_summary snap =
+  {
+    Obs.Prom.quantiles =
+      List.map (fun q -> (q, Obs.Hist.quantile_ns snap ~q /. 1e9)) serving_quantiles;
+    sum = float_of_int snap.Obs.Hist.sum_ns /. 1e9;
+    count = snap.Obs.Hist.count;
+  }
+
+let serving_families rows =
+  let open Obs.Prom in
+  [
+    Summary
+      {
+        name = "privcluster_request_seconds";
+        help = "Request latency (admission to reply) by verb and tenant.";
+        samples =
+          List.map
+            (fun (verb, tenant, snap) ->
+              ([ ("verb", verb); ("tenant", tenant) ], serving_summary snap))
+            rows.requests;
+      };
+    Histogram
+      {
+        name = "privcluster_queue_wait_seconds";
+        help = "Executor-queue wait (submit to start) by verb.";
+        samples =
+          List.map
+            (fun (verb, snap) -> ([ ("verb", verb) ], Obs.Hist.to_prom snap))
+            rows.queue_wait;
+      };
+    Gauge
+      {
+        name = "privcluster_budget_burn_rate";
+        help =
+          "Epsilon spend over the trailing hour as a fraction of the dataset's \
+           budget, per tenant and dataset.";
+        samples =
+          List.map
+            (fun (tenant, dataset, rate) ->
+              ([ ("tenant", tenant); ("dataset", dataset) ], rate))
+            rows.burn;
+      };
+    Counter
+      {
+        name = "privcluster_request_sheds_total";
+        help = "Requests shed at admission, by reason; shed requests charge nothing.";
+        samples =
+          List.map (fun (reason, n) -> ([ ("reason", reason) ], float_of_int n)) rows.sheds;
+      };
+  ]
 
 let source_of_live ?dataset ?(datasets = []) ?result_cache telemetry =
   let kinds =

@@ -52,3 +52,24 @@ val of_report_json : Obs.Json.t -> (Obs.Prom.family list, string) result
 (** Rebuild families from a {!Service.report_json} document (its
     [telemetry] and [dataset.accountant] sections).  Errors name the
     missing or malformed field. *)
+
+(** {2 Serving telemetry}
+
+    Request-level families for the daemon's [metrics] endpoint, fed by
+    [Server.Serving] (the dependency points server → engine, so the
+    rows arrive as plain data). *)
+
+type serving_rows = {
+  requests : (string * string * Obs.Hist.snapshot) list;
+      (** [(verb, tenant, hist)], one summary sample each. *)
+  queue_wait : (string * Obs.Hist.snapshot) list;  (** [(verb, hist)]. *)
+  burn : (string * string * float) list;
+      (** [(tenant, dataset, eps-budget fraction per hour)]. *)
+  sheds : (string * int) list;  (** [(reason, count)]. *)
+}
+
+val serving_families : serving_rows -> Obs.Prom.family list
+(** [privcluster_request_seconds{verb,tenant,quantile}] (summary),
+    [privcluster_queue_wait_seconds{verb}] (histogram),
+    [privcluster_budget_burn_rate{tenant,dataset}] (gauge) and
+    [privcluster_request_sheds_total{reason}] (counter). *)

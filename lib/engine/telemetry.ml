@@ -122,6 +122,21 @@ let quantile_of_hist s ~q =
       lo +. (Float.max 0. (Float.min 1. frac) *. (hi -. lo))
   end
 
+let quantile_of_buckets ?(max_ms = bucket_bounds.(Array.length bucket_bounds - 1))
+    ~buckets ~observations ~q () =
+  let hist = Array.make n_buckets 0 in
+  Array.iteri (fun i c -> if i < n_buckets then hist.(i) <- c) buckets;
+  quantile_of_hist
+    {
+      by_status = Hashtbl.create 1;
+      hist;
+      count = observations;
+      sum_ms = 0.;
+      min_ms = 0.;
+      max_ms;
+    }
+    ~q
+
 let quantile_ms t ~kind ~q =
   Mutex.lock t.mutex;
   let r =

@@ -43,6 +43,15 @@ val count : t -> ?kind:string -> ?status:string -> unit -> int
 val quantile_ms : t -> kind:string -> q:float -> float
 (** Estimated latency quantile for a kind; [nan] when nothing recorded. *)
 
+val quantile_of_buckets :
+  ?max_ms:float -> buckets:int array -> observations:int -> q:float -> unit -> float
+(** The same estimator over a raw bucket snapshot (the {!export_stats}
+    layout: {!bucket_upper_bounds} buckets plus overflow), so renderers
+    working from an exported or journaled snapshot — {!Exposition}'s
+    post-hoc path — agree with the live {!quantile_ms}.  [max_ms] caps
+    interpolation inside the overflow bucket (defaults to the last
+    bound). *)
+
 (** {2 Exposition}
 
     A plain snapshot of the per-kind stats, for renderers that cannot

@@ -7,10 +7,17 @@ type hist = {
   count : int;
 }
 
+type summary = {
+  quantiles : (float * float) list;
+  sum : float;
+  count : int;
+}
+
 type family =
   | Counter of { name : string; help : string; samples : (labels * float) list }
   | Gauge of { name : string; help : string; samples : (labels * float) list }
   | Histogram of { name : string; help : string; samples : (labels * hist) list }
+  | Summary of { name : string; help : string; samples : (labels * summary) list }
 
 let sanitize_name s =
   let ok = function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false in
@@ -67,6 +74,20 @@ let render_value v =
 
 let render_bound v = if v = Float.infinity then "+Inf" else render_value v
 
+let family_name = function
+  | Counter { name; _ } | Gauge { name; _ } | Histogram { name; _ } | Summary { name; _ }
+    ->
+      sanitize_name name
+
+(* Scrapers diff exposition text; sort families by name and each
+   family's samples by label set so output never depends on hash-table
+   iteration or construction order. *)
+let sort_samples samples =
+  List.stable_sort (fun (l1, _) (l2, _) -> compare (l1 : labels) l2) samples
+
+let sort_families families =
+  List.stable_sort (fun f1 f2 -> compare (family_name f1) (family_name f2)) families
+
 let render families =
   let buf = Buffer.create 1024 in
   let header name help kind =
@@ -83,11 +104,11 @@ let render families =
       | Counter { name; help; samples } ->
           let name = sanitize_name name in
           header name help "counter";
-          List.iter (fun (labels, v) -> sample name labels v) samples
+          List.iter (fun (labels, v) -> sample name labels v) (sort_samples samples)
       | Gauge { name; help; samples } ->
           let name = sanitize_name name in
           header name help "gauge";
-          List.iter (fun (labels, v) -> sample name labels v) samples
+          List.iter (fun (labels, v) -> sample name labels v) (sort_samples samples)
       | Histogram { name; help; samples } ->
           let name = sanitize_name name in
           header name help "histogram";
@@ -108,8 +129,20 @@ let render families =
                 (float_of_int h.count);
               sample (name ^ "_sum") labels h.sum;
               sample (name ^ "_count") labels (float_of_int h.count))
-            samples)
-    families;
+            (sort_samples samples)
+      | Summary { name; help; samples } ->
+          let name = sanitize_name name in
+          header name help "summary";
+          List.iter
+            (fun (labels, s) ->
+              List.iter
+                (fun (q, v) ->
+                  sample name (labels @ [ ("quantile", render_value q) ]) v)
+                s.quantiles;
+              sample (name ^ "_sum") labels s.sum;
+              sample (name ^ "_count") labels (float_of_int s.count))
+            (sort_samples samples))
+    (sort_families families);
   Buffer.contents buf
 
 (* --- span aggregation ---------------------------------------------------- *)

@@ -15,20 +15,34 @@ type hist = {
   count : int;
 }
 
+type summary = {
+  quantiles : (float * float) list;  (** [(q, value)] pairs, [q] in [0 .. 1]. *)
+  sum : float;
+  count : int;
+}
+
 type family =
   | Counter of { name : string; help : string; samples : (labels * float) list }
   | Gauge of { name : string; help : string; samples : (labels * float) list }
   | Histogram of { name : string; help : string; samples : (labels * hist) list }
+  | Summary of { name : string; help : string; samples : (labels * summary) list }
+      (** Renders [name{...,quantile="0.99"}] lines plus [_sum] / [_count]. *)
 
 val sanitize_name : string -> string
 (** Map to the metric-name alphabet [[a-zA-Z0-9_:]]; invalid characters
     become ['_'], and a leading digit gets a ['_'] prefix. *)
 
+val escape_label_value : string -> string
+(** Backslash, double-quote and newline escaped per the format spec. *)
+
 val render : family list -> string
 (** Full exposition text: one [# HELP] + [# TYPE] header per family,
     then its samples.  Histogram samples expand to cumulative
     [_bucket{le=...}] lines (ending at [le="+Inf"]), [_sum] and
-    [_count].  Label values are escaped per the format spec. *)
+    [_count]; summaries expand to per-quantile lines plus [_sum] /
+    [_count].  Label values are escaped per the format spec.  Output is
+    deterministic: families are sorted by (sanitized) name and each
+    family's samples by label set, independent of construction order. *)
 
 val of_spans : ?prefix:string -> Span.span list -> family list
 (** Aggregate spans by (name, cat) into three counter families:

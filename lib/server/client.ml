@@ -110,4 +110,20 @@ let metrics t =
   | Some text -> Ok text
   | None -> Error (`Transport "metrics reply has no text body")
 
+let health t =
+  let* payload = request t Wire.Health in
+  let status =
+    Option.bind (Option.bind (Json.member "status" payload) Json.to_str)
+      Obs.Slo.status_of_string
+  in
+  let rules =
+    match Option.bind (Json.member "rules" payload) Json.to_list with
+    | None -> []
+    | Some l -> List.filter_map Obs.Slo.verdict_of_json l
+  in
+  match status with
+  | Some st -> Ok (st, rules, payload)
+  | None -> Error (`Transport "health reply has no status")
+
+let stats t = request t Wire.Stats
 let ping t = request t Wire.Ping

@@ -90,4 +90,11 @@ val datasets : t -> (Engine.Json.t, fail) result
 val metrics : t -> (string, fail) result
 (** The Prometheus text body itself. *)
 
+val health : t -> (Obs.Slo.status * Obs.Slo.verdict list * Engine.Json.t, fail) result
+(** Overall status (the worst across rules), the per-rule verdicts, and
+    the raw reply (carries [draining]). *)
+
+val stats : t -> (Engine.Json.t, fail) result
+(** The full serving-telemetry dump ({!Serving.stats_json}). *)
+
 val ping : t -> (Engine.Json.t, fail) result

@@ -20,6 +20,12 @@ type config = {
   retries : int;
   seed : int;
   sync : bool;
+  serving_stats : bool;
+  trace_sample : int;
+  slow_threshold_ms : float;
+  slow_log : string option;
+  slow_keep : int;
+  slo_rules : Obs.Slo.rule list;
 }
 
 let default_config =
@@ -32,6 +38,12 @@ let default_config =
     retries = 2;
     seed = 1;
     sync = true;
+    serving_stats = true;
+    trace_sample = 0;
+    slow_threshold_ms = 250.;
+    slow_log = None;
+    slow_keep = 64;
+    slo_rules = Obs.Slo.default_rules;
   }
 
 (* --- reply mailboxes ----------------------------------------------------- *)
@@ -73,6 +85,11 @@ type t = {
          standing registrations) are subscribed; executor thread only *)
   tenants : Tenants.t;
   admission : Admission.t;
+  serving : Serving.t option;
+  mutable exemplar_seq : int;  (* executor thread only *)
+  spans_preowned : bool;
+      (* span collection was already on when the daemon started (an outer
+         [--trace] owns the collector), so request capture must not reset it *)
   listen_fd : Unix.file_descr;
   bound : Unix.sockaddr;
   stopping : bool Atomic.t;
@@ -113,6 +130,26 @@ let emit_budget_event (ev : Accountant.event) =
 let tenant_datasets tenant =
   let reg = Service.registry (Tenants.service tenant) in
   List.filter_map (Registry.find reg) (Registry.names reg)
+
+(* One ε-spend sample per executed data-path request (plus one at
+   registration as the window's baseline, and one per scrape so idle
+   windows decay); runs on the executor thread, where touching the
+   tenant's ledger is safe. *)
+let sample_burn_ds t tenant ds =
+  match t.serving with
+  | None -> ()
+  | Some sv ->
+      let acct = Registry.accountant ds in
+      Serving.record_burn sv ~tenant:(Tenants.name tenant)
+        ~dataset:(Registry.name ds)
+        ~budget_eps:(Accountant.budget acct).Prim.Dp.eps
+        ~spent_eps:(Accountant.spent acct).Prim.Dp.eps
+        ~now_ns:(Obs.Clock.now_ns ())
+
+let sample_burn t tenant ~dataset =
+  match Service.find_dataset (Tenants.service tenant) dataset with
+  | Error _ -> ()
+  | Ok ds -> sample_burn_ds t tenant ds
 
 let exec_register t tenant ~dataset ~n ~dim ~axis ~frac ~radius ~seed ~budget ~mode =
   let svc = Tenants.service tenant in
@@ -494,12 +531,46 @@ let exec_metrics t tenant =
         };
     ]
   in
+  let serving_families =
+    match t.serving with
+    | None -> []
+    | Some sv ->
+        (* Every scrape refreshes the burn windows, so an idle tenant's
+           burn rate decays instead of freezing at its last burst. *)
+        List.iter (fun ds -> sample_burn_ds t tenant ds) datasets;
+        Engine.Exposition.serving_families
+          {
+            Engine.Exposition.requests = Serving.request_rows sv;
+            queue_wait = Serving.wait_rows sv;
+            burn = Serving.burn_rows sv ~now_ns:(Obs.Clock.now_ns ());
+            sheds = Serving.shed_rows sv;
+          }
+  in
   let text =
     Engine.Exposition.render ~datasets ~result_cache:(Service.result_cache svc)
       ~telemetry:(Service.telemetry svc) ()
-    ^ Obs.Prom.render daemon_families
+    ^ Obs.Prom.render (daemon_families @ serving_families)
   in
   Ok (Json.Obj [ ("metrics", Json.String text) ])
+
+let health_json t =
+  match t.serving with
+  | None ->
+      Json.Obj
+        [
+          ("status", Json.String "ok");
+          ("serving_stats", Json.Bool false);
+          ("rules", Json.List []);
+        ]
+  | Some sv ->
+      let verdicts = Serving.health sv ~now_ns:(Obs.Clock.now_ns ()) in
+      let status = Obs.Slo.worst_of verdicts in
+      Json.Obj
+        [
+          ("status", Json.String (Obs.Slo.status_to_string status));
+          ("draining", Json.Bool (Admission.draining t.admission));
+          ("rules", Json.List (List.map Obs.Slo.verdict_to_json verdicts));
+        ]
 
 (* --- connection handling ------------------------------------------------- *)
 
@@ -555,21 +626,96 @@ let write_all fd s =
   let rec go off = if off < n then go (off + Unix.write_substring fd s off (n - off)) in
   go 0
 
-let submit_and_wait t ?control ?slot work =
+let submit_and_wait t ?control ?slot ~verb work =
   let mb = Mailbox.create () in
+  Option.iter Serving.record_submit t.serving;
+  let submitted_ns = Obs.Clock.now_ns () in
   (* The mailbox must be filled on every path: an exception escaping the
      executor would otherwise strand this connection thread in [take]
      forever (and [stop] with it, on the join). *)
   let guarded () =
+    Option.iter
+      (fun sv ->
+        Serving.record_queue_wait sv ~verb
+          ~ns:(Int64.to_int (Int64.sub (Obs.Clock.now_ns ()) submitted_ns)))
+      t.serving;
     Mailbox.put mb
       (try work ()
        with e -> err Wire.Internal "unexpected failure: %s" (Printexc.to_string e))
   in
   match Admission.submit t.admission ?control ?slot guarded with
   | Error reason ->
+      Option.iter (fun sv -> Serving.record_shed sv reason) t.serving;
       err (Wire.Rejected reason) "request shed (%s); nothing was charged"
         (Wire.shed_reason_name reason)
   | Ok () -> Mailbox.take mb
+
+(* Everything from the root span's id onward: ids increase in start
+   order and a parent always sorts before its children, so one pass over
+   the sorted list collects the whole subtree. *)
+let subtree_of spans root_id =
+  let keep = Hashtbl.create 64 in
+  Hashtbl.replace keep root_id ();
+  List.filter
+    (fun (sp : Obs.Span.span) ->
+      if
+        sp.Obs.Span.id = root_id
+        || (match sp.Obs.Span.parent with
+           | Some p -> Hashtbl.mem keep p
+           | None -> false)
+      then begin
+        Hashtbl.replace keep sp.Obs.Span.id ();
+        true
+      end
+      else false)
+    spans
+
+(* Wrap an executor work item in a request root span and, when the
+   deterministic head sampler picks the request or it exceeds the slow
+   threshold, write the span subtree to the exemplar ring.  The sampling
+   decision is a pure hash of (tenant, verb, rid): no RNG is consulted,
+   so outputs and result-cache keys are bit-identical with sampling on
+   or off (pinned by the diff test). *)
+let traced t ~verb ~tenant_name ~rid work () =
+  match t.serving with
+  | Some sv when Serving.sample_every sv > 0 || Serving.slow_log_dir sv <> None ->
+      let key = Printf.sprintf "%s/%s/%d" tenant_name verb rid in
+      let want_sample = Serving.sampled sv ~key in
+      let h =
+        Obs.Span.start ~cat:"request"
+          ~attrs:(fun () ->
+            [
+              ("verb", Obs.Span.S verb);
+              ("tenant", Obs.Span.S tenant_name);
+              ("rid", Obs.Span.I rid);
+              ("sampled", Obs.Span.B want_sample);
+            ])
+          ("request:" ^ verb)
+      in
+      let started_ns = Obs.Clock.now_ns () in
+      let result =
+        try work ()
+        with e ->
+          Obs.Span.finish h;
+          raise e
+      in
+      Obs.Span.finish h;
+      let dur_ns = Int64.to_int (Int64.sub (Obs.Clock.now_ns ()) started_ns) in
+      let slow = dur_ns >= Serving.slow_threshold_ns sv in
+      (match Obs.Span.h_id h with
+      | Some root_id when want_sample || slow ->
+          let tree = subtree_of (Obs.Span.spans ()) root_id in
+          t.exemplar_seq <- t.exemplar_seq + 1;
+          Serving.write_exemplar sv ~verb ~seq:t.exemplar_seq
+            ~reason:(if slow then "slow" else "sampled")
+            ~json:(Obs.Trace.to_string tree)
+      | _ -> ());
+      (* The collector would otherwise grow by every request's spans for
+         the life of the daemon; only an outer [--trace] consumer wants
+         them kept. *)
+      if not t.spans_preowned then Obs.Span.reset ();
+      result
+  | _ -> work ()
 
 (* Client-controlled synthesis parameters are checked before the request
    reaches the executor: [Grid.create], [Synth.planted_ball] and
@@ -586,6 +732,17 @@ let validate_register ~n ~dim ~axis ~frac ~radius =
   else None
 
 let handle_request t authed (envelope : Wire.envelope) =
+  let verb = Wire.request_name envelope.Wire.request in
+  let rid = envelope.Wire.rid in
+  (* Data-path work items get the request root span + exemplar capture
+     and a burn-rate sample; [submit_data] keeps the eight call sites
+     from repeating the plumbing. *)
+  let submit_data tenant ~dataset work =
+    let work = (fun () -> let r = work () in sample_burn t tenant ~dataset; r) in
+    submit_and_wait t ~verb
+      ~slot:(Tenants.slot tenant, Tenants.max_in_flight tenant)
+      (traced t ~verb ~tenant_name:(Tenants.name tenant) ~rid work)
+  in
   match (envelope.Wire.request, !authed) with
   | Wire.Hello { version; tenant; token }, None ->
       if version <> Wire.version then
@@ -616,40 +773,52 @@ let handle_request t authed (envelope : Wire.envelope) =
       match Job.parse ~default_beta:Workload.Harness.default_beta jobs with
       | Error e -> err Wire.Bad_request "jobs: %s" e
       | Ok [] -> err Wire.Bad_request "jobs: empty batch"
-      | Ok specs ->
-          submit_and_wait t
-            ~slot:(Tenants.slot tenant, Tenants.max_in_flight tenant)
-            (fun () -> exec_run t tenant ~dataset ~seed specs))
+      | Ok specs -> submit_data tenant ~dataset (fun () -> exec_run t tenant ~dataset ~seed specs))
   | Wire.Register { dataset; n; dim; axis; frac; radius; seed; budget; mode }, Some tenant
     -> (
       match validate_register ~n ~dim ~axis ~frac ~radius with
       | Some msg -> err Wire.Bad_request "register: %s" msg
       | None ->
-          submit_and_wait t ~control:true (fun () ->
-              exec_register t tenant ~dataset ~n ~dim ~axis ~frac ~radius ~seed ~budget
-                ~mode))
+          submit_and_wait t ~control:true ~verb
+            (traced t ~verb ~tenant_name:(Tenants.name tenant) ~rid (fun () ->
+                 let r =
+                   exec_register t tenant ~dataset ~n ~dim ~axis ~frac ~radius ~seed
+                     ~budget ~mode
+                 in
+                 (* Baseline sample: a fresh window starts at the
+                    replayed spend, not at zero. *)
+                 sample_burn t tenant ~dataset;
+                 r)))
   | Wire.Append { dataset; n; seed; frac; radius }, Some tenant ->
-      submit_and_wait t
-        ~slot:(Tenants.slot tenant, Tenants.max_in_flight tenant)
-        (fun () -> exec_append t tenant ~dataset ~n ~seed ~frac ~radius)
+      submit_data tenant ~dataset (fun () -> exec_append t tenant ~dataset ~n ~seed ~frac ~radius)
   | Wire.Retire { dataset; from_; count }, Some tenant ->
-      submit_and_wait t
-        ~slot:(Tenants.slot tenant, Tenants.max_in_flight tenant)
-        (fun () -> exec_retire t tenant ~dataset ~from_ ~count)
+      submit_data tenant ~dataset (fun () -> exec_retire t tenant ~dataset ~from_ ~count)
   | Wire.Standing { dataset; id; t_fraction; eps; delta; periods; seed }, Some tenant ->
-      submit_and_wait t
-        ~slot:(Tenants.slot tenant, Tenants.max_in_flight tenant)
-        (fun () -> exec_standing t tenant ~dataset ~id ~t_fraction ~eps ~delta ~periods ~seed)
+      submit_data tenant ~dataset (fun () ->
+          exec_standing t tenant ~dataset ~id ~t_fraction ~eps ~delta ~periods ~seed)
   | Wire.Epoch { dataset }, Some tenant ->
-      submit_and_wait t ~control:true (fun () -> exec_epoch t tenant ~dataset)
+      submit_and_wait t ~control:true ~verb (fun () -> exec_epoch t tenant ~dataset)
   | Wire.Settle { dataset; action; label }, Some tenant ->
-      submit_and_wait t ~control:true (fun () -> exec_settle t tenant ~dataset ~action ~label)
+      submit_and_wait t ~control:true ~verb (fun () ->
+          exec_settle t tenant ~dataset ~action ~label)
   | Wire.Ledger { dataset }, Some tenant ->
-      submit_and_wait t ~control:true (fun () -> exec_ledger t tenant ~dataset)
+      submit_and_wait t ~control:true ~verb (fun () -> exec_ledger t tenant ~dataset)
   | Wire.Datasets, Some tenant ->
-      submit_and_wait t ~control:true (fun () -> exec_datasets t tenant)
+      submit_and_wait t ~control:true ~verb (fun () -> exec_datasets t tenant)
   | Wire.Metrics, Some tenant ->
-      submit_and_wait t ~control:true (fun () -> exec_metrics t tenant)
+      submit_and_wait t ~control:true ~verb (fun () -> exec_metrics t tenant)
+  | Wire.Health, Some _ ->
+      (* Answered on the connection thread, like [ping]: a health probe
+         must work even when the executor queue is deep or draining, and
+         [Serving] is safe to read concurrently. *)
+      Ok (health_json t)
+  | Wire.Stats, Some _ -> (
+      match t.serving with
+      | None ->
+          Ok
+            (Json.Obj
+               [ ("serving_stats", Json.Bool false); ("requests", Json.List []) ])
+      | Some sv -> Ok (Serving.stats_json sv ~now_ns:(Obs.Clock.now_ns ())))
 
 let handle_conn t fd =
   let reader = make_reader fd in
@@ -667,11 +836,13 @@ let handle_conn t fd =
          with Unix.Unix_error (_, _, _) -> ())
     | Line line when String.trim line = "" -> loop ()
     | Line line ->
-        let rid, body =
+        let received_ns = Obs.Clock.now_ns () in
+        let rid, verb, body =
           match Wire.request_of_line line with
-          | Error e -> (Wire.rid_of_line line, Error e)
+          | Error e -> (Wire.rid_of_line line, "invalid", Error e)
           | Ok envelope -> (
               ( envelope.Wire.rid,
+                Wire.request_name envelope.Wire.request,
                 try handle_request t authed envelope
                 with e ->
                   err Wire.Internal "unexpected failure: %s" (Printexc.to_string e) ))
@@ -682,6 +853,16 @@ let handle_conn t fd =
             true
           with Unix.Unix_error (_, _, _) -> false
         in
+        (* Admission-to-reply, recorded after the reply bytes are written
+           so a slow client socket shows up in the verb's latency. *)
+        Option.iter
+          (fun sv ->
+            let tenant =
+              match !authed with Some tn -> Tenants.name tn | None -> "-"
+            in
+            Serving.record_request sv ~verb ~tenant
+              ~ns:(Int64.to_int (Int64.sub (Obs.Clock.now_ns ()) received_ns)))
+          t.serving;
         if continue then loop ()
   in
   (try loop () with _ -> ());
@@ -772,6 +953,42 @@ let start cfg =
                       Error
                         (Printf.sprintf "listen %s: %s" arg (Unix.error_message e))
                   | listen_fd ->
+                      let serving =
+                        if not cfg.serving_stats then None
+                        else
+                          Some
+                            (Serving.create ~sample_every:cfg.trace_sample
+                               ~slow_threshold_ms:cfg.slow_threshold_ms
+                               ?slow_log:cfg.slow_log ~slow_keep:cfg.slow_keep
+                               ~rules:cfg.slo_rules ())
+                      in
+                      let spans_preowned = Obs.Span.enabled () in
+                      let capture_wanted =
+                        match serving with
+                        | Some sv ->
+                            Serving.sample_every sv > 0 || Serving.slow_log_dir sv <> None
+                        | None -> false
+                      in
+                      if capture_wanted && not spans_preowned then
+                        Obs.Span.set_enabled true;
+                      (* Resume the ring's sequence past any files left by a
+                         previous incarnation, so a restart never overwrites
+                         exemplars it did not write. *)
+                      let exemplar_seq =
+                        match serving with
+                        | None -> 0
+                        | Some sv ->
+                            List.fold_left
+                              (fun acc f ->
+                                let base = Filename.basename f in
+                                match
+                                  int_of_string_opt
+                                    (String.sub base 9 (min 8 (String.length base - 9)))
+                                with
+                                | Some n -> max acc n
+                                | None | (exception Invalid_argument _) -> acc)
+                              0 (Serving.exemplar_files sv)
+                      in
                       let t =
                         {
                           cfg;
@@ -780,6 +997,9 @@ let start cfg =
                           svc_hooked = [];
                           tenants;
                           admission = Admission.create ~capacity:cfg.capacity;
+                          serving;
+                          exemplar_seq;
+                          spans_preowned;
                           listen_fd;
                           bound = Unix.getsockname listen_fd;
                           stopping = Atomic.make false;

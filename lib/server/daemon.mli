@@ -31,11 +31,27 @@ type config = {
   retries : int;
   seed : int;  (** Service base seed (a [run]'s [seed] overrides per batch). *)
   sync : bool;  (** WAL fsync per record; [false] only for benchmarks. *)
+  serving_stats : bool;
+      (** Collect serving telemetry (latency histograms, burn windows,
+          shed counters).  Off, the [health]/[stats] verbs answer with
+          empty bodies; exists chiefly for the B15 overhead baseline. *)
+  trace_sample : int;
+      (** Head-sample every request whose key hashes to [0 mod N]
+          ([0] = off).  Deterministic (FNV-1a of tenant/verb/rid): no
+          RNG is consulted, outputs are bit-identical either way. *)
+  slow_threshold_ms : float;
+      (** Requests at or above this executor duration get their span
+          tree written to the exemplar ring. *)
+  slow_log : string option;  (** Exemplar ring directory; [None] = no ring. *)
+  slow_keep : int;  (** Newest-N exemplars retained in the ring. *)
+  slo_rules : Obs.Slo.rule list;  (** Evaluated by the [health] verb. *)
 }
 
 val default_config : config
 (** Unix socket ["privclusterd.sock"], WAL ["privclusterd.wal"], no
-    tenants, capacity 64, 2 domains, 2 retries, seed 1, sync on. *)
+    tenants, capacity 64, 2 domains, 2 retries, seed 1, sync on;
+    serving stats on, sampling off, slow threshold 250 ms, no slow-log
+    ring, keep 64, {!Obs.Slo.default_rules}. *)
 
 val max_request_bytes : int
 (** Longest accepted request line (8 MiB).  A connection that sends a

@@ -33,11 +33,29 @@ type request =
   | Ledger of { dataset : string }
   | Datasets
   | Metrics
+  | Health
+  | Stats
   | Ping
 
 and settle_action = Commit_orphans | Release_orphans
 
 type envelope = { rid : int; request : request }
+
+let request_name = function
+  | Hello _ -> "hello"
+  | Register _ -> "register"
+  | Run _ -> "run"
+  | Append _ -> "append"
+  | Retire _ -> "retire"
+  | Epoch _ -> "epoch"
+  | Standing _ -> "standing"
+  | Settle _ -> "settle"
+  | Ledger _ -> "ledger"
+  | Datasets -> "datasets"
+  | Metrics -> "metrics"
+  | Health -> "health"
+  | Stats -> "stats"
+  | Ping -> "ping"
 
 let settle_action_name = function
   | Commit_orphans -> "commit"
@@ -133,6 +151,8 @@ let request_to_line { rid; request } =
         [ ("req", Json.String "ledger"); ("dataset", Json.String dataset) ]
     | Datasets -> [ ("req", Json.String "datasets") ]
     | Metrics -> [ ("req", Json.String "metrics") ]
+    | Health -> [ ("req", Json.String "health") ]
+    | Stats -> [ ("req", Json.String "stats") ]
     | Ping -> [ ("req", Json.String "ping") ]
   in
   Json.to_string ~indent:false (Json.Obj (("id", Json.Int rid) :: fields)) ^ "\n"
@@ -235,6 +255,8 @@ let request_of_json json =
       Ok (Ledger { dataset })
   | "datasets" -> Ok Datasets
   | "metrics" -> Ok Metrics
+  | "health" -> Ok Health
+  | "stats" -> Ok Stats
   | "ping" -> Ok Ping
   | other -> bad "unknown request %S" other
 

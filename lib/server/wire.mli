@@ -38,6 +38,12 @@
     - [ledger]   — [dataset]; the accountant state.
     - [datasets] — list the tenant's datasets.
     - [metrics]  — Prometheus text exposition for this tenant.
+    - [health]   — one-line SLO verdict: overall status plus every
+      evaluated rule with its reason (see {!Obs.Slo}); answered even
+      while draining so probes keep working during a drain.
+    - [stats]    — full serving-telemetry dump: per-verb × per-tenant
+      latency histograms, queue-wait histograms, budget burn-rates and
+      shed counters as JSON.
     - [ping]     — liveness probe; answered even while draining. *)
 
 val version : int
@@ -73,11 +79,17 @@ type request =
   | Ledger of { dataset : string }
   | Datasets
   | Metrics
+  | Health
+  | Stats
   | Ping
 
 and settle_action = Commit_orphans | Release_orphans
 
 type envelope = { rid : int; request : request }
+
+val request_name : request -> string
+(** The wire verb (["hello"], ["run"], ...), used as the [verb] label of
+    the serving-latency metric families. *)
 
 val settle_action_name : settle_action -> string
 (** ["commit"], ["release"]. *)

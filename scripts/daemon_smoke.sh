@@ -1,22 +1,31 @@
 #!/usr/bin/env bash
 # CI smoke for privclusterd: serve on a Unix socket, drive an 8-job batch
-# through the client, scrape the metrics exposition, SIGTERM, and require
-# a clean drain (exit 0).  The WAL and the daemon trace are left in
+# through the client, scrape the metrics exposition twice under load
+# (counters must be monotone between scrapes), evaluate SLO health,
+# exercise exhaustive head-sampling into the exemplar ring, SIGTERM, and
+# require a clean drain (exit 0).  The WAL, the daemon trace, both
+# scrapes, the health report and the slow-log exemplars are left in
 # $OUT_DIR for upload as CI artifacts.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 OUT_DIR="${OUT_DIR:-daemon-smoke}"
 mkdir -p "$OUT_DIR"
+rm -rf "$OUT_DIR"/slow
 rm -f "$OUT_DIR"/privclusterd.wal "$OUT_DIR"/daemon-trace.json \
-      "$OUT_DIR"/serve.log "$OUT_DIR"/metrics.txt "$OUT_DIR"/run.json
+      "$OUT_DIR"/serve.log "$OUT_DIR"/metrics.txt "$OUT_DIR"/metrics2.txt \
+      "$OUT_DIR"/metrics-table.txt "$OUT_DIR"/health.txt "$OUT_DIR"/run.json
 
 dune build bin/privcluster_cli.exe
 CLI=_build/default/bin/privcluster_cli.exe
 SOCK="$OUT_DIR/privclusterd.sock"
 
+# --trace-sample 1 head-samples every request's span tree into the
+# exemplar ring; sampling is deterministic (a hash of the request key,
+# no RNG) so answers are bit-identical to a sampling-off daemon.
 "$CLI" serve --socket "$SOCK" --wal "$OUT_DIR/privclusterd.wal" \
   --tenant ci:ci-token --jobs 2 --trace "$OUT_DIR/daemon-trace.json" \
+  --trace-sample 1 --slow-log "$OUT_DIR/slow" --slow-keep 16 \
   >"$OUT_DIR/serve.log" 2>&1 &
 SERVE_PID=$!
 trap 'kill -9 "$SERVE_PID" 2>/dev/null || true' EXIT
@@ -48,9 +57,45 @@ grep -q '"status"' "$OUT_DIR/run.json"
 # the deliberately greedy job must be refused, not crash the batch
 grep -q '"refused"' "$OUT_DIR/run.json"
 
+# First scrape: budget gauges, queue depth, and the serving-telemetry
+# families added by the request-latency histograms and burn windows.
 client metrics > "$OUT_DIR/metrics.txt"
 grep -q 'privcluster_budget_epsilon' "$OUT_DIR/metrics.txt"
 grep -q 'privclusterd_queue_depth' "$OUT_DIR/metrics.txt"
+grep -q 'privcluster_request_seconds_count' "$OUT_DIR/metrics.txt"
+grep -q 'quantile="0.99"' "$OUT_DIR/metrics.txt"
+grep -q 'privcluster_queue_wait_seconds' "$OUT_DIR/metrics.txt"
+grep -q 'privcluster_budget_burn_rate' "$OUT_DIR/metrics.txt"
+grep -q 'privcluster_request_sheds_total' "$OUT_DIR/metrics.txt"
+
+# More load (a cache hit is still a wire request), then scrape again:
+# every per-verb request counter must be monotone between the scrapes.
+client run --dataset smoke --seed 7 "$OUT_DIR/jobs.txt" >/dev/null
+client metrics > "$OUT_DIR/metrics2.txt"
+count_sum() {
+  grep '^privcluster_request_seconds_count' "$1" \
+    | awk '{ s += $NF } END { printf "%d\n", s }'
+}
+C1=$(count_sum "$OUT_DIR/metrics.txt")
+C2=$(count_sum "$OUT_DIR/metrics2.txt")
+test "$C1" -gt 0
+test "$C2" -gt "$C1"
+
+# The aligned-table rendering must carry the same samples.
+client metrics --table > "$OUT_DIR/metrics-table.txt"
+grep -q 'privcluster_request_seconds_count' "$OUT_DIR/metrics-table.txt"
+
+# SLO health: nothing should be firing on an idle smoke daemon (health
+# exits 4 when any rule fires, failing the smoke under `set -e`).
+client health > "$OUT_DIR/health.txt"
+grep -q '^status: ' "$OUT_DIR/health.txt"
+
+# Exhaustive sampling must have populated the exemplar ring, and each
+# exemplar is a valid trace in its own right.
+ls "$OUT_DIR"/slow/exemplar-*.trace.json >/dev/null
+for f in "$OUT_DIR"/slow/exemplar-*.trace.json; do
+  "$CLI" validate-trace "$f"
+done
 
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID"          # a graceful drain must exit 0

@@ -530,6 +530,304 @@ let test_prom_of_spans_and_exposition () =
               "privcluster_budget_refusals_total{dataset=\"expo\"} 0";
             ])
 
+(* --- latency histograms --------------------------------------------------- *)
+
+(* Nanosecond observations spanning the bucket range, including exact
+   bucket bounds and the overflow region past the last bound. *)
+let ns_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        0 -- 2000;
+        map (fun i -> Obs.Hist.bucket_bounds_ns.(i)) (0 -- (Array.length Obs.Hist.bucket_bounds_ns - 1));
+        map (fun i -> Obs.Hist.bucket_bounds_ns.(i) + 1) (0 -- (Array.length Obs.Hist.bucket_bounds_ns - 1));
+        50_000_000_000 -- 60_000_000_000;
+        0 -- 100_000_000;
+      ])
+
+let snap_of ?(shards = 1) values =
+  let h = Obs.Hist.create ~shards () in
+  List.iter (fun v -> Obs.Hist.observe_ns ~shard:0 h v) values;
+  Obs.Hist.snapshot h
+
+let test_hist_empty_and_singleton () =
+  let e = Obs.Hist.empty in
+  check_int "empty count" 0 e.Obs.Hist.count;
+  check_true "empty quantile is nan" (Float.is_nan (Obs.Hist.quantile_ns e ~q:0.5));
+  check_true "empty mean is nan" (Float.is_nan (Obs.Hist.mean_ns e));
+  check_true "empty snapshot of a fresh histogram"
+    (Obs.Hist.snapshot (Obs.Hist.create ()) = e);
+  (* Clamped to observed min..max, a singleton reports every quantile as
+     exactly the observed value — even though the bucket is ~41% wide. *)
+  let s = snap_of [ 123_456 ] in
+  List.iter
+    (fun q ->
+      check_float ~tol:1e-9 (Printf.sprintf "singleton q=%g exact" q) 123_456.
+        (Obs.Hist.quantile_ns s ~q))
+    [ 0.; 0.25; 0.5; 0.9; 0.99; 1. ];
+  check_int "singleton min" 123_456 s.Obs.Hist.min_ns;
+  check_int "singleton max" 123_456 s.Obs.Hist.max_ns;
+  (* Negative observations clamp to zero rather than corrupting the sum. *)
+  let neg = snap_of [ -5 ] in
+  check_int "negative clamps to 0" 0 neg.Obs.Hist.sum_ns;
+  check_int "negative still counted" 1 neg.Obs.Hist.count
+
+let test_hist_count_sum_exact () =
+  let prop values =
+    let s = snap_of values in
+    check_int "count exact" (List.length values) s.Obs.Hist.count;
+    check_int "sum exact" (List.fold_left ( + ) 0 values) s.Obs.Hist.sum_ns;
+    check_int "bucket counts cover every observation"
+      (List.length values)
+      (Array.fold_left ( + ) 0 s.Obs.Hist.counts);
+    if values <> [] then begin
+      check_int "min exact" (List.fold_left min max_int values) s.Obs.Hist.min_ns;
+      check_int "max exact" (List.fold_left max 0 values) s.Obs.Hist.max_ns
+    end;
+    true
+  in
+  QCheck2.Test.check_exn
+    (QCheck2.Test.make ~count:200 ~name:"hist count/sum exact"
+       QCheck2.Gen.(list_size (0 -- 200) ns_gen)
+       prop)
+
+let test_hist_quantile_monotone () =
+  let prop (values, qs) =
+    let s = snap_of values in
+    let qs = List.sort compare qs in
+    let estimates = List.map (fun q -> Obs.Hist.quantile_ns s ~q) qs in
+    List.iter
+      (fun est ->
+        check_true "quantile within observed min..max"
+          (est >= float_of_int s.Obs.Hist.min_ns && est <= float_of_int s.Obs.Hist.max_ns))
+      estimates;
+    let rec ascending = function
+      | a :: (b :: _ as rest) ->
+          check_true "quantile monotone in q" (a <= b);
+          ascending rest
+      | _ -> ()
+    in
+    ascending estimates;
+    true
+  in
+  QCheck2.Test.check_exn
+    (QCheck2.Test.make ~count:200 ~name:"hist quantiles monotone"
+       QCheck2.Gen.(
+         pair (list_size (1 -- 100) ns_gen) (list_size (2 -- 8) (float_bound_inclusive 1.)))
+       prop)
+
+let test_hist_merge_of_shards () =
+  (* The tentpole property: a sharded histogram fed a stream scattered
+     across shards snapshots identically to a single-shard histogram fed
+     the same stream — merging is associative and loss-free. *)
+  let prop assignments =
+    let sharded = Obs.Hist.create ~shards:8 () in
+    let single = Obs.Hist.create ~shards:1 () in
+    List.iter
+      (fun (v, shard) ->
+        Obs.Hist.observe_ns ~shard sharded v;
+        Obs.Hist.observe_ns ~shard:0 single v)
+      assignments;
+    check_true "merged shards == single shard"
+      (Obs.Hist.snapshot sharded = Obs.Hist.snapshot single);
+    (* Folding [merge] over per-chunk snapshots is the same as one big
+       snapshot, in any association order. *)
+    let chunks =
+      List.mapi (fun i (v, _) -> (i mod 3, v)) assignments
+      |> List.fold_left
+           (fun acc (c, v) ->
+             List.map (fun (c', vs) -> if c = c' then (c', v :: vs) else (c', vs)) acc)
+           [ (0, []); (1, []); (2, []) ]
+    in
+    let merged =
+      List.fold_left
+        (fun acc (_, vs) -> Obs.Hist.merge acc (snap_of vs))
+        Obs.Hist.empty chunks
+    in
+    check_true "merge of chunk snapshots == whole snapshot"
+      (merged = Obs.Hist.snapshot single);
+    true
+  in
+  QCheck2.Test.check_exn
+    (QCheck2.Test.make ~count:100 ~name:"hist merge of shards"
+       QCheck2.Gen.(list_size (0 -- 150) (pair ns_gen (0 -- 20)))
+       prop)
+
+let test_hist_prom_and_json () =
+  let s = snap_of [ 1_000; 2_000_000; 3_000_000_000 ] in
+  let h = Obs.Hist.to_prom s in
+  check_int "prom buckets drop only the overflow"
+    (Array.length Obs.Hist.bucket_bounds_ns)
+    (Array.length h.Obs.Prom.bounds);
+  check_float ~tol:1e-12 "prom sum in seconds" 3.002001 h.Obs.Prom.sum;
+  check_int "prom count" 3 h.Obs.Prom.count;
+  check_float ~tol:1e-12 "first bound is 1 µs in seconds" 1e-6 h.Obs.Prom.bounds.(0);
+  match Obs.Hist.to_json s with
+  | Obs.Json.Obj fields ->
+      check_true "json carries count" (List.assoc_opt "count" fields = Some (Obs.Json.Int 3));
+      check_true "json carries exact sum"
+        (List.assoc_opt "sum_ns" fields = Some (Obs.Json.Int 3_002_001_000));
+      check_true "json carries quantiles" (List.mem_assoc "p99" fields)
+  | _ -> Alcotest.fail "hist json is not an object"
+
+(* --- SLO rules ------------------------------------------------------------ *)
+
+let test_slo_line_roundtrip () =
+  let customs =
+    [
+      Obs.Slo.Latency { verb = Some "run"; q = 0.9; warn_s = 0.123; fire_s = 4.5 };
+      Obs.Slo.Burn_rate
+        { tenant = Some "acme"; dataset = None; warn_per_hour = 0.25; fire_per_hour = 2. };
+      Obs.Slo.Shed_rate { warn = 0.02; fire = 0.2 };
+    ]
+  in
+  List.iter
+    (fun r ->
+      let line = Obs.Slo.rule_to_line r in
+      match Obs.Slo.rule_of_line line with
+      | Ok r' -> check_true ("roundtrip: " ^ line) (r = r')
+      | Error e -> Alcotest.failf "roundtrip %s: %s" line e)
+    (Obs.Slo.default_rules @ customs);
+  List.iter
+    (fun (line, needle) ->
+      match Obs.Slo.rule_of_line line with
+      | Ok _ -> Alcotest.failf "accepted malformed rule %S" line
+      | Error e ->
+          check_true
+            (Printf.sprintf "error for %S names the problem (%s)" line e)
+            (contains_sub e needle))
+    [
+      ("", "empty");
+      ("latency q warn_ms=1 fire_ms=2", "malformed token");
+      ("latency q=2 warn_ms=1 fire_ms=2", "q must be in [0,1]");
+      ("latency q=0.5 fire_ms=2", "missing warn_ms=");
+      ("burn warn=x fire=1", "bad number for warn");
+      ("pager duty=now", "unknown rule kind");
+    ]
+
+let test_slo_eval () =
+  let latencies = ref [] and burns = ref [] and shed = ref (0., 0) in
+  let obs =
+    {
+      Obs.Slo.latencies = (fun () -> !latencies);
+      burn_rates = (fun () -> !burns);
+      shed_rate = (fun () -> !shed);
+    }
+  in
+  let one_verdict rule =
+    match Obs.Slo.eval obs rule with
+    | [ v ] -> v
+    | l -> Alcotest.failf "expected one verdict, got %d" (List.length l)
+  in
+  (* Idle: every default rule is Ok with an explanatory reason. *)
+  List.iter
+    (fun r ->
+      let v = one_verdict r in
+      check_true "idle is ok" (v.Obs.Slo.status = Obs.Slo.Ok))
+    Obs.Slo.default_rules;
+  (* A 1 s p99 warns at warn=0.5s/fire=2s; 3 s fires; wildcard expands
+     to one verdict per observed verb. *)
+  let lat = Obs.Slo.Latency { verb = None; q = 0.99; warn_s = 0.5; fire_s = 2.0 } in
+  latencies := [ ("run", snap_of [ 1_000_000_000 ]); ("epoch", snap_of [ 1_000_000 ]) ];
+  let vs = Obs.Slo.eval obs lat in
+  check_int "one verdict per observed verb" 2 (List.length vs);
+  let by_subject s =
+    List.find (fun (v : Obs.Slo.verdict) -> v.Obs.Slo.subject = s) vs
+  in
+  check_true "slow verb warns" ((by_subject "verb=run").Obs.Slo.status = Obs.Slo.Warn);
+  check_true "fast verb ok" ((by_subject "verb=epoch").Obs.Slo.status = Obs.Slo.Ok);
+  latencies := [ ("run", snap_of [ 3_000_000_000 ]) ];
+  let v = List.hd (Obs.Slo.eval obs lat) in
+  check_true "3s p99 fires" (v.Obs.Slo.status = Obs.Slo.Firing);
+  check_true "reason carries the measurement" (contains_sub v.Obs.Slo.reason "p99=3000.0ms");
+  (* A rule pinned to an unobserved subject reports Ok, not silence. *)
+  let pinned = Obs.Slo.Latency { verb = Some "nope"; q = 0.5; warn_s = 0.1; fire_s = 1. } in
+  let v = one_verdict pinned in
+  check_true "pinned unobserved is ok" (v.Obs.Slo.status = Obs.Slo.Ok);
+  check_true "pinned unobserved says why" (contains_sub v.Obs.Slo.reason "no observations");
+  (* Burn rate grades against budget-fractions per hour. *)
+  let burn =
+    Obs.Slo.Burn_rate { tenant = None; dataset = None; warn_per_hour = 0.5; fire_per_hour = 1.0 }
+  in
+  burns := [ ("acme", "d1", 1.5); ("acme", "d2", 0.1) ];
+  let vs = Obs.Slo.eval obs burn in
+  check_int "one verdict per tenant x dataset" 2 (List.length vs);
+  check_true "hot dataset fires"
+    (List.exists
+       (fun (v : Obs.Slo.verdict) ->
+         v.Obs.Slo.subject = "tenant=acme dataset=d1" && v.Obs.Slo.status = Obs.Slo.Firing)
+       vs);
+  (* Shed rate: fraction of submissions; thresholds inclusive. *)
+  let shed_rule = Obs.Slo.Shed_rate { warn = 0.01; fire = 0.10 } in
+  shed := (0.05, 100);
+  check_true "5% shed warns" ((one_verdict shed_rule).Obs.Slo.status = Obs.Slo.Warn);
+  shed := (0.10, 100);
+  check_true "10% shed fires" ((one_verdict shed_rule).Obs.Slo.status = Obs.Slo.Firing);
+  (* worst_of and the JSON roundtrip the daemon's health verb relies on. *)
+  let all = Obs.Slo.eval_all obs [ lat; burn; shed_rule ] in
+  check_true "worst across rules is firing" (Obs.Slo.worst_of all = Obs.Slo.Firing);
+  List.iter
+    (fun v ->
+      match Obs.Slo.verdict_of_json (Obs.Slo.verdict_to_json v) with
+      | Some v' -> check_true "verdict json roundtrip" (v = v')
+      | None -> Alcotest.fail "verdict json did not parse back")
+    all
+
+(* --- Prometheus determinism ----------------------------------------------- *)
+
+let test_prom_deterministic_golden () =
+  let open Obs.Prom in
+  (* Same families, scrambled construction order and label-set order:
+     byte-identical output, pinned in full so any format drift is loud.
+     The gauge's label value exercises every escape the spec defines. *)
+  let nasty = "a\"x\\y\nz" in
+  let counter order =
+    Counter { name = "aa_total"; help = "A."; samples = order }
+  and gauge order = Gauge { name = "zz_gauge"; help = "Z."; samples = order }
+  and summary =
+    Summary
+      {
+        name = "mm_seconds";
+        help = "M.";
+        samples = [ ([], { quantiles = [ (0.5, 0.25); (0.99, 1.5) ]; sum = 2.; count = 3 }) ];
+      }
+  in
+  let a =
+    render
+      [
+        counter [ ([ ("k", "1") ], 1.); ([ ("k", "2") ], 2.) ];
+        summary;
+        gauge [ ([ ("t", nasty) ], 1.); ([ ("t", "b") ], 2.) ];
+      ]
+  and b =
+    render
+      [
+        gauge [ ([ ("t", "b") ], 2.); ([ ("t", nasty) ], 1.) ];
+        counter [ ([ ("k", "2") ], 2.); ([ ("k", "1") ], 1.) ];
+        summary;
+      ]
+  in
+  Alcotest.(check string) "render independent of construction order" a b;
+  let golden =
+    "# HELP aa_total A.\n\
+     # TYPE aa_total counter\n\
+     aa_total{k=\"1\"} 1\n\
+     aa_total{k=\"2\"} 2\n\
+     # HELP mm_seconds M.\n\
+     # TYPE mm_seconds summary\n\
+     mm_seconds{quantile=\"0.5\"} 0.25\n\
+     mm_seconds{quantile=\"0.99\"} 1.5\n\
+     mm_seconds_sum 2\n\
+     mm_seconds_count 3\n\
+     # HELP zz_gauge Z.\n\
+     # TYPE zz_gauge gauge\n\
+     zz_gauge{t=\"a\\\"x\\\\y\\nz\"} 1\n\
+     zz_gauge{t=\"b\"} 2\n"
+  in
+  Alcotest.(check string) "exposition text pinned" golden a;
+  check_true "escape_label_value escapes quote, backslash, newline"
+    (escape_label_value nasty = "a\\\"x\\\\y\\nz")
+
 let suite =
   [
     case "span tree well-formed under pool fan-out (qcheck)" test_tree_under_fan_out;
@@ -548,4 +846,12 @@ let suite =
     case "json parser roundtrip and rejection" test_json_roundtrip;
     case "prometheus text format" test_prom_render;
     case "prometheus span families and post-hoc exposition" test_prom_of_spans_and_exposition;
+    case "hist: empty and singleton" test_hist_empty_and_singleton;
+    case "hist: count/sum exact (qcheck)" test_hist_count_sum_exact;
+    case "hist: quantiles monotone and clamped (qcheck)" test_hist_quantile_monotone;
+    case "hist: merge of shards == single shard (qcheck)" test_hist_merge_of_shards;
+    case "hist: prometheus and json dumps" test_hist_prom_and_json;
+    case "slo: rule line roundtrip and rejection" test_slo_line_roundtrip;
+    case "slo: evaluation grades and expands subjects" test_slo_eval;
+    case "prometheus exposition is deterministic (golden)" test_prom_deterministic_golden;
   ]

@@ -607,7 +607,8 @@ let test_wire_reply_roundtrip () =
 
 let daemon_cfg ~dir ?(capacity = 16) ?(tenants = [ { Server.Tenants.name = "acme"; token = "s3cret"; max_in_flight = 8 } ]) () =
   {
-    Server.Daemon.listen = `Unix (Filename.concat dir "d.sock");
+    Server.Daemon.default_config with
+    listen = `Unix (Filename.concat dir "d.sock");
     wal_path = Filename.concat dir "d.wal";
     tenants;
     capacity;
@@ -1028,6 +1029,211 @@ let test_daemon_concurrent_soak () =
       daemon_verdicts.(i)
   done
 
+(* --- serving telemetry end-to-end ----------------------------------------- *)
+
+let test_daemon_health_stats_metrics () =
+  let dir = temp_dir () in
+  let cfg = daemon_cfg ~dir () in
+  with_daemon cfg (fun _d ->
+      let c = expect_ok "connect" (connect cfg ~tenant:"acme" ~token:"s3cret") in
+      (* health answers before any traffic: every default rule reports,
+         none can be firing on an idle daemon. *)
+      let st, verdicts, payload = expect_ok "health" (Server.Client.health c) in
+      check_true "idle daemon is healthy" (st = Obs.Slo.Ok);
+      check_true "default rules all evaluated" (List.length verdicts >= 3);
+      check_true "health carries draining:false"
+        (Engine.Json.member "draining" payload = Some (Engine.Json.Bool false));
+      ignore
+        (expect_ok "register"
+           (Server.Client.register c ~dataset:"d1" ~n:400 ~axis:128 ~radius:0.06 ~seed:3
+              ~budget:(p ~eps:2.0 ~delta:1e-5) ()));
+      ignore (expect_ok "run" (Server.Client.run c ~dataset:"d1" ~seed:7 ~jobs:soak_jobs ()));
+      (* stats reflects the traffic per verb x tenant *)
+      let stats = expect_ok "stats" (Server.Client.stats c) in
+      check_true "stats says serving_stats on"
+        (Engine.Json.member "serving_stats" stats = Some (Engine.Json.Bool true));
+      let rows =
+        match Option.bind (Engine.Json.member "requests" stats) Engine.Json.to_list with
+        | Some l -> l
+        | None -> Alcotest.fail "stats reply has no requests"
+      in
+      let field k r = Option.bind (Engine.Json.member k r) Engine.Json.to_str in
+      check_true "run latency recorded for the tenant"
+        (List.exists (fun r -> field "verb" r = Some "run" && field "tenant" r = Some "acme") rows);
+      (* the serving families land in the exposition, with summary quantiles *)
+      let m1 = expect_ok "metrics" (Server.Client.metrics c) in
+      List.iter
+        (fun needle -> check_true ("metrics contains " ^ needle) (contains_sub m1 needle))
+        [
+          "privcluster_request_seconds";
+          "quantile=\"0.99\"";
+          "privcluster_queue_wait_seconds";
+          "privcluster_budget_burn_rate";
+          "privcluster_request_sheds_total";
+        ];
+      (* double scrape: request counters are monotone *)
+      let counter_sum text =
+        String.split_on_char '\n' text
+        |> List.fold_left
+             (fun acc line ->
+               if
+                 String.length line > 33
+                 && String.sub line 0 33 = "privcluster_request_seconds_count"
+               then
+                 match String.rindex_opt line ' ' with
+                 | Some i -> (
+                     match
+                       float_of_string_opt
+                         (String.sub line (i + 1) (String.length line - i - 1))
+                     with
+                     | Some v -> acc +. v
+                     | None -> acc)
+                 | None -> acc
+               else acc)
+             0.
+      in
+      let m2 = expect_ok "metrics" (Server.Client.metrics c) in
+      check_true "request counters present" (counter_sum m1 > 0.);
+      check_true "request counters monotone across scrapes"
+        (counter_sum m2 >= counter_sum m1);
+      Server.Client.close c);
+  (* with serving stats disabled both verbs still answer, honestly *)
+  let dir2 = temp_dir () in
+  let cfg2 = { (daemon_cfg ~dir:dir2 ()) with Server.Daemon.serving_stats = false } in
+  with_daemon cfg2 (fun _d ->
+      let c = expect_ok "connect" (connect cfg2 ~tenant:"acme" ~token:"s3cret") in
+      let st, verdicts, payload = expect_ok "health" (Server.Client.health c) in
+      check_true "disabled health is ok" (st = Obs.Slo.Ok);
+      check_true "disabled health has no verdicts" (verdicts = []);
+      check_true "disabled health says so"
+        (Engine.Json.member "serving_stats" payload = Some (Engine.Json.Bool false));
+      let stats = expect_ok "stats" (Server.Client.stats c) in
+      check_true "disabled stats says so"
+        (Engine.Json.member "serving_stats" stats = Some (Engine.Json.Bool false));
+      Server.Client.close c)
+
+let test_daemon_exemplar_ring () =
+  let dir = temp_dir () in
+  let slow_dir = Filename.concat dir "slow" in
+  (* threshold 0: every request is "slow", so the ring must prune. *)
+  let cfg =
+    {
+      (daemon_cfg ~dir ()) with
+      Server.Daemon.slow_threshold_ms = 0.;
+      slow_log = Some slow_dir;
+      slow_keep = 3;
+    }
+  in
+  with_daemon cfg (fun _d ->
+      let c = expect_ok "connect" (connect cfg ~tenant:"acme" ~token:"s3cret") in
+      ignore
+        (expect_ok "register"
+           (Server.Client.register c ~dataset:"d1" ~n:400 ~axis:128 ~radius:0.06 ~seed:3
+              ~budget:(p ~eps:4.0 ~delta:1e-4) ()));
+      for i = 1 to 5 do
+        ignore (expect_ok "run" (Server.Client.run c ~dataset:"d1" ~seed:i ~jobs:soak_jobs ()))
+      done;
+      Server.Client.close c);
+  (* stop drained the executor, so the ring is quiescent *)
+  let read_ring () =
+    Sys.readdir slow_dir |> Array.to_list |> List.filter (fun f -> f <> "") |> List.sort compare
+  in
+  let files = read_ring () in
+  check_true "ring is non-empty" (files <> []);
+  check_true "ring is bounded to slow_keep" (List.length files <= 3);
+  List.iter
+    (fun f ->
+      check_true ("exemplar name shape: " ^ f)
+        (String.length f > 9 && String.sub f 0 9 = "exemplar-");
+      let contents =
+        In_channel.with_open_text (Filename.concat slow_dir f) In_channel.input_all
+      in
+      match Obs.Json.parse contents with
+      | Error e -> Alcotest.failf "exemplar %s does not parse: %s" f e
+      | Ok doc -> (
+          match Obs.Trace.validate doc with
+          | Error e -> Alcotest.failf "exemplar %s is not a valid trace: %s" f e
+          | Ok () -> ()))
+    files;
+  (* a restarted daemon resumes the sequence past the survivors instead
+     of overwriting them *)
+  let newest_before = List.fold_left max "" files in
+  let cfg2 = { cfg with Server.Daemon.wal_path = Filename.concat dir "d2.wal" } in
+  with_daemon cfg2 (fun _d ->
+      let c = expect_ok "connect" (connect cfg2 ~tenant:"acme" ~token:"s3cret") in
+      ignore
+        (expect_ok "register"
+           (Server.Client.register c ~dataset:"d1" ~n:400 ~axis:128 ~radius:0.06 ~seed:3
+              ~budget:(p ~eps:4.0 ~delta:1e-4) ()));
+      Server.Client.close c);
+  let files2 = read_ring () in
+  check_true "ring still bounded after restart" (List.length files2 <= 3);
+  check_true "restart resumed the sequence"
+    (List.exists (fun f -> f > newest_before) files2)
+
+(* Sampling must be invisible in results: with --trace-sample hashing every
+   request into the exemplar ring, register/run/epoch replies — including
+   the result-cache hit/miss counters, which pin cache-key identity — are
+   bit-identical to a sampling-off daemon, timing fields aside. *)
+let rec strip_timing = function
+  | Engine.Json.Obj fields ->
+      Engine.Json.Obj
+        (List.filter_map
+           (fun (k, v) ->
+             if k = "latency_ms" || k = "elapsed_ms" then None else Some (k, strip_timing v))
+           fields)
+  | Engine.Json.List l -> Engine.Json.List (List.map strip_timing l)
+  | j -> j
+
+let test_daemon_sampling_deterministic () =
+  let observe cfg =
+    with_daemon cfg (fun _d ->
+        let c = expect_ok "connect" (connect cfg ~tenant:"acme" ~token:"s3cret") in
+        let reg =
+          expect_ok "register"
+            (Server.Client.register c ~dataset:"d1" ~n:400 ~axis:128 ~radius:0.06 ~seed:3
+               ~budget:(p ~eps:4.0 ~delta:1e-4) ())
+        in
+        let r1 = expect_ok "run" (Server.Client.run c ~dataset:"d1" ~seed:11 ~jobs:soak_jobs ()) in
+        (* identical resubmission: answered from the result cache iff the
+           cache key is unchanged by sampling *)
+        let r2 = expect_ok "run" (Server.Client.run c ~dataset:"d1" ~seed:11 ~jobs:soak_jobs ()) in
+        let ep = expect_ok "epoch" (Server.Client.epoch c ~dataset:"d1") in
+        Server.Client.close c;
+        List.map
+          (fun j -> Engine.Json.to_string (strip_timing j))
+          [ reg; r1; r2; ep ])
+  in
+  let dir_a = temp_dir () and dir_b = temp_dir () in
+  let slow_dir = Filename.concat dir_a "slow" in
+  let sampled =
+    {
+      (daemon_cfg ~dir:dir_a ()) with
+      Server.Daemon.trace_sample = 1;
+      slow_log = Some slow_dir;
+    }
+  in
+  let plain = daemon_cfg ~dir:dir_b () in
+  let a = observe sampled and b = observe plain in
+  List.iteri
+    (fun i (x, y) ->
+      Alcotest.(check string)
+        (Printf.sprintf "reply %d bit-identical with sampling on" i)
+        y x)
+    (List.combine a b);
+  (* the cache-hit counters agree and the second run genuinely hit *)
+  (match Obs.Json.parse (List.nth a 3) with
+  | Ok ep ->
+      let hits =
+        Option.bind (Engine.Json.member "result_cache" ep) (Engine.Json.member "hits")
+      in
+      check_true "second run hit the result cache"
+        (match Option.bind hits Engine.Json.to_int with Some h -> h > 0 | None -> false)
+  | Error e -> Alcotest.failf "epoch reply does not parse back: %s" e);
+  (* sampling was genuinely active: every request left an exemplar *)
+  check_true "sampled daemon wrote exemplars"
+    (Sys.file_exists slow_dir && Sys.readdir slow_dir <> [||])
+
 let suite =
   [
     case "crc32 vectors and hex" test_crc_vectors;
@@ -1062,4 +1268,7 @@ let suite =
     slow_case "daemon register validation" test_daemon_register_validation;
     slow_case "daemon request line cap" test_daemon_request_line_cap;
     slow_case "daemon concurrent soak" test_daemon_concurrent_soak;
+    slow_case "daemon health, stats and serving metrics" test_daemon_health_stats_metrics;
+    slow_case "daemon exemplar ring bounded and valid" test_daemon_exemplar_ring;
+    slow_case "daemon sampling leaves outputs bit-identical" test_daemon_sampling_deterministic;
   ]
